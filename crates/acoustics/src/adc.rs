@@ -1,0 +1,177 @@
+//! Analog-to-digital conversion: anti-alias filtering, resampling to the
+//! device's output rate, quantisation and the converter's noise floor.
+
+use crate::error::{AcousticsError, Result};
+use ivc_dsp::filter::fir::FirFilter;
+use ivc_dsp::resample::resample;
+use ivc_dsp::signal::Signal;
+use ivc_dsp::window::WindowKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of an ADC stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdcConfig {
+    /// Output sampling rate in Hz (44.1 k, 48 k or 16 k for typical devices).
+    pub output_rate_hz: f64,
+    /// Resolution in bits.
+    pub bits: u32,
+    /// Equivalent input noise expressed in dB relative to full scale.
+    pub noise_floor_dbfs: f64,
+    /// Cut-off of the anti-alias filter as a fraction of the output Nyquist.
+    pub anti_alias_fraction: f64,
+}
+
+impl Default for AdcConfig {
+    fn default() -> Self {
+        AdcConfig {
+            output_rate_hz: 48_000.0,
+            bits: 16,
+            noise_floor_dbfs: -90.0,
+            anti_alias_fraction: 0.9,
+        }
+    }
+}
+
+impl AdcConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.output_rate_hz > 0.0) {
+            return Err(AcousticsError::invalid("output_rate_hz", "must be positive"));
+        }
+        if self.bits < 4 || self.bits > 32 {
+            return Err(AcousticsError::invalid("bits", "must be within [4, 32]"));
+        }
+        if !(0.1..=1.0).contains(&self.anti_alias_fraction) {
+            return Err(AcousticsError::invalid(
+                "anti_alias_fraction",
+                "must be within [0.1, 1.0]",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Converts an analog (high-rate, full-scale-normalised) signal into the
+/// digital recording a device would store: anti-alias filter, resample,
+/// add converter noise, quantise, clip to full scale.
+pub fn digitize(analog_full_scale: &Signal, config: &AdcConfig, seed: u64) -> Result<Signal> {
+    config.validate()?;
+    if analog_full_scale.is_empty() {
+        return Err(AcousticsError::invalid("analog_full_scale", "empty signal"));
+    }
+    let input_rate = analog_full_scale.sample_rate_hz();
+    let cutoff = (config.output_rate_hz / 2.0 * config.anti_alias_fraction).min(input_rate / 2.0 * 0.98);
+
+    // Anti-alias low-pass at the output Nyquist (applied at the input rate).
+    let filtered = if cutoff < input_rate / 2.0 * 0.98 {
+        let lpf = FirFilter::low_pass(cutoff, input_rate, 255, WindowKind::Blackman)?;
+        lpf.filter_signal(analog_full_scale)?
+    } else {
+        analog_full_scale.clone()
+    };
+
+    // Resample to the output rate.
+    let mut resampled = resample(&filtered, config.output_rate_hz)?;
+
+    // Converter noise.
+    let noise_rms = 10f64.powf(config.noise_floor_dbfs / 20.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for x in resampled.samples_mut() {
+        let n: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+        *x += n * noise_rms;
+    }
+
+    // Quantise and clip.
+    let levels = 2f64.powi(config.bits as i32 - 1);
+    for x in resampled.samples_mut() {
+        let clipped = x.clamp(-1.0, 1.0);
+        *x = (clipped * levels).round() / levels;
+    }
+    Ok(resampled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivc_dsp::spectrum::band_power;
+
+    #[test]
+    fn validation() {
+        let bad_rate = AdcConfig {
+            output_rate_hz: 0.0,
+            ..AdcConfig::default()
+        };
+        assert!(bad_rate.validate().is_err());
+        let bad_bits = AdcConfig {
+            bits: 2,
+            ..AdcConfig::default()
+        };
+        assert!(bad_bits.validate().is_err());
+        let bad_fraction = AdcConfig {
+            anti_alias_fraction: 1.5,
+            ..AdcConfig::default()
+        };
+        assert!(bad_fraction.validate().is_err());
+        let empty = Signal::new(vec![], 192_000.0).unwrap();
+        assert!(digitize(&empty, &AdcConfig::default(), 0).is_err());
+    }
+
+    #[test]
+    fn output_rate_and_duration_are_respected() {
+        let s = Signal::tone(1_000.0, 0.5, 0.25, 192_000.0).unwrap();
+        let out = digitize(&s, &AdcConfig::default(), 1).unwrap();
+        assert_eq!(out.sample_rate_hz(), 48_000.0);
+        assert!((out.duration_s() - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn in_band_tone_survives_conversion() {
+        let s = Signal::tone(1_000.0, 0.5, 0.25, 192_000.0).unwrap();
+        let out = digitize(&s, &AdcConfig::default(), 1).unwrap();
+        let p = band_power(out.samples(), 48_000.0, 800.0, 1_200.0).unwrap();
+        let total = band_power(out.samples(), 48_000.0, 20.0, 23_000.0).unwrap();
+        assert!(p / total > 0.95, "tone fraction {}", p / total);
+    }
+
+    #[test]
+    fn out_of_band_ultrasound_is_removed() {
+        let mut s = Signal::tone(1_000.0, 0.2, 0.25, 192_000.0).unwrap();
+        s.mix(&Signal::tone(40_000.0, 0.8, 0.25, 192_000.0).unwrap()).unwrap();
+        let out = digitize(&s, &AdcConfig::default(), 1).unwrap();
+        // Nothing above 20 kHz can exist at 48 kHz output, and nothing
+        // should have aliased into 2-20 kHz either.
+        let alias = band_power(out.samples(), 48_000.0, 2_000.0, 20_000.0).unwrap();
+        let tone = band_power(out.samples(), 48_000.0, 800.0, 1_200.0).unwrap();
+        assert!(alias / tone < 0.01, "alias fraction {}", alias / tone);
+    }
+
+    #[test]
+    fn quantisation_limits_dynamic_range() {
+        let quiet = Signal::tone(1_000.0, 1e-6, 0.25, 192_000.0).unwrap();
+        let coarse = AdcConfig {
+            bits: 8,
+            noise_floor_dbfs: -120.0,
+            ..AdcConfig::default()
+        };
+        let out = digitize(&quiet, &coarse, 1).unwrap();
+        // A signal far below half an LSB of an 8-bit converter quantises to
+        // silence (plus negligible noise).
+        assert!(out.rms() < 1e-3);
+    }
+
+    #[test]
+    fn full_scale_input_is_clipped_not_wrapped() {
+        let loud = Signal::tone(1_000.0, 2.0, 0.1, 192_000.0).unwrap();
+        let out = digitize(&loud, &AdcConfig::default(), 1).unwrap();
+        assert!(out.peak() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn conversion_is_deterministic_per_seed() {
+        let s = Signal::tone(1_000.0, 0.5, 0.1, 192_000.0).unwrap();
+        let a = digitize(&s, &AdcConfig::default(), 9).unwrap();
+        let b = digitize(&s, &AdcConfig::default(), 9).unwrap();
+        assert_eq!(a.samples(), b.samples());
+    }
+}

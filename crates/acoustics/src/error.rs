@@ -1,0 +1,71 @@
+//! Error type for the acoustics substrate.
+
+use std::fmt;
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, AcousticsError>;
+
+/// Errors produced by the acoustic models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AcousticsError {
+    /// A physical parameter was outside its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Description of the violation.
+        message: String,
+    },
+    /// An error bubbled up from the DSP layer.
+    Dsp(ivc_dsp::DspError),
+}
+
+impl fmt::Display for AcousticsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AcousticsError::InvalidParameter { name, message } => {
+                write!(f, "invalid acoustic parameter `{name}`: {message}")
+            }
+            AcousticsError::Dsp(e) => write!(f, "dsp error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AcousticsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AcousticsError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ivc_dsp::DspError> for AcousticsError {
+    fn from(e: ivc_dsp::DspError) -> Self {
+        AcousticsError::Dsp(e)
+    }
+}
+
+impl AcousticsError {
+    /// Helper to build an [`AcousticsError::InvalidParameter`].
+    pub fn invalid(name: &'static str, message: impl Into<String>) -> Self {
+        AcousticsError::InvalidParameter {
+            name,
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = AcousticsError::invalid("distance", "must be positive");
+        assert!(e.to_string().contains("distance"));
+        let d: AcousticsError = ivc_dsp::DspError::EmptyInput { operation: "fft" }.into();
+        assert!(d.to_string().contains("fft"));
+        assert!(std::error::Error::source(&d).is_some());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

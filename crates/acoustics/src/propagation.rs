@@ -1,0 +1,189 @@
+//! Free-field propagation of a pressure signal from a source to a receiver.
+//!
+//! Three effects are modelled:
+//!
+//! 1. **Spherical spreading** — pressure falls as `1/r` relative to the
+//!    source's 1-metre reference distance (−6 dB per doubling).
+//! 2. **Atmospheric absorption** — frequency-dependent loss per metre (see
+//!    [`crate::absorption`]), applied in the frequency domain so that an
+//!    ultrasonic carrier and its audible leakage attenuate differently.
+//! 3. **Propagation delay** — `r / c` seconds of delay, applied as whole
+//!    samples (sub-sample interpolation is irrelevant at the distances and
+//!    bandwidths involved).
+//!
+//! Reflections are intentionally ignored: the paper's experiments were run
+//! at line-of-sight in an ordinary room, where the direct path dominates the
+//! demodulated baseband; DESIGN.md records this as a simplification.
+
+use crate::absorption::absorption_gain;
+use crate::environment::AirEnvironment;
+use crate::error::{AcousticsError, Result};
+use ivc_dsp::complex::Complex;
+use ivc_dsp::fft::{bin_frequency, fft_in_place, next_power_of_two};
+use ivc_dsp::signal::Signal;
+
+/// Propagates `source_at_1m` (a pressure waveform in pascal referenced to
+/// 1 m from the source) to a receiver `distance_m` away.
+///
+/// Returns the pressure waveform at the receiver, including spreading loss,
+/// absorption and delay.
+pub fn propagate(source_at_1m: &Signal, distance_m: f64, env: &AirEnvironment) -> Result<Signal> {
+    if !(distance_m > 0.0) || !distance_m.is_finite() {
+        return Err(AcousticsError::invalid(
+            "distance_m",
+            format!("{distance_m} must be positive and finite"),
+        ));
+    }
+    if source_at_1m.is_empty() {
+        return Err(AcousticsError::invalid("source_at_1m", "empty signal"));
+    }
+    let fs = source_at_1m.sample_rate_hz();
+    // Spreading: reference distance is 1 m, so gain is 1/r (never > 1; the
+    // near field below 1 m is clamped to the 1 m value, which is the common
+    // convention for loudspeaker sensitivity figures).
+    let spreading_gain = 1.0 / distance_m.max(1.0);
+
+    // Frequency-dependent absorption applied via the FFT.
+    let n = next_power_of_two(source_at_1m.len());
+    let mut buffer = vec![Complex::ZERO; n];
+    for (slot, &x) in buffer.iter_mut().zip(source_at_1m.samples().iter()) {
+        *slot = Complex::from_real(x);
+    }
+    fft_in_place(&mut buffer, false)?;
+    for (k, value) in buffer.iter_mut().enumerate() {
+        let f = bin_frequency(k, n, fs).abs();
+        let gain = absorption_gain(f, distance_m, env)?;
+        *value = value.scale(gain * spreading_gain);
+    }
+    fft_in_place(&mut buffer, true)?;
+    let mut samples: Vec<f64> = buffer.into_iter().take(source_at_1m.len()).map(|c| c.re).collect();
+
+    // Whole-sample propagation delay.
+    let delay_samples = (distance_m / env.speed_of_sound_m_per_s() * fs).round() as usize;
+    if delay_samples > 0 {
+        let mut delayed = vec![0.0; delay_samples];
+        delayed.extend_from_slice(&samples);
+        samples = delayed;
+    }
+    Ok(Signal::new(samples, fs)?)
+}
+
+/// Propagation loss (in dB) for a single frequency over `distance_m`:
+/// spreading plus absorption.  Useful for link-budget style calculations in
+/// the attack planner without synthesising a waveform.
+pub fn path_loss_db(frequency_hz: f64, distance_m: f64, env: &AirEnvironment) -> Result<f64> {
+    if !(distance_m > 0.0) || !distance_m.is_finite() {
+        return Err(AcousticsError::invalid(
+            "distance_m",
+            format!("{distance_m} must be positive and finite"),
+        ));
+    }
+    let spreading_db = 20.0 * distance_m.max(1.0).log10();
+    let absorption_db = crate::absorption::absorption_db(frequency_hz, distance_m, env)?;
+    Ok(spreading_db + absorption_db)
+}
+
+/// Delay in seconds over `distance_m`.
+pub fn propagation_delay_s(distance_m: f64, env: &AirEnvironment) -> Result<f64> {
+    if distance_m < 0.0 || !distance_m.is_finite() {
+        return Err(AcousticsError::invalid(
+            "distance_m",
+            format!("{distance_m} must be non-negative and finite"),
+        ));
+    }
+    Ok(distance_m / env.speed_of_sound_m_per_s())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spl::waveform_spl_db;
+
+    fn ultrasound_tone(freq: f64, spl_1m_db: f64, fs: f64) -> Signal {
+        let rms = crate::spl::spl_db_to_pressure(spl_1m_db);
+        Signal::tone(freq, rms * std::f64::consts::SQRT_2, 0.3, fs).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        let env = AirEnvironment::default();
+        let s = ultrasound_tone(40_000.0, 100.0, 192_000.0);
+        assert!(propagate(&s, 0.0, &env).is_err());
+        assert!(propagate(&s, f64::NAN, &env).is_err());
+        assert!(propagate(&Signal::new(vec![], 192_000.0).unwrap(), 1.0, &env).is_err());
+        assert!(path_loss_db(1_000.0, -1.0, &env).is_err());
+        assert!(propagation_delay_s(-1.0, &env).is_err());
+    }
+
+    #[test]
+    fn one_metre_is_the_reference_distance() {
+        let env = AirEnvironment::default();
+        let s = ultrasound_tone(1_000.0, 80.0, 48_000.0);
+        let at_1m = propagate(&s, 1.0, &env).unwrap();
+        // At 1 kHz over 1 m the absorption is negligible, so SPL ~ 80 dB.
+        let spl = waveform_spl_db(&at_1m.samples()[at_1m.len() / 4..]);
+        assert!((spl - 80.0).abs() < 0.3, "spl {spl}");
+    }
+
+    #[test]
+    fn spreading_gives_six_db_per_doubling_for_audible_sound() {
+        let env = AirEnvironment::default();
+        let s = ultrasound_tone(1_000.0, 80.0, 48_000.0);
+        let at_2m = propagate(&s, 2.0, &env).unwrap();
+        let at_4m = propagate(&s, 4.0, &env).unwrap();
+        let spl_2 = waveform_spl_db(&at_2m.samples()[at_2m.len() / 2..]);
+        let spl_4 = waveform_spl_db(&at_4m.samples()[at_4m.len() / 2..]);
+        assert!((spl_2 - spl_4 - 6.02).abs() < 0.3, "{spl_2} vs {spl_4}");
+    }
+
+    #[test]
+    fn ultrasound_loses_more_than_spreading_alone() {
+        let env = AirEnvironment::default();
+        let audible = path_loss_db(1_000.0, 8.0, &env).unwrap();
+        let ultrasonic = path_loss_db(40_000.0, 8.0, &env).unwrap();
+        // Both share ~18 dB spreading; ultrasound pays several dB more.
+        assert!(ultrasonic - audible > 5.0, "difference {}", ultrasonic - audible);
+    }
+
+    #[test]
+    fn propagated_waveform_matches_path_loss_budget() {
+        let env = AirEnvironment::default();
+        let fs = 192_000.0;
+        let s = ultrasound_tone(40_000.0, 110.0, fs);
+        let d = 5.0;
+        let received = propagate(&s, d, &env).unwrap();
+        let expected_spl = 110.0 - path_loss_db(40_000.0, d, &env).unwrap();
+        let measured = waveform_spl_db(&received.samples()[received.len() / 2..]);
+        assert!((measured - expected_spl).abs() < 0.5, "{measured} vs {expected_spl}");
+    }
+
+    #[test]
+    fn delay_matches_speed_of_sound() {
+        let env = AirEnvironment::default();
+        let c = env.speed_of_sound_m_per_s();
+        let fs = 48_000.0;
+        let mut s = Signal::silence(0.01, fs).unwrap();
+        s.samples_mut()[0] = 1.0;
+        let d = 3.43; // ~10 ms at 343 m/s
+        let received = propagate(&s, d, &env).unwrap();
+        let peak_index = received
+            .samples()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap()
+            .0;
+        let expected = (d / c * fs).round() as usize;
+        assert_eq!(peak_index, expected);
+        assert!((propagation_delay_s(d, &env).unwrap() - d / c).abs() < 1e-12);
+    }
+
+    #[test]
+    fn near_field_is_clamped_to_reference() {
+        let env = AirEnvironment::default();
+        let s = ultrasound_tone(1_000.0, 80.0, 48_000.0);
+        let near = propagate(&s, 0.25, &env).unwrap();
+        let spl = waveform_spl_db(&near.samples()[near.len() / 2..]);
+        assert!(spl <= 80.5, "near-field SPL should not exceed the 1 m value: {spl}");
+    }
+}

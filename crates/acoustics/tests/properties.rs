@@ -1,0 +1,89 @@
+//! Property-based tests for the acoustic substrate.
+//!
+//! Invariants that must hold for arbitrary physical parameters: absorption
+//! monotonicity, path-loss monotonicity in distance, SPL conversion
+//! round-trips, audibility thresholds, non-linearity scaling and
+//! propagation energy conservation (never creates energy).
+
+use ivc_acoustics::absorption::absorption_db_per_m;
+use ivc_acoustics::environment::AirEnvironment;
+use ivc_acoustics::nonlinearity::Polynomial;
+use ivc_acoustics::propagation::{path_loss_db, propagate};
+use ivc_acoustics::psychoacoustics::hearing_threshold_db_spl;
+use ivc_acoustics::spl::{pressure_to_spl_db, spl_db_to_pressure};
+use ivc_dsp::signal::Signal;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn spl_roundtrip_is_identity(spl in -20.0f64..140.0) {
+        let p = spl_db_to_pressure(spl);
+        prop_assert!((pressure_to_spl_db(p) - spl).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorption_is_nonnegative_and_monotonic_in_frequency(
+        f in 20.0f64..80_000.0,
+        temp in 0.0f64..35.0,
+        rh in 10.0f64..90.0,
+    ) {
+        let env = AirEnvironment::new(temp, rh, 101.325).unwrap();
+        let a = absorption_db_per_m(f, &env).unwrap();
+        let a2 = absorption_db_per_m(f * 1.5, &env).unwrap();
+        prop_assert!(a >= 0.0);
+        prop_assert!(a2 >= a * 0.999, "absorption decreased: {} -> {}", a, a2);
+    }
+
+    #[test]
+    fn path_loss_grows_with_distance(
+        f in 100.0f64..60_000.0,
+        d in 1.0f64..20.0,
+    ) {
+        let env = AirEnvironment::default();
+        let near = path_loss_db(f, d, &env).unwrap();
+        let far = path_loss_db(f, d * 2.0, &env).unwrap();
+        prop_assert!(far > near);
+        // Doubling distance costs at least the 6 dB of spreading.
+        prop_assert!(far - near >= 6.0 - 1e-6);
+    }
+
+    #[test]
+    fn propagation_never_amplifies(
+        freq in 500.0f64..20_000.0,
+        d in 1.0f64..15.0,
+        amp in 0.01f64..5.0,
+    ) {
+        let env = AirEnvironment::default();
+        let s = Signal::tone(freq, amp, 0.05, 48_000.0).unwrap();
+        let out = propagate(&s, d, &env).unwrap();
+        prop_assert!(out.peak() <= s.peak() * 1.01);
+        prop_assert!(out.rms().is_finite());
+    }
+
+    #[test]
+    fn hearing_threshold_is_high_outside_speech_range(f in 15_000.0f64..22_000.0) {
+        // The threshold rises monotonically and steeply towards ultrasound.
+        prop_assert!(hearing_threshold_db_spl(f) > hearing_threshold_db_spl(4_000.0));
+        prop_assert!(hearing_threshold_db_spl(f) > 20.0);
+    }
+
+    #[test]
+    fn quadratic_product_scales_with_square_of_amplitude(
+        g2 in 0.05f64..1.0,
+        a in 0.05f64..0.45,
+    ) {
+        let p = Polynomial::new(1.0, g2, 0.0).unwrap();
+        let low = ivc_acoustics::nonlinearity::measure_two_tone_products(&p, 25_000.0, 30_000.0, a, 192_000.0).unwrap();
+        let high = ivc_acoustics::nonlinearity::measure_two_tone_products(&p, 25_000.0, 30_000.0, 2.0 * a, 192_000.0).unwrap();
+        let ratio = high.difference / low.difference.max(1e-15);
+        prop_assert!((ratio - 4.0).abs() < 0.5, "ratio {}", ratio);
+    }
+
+    #[test]
+    fn polynomial_application_is_odd_in_linear_part(x in -1.0f64..1.0, g1 in 0.5f64..2.0) {
+        let p = Polynomial::new(g1, 0.0, 0.0).unwrap();
+        prop_assert!((p.apply_sample(x) + p.apply_sample(-x)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,143 @@
+//! Baseband preparation: turning a voice command waveform into the signal
+//! that will be modulated onto the ultrasonic carrier.
+//!
+//! The steps follow the paper's attack algorithm: low-pass filter to 8 kHz
+//! (speech recognisers keep little above that), normalise, and upsample to a
+//! playback rate high enough to represent the carrier and both sidebands
+//! (192 kHz or 384 kHz).
+
+use crate::error::{AttackError, Result};
+use ivc_dsp::filter::fir::FirFilter;
+use ivc_dsp::resample::resample;
+use ivc_dsp::signal::Signal;
+use ivc_dsp::window::WindowKind;
+
+/// Configuration for baseband preparation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BasebandConfig {
+    /// Low-pass cutoff applied to the voice command, in Hz.
+    pub cutoff_hz: f64,
+    /// Playback sample rate of the ultrasonic signal, in Hz.
+    pub playback_rate_hz: f64,
+}
+
+impl Default for BasebandConfig {
+    fn default() -> Self {
+        BasebandConfig {
+            cutoff_hz: 8_000.0,
+            playback_rate_hz: 192_000.0,
+        }
+    }
+}
+
+impl BasebandConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if !(1_000.0..=12_000.0).contains(&self.cutoff_hz) {
+            return Err(AttackError::invalid(
+                "cutoff_hz",
+                "must be within [1 kHz, 12 kHz]",
+            ));
+        }
+        if !(96_000.0..=768_000.0).contains(&self.playback_rate_hz) {
+            return Err(AttackError::invalid(
+                "playback_rate_hz",
+                "must be within [96 kHz, 768 kHz]",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Lowest carrier frequency that keeps the lower sideband above 20 kHz.
+    pub fn minimum_carrier_hz(&self) -> f64 {
+        20_000.0 + self.cutoff_hz
+    }
+
+    /// Highest carrier frequency representable at the playback rate with the
+    /// upper sideband intact.
+    pub fn maximum_carrier_hz(&self) -> f64 {
+        self.playback_rate_hz / 2.0 - self.cutoff_hz
+    }
+}
+
+/// Prepares a voice command for ultrasonic modulation: band-limit, remove
+/// DC, normalise the peak to 1.0 and resample to the playback rate.
+pub fn prepare_baseband(voice: &Signal, config: &BasebandConfig) -> Result<Signal> {
+    config.validate()?;
+    if voice.is_empty() {
+        return Err(AttackError::invalid("voice", "empty signal"));
+    }
+    if voice.sample_rate_hz() < 2.0 * config.cutoff_hz {
+        return Err(AttackError::invalid(
+            "voice",
+            "sample rate too low for the requested cutoff",
+        ));
+    }
+    // Low-pass at the cutoff.
+    let lpf = FirFilter::low_pass(config.cutoff_hz, voice.sample_rate_hz(), 255, WindowKind::Hamming)?;
+    let mut filtered = lpf.filter_signal(voice)?;
+    filtered.remove_dc();
+    // Upsample to the playback rate.
+    let mut upsampled = resample(&filtered, config.playback_rate_hz)?;
+    upsampled.normalize_peak(1.0);
+    Ok(upsampled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivc_dsp::spectrum::band_power;
+    use ivc_speech::commands::corpus;
+    use ivc_speech::synthesis::{SpeakerProfile, Synthesizer};
+
+    #[test]
+    fn validation() {
+        let bad_cutoff = BasebandConfig {
+            cutoff_hz: 100.0,
+            ..BasebandConfig::default()
+        };
+        assert!(bad_cutoff.validate().is_err());
+        let bad_rate = BasebandConfig {
+            playback_rate_hz: 44_100.0,
+            ..BasebandConfig::default()
+        };
+        assert!(bad_rate.validate().is_err());
+        let cfg = BasebandConfig::default();
+        assert!(prepare_baseband(&Signal::new(vec![], 48_000.0).unwrap(), &cfg).is_err());
+        let too_slow = Signal::tone(1_000.0, 0.5, 0.1, 12_000.0).unwrap();
+        assert!(prepare_baseband(&too_slow, &cfg).is_err());
+    }
+
+    #[test]
+    fn carrier_bounds_follow_the_paper() {
+        let cfg = BasebandConfig::default();
+        assert!((cfg.minimum_carrier_hz() - 28_000.0).abs() < 1e-9);
+        assert!((cfg.maximum_carrier_hz() - 88_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn output_is_band_limited_normalised_and_at_playback_rate() {
+        let fs = 48_000.0;
+        let mut voice = Signal::tone(1_000.0, 0.4, 0.4, fs).unwrap();
+        voice.mix(&Signal::tone(14_000.0, 0.4, 0.4, fs).unwrap()).unwrap();
+        let cfg = BasebandConfig::default();
+        let baseband = prepare_baseband(&voice, &cfg).unwrap();
+        assert_eq!(baseband.sample_rate_hz(), 192_000.0);
+        assert!((baseband.peak() - 1.0).abs() < 1e-9);
+        let kept = band_power(baseband.samples(), 192_000.0, 800.0, 1_200.0).unwrap();
+        let removed = band_power(baseband.samples(), 192_000.0, 13_000.0, 15_000.0).unwrap();
+        assert!(kept / removed.max(1e-18) > 1_000.0);
+    }
+
+    #[test]
+    fn synthesised_command_survives_preparation() {
+        let synth = Synthesizer::new(48_000.0).unwrap();
+        let utt = synth.render(&corpus()[0], &SpeakerProfile::canonical()).unwrap();
+        let baseband = prepare_baseband(&utt.signal, &BasebandConfig::default()).unwrap();
+        assert!((baseband.duration_s() - utt.signal.duration_s()).abs() < 0.02);
+        // Voice-band energy dominates.
+        let voice_band = band_power(baseband.samples(), 192_000.0, 80.0, 8_000.0).unwrap();
+        let above = band_power(baseband.samples(), 192_000.0, 9_000.0, 90_000.0).unwrap();
+        assert!(voice_band / above.max(1e-18) > 100.0);
+    }
+}

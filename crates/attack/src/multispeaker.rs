@@ -1,0 +1,236 @@
+//! The long-range multi-speaker attack: segmentation plus power allocation.
+
+use crate::baseband::{prepare_baseband, BasebandConfig};
+use crate::error::{AttackError, Result};
+use crate::segmentation::{segment_baseband, SegmentedDrives};
+use crate::single::SingleSpeakerAttack;
+use ivc_acoustics::array::ElementDrive;
+use ivc_dsp::signal::Signal;
+
+/// A fully constructed multi-speaker attack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiSpeakerAttack {
+    /// The segmented drives (carrier element + sideband elements).
+    pub drives: SegmentedDrives,
+    /// Number of array elements used (carrier + sidebands).
+    pub num_elements: usize,
+    /// Carrier frequency in Hz.
+    pub carrier_hz: f64,
+    /// The prepared baseband (for analysis and defense experiments).
+    pub baseband: Signal,
+}
+
+impl MultiSpeakerAttack {
+    /// Builds a multi-speaker attack for `voice` using `num_elements` array
+    /// elements (1 carrier element + `num_elements - 1` sideband elements).
+    ///
+    /// `num_elements` must be at least 2; for a single element use
+    /// [`SingleSpeakerAttack`] instead — the whole point of the multi-speaker
+    /// construction is that carrier and sidebands never share an element.
+    pub fn build(
+        voice: &Signal,
+        carrier_hz: f64,
+        num_elements: usize,
+        config: &BasebandConfig,
+    ) -> Result<Self> {
+        if num_elements < 2 {
+            return Err(AttackError::invalid(
+                "num_elements",
+                "need at least 2 elements (1 carrier + 1 sideband); use SingleSpeakerAttack for 1",
+            ));
+        }
+        config.validate()?;
+        if carrier_hz < config.minimum_carrier_hz() || carrier_hz > config.maximum_carrier_hz() {
+            return Err(AttackError::invalid(
+                "carrier_hz",
+                format!(
+                    "{carrier_hz} Hz outside the inaudible range [{:.0}, {:.0}] Hz",
+                    config.minimum_carrier_hz(),
+                    config.maximum_carrier_hz()
+                ),
+            ));
+        }
+        let baseband = prepare_baseband(voice, config)?;
+        let drives = segment_baseband(&baseband, carrier_hz, config.cutoff_hz, num_elements - 1)?;
+        Ok(MultiSpeakerAttack {
+            num_elements: drives.num_drives(),
+            carrier_hz,
+            drives,
+            baseband,
+        })
+    }
+
+    /// Converts the attack into per-element [`ElementDrive`]s for a speaker
+    /// array, splitting `total_power_w` across the elements.
+    ///
+    /// The carrier element receives `carrier_power_fraction` of the total
+    /// (the carrier is what every sideband multiplies against inside the
+    /// microphone, so it deserves a healthy share); the remainder is divided
+    /// equally among the sideband elements.
+    pub fn element_drives(
+        &self,
+        total_power_w: f64,
+        carrier_power_fraction: f64,
+        max_element_power_w: f64,
+    ) -> Result<Vec<ElementDrive>> {
+        if !(total_power_w > 0.0) || !total_power_w.is_finite() {
+            return Err(AttackError::invalid("total_power_w", "must be positive"));
+        }
+        if !(0.05..=0.9).contains(&carrier_power_fraction) {
+            return Err(AttackError::invalid(
+                "carrier_power_fraction",
+                "must be within [0.05, 0.9]",
+            ));
+        }
+        let n_sidebands = self.drives.sideband_drives.len();
+        let carrier_power = (total_power_w * carrier_power_fraction).min(max_element_power_w);
+        let sideband_power =
+            ((total_power_w - carrier_power) / n_sidebands as f64).min(max_element_power_w);
+        if carrier_power <= 0.0 || sideband_power <= 0.0 {
+            return Err(AttackError::invalid(
+                "total_power_w",
+                "too little power to drive every element",
+            ));
+        }
+        let mut drives = Vec::with_capacity(self.num_elements);
+        drives.push(ElementDrive {
+            drive: self.drives.carrier_drive.clone(),
+            power_w: carrier_power,
+        });
+        for sideband in &self.drives.sideband_drives {
+            drives.push(ElementDrive {
+                drive: sideband.clone(),
+                power_w: sideband_power,
+            });
+        }
+        Ok(drives)
+    }
+
+    /// Duration of the attack in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.drives.carrier_drive.duration_s()
+    }
+}
+
+/// Convenience: the drive list for a *single-speaker* attack, so callers can
+/// treat both attack flavours uniformly as "a list of element drives".
+pub fn single_speaker_element_drives(
+    attack: &SingleSpeakerAttack,
+    power_w: f64,
+) -> Result<Vec<ElementDrive>> {
+    if !(power_w > 0.0) || !power_w.is_finite() {
+        return Err(AttackError::invalid("power_w", "must be positive"));
+    }
+    Ok(vec![ElementDrive {
+        drive: attack.drive.clone(),
+        power_w,
+    }])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivc_acoustics::array::SpeakerArray;
+    use ivc_acoustics::microphone::DevicePreset;
+    use ivc_acoustics::speaker::UltrasonicSpeaker;
+    use ivc_acoustics::spl::spl_db_to_pressure;
+    use ivc_dsp::correlation::pearson_correlation;
+    use ivc_dsp::filter::biquad::BiquadCascade;
+    use ivc_dsp::resample::resample;
+    use ivc_dsp::spectrum::band_power;
+
+    fn synthetic_voice(fs: f64) -> Signal {
+        let mut s = Signal::tone(400.0, 0.5, 0.4, fs).unwrap();
+        s.mix(&Signal::tone(1_100.0, 0.4, 0.4, fs).unwrap()).unwrap();
+        s.mix(&Signal::tone(2_300.0, 0.3, 0.4, fs).unwrap()).unwrap();
+        s.normalize_peak(0.5);
+        s
+    }
+
+    #[test]
+    fn validation() {
+        let voice = synthetic_voice(48_000.0);
+        let cfg = BasebandConfig::default();
+        assert!(MultiSpeakerAttack::build(&voice, 40_000.0, 1, &cfg).is_err());
+        assert!(MultiSpeakerAttack::build(&voice, 20_000.0, 4, &cfg).is_err());
+        let attack = MultiSpeakerAttack::build(&voice, 40_000.0, 4, &cfg).unwrap();
+        assert_eq!(attack.num_elements, 4);
+        assert!(attack.element_drives(0.0, 0.3, 30.0).is_err());
+        assert!(attack.element_drives(10.0, 0.99, 30.0).is_err());
+    }
+
+    #[test]
+    fn element_power_allocation_adds_up() {
+        let voice = synthetic_voice(48_000.0);
+        let attack = MultiSpeakerAttack::build(&voice, 40_000.0, 5, &BasebandConfig::default()).unwrap();
+        let drives = attack.element_drives(20.0, 0.25, 30.0).unwrap();
+        assert_eq!(drives.len(), 5);
+        let total: f64 = drives.iter().map(|d| d.power_w).sum();
+        assert!((total - 20.0).abs() < 1e-9);
+        // Carrier element gets its requested fraction.
+        assert!((drives[0].power_w - 5.0).abs() < 1e-9);
+        // Per-element cap is respected.
+        let capped = attack.element_drives(200.0, 0.25, 30.0).unwrap();
+        assert!(capped.iter().all(|d| d.power_w <= 30.0 + 1e-9));
+    }
+
+    #[test]
+    fn single_speaker_helper() {
+        let voice = synthetic_voice(48_000.0);
+        let single = SingleSpeakerAttack::build(&voice, 40_000.0, 0.8, &BasebandConfig::default()).unwrap();
+        let drives = single_speaker_element_drives(&single, 12.0).unwrap();
+        assert_eq!(drives.len(), 1);
+        assert!((drives[0].power_w - 12.0).abs() < 1e-12);
+        assert!(single_speaker_element_drives(&single, 0.0).is_err());
+    }
+
+    #[test]
+    fn end_to_end_multispeaker_attack_reconstructs_voice_at_the_microphone() {
+        // The decisive property: the array's field contains (almost) no
+        // audible voice, yet the non-linear microphone's recording does.
+        let fs = 192_000.0;
+        let voice = synthetic_voice(48_000.0);
+        let attack = MultiSpeakerAttack::build(&voice, 40_000.0, 5, &BasebandConfig::default()).unwrap();
+        let array = SpeakerArray::new(UltrasonicSpeaker::default(), 8, 0.03).unwrap();
+        let drives = attack.element_drives(60.0, 0.3, 30.0).unwrap();
+        let env = ivc_acoustics::environment::AirEnvironment::default();
+        let field = array.field_at_target(&drives, 2.0, &env).unwrap();
+
+        // (a) the in-air field carries essentially no audible voice energy
+        //     relative to its ultrasonic content;
+        let audible_in_air = band_power(field.samples(), fs, 200.0, 4_000.0).unwrap();
+        let ultrasonic_in_air = band_power(field.samples(), fs, 30_000.0, 50_000.0).unwrap();
+        assert!(
+            audible_in_air / ultrasonic_in_air < 1e-4,
+            "audible fraction in air {}",
+            audible_in_air / ultrasonic_in_air
+        );
+
+        // (b) the microphone recording contains the voice components.
+        let mic = DevicePreset::AndroidPhone.microphone();
+        let recording = mic.capture(&field, 3).unwrap();
+        let rec_fs = recording.sample_rate_hz();
+        let voice_band = band_power(recording.samples(), rec_fs, 300.0, 3_000.0).unwrap();
+        let quiet_band = band_power(recording.samples(), rec_fs, 8_000.0, 18_000.0).unwrap();
+        assert!(voice_band / quiet_band > 20.0, "voice/quiet {}", voice_band / quiet_band);
+
+        // (c) and that recording correlates with the original voice waveform
+        //     (band-limited comparison at a common rate).
+        let reference = resample(&voice, rec_fs).unwrap();
+        let lpf = BiquadCascade::butterworth_low_pass(4_000.0, 4, rec_fs).unwrap();
+        let rec_lp = Signal::new(lpf.filtfilt(recording.samples()), rec_fs).unwrap();
+        let ref_lp = Signal::new(lpf.filtfilt(reference.samples()), rec_fs).unwrap();
+        // Align coarsely: use the overlapping central second.
+        let rec_mid = rec_lp.slice_seconds(0.1, 0.35);
+        let ref_mid = ref_lp.slice_seconds(0.1, 0.35);
+        let (_, peak) = ivc_dsp::correlation::best_alignment(
+            ref_mid.samples(),
+            rec_mid.samples(),
+            (0.02 * rec_fs) as usize,
+        )
+        .unwrap();
+        assert!(peak.abs() > 0.3, "correlation {peak}");
+        let _ = pearson_correlation(ref_mid.samples(), rec_mid.samples()).unwrap();
+        let _ = spl_db_to_pressure(0.0);
+    }
+}

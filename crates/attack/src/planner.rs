@@ -1,0 +1,294 @@
+//! The attack planner: how much power can the attacker use without being
+//! heard, and how far does that power reach?
+//!
+//! Two tools are provided:
+//!
+//! * [`AttackPlanner::max_inaudible_total_power`] — a bisection over total
+//!   drive power that finds the largest power at which the leakage heard by
+//!   a bystander near the array stays below the audibility threshold.
+//! * A link-budget estimate ([`AttackPlanner::link_budget`],
+//!   [`AttackPlanner::predicted_range_m`]) that predicts the demodulated
+//!   signal-to-noise ratio at the victim microphone as a function of
+//!   distance, without synthesising waveforms — fast enough to sweep.
+
+use crate::error::{AttackError, Result};
+use crate::leakage::estimate_leakage;
+use ivc_acoustics::array::{ElementDrive, SpeakerArray};
+use ivc_acoustics::environment::AirEnvironment;
+use ivc_acoustics::microphone::Microphone;
+use ivc_acoustics::propagation::path_loss_db;
+
+/// Planner configuration and environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackPlanner {
+    /// How far from the array the nearest bystander is assumed to stand.
+    pub bystander_distance_m: f64,
+    /// Extra margin (dB) required below the hearing threshold before the
+    /// leakage is declared inaudible; larger is more conservative.
+    pub audibility_margin_db: f64,
+    /// Air environment shared by both the leakage and the link budget.
+    pub env: AirEnvironment,
+}
+
+impl Default for AttackPlanner {
+    fn default() -> Self {
+        AttackPlanner {
+            bystander_distance_m: 1.0,
+            audibility_margin_db: 0.0,
+            env: AirEnvironment::default(),
+        }
+    }
+}
+
+/// Link-budget summary at one distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkBudget {
+    /// Distance from array to victim, in metres.
+    pub distance_m: f64,
+    /// Carrier SPL arriving at the microphone, in dB.
+    pub received_carrier_spl_db: f64,
+    /// Demodulated baseband level, in dB relative to digital full scale.
+    pub demodulated_dbfs: f64,
+    /// Effective noise floor (microphone self noise + quantisation), dBFS.
+    pub noise_floor_dbfs: f64,
+    /// Demodulated signal-to-noise ratio, in dB.
+    pub snr_db: f64,
+}
+
+impl LinkBudget {
+    /// A recogniser needs roughly this much SNR to decode most words; used
+    /// by [`AttackPlanner::predicted_range_m`].
+    pub const REQUIRED_SNR_DB: f64 = 15.0;
+
+    /// `true` if the predicted SNR clears the recognition threshold.
+    pub fn is_predicted_successful(&self) -> bool {
+        self.snr_db >= Self::REQUIRED_SNR_DB
+    }
+}
+
+impl AttackPlanner {
+    /// Finds, by bisection, the largest total drive power (W) for which the
+    /// leakage at the bystander position stays inaudible.
+    ///
+    /// `build_drives` maps a candidate total power to the per-element drive
+    /// list (it is the caller's attack construction, e.g.
+    /// [`crate::multispeaker::MultiSpeakerAttack::element_drives`]).
+    /// Returns `Err(Infeasible)` if even `min_power_w` is audible.
+    pub fn max_inaudible_total_power(
+        &self,
+        array: &SpeakerArray,
+        min_power_w: f64,
+        max_power_w: f64,
+        mut build_drives: impl FnMut(f64) -> Result<Vec<ElementDrive>>,
+    ) -> Result<f64> {
+        if !(min_power_w > 0.0) || max_power_w <= min_power_w {
+            return Err(AttackError::invalid(
+                "power range",
+                "need 0 < min_power_w < max_power_w",
+            ));
+        }
+        let audible_at = |planner: &Self, power: f64, drives: &mut dyn FnMut(f64) -> Result<Vec<ElementDrive>>| -> Result<bool> {
+            let d = drives(power)?;
+            let report = estimate_leakage(
+                array,
+                &d,
+                planner.bystander_distance_m,
+                &planner.env,
+                planner.audibility_margin_db,
+            )?;
+            Ok(report.is_audible())
+        };
+        if audible_at(self, min_power_w, &mut build_drives)? {
+            return Err(AttackError::Infeasible {
+                reason: format!(
+                    "leakage is audible even at the minimum power of {min_power_w} W"
+                ),
+            });
+        }
+        if !audible_at(self, max_power_w, &mut build_drives)? {
+            return Ok(max_power_w);
+        }
+        let mut low = min_power_w;
+        let mut high = max_power_w;
+        for _ in 0..12 {
+            let mid = (low + high) / 2.0;
+            if audible_at(self, mid, &mut build_drives)? {
+                high = mid;
+            } else {
+                low = mid;
+            }
+        }
+        Ok(low)
+    }
+
+    /// Predicts the demodulated SNR at the victim microphone for an attack
+    /// whose carrier element radiates `carrier_spl_at_1m_db` and whose
+    /// sideband elements together radiate `sideband_spl_at_1m_db` (both
+    /// referenced to 1 m from the array).
+    pub fn link_budget(
+        &self,
+        carrier_spl_at_1m_db: f64,
+        sideband_spl_at_1m_db: f64,
+        carrier_hz: f64,
+        distance_m: f64,
+        microphone: &Microphone,
+    ) -> Result<LinkBudget> {
+        if !(distance_m > 0.0) {
+            return Err(AttackError::invalid("distance_m", "must be positive"));
+        }
+        let loss = path_loss_db(carrier_hz, distance_m, &self.env)?;
+        let received_carrier = carrier_spl_at_1m_db - loss;
+        let received_sideband = sideband_spl_at_1m_db - loss;
+
+        // Both components pass the acoustic front end, then multiply inside
+        // the g2 term.  Express them as fractions of digital full scale.
+        let aop = microphone.acoustic_overload_point_db_spl;
+        let front_end_db = 20.0 * microphone.front_end_gain(carrier_hz).max(1e-12).log10();
+        let a_carrier = 10f64.powf((received_carrier + front_end_db - aop) / 20.0);
+        let a_sideband = 10f64.powf((received_sideband + front_end_db - aop) / 20.0);
+        let demodulated = microphone.nonlinearity.g2.abs() * a_carrier * a_sideband;
+        let demodulated_dbfs = 20.0 * demodulated.max(1e-15).log10();
+
+        // Noise floor: the larger of the capsule self noise (referred to
+        // full scale) and the ADC noise floor.
+        let self_noise_dbfs = microphone.self_noise_db_spl - aop;
+        let noise_floor_dbfs = self_noise_dbfs.max(microphone.adc.noise_floor_dbfs);
+        let snr_db = demodulated_dbfs - noise_floor_dbfs;
+        Ok(LinkBudget {
+            distance_m,
+            received_carrier_spl_db: received_carrier,
+            demodulated_dbfs,
+            noise_floor_dbfs,
+            snr_db,
+        })
+    }
+
+    /// The largest distance (searched in 0.1 m steps up to `max_distance_m`)
+    /// at which the link budget still clears [`LinkBudget::REQUIRED_SNR_DB`].
+    pub fn predicted_range_m(
+        &self,
+        carrier_spl_at_1m_db: f64,
+        sideband_spl_at_1m_db: f64,
+        carrier_hz: f64,
+        microphone: &Microphone,
+        max_distance_m: f64,
+    ) -> Result<f64> {
+        if !(max_distance_m > 0.0) {
+            return Err(AttackError::invalid("max_distance_m", "must be positive"));
+        }
+        let mut range = 0.0;
+        let mut d = 0.1;
+        while d <= max_distance_m {
+            let budget = self.link_budget(
+                carrier_spl_at_1m_db,
+                sideband_spl_at_1m_db,
+                carrier_hz,
+                d,
+                microphone,
+            )?;
+            if budget.is_predicted_successful() {
+                range = d;
+            }
+            d += 0.1;
+        }
+        Ok(range)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseband::BasebandConfig;
+    use crate::multispeaker::{single_speaker_element_drives, MultiSpeakerAttack};
+    use crate::single::SingleSpeakerAttack;
+    use ivc_acoustics::microphone::DevicePreset;
+    use ivc_acoustics::speaker::UltrasonicSpeaker;
+    use ivc_dsp::signal::Signal;
+
+    fn synthetic_voice() -> Signal {
+        let fs = 48_000.0;
+        let mut s = Signal::tone(400.0, 0.5, 0.35, fs).unwrap();
+        s.mix(&Signal::tone(1_500.0, 0.4, 0.35, fs).unwrap()).unwrap();
+        s.normalize_peak(0.5);
+        s
+    }
+
+    #[test]
+    fn validation() {
+        let planner = AttackPlanner::default();
+        let mic = DevicePreset::AndroidPhone.microphone();
+        assert!(planner.link_budget(110.0, 104.0, 40_000.0, 0.0, &mic).is_err());
+        assert!(planner.predicted_range_m(110.0, 104.0, 40_000.0, &mic, 0.0).is_err());
+        let array = SpeakerArray::new(UltrasonicSpeaker::default(), 1, 0.03).unwrap();
+        assert!(planner
+            .max_inaudible_total_power(&array, 5.0, 1.0, |_| Ok(vec![]))
+            .is_err());
+    }
+
+    #[test]
+    fn link_budget_snr_falls_with_distance() {
+        let planner = AttackPlanner::default();
+        let mic = DevicePreset::AndroidPhone.microphone();
+        let near = planner.link_budget(115.0, 109.0, 40_000.0, 1.0, &mic).unwrap();
+        let far = planner.link_budget(115.0, 109.0, 40_000.0, 8.0, &mic).unwrap();
+        assert!(near.snr_db > far.snr_db + 20.0);
+        assert!(near.is_predicted_successful());
+    }
+
+    #[test]
+    fn predicted_range_grows_with_radiated_power() {
+        let planner = AttackPlanner::default();
+        let mic = DevicePreset::AndroidPhone.microphone();
+        let short = planner
+            .predicted_range_m(100.0, 94.0, 40_000.0, &mic, 15.0)
+            .unwrap();
+        let long = planner
+            .predicted_range_m(120.0, 114.0, 40_000.0, &mic, 15.0)
+            .unwrap();
+        assert!(long > short, "{short} -> {long}");
+        assert!(long > 2.0);
+    }
+
+    #[test]
+    fn echo_has_shorter_predicted_range_than_phone() {
+        let planner = AttackPlanner::default();
+        let phone = DevicePreset::AndroidPhone.microphone();
+        let echo = DevicePreset::AmazonEcho.microphone();
+        let phone_range = planner.predicted_range_m(115.0, 109.0, 40_000.0, &phone, 15.0).unwrap();
+        let echo_range = planner.predicted_range_m(115.0, 109.0, 40_000.0, &echo, 15.0).unwrap();
+        assert!(phone_range > echo_range, "phone {phone_range} vs echo {echo_range}");
+        assert!(echo_range > 0.0);
+    }
+
+    #[test]
+    fn multispeaker_attack_supports_more_inaudible_power_than_single() {
+        let voice = synthetic_voice();
+        let cfg = BasebandConfig::default();
+        let planner = AttackPlanner::default();
+        let env_ok = planner.env == AirEnvironment::default();
+        assert!(env_ok);
+
+        // Single speaker.
+        let single = SingleSpeakerAttack::build(&voice, 40_000.0, 0.9, &cfg).unwrap();
+        let single_array = SpeakerArray::new(UltrasonicSpeaker::default(), 1, 0.03).unwrap();
+        let single_max = planner
+            .max_inaudible_total_power(&single_array, 0.05, 30.0, |p| {
+                single_speaker_element_drives(&single, p)
+            })
+            .unwrap_or(0.05);
+
+        // Multi-speaker (6 elements).
+        let multi = MultiSpeakerAttack::build(&voice, 40_000.0, 6, &cfg).unwrap();
+        let multi_array = SpeakerArray::new(UltrasonicSpeaker::default(), 6, 0.03).unwrap();
+        let multi_max = planner
+            .max_inaudible_total_power(&multi_array, 0.05, 6.0 * 30.0, |p| {
+                multi.element_drives(p, 0.3, 30.0)
+            })
+            .unwrap();
+
+        assert!(
+            multi_max > single_max * 2.0,
+            "multi {multi_max} W should exceed single {single_max} W"
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Criterion benches for the end-to-end trial pipeline (the unit of work
+//! behind every accuracy-vs-distance point in the reproduction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ivc_core::run_trial;
+use ivc_core::scenario::{Delivery, Scenario};
+use ivc_speech::commands::corpus;
+use ivc_speech::recognizer::Recognizer;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    let recognizer = Recognizer::with_default_corpus().unwrap();
+    let command = &corpus()[0];
+
+    let legit = Scenario {
+        delivery: Delivery::Legitimate { talker_spl_db: 65.0 },
+        max_voice_duration_s: 1.0,
+        ..Scenario::default_attack()
+    };
+    group.bench_function("trial_legitimate_1s", |b| {
+        b.iter(|| run_trial(command, &legit, &recognizer, None).unwrap())
+    });
+
+    let attack = Scenario {
+        delivery: Delivery::ArrayUltrasound {
+            num_elements: 8,
+            total_power_w: 60.0,
+            carrier_hz: 40_000.0,
+        },
+        max_voice_duration_s: 1.0,
+        ..Scenario::default_attack()
+    };
+    group.bench_function("trial_array_attack_8el_1s", |b| {
+        b.iter(|| run_trial(command, &attack, &recognizer, None).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

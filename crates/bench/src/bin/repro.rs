@@ -1,0 +1,66 @@
+//! Reproduction driver: prints the rows/series of every paper table and
+//! figure.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ivc-bench --bin repro -- all        # every experiment
+//! cargo run --release -p ivc-bench --bin repro -- a2 d3      # a subset
+//! IVC_FULL=1 cargo run --release -p ivc-bench --bin repro -- all   # full-fidelity sweeps
+//! ```
+
+use ivc_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fidelity = Fidelity::from_env();
+    let selected: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "a1", "a2", "a3", "a4", "a5", "a6", "b1", "b2", "b3", "d1", "d3", "d4", "d5", "d6",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect()
+    } else {
+        args
+    };
+    println!("fidelity: {fidelity:?} (set IVC_FULL=1 for full sweeps)\n");
+    for experiment in &selected {
+        let result = run_one(experiment, fidelity);
+        match result {
+            Ok(output) => println!("{output}"),
+            Err(e) => eprintln!("experiment {experiment} failed: {e}"),
+        }
+    }
+}
+
+fn run_one(name: &str, fidelity: Fidelity) -> ivc_core::Result<String> {
+    Ok(match name {
+        "a1" => fig_a1_leakage_vs_power(fidelity)?.render(),
+        "a2" => {
+            let (table, series) = fig_a2_accuracy_vs_distance(fidelity)?;
+            let mut out = table.render();
+            for s in series {
+                out.push_str(&format!(
+                    "range at >= 0.8 accuracy [{}]: {:.1} m\n",
+                    s.name,
+                    s.last_x_with_y_at_least(0.8).unwrap_or(0.0)
+                ));
+            }
+            out
+        }
+        "a3" => fig_a3_accuracy_vs_speakers(fidelity)?.render(),
+        "a4" => fig_a4_leakage_vs_speakers(fidelity)?.render(),
+        "a5" => tab_a5_range_per_device(fidelity)?.render(),
+        "a6" => fig_a6_carrier_frequency(fidelity)?.render(),
+        "b1" => tab_b1_range_vs_power(fidelity)?.render(),
+        "b2" => fig_b2_spectrogram_triplet(fidelity)?.render(),
+        "b3" => tab_b3_success_rate(fidelity)?.render(),
+        "d1" | "d2" => fig_d1_d2_feature_separation(fidelity)?.render(),
+        "d3" => fig_d3_roc(fidelity)?.render(),
+        "d4" => tab_d4_detection_grid(fidelity)?.render(),
+        "d5" => fig_d5_noise_robustness(fidelity)?.render(),
+        "d6" => fig_d6_adaptive_attacker(fidelity)?.render(),
+        other => format!("unknown experiment id: {other}\n"),
+    })
+}

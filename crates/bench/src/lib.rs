@@ -1,0 +1,634 @@
+//! # ivc-bench — the reproduction harness
+//!
+//! One function per paper table/figure.  Each function runs the relevant
+//! sweep through the end-to-end pipeline and returns a printable
+//! [`Table`]/[`Series`]; the `repro` binary exposes them as sub-commands and
+//! the Criterion benches in `benches/` measure the hot paths.
+//!
+//! Two fidelity levels are supported to keep wall-clock time manageable:
+//! [`Fidelity::Quick`] (trimmed sweeps, truncated commands — minutes) and
+//! [`Fidelity::Full`] (the full grids — tens of minutes).  The experiment
+//! *shapes* are identical; EXPERIMENTS.md records which level produced the
+//! archived numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ivc_acoustics::microphone::DevicePreset;
+use ivc_core::results::{fmt, Series, Table};
+use ivc_core::scenario::{Delivery, Scenario};
+use ivc_core::{run_trial, Result};
+use ivc_defense::classifier::{LogisticRegression, TrainingConfig};
+use ivc_defense::dataset::{Dataset, DatasetConfig};
+use ivc_defense::evaluation::{evaluate, RocCurve};
+use ivc_defense::features::DefenseFeatures;
+use ivc_speech::commands::corpus;
+use ivc_speech::metrics::success_rate;
+use ivc_speech::recognizer::Recognizer;
+
+/// How exhaustive the sweeps should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Trimmed sweeps and truncated commands; finishes in minutes.
+    Quick,
+    /// The full grids reported in EXPERIMENTS.md's "full" runs.
+    Full,
+}
+
+impl Fidelity {
+    /// Reads the fidelity from the `IVC_FULL` environment variable
+    /// (`Full` when set to `1`, `Quick` otherwise).
+    pub fn from_env() -> Fidelity {
+        match std::env::var("IVC_FULL").as_deref() {
+            Ok("1") | Ok("true") => Fidelity::Full,
+            _ => Fidelity::Quick,
+        }
+    }
+
+    fn voice_cap_s(self) -> f64 {
+        match self {
+            Fidelity::Quick => 1.1,
+            Fidelity::Full => f64::INFINITY,
+        }
+    }
+
+    fn trials(self, quick: usize, full: usize) -> usize {
+        match self {
+            Fidelity::Quick => quick,
+            Fidelity::Full => full,
+        }
+    }
+}
+
+fn base_attack_scenario(fidelity: Fidelity) -> Scenario {
+    Scenario {
+        max_voice_duration_s: fidelity.voice_cap_s(),
+        ..Scenario::default_attack()
+    }
+}
+
+/// E-A1 — audible leakage of a single speaker versus drive power.
+pub fn fig_a1_leakage_vs_power(fidelity: Fidelity) -> Result<Table> {
+    let recognizer = Recognizer::with_default_corpus()?;
+    let command = &corpus()[0];
+    let powers: Vec<f64> = match fidelity {
+        Fidelity::Quick => vec![1.0, 8.0, 29.0],
+        Fidelity::Full => vec![0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 29.0],
+    };
+    let mut table = Table::new(
+        "E-A1: single-speaker leakage vs drive power (bystander at 1 m)",
+        &["Power (W)", "Leakage SPL (dB)", "Voice-band leak (dB)", "Audible?"],
+    );
+    for power in powers {
+        let scenario = Scenario {
+            delivery: Delivery::SingleSpeakerUltrasound {
+                power_w: power,
+                carrier_hz: 40_000.0,
+            },
+            ..base_attack_scenario(fidelity)
+        };
+        let outcome = run_trial(command, &scenario, &recognizer, None)?;
+        let leak = outcome.leakage.expect("attack delivery has leakage");
+        table.push_row(vec![
+            fmt(power, 1),
+            fmt(leak.audible_spl_db, 1),
+            fmt(leak.voice_band_spl_db, 1),
+            if leak.is_audible() { "yes".into() } else { "no".into() },
+        ]);
+    }
+    Ok(table)
+}
+
+/// E-A2 — word accuracy versus distance: single speaker vs array.
+pub fn fig_a2_accuracy_vs_distance(fidelity: Fidelity) -> Result<(Table, Vec<Series>)> {
+    let recognizer = Recognizer::with_default_corpus()?;
+    let command = &corpus()[0];
+    let distances: Vec<f64> = match fidelity {
+        Fidelity::Quick => vec![1.0, 3.0, 6.0],
+        Fidelity::Full => vec![0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.6, 9.0],
+    };
+    // The single speaker is constrained to a power that stays inaudible
+    // (the leakage experiments put that around a few watts); the array gets
+    // its full budget because its leakage is unintelligible residue.
+    let configs: Vec<(&str, Delivery)> = vec![
+        (
+            "single speaker (inaudibility-constrained, 3 W)",
+            Delivery::SingleSpeakerUltrasound {
+                power_w: 3.0,
+                carrier_hz: 40_000.0,
+            },
+        ),
+        (
+            "array (16 elements, 120 W total)",
+            Delivery::ArrayUltrasound {
+                num_elements: 16,
+                total_power_w: 120.0,
+                carrier_hz: 40_000.0,
+            },
+        ),
+        (
+            "array (61 elements, 400 W total)",
+            Delivery::ArrayUltrasound {
+                num_elements: fidelity.trials(8, 61),
+                total_power_w: fidelity.trials(60, 400) as f64,
+                carrier_hz: 40_000.0,
+            },
+        ),
+    ];
+    let mut table = Table::new(
+        "E-A2: injected-command word accuracy vs distance",
+        &["Distance (m)", "Single 3 W", "Array 16", "Array 61"],
+    );
+    let mut series: Vec<Series> = Vec::new();
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    for &d in &distances {
+        for (i, (_, delivery)) in configs.iter().enumerate() {
+            let scenario = Scenario {
+                delivery: *delivery,
+                ..base_attack_scenario(fidelity)
+            }
+            .at_distance(d);
+            let outcome = run_trial(command, &scenario, &recognizer, None)?;
+            columns[i].push(outcome.word_accuracy);
+        }
+        table.push_row(vec![
+            fmt(d, 1),
+            fmt(columns[0][columns[0].len() - 1], 2),
+            fmt(columns[1][columns[1].len() - 1], 2),
+            fmt(columns[2][columns[2].len() - 1], 2),
+        ]);
+    }
+    for ((name, _), ys) in configs.iter().zip(columns.into_iter()) {
+        series.push(Series::new(*name, distances.clone(), ys));
+    }
+    Ok((table, series))
+}
+
+/// E-A3 — word accuracy versus number of array elements at long range.
+pub fn fig_a3_accuracy_vs_speakers(fidelity: Fidelity) -> Result<Table> {
+    let recognizer = Recognizer::with_default_corpus()?;
+    let command = &corpus()[0];
+    let element_counts: Vec<usize> = match fidelity {
+        Fidelity::Quick => vec![1, 4, 8],
+        Fidelity::Full => vec![1, 2, 4, 8, 16, 32, 61],
+    };
+    let distance = match fidelity {
+        Fidelity::Quick => 4.0,
+        Fidelity::Full => 7.6,
+    };
+    let mut table = Table::new(
+        format!("E-A3: word accuracy vs number of elements (distance {distance} m)"),
+        &["Elements", "Total power (W)", "Word accuracy", "Leak voice-band SPL (dB)"],
+    );
+    for &n in &element_counts {
+        let total_power = 7.0 * n as f64; // the per-element budget is fixed
+        let scenario = Scenario {
+            delivery: Delivery::ArrayUltrasound {
+                num_elements: n,
+                total_power_w: total_power,
+                carrier_hz: 40_000.0,
+            },
+            ..base_attack_scenario(fidelity)
+        }
+        .at_distance(distance);
+        let outcome = run_trial(command, &scenario, &recognizer, None)?;
+        let leak = outcome.leakage.expect("attack has leakage");
+        table.push_row(vec![
+            n.to_string(),
+            fmt(total_power, 1),
+            fmt(outcome.word_accuracy, 2),
+            fmt(leak.voice_band_spl_db, 1),
+        ]);
+    }
+    Ok(table)
+}
+
+/// E-A4 — leakage audibility versus number of elements at equal total power.
+pub fn fig_a4_leakage_vs_speakers(fidelity: Fidelity) -> Result<Table> {
+    let recognizer = Recognizer::with_default_corpus()?;
+    let command = &corpus()[0];
+    let element_counts: Vec<usize> = match fidelity {
+        Fidelity::Quick => vec![1, 4, 8],
+        Fidelity::Full => vec![1, 2, 4, 8, 16, 32, 61],
+    };
+    let total_power = 30.0;
+    let mut table = Table::new(
+        format!("E-A4: leakage vs number of elements (total power {total_power} W, bystander 1 m)"),
+        &["Elements", "Leak SPL (dB)", "Leak dB(A)", "Voice-band leak (dB)", "Audible?"],
+    );
+    for &n in &element_counts {
+        let scenario = Scenario {
+            delivery: Delivery::ArrayUltrasound {
+                num_elements: n,
+                total_power_w: total_power,
+                carrier_hz: 40_000.0,
+            },
+            ..base_attack_scenario(fidelity)
+        };
+        let outcome = run_trial(command, &scenario, &recognizer, None)?;
+        let leak = outcome.leakage.expect("attack has leakage");
+        table.push_row(vec![
+            n.to_string(),
+            fmt(leak.audible_spl_db, 1),
+            fmt(leak.audible_spl_dba, 1),
+            fmt(leak.voice_band_spl_db, 1),
+            if leak.is_audible() { "yes".into() } else { "no".into() },
+        ]);
+    }
+    Ok(table)
+}
+
+/// E-A5 — attack range per device at a fixed array configuration.
+pub fn tab_a5_range_per_device(fidelity: Fidelity) -> Result<Table> {
+    let recognizer = Recognizer::with_default_corpus()?;
+    let command = &corpus()[0];
+    let distances: Vec<f64> = match fidelity {
+        Fidelity::Quick => vec![1.0, 2.0, 4.0, 6.0],
+        Fidelity::Full => vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+    };
+    let mut table = Table::new(
+        "E-A5: attack range per device (accuracy >= 0.6, 16-element array, 120 W)",
+        &["Device", "Range (m)"],
+    );
+    for device in [DevicePreset::AndroidPhone, DevicePreset::AmazonEcho] {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for &d in &distances {
+            let scenario = Scenario {
+                device,
+                delivery: Delivery::ArrayUltrasound {
+                    num_elements: 16,
+                    total_power_w: 120.0,
+                    carrier_hz: 40_000.0,
+                },
+                ..base_attack_scenario(fidelity)
+            }
+            .at_distance(d);
+            let outcome = run_trial(command, &scenario, &recognizer, None)?;
+            xs.push(d);
+            ys.push(outcome.word_accuracy);
+        }
+        let series = Series::new(device.name(), xs, ys);
+        let range = series.last_x_with_y_at_least(0.6).unwrap_or(0.0);
+        table.push_row(vec![device.name().to_string(), fmt(range, 1)]);
+    }
+    Ok(table)
+}
+
+/// E-A6 — demodulated quality versus carrier frequency.
+pub fn fig_a6_carrier_frequency(fidelity: Fidelity) -> Result<Table> {
+    let recognizer = Recognizer::with_default_corpus()?;
+    let command = &corpus()[0];
+    let carriers: Vec<f64> = match fidelity {
+        Fidelity::Quick => vec![30_000.0, 40_000.0, 60_000.0],
+        Fidelity::Full => vec![28_000.0, 32_000.0, 36_000.0, 40_000.0, 48_000.0, 56_000.0, 64_000.0],
+    };
+    let mut table = Table::new(
+        "E-A6: word accuracy vs carrier frequency (single speaker, 10 W, 1.5 m)",
+        &["Carrier (kHz)", "Word accuracy"],
+    );
+    for &fc in &carriers {
+        let scenario = Scenario {
+            delivery: Delivery::SingleSpeakerUltrasound {
+                power_w: 10.0,
+                carrier_hz: fc,
+            },
+            ..base_attack_scenario(fidelity)
+        }
+        .at_distance(1.5);
+        let outcome = run_trial(command, &scenario, &recognizer, None)?;
+        table.push_row(vec![fmt(fc / 1_000.0, 0), fmt(outcome.word_accuracy, 2)]);
+    }
+    Ok(table)
+}
+
+/// E-B1 — Song–Mittal Table 1: attack range versus speaker input power.
+pub fn tab_b1_range_vs_power(fidelity: Fidelity) -> Result<Table> {
+    let recognizer = Recognizer::with_default_corpus()?;
+    let command = &corpus()[0];
+    let powers = [9.2, 11.8, 14.8, 18.7, 23.7];
+    let distances: Vec<f64> = match fidelity {
+        Fidelity::Quick => vec![0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0],
+        Fidelity::Full => (1..=45).map(|i| i as f64 * 0.1).collect(),
+    };
+    let mut table = Table::new(
+        "E-B1: attack range vs speaker input power (single speaker)",
+        &["Power (W)", "Phone range (cm)", "Echo range (cm)"],
+    );
+    for &p in &powers {
+        let mut ranges = Vec::new();
+        for device in [DevicePreset::AndroidPhone, DevicePreset::AmazonEcho] {
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            for &d in &distances {
+                let scenario = Scenario {
+                    device,
+                    delivery: Delivery::SingleSpeakerUltrasound {
+                        power_w: p,
+                        carrier_hz: 30_000.0,
+                    },
+                    ..base_attack_scenario(fidelity)
+                }
+                .at_distance(d);
+                let outcome = run_trial(command, &scenario, &recognizer, None)?;
+                xs.push(d);
+                ys.push(outcome.word_accuracy);
+            }
+            let range_m = Series::new(device.name(), xs, ys)
+                .last_x_with_y_at_least(0.6)
+                .unwrap_or(0.0);
+            ranges.push(range_m * 100.0);
+        }
+        table.push_row(vec![fmt(p, 1), fmt(ranges[0], 0), fmt(ranges[1], 0)]);
+    }
+    Ok(table)
+}
+
+/// E-B2 — spectrogram band-energy summary of normal / attack / recorded.
+pub fn fig_b2_spectrogram_triplet(fidelity: Fidelity) -> Result<Table> {
+    use ivc_dsp::stft::{spectrogram, StftConfig};
+    let recognizer = Recognizer::with_default_corpus()?;
+    let command = &corpus()[0];
+    let scenario = Scenario {
+        delivery: Delivery::SingleSpeakerUltrasound {
+            power_w: 18.7,
+            carrier_hz: 30_000.0,
+        },
+        ..base_attack_scenario(fidelity)
+    };
+    // Normal voice.
+    let synth = ivc_speech::synthesis::Synthesizer::new(48_000.0)?;
+    let voice = synth
+        .render(command, &ivc_speech::synthesis::SpeakerProfile::canonical())?
+        .signal;
+    // Attack drive.
+    let attack = ivc_attack::single::SingleSpeakerAttack::build(
+        &voice,
+        30_000.0,
+        0.9,
+        &ivc_attack::baseband::BasebandConfig::default(),
+    )?;
+    // Recording at the device.
+    let outcome = run_trial(command, &scenario, &recognizer, None)?;
+
+    let bands = 8;
+    let mut table = Table::new(
+        "E-B2: band-energy summaries (dB) of normal voice / attack ultrasound / recording",
+        &["Band", "Normal (0-8 kHz)", "Attack drive (0-96 kHz)", "Recording (0-8 kHz)"],
+    );
+    let sg_voice = spectrogram(voice.samples(), voice.sample_rate_hz(), &StftConfig::default())?;
+    let sg_attack = spectrogram(
+        attack.drive.samples(),
+        attack.drive.sample_rate_hz(),
+        &StftConfig::default(),
+    )?;
+    let sg_rec = spectrogram(
+        outcome.recording.samples(),
+        outcome.recording.sample_rate_hz(),
+        &StftConfig::default(),
+    )?;
+    let voice_bands = sg_voice.band_summary_db(8_000.0, bands);
+    let attack_bands = sg_attack.band_summary_db(96_000.0, bands);
+    let rec_bands = sg_rec.band_summary_db(8_000.0, bands);
+    for i in 0..bands {
+        table.push_row(vec![
+            format!("{i}"),
+            fmt(voice_bands[i], 1),
+            fmt(attack_bands[i], 1),
+            fmt(rec_bands[i], 1),
+        ]);
+    }
+    Ok(table)
+}
+
+/// E-B3 — success rates over repeated trials (Song–Mittal §4.2).
+pub fn tab_b3_success_rate(fidelity: Fidelity) -> Result<Table> {
+    let recognizer = Recognizer::with_default_corpus()?;
+    let trials = fidelity.trials(5, 50);
+    let mut table = Table::new(
+        format!("E-B3: attack success rate over {trials} trials"),
+        &["Device", "Distance (m)", "Command", "Success rate"],
+    );
+    let cases = [
+        (DevicePreset::AndroidPhone, 3.0, 2usize),
+        (DevicePreset::AmazonEcho, 2.0, 1usize),
+    ];
+    for (device, distance, command_index) in cases {
+        let command = &corpus()[command_index];
+        let mut outcomes = Vec::new();
+        for trial in 0..trials {
+            let scenario = Scenario {
+                device,
+                delivery: Delivery::SingleSpeakerUltrasound {
+                    power_w: 18.7,
+                    carrier_hz: 30_000.0,
+                },
+                ..base_attack_scenario(fidelity)
+            }
+            .at_distance(distance)
+            .with_seed(1_000 + trial as u64);
+            let outcome = run_trial(command, &scenario, &recognizer, None)?;
+            outcomes.push(outcome.accepted);
+        }
+        table.push_row(vec![
+            device.name().to_string(),
+            fmt(distance, 1),
+            command.text.to_string(),
+            fmt(success_rate(&outcomes), 2),
+        ]);
+    }
+    Ok(table)
+}
+
+/// Builds the detector's training corpus and a trained model.
+pub fn train_detector(fidelity: Fidelity) -> Result<(Dataset, LogisticRegression)> {
+    let config = DatasetConfig {
+        distances_m: match fidelity {
+            Fidelity::Quick => vec![1.5, 3.0],
+            Fidelity::Full => vec![1.0, 2.0, 3.0, 5.0],
+        },
+        num_speaker_variants: fidelity.trials(2, 4),
+        command_indices: match fidelity {
+            Fidelity::Quick => vec![0],
+            Fidelity::Full => vec![0, 1, 2, 3],
+        },
+        attack_elements: 8,
+        max_voice_duration_s: fidelity.voice_cap_s(),
+        ..DatasetConfig::default()
+    };
+    let dataset = Dataset::generate(&config)?;
+    let samples = dataset.to_feature_samples()?;
+    let model = LogisticRegression::train(&samples, &TrainingConfig::default())?;
+    Ok((dataset, model))
+}
+
+/// E-D1 / E-D2 — defense feature separation between legit and attack.
+pub fn fig_d1_d2_feature_separation(fidelity: Fidelity) -> Result<Table> {
+    let (dataset, _) = train_detector(fidelity)?;
+    let mut table = Table::new(
+        "E-D1/E-D2: defense feature means (legitimate vs attack recordings)",
+        &["Feature", "Legit mean", "Attack mean"],
+    );
+    let mut sums = vec![[0.0f64; 2]; DefenseFeatures::DIMENSION];
+    let mut counts = [0usize; 2];
+    for r in &dataset.recordings {
+        let f = DefenseFeatures::extract(&r.recording)?.to_vector();
+        let class = usize::from(r.is_attack);
+        counts[class] += 1;
+        for (i, v) in f.iter().enumerate() {
+            sums[i][class] += v;
+        }
+    }
+    for (i, name) in DefenseFeatures::NAMES.iter().enumerate() {
+        table.push_row(vec![
+            name.to_string(),
+            fmt(sums[i][0] / counts[0].max(1) as f64, 2),
+            fmt(sums[i][1] / counts[1].max(1) as f64, 2),
+        ]);
+    }
+    Ok(table)
+}
+
+/// E-D3 — the detector's ROC curve.
+pub fn fig_d3_roc(fidelity: Fidelity) -> Result<Table> {
+    let (dataset, model) = train_detector(fidelity)?;
+    let samples = dataset.to_feature_samples()?;
+    let roc = RocCurve::from_model(&model, &samples)?;
+    let mut table = Table::new(
+        format!("E-D3: detector ROC (AUC = {:.3})", roc.auc),
+        &["FPR", "TPR"],
+    );
+    for p in roc.points.iter().take(12) {
+        table.push_row(vec![fmt(p.false_positive_rate, 3), fmt(p.true_positive_rate, 3)]);
+    }
+    Ok(table)
+}
+
+/// E-D4 — detection accuracy per device and distance.
+pub fn tab_d4_detection_grid(fidelity: Fidelity) -> Result<Table> {
+    let (_, model) = train_detector(fidelity)?;
+    let mut table = Table::new(
+        "E-D4: detection accuracy / FPR per device and distance",
+        &["Device", "Distance (m)", "Accuracy", "FPR", "TPR"],
+    );
+    let distances = match fidelity {
+        Fidelity::Quick => vec![2.0],
+        Fidelity::Full => vec![1.0, 3.0, 5.0],
+    };
+    for device in [DevicePreset::AndroidPhone, DevicePreset::AmazonEcho] {
+        for &d in &distances {
+            let config = DatasetConfig {
+                device,
+                distances_m: vec![d],
+                num_speaker_variants: fidelity.trials(2, 4),
+                command_indices: match fidelity {
+                    Fidelity::Quick => vec![1],
+                    Fidelity::Full => vec![1, 2, 4],
+                },
+                attack_elements: 8,
+                max_voice_duration_s: fidelity.voice_cap_s(),
+                seed: 100 + d as u64,
+                ..DatasetConfig::default()
+            };
+            let test_set = Dataset::generate(&config)?.to_feature_samples()?;
+            let matrix = evaluate(&model, &test_set)?;
+            table.push_row(vec![
+                device.name().to_string(),
+                fmt(d, 1),
+                fmt(matrix.accuracy(), 2),
+                fmt(matrix.false_positive_rate(), 2),
+                fmt(matrix.true_positive_rate(), 2),
+            ]);
+        }
+    }
+    Ok(table)
+}
+
+/// E-D5 — detection robustness versus ambient noise level.
+pub fn fig_d5_noise_robustness(fidelity: Fidelity) -> Result<Table> {
+    let (_, model) = train_detector(fidelity)?;
+    let noise_levels = match fidelity {
+        Fidelity::Quick => vec![40.0, 60.0],
+        Fidelity::Full => vec![35.0, 45.0, 55.0, 65.0],
+    };
+    let mut table = Table::new(
+        "E-D5: detection accuracy vs ambient noise",
+        &["Ambient SPL (dB)", "Accuracy", "TPR", "FPR"],
+    );
+    for &spl in &noise_levels {
+        let config = DatasetConfig {
+            distances_m: vec![2.0],
+            num_speaker_variants: fidelity.trials(2, 4),
+            command_indices: vec![0],
+            ambient_noise_spl_db: spl,
+            attack_elements: 8,
+            max_voice_duration_s: fidelity.voice_cap_s(),
+            seed: 500 + spl as u64,
+            ..DatasetConfig::default()
+        };
+        let test_set = Dataset::generate(&config)?.to_feature_samples()?;
+        let matrix = evaluate(&model, &test_set)?;
+        table.push_row(vec![
+            fmt(spl, 0),
+            fmt(matrix.accuracy(), 2),
+            fmt(matrix.true_positive_rate(), 2),
+            fmt(matrix.false_positive_rate(), 2),
+        ]);
+    }
+    Ok(table)
+}
+
+/// E-D6 — the adaptive attacker: shadow suppression vs detection and
+/// command intelligibility.
+pub fn fig_d6_adaptive_attacker(fidelity: Fidelity) -> Result<Table> {
+    use ivc_defense::countermeasures::precompensated_baseband;
+    let (_, model) = train_detector(fidelity)?;
+    let recognizer = Recognizer::with_default_corpus()?;
+    let command = &corpus()[0];
+    let synth = ivc_speech::synthesis::Synthesizer::new(48_000.0)?;
+    let voice_full = synth
+        .render(command, &ivc_speech::synthesis::SpeakerProfile::canonical())?
+        .signal;
+    let voice = if voice_full.duration_s() > fidelity.voice_cap_s() {
+        voice_full.slice_seconds(0.0, fidelity.voice_cap_s())
+    } else {
+        voice_full
+    };
+    let suppressions = match fidelity {
+        Fidelity::Quick => vec![0.0, 0.5, 1.0],
+        Fidelity::Full => vec![0.0, 0.25, 0.5, 0.75, 1.0],
+    };
+    let mut table = Table::new(
+        "E-D6: adaptive attacker (shadow suppression)",
+        &["Suppression", "Detection prob.", "Attack word accuracy", "Attacker wins?"],
+    );
+    for &alpha in &suppressions {
+        let compensated = precompensated_baseband(&voice, alpha)?;
+        let rec = ivc_defense::dataset::generate_attack_recording(
+            &compensated,
+            DevicePreset::AndroidPhone,
+            2.0,
+            8,
+            60.0,
+            40_000.0,
+            40.0,
+            &ivc_acoustics::environment::AirEnvironment::default(),
+            77,
+        )?;
+        let features = DefenseFeatures::extract(&rec)?.to_vector();
+        let p = model.predict_probability(&features)?;
+        let accuracy = recognizer.word_accuracy(&rec, command.id)?;
+        let outcome = ivc_defense::countermeasures::CountermeasureOutcome {
+            suppression: alpha,
+            detection_probability: p,
+            attack_word_accuracy: accuracy,
+        };
+        table.push_row(vec![
+            fmt(alpha, 2),
+            fmt(p, 2),
+            fmt(accuracy, 2),
+            if outcome.attacker_wins() { "yes".into() } else { "no".into() },
+        ]);
+    }
+    Ok(table)
+}

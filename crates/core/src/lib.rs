@@ -1,0 +1,35 @@
+//! # ivc-core — end-to-end scenarios and experiments
+//!
+//! This crate wires the substrates together into the pipeline every
+//! experiment runs:
+//!
+//! ```text
+//! voice command ──► attack construction ──► speaker array ──► air ──► victim microphone
+//!                                                                        │
+//!                       speech recogniser ◄── digital recording ◄────────┤
+//!                       defense detector  ◄──────────────────────────────┘
+//! ```
+//!
+//! * [`scenario`] — the description of one experimental setup (device,
+//!   distance, environment, ambient noise, how the command is delivered).
+//! * [`pipeline`] — runs a scenario end to end and reports whether the
+//!   command was accepted, its word accuracy, the speaker-side leakage and
+//!   the defense verdict.
+//! * [`results`] — small table/series containers used by the reproduction
+//!   harness to print paper-style outputs (serialisable with `serde`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pipeline;
+pub mod results;
+pub mod scenario;
+
+pub use pipeline::{run_trial, TrialOutcome};
+pub use results::{Series, Table};
+pub use scenario::{Delivery, Scenario};
+
+/// Convenience error alias: the pipeline surfaces whichever layer failed.
+pub type Error = Box<dyn std::error::Error + Send + Sync>;
+/// Convenience result alias used by the pipeline.
+pub type Result<T> = std::result::Result<T, Error>;

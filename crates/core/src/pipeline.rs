@@ -1,0 +1,197 @@
+//! The end-to-end pipeline: one trial of one scenario.
+
+use crate::scenario::{Delivery, Scenario};
+use crate::Result;
+use ivc_acoustics::array::SpeakerArray;
+use ivc_acoustics::noise::room_noise_pa;
+use ivc_acoustics::propagation::propagate;
+use ivc_acoustics::speaker::UltrasonicSpeaker;
+use ivc_acoustics::spl::spl_db_to_pressure;
+use ivc_attack::baseband::BasebandConfig;
+use ivc_attack::leakage::{estimate_leakage, LeakageReport};
+use ivc_attack::multispeaker::{single_speaker_element_drives, MultiSpeakerAttack};
+use ivc_attack::single::SingleSpeakerAttack;
+use ivc_defense::classifier::LogisticRegression;
+use ivc_defense::features::DefenseFeatures;
+use ivc_dsp::signal::Signal;
+use ivc_speech::commands::VoiceCommand;
+use ivc_speech::recognizer::Recognizer;
+use ivc_speech::synthesis::{SpeakerProfile, Synthesizer};
+
+/// Everything measured in one trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialOutcome {
+    /// The digital recording the device's software received.
+    pub recording: Signal,
+    /// Did the recogniser accept the recording as the intended command?
+    pub accepted: bool,
+    /// Word accuracy against the intended command's template.
+    pub word_accuracy: f64,
+    /// Speaker-side leakage report (attack deliveries only).
+    pub leakage: Option<LeakageReport>,
+    /// The defense's features for this recording.
+    pub defense_features: DefenseFeatures,
+    /// The detector's attack probability, if a trained detector was supplied.
+    pub detection_probability: Option<f64>,
+}
+
+/// Runs one trial of `scenario` injecting (or speaking) `command`.
+///
+/// `recognizer` must have the command corpus enrolled; `detector` is
+/// optional — when present, its probability output is included.
+pub fn run_trial(
+    command: &VoiceCommand,
+    scenario: &Scenario,
+    recognizer: &Recognizer,
+    detector: Option<&LogisticRegression>,
+) -> Result<TrialOutcome> {
+    // 1. Render the voice command (the attacker's TTS voice, or the
+    //    legitimate talker's).
+    let synth = Synthesizer::new(48_000.0)?;
+    let profile = match scenario.delivery {
+        Delivery::Legitimate { .. } => SpeakerProfile::variant(scenario.seed as usize % 8),
+        _ => SpeakerProfile::canonical(),
+    };
+    let utterance = synth.render(command, &profile)?;
+    let voice = if utterance.signal.duration_s() > scenario.max_voice_duration_s {
+        utterance.signal.slice_seconds(0.0, scenario.max_voice_duration_s)
+    } else {
+        utterance.signal.clone()
+    };
+
+    // 2. Deliver it to the microphone port as a pressure waveform.
+    let (mut pressure_at_port, leakage) = match scenario.delivery {
+        Delivery::Legitimate { talker_spl_db } => {
+            let rms = voice.rms().max(1e-12);
+            let pressure_at_1m = voice.scaled(spl_db_to_pressure(talker_spl_db) / rms);
+            (
+                propagate(&pressure_at_1m, scenario.distance_m, &scenario.env)?,
+                None,
+            )
+        }
+        Delivery::SingleSpeakerUltrasound { power_w, carrier_hz } => {
+            let attack = SingleSpeakerAttack::build(&voice, carrier_hz, 0.9, &BasebandConfig::default())?;
+            let speaker = UltrasonicSpeaker::default();
+            let array = SpeakerArray::new(speaker.clone(), 1, 0.03)?;
+            let drives = single_speaker_element_drives(&attack, power_w.min(speaker.max_power_w))?;
+            let leak = estimate_leakage(&array, &drives, scenario.bystander_distance_m, &scenario.env, 0.0)?;
+            (
+                array.field_at_target(&drives, scenario.distance_m, &scenario.env)?,
+                Some(leak),
+            )
+        }
+        Delivery::ArrayUltrasound {
+            num_elements,
+            total_power_w,
+            carrier_hz,
+        } => {
+            let speaker = UltrasonicSpeaker::default();
+            let array = SpeakerArray::new(speaker.clone(), num_elements.max(1), 0.03)?;
+            let drives = if num_elements <= 1 {
+                let attack = SingleSpeakerAttack::build(&voice, carrier_hz, 0.9, &BasebandConfig::default())?;
+                single_speaker_element_drives(&attack, total_power_w.min(speaker.max_power_w))?
+            } else {
+                let attack = MultiSpeakerAttack::build(&voice, carrier_hz, num_elements, &BasebandConfig::default())?;
+                attack.element_drives(total_power_w, 0.3, speaker.max_power_w)?
+            };
+            let leak = estimate_leakage(&array, &drives, scenario.bystander_distance_m, &scenario.env, 0.0)?;
+            (
+                array.field_at_target(&drives, scenario.distance_m, &scenario.env)?,
+                Some(leak),
+            )
+        }
+    };
+
+    // 3. Ambient noise and capture.
+    let noise = room_noise_pa(
+        scenario.ambient_noise_spl_db,
+        pressure_at_port.duration_s(),
+        pressure_at_port.sample_rate_hz(),
+        scenario.seed ^ 0xDEAD_BEEF,
+    )?;
+    pressure_at_port.mix(&noise)?;
+    let recording = scenario
+        .device
+        .microphone()
+        .capture(&pressure_at_port, scenario.seed)?;
+
+    // 4. Recognition and defense.
+    let accepted = recognizer.command_accepted(&recording, command.id)?;
+    let word_accuracy = recognizer.word_accuracy(&recording, command.id)?;
+    let defense_features = DefenseFeatures::extract(&recording)?;
+    let detection_probability = match detector {
+        Some(model) => Some(model.predict_probability(&defense_features.to_vector())?),
+        None => None,
+    };
+
+    Ok(TrialOutcome {
+        recording,
+        accepted,
+        word_accuracy,
+        leakage,
+        defense_features,
+        detection_probability,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivc_speech::commands::corpus;
+
+    fn quick_scenario(delivery: Delivery) -> Scenario {
+        Scenario {
+            delivery,
+            max_voice_duration_s: 1.0,
+            ..Scenario::default_attack()
+        }
+    }
+
+    #[test]
+    fn legitimate_delivery_is_accepted_and_not_detected_as_attack() {
+        let recognizer = Recognizer::with_default_corpus().unwrap();
+        let command = &corpus()[0];
+        let scenario = quick_scenario(Delivery::Legitimate { talker_spl_db: 68.0 });
+        let outcome = run_trial(command, &scenario, &recognizer, None).unwrap();
+        assert!(outcome.leakage.is_none());
+        assert!(outcome.detection_probability.is_none());
+        assert!(outcome.word_accuracy > 0.5, "accuracy {}", outcome.word_accuracy);
+        assert!(outcome.recording.len() > 1_000);
+    }
+
+    #[test]
+    fn array_attack_at_close_range_is_accepted_and_leaves_a_trace() {
+        let recognizer = Recognizer::with_default_corpus().unwrap();
+        let command = &corpus()[0];
+        let scenario = quick_scenario(Delivery::ArrayUltrasound {
+            num_elements: 6,
+            total_power_w: 60.0,
+            carrier_hz: 40_000.0,
+        });
+        let outcome = run_trial(command, &scenario, &recognizer, None).unwrap();
+        assert!(outcome.leakage.is_some());
+        assert!(outcome.word_accuracy > 0.4, "accuracy {}", outcome.word_accuracy);
+        // The defense trace is present even when the attack succeeds.
+        assert!(outcome.defense_features.shadow_correlation > 0.2);
+    }
+
+    #[test]
+    fn attack_fails_at_extreme_distance() {
+        let recognizer = Recognizer::with_default_corpus().unwrap();
+        let command = &corpus()[0];
+        let near = quick_scenario(Delivery::SingleSpeakerUltrasound {
+            power_w: 25.0,
+            carrier_hz: 40_000.0,
+        });
+        let far = near.at_distance(30.0);
+        let outcome_near = run_trial(command, &near.at_distance(1.0), &recognizer, None).unwrap();
+        let outcome_far = run_trial(command, &far, &recognizer, None).unwrap();
+        assert!(
+            outcome_near.word_accuracy > outcome_far.word_accuracy,
+            "near {} vs far {}",
+            outcome_near.word_accuracy,
+            outcome_far.word_accuracy
+        );
+        assert!(!outcome_far.accepted);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type for the defense crate.
+
+use std::fmt;
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, DefenseError>;
+
+/// Errors produced by feature extraction, training or evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DefenseError {
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Description of the violation.
+        message: String,
+    },
+    /// Training or evaluation was attempted on an empty or degenerate dataset.
+    DegenerateDataset {
+        /// Description of the problem.
+        message: String,
+    },
+    /// An error bubbled up from the DSP layer.
+    Dsp(ivc_dsp::DspError),
+    /// An error bubbled up from the acoustics layer.
+    Acoustics(ivc_acoustics::AcousticsError),
+    /// An error bubbled up from the speech layer.
+    Speech(ivc_speech::SpeechError),
+    /// An error bubbled up from the attack crate (dataset generation).
+    Attack(ivc_attack::AttackError),
+}
+
+impl fmt::Display for DefenseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DefenseError::InvalidParameter { name, message } => {
+                write!(f, "invalid defense parameter `{name}`: {message}")
+            }
+            DefenseError::DegenerateDataset { message } => {
+                write!(f, "degenerate dataset: {message}")
+            }
+            DefenseError::Dsp(e) => write!(f, "dsp error: {e}"),
+            DefenseError::Acoustics(e) => write!(f, "acoustics error: {e}"),
+            DefenseError::Speech(e) => write!(f, "speech error: {e}"),
+            DefenseError::Attack(e) => write!(f, "attack error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DefenseError {}
+
+impl From<ivc_dsp::DspError> for DefenseError {
+    fn from(e: ivc_dsp::DspError) -> Self {
+        DefenseError::Dsp(e)
+    }
+}
+impl From<ivc_acoustics::AcousticsError> for DefenseError {
+    fn from(e: ivc_acoustics::AcousticsError) -> Self {
+        DefenseError::Acoustics(e)
+    }
+}
+impl From<ivc_speech::SpeechError> for DefenseError {
+    fn from(e: ivc_speech::SpeechError) -> Self {
+        DefenseError::Speech(e)
+    }
+}
+impl From<ivc_attack::AttackError> for DefenseError {
+    fn from(e: ivc_attack::AttackError) -> Self {
+        DefenseError::Attack(e)
+    }
+}
+
+impl DefenseError {
+    /// Helper to build an [`DefenseError::InvalidParameter`].
+    pub fn invalid(name: &'static str, message: impl Into<String>) -> Self {
+        DefenseError::InvalidParameter {
+            name,
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(DefenseError::invalid("x", "bad").to_string().contains("x"));
+        assert!(DefenseError::DegenerateDataset { message: "empty".into() }
+            .to_string()
+            .contains("empty"));
+        let e: DefenseError = ivc_dsp::DspError::EmptyInput { operation: "f" }.into();
+        assert!(e.to_string().contains("dsp"));
+        let e: DefenseError = ivc_speech::SpeechError::NoTemplates.into();
+        assert!(e.to_string().contains("speech"));
+        let e: DefenseError = ivc_attack::AttackError::invalid("p", "m").into();
+        assert!(e.to_string().contains("attack"));
+        let e: DefenseError = ivc_acoustics::AcousticsError::invalid("d", "m").into();
+        assert!(e.to_string().contains("acoustics"));
+    }
+}

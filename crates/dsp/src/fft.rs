@@ -1,0 +1,307 @@
+//! Radix-2 fast Fourier transform.
+//!
+//! The transform sizes used throughout the workspace are powers of two
+//! (analysis frames, fast convolution, analytic-signal computation), so a
+//! classic iterative radix-2 Cooley–Tukey implementation is sufficient.
+//! Helpers are provided for real-input transforms, inverse transforms, and
+//! next-power-of-two zero-padding.
+
+use crate::complex::Complex;
+use crate::error::{DspError, Result};
+
+/// Returns the smallest power of two that is `>= n` (and at least 1).
+#[inline]
+pub fn next_power_of_two(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// Returns `true` if `n` is a non-zero power of two.
+#[inline]
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && (n & (n - 1)) == 0
+}
+
+/// In-place iterative radix-2 FFT.
+///
+/// `buffer.len()` must be a power of two.  `inverse` selects the inverse
+/// transform; the inverse is scaled by `1/N` so that
+/// `ifft(fft(x)) == x`.
+pub fn fft_in_place(buffer: &mut [Complex], inverse: bool) -> Result<()> {
+    let n = buffer.len();
+    if n == 0 {
+        return Err(DspError::EmptyInput { operation: "fft" });
+    }
+    if !is_power_of_two(n) {
+        return Err(DspError::invalid_parameter(
+            "fft length",
+            format!("{n} is not a power of two"),
+        ));
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buffer.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2usize;
+    while len <= n {
+        let angle = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let w_len = Complex::cis(angle);
+        let mut start = 0usize;
+        while start < n {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let even = buffer[start + k];
+                let odd = buffer[start + k + len / 2] * w;
+                buffer[start + k] = even + odd;
+                buffer[start + k + len / 2] = even - odd;
+                w *= w_len;
+            }
+            start += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let scale = 1.0 / n as f64;
+        for value in buffer.iter_mut() {
+            *value = value.scale(scale);
+        }
+    }
+    Ok(())
+}
+
+/// Forward FFT of a complex buffer, returning a new vector.
+pub fn fft(input: &[Complex]) -> Result<Vec<Complex>> {
+    let mut buffer = input.to_vec();
+    fft_in_place(&mut buffer, false)?;
+    Ok(buffer)
+}
+
+/// Inverse FFT of a complex buffer, returning a new vector.
+pub fn ifft(input: &[Complex]) -> Result<Vec<Complex>> {
+    let mut buffer = input.to_vec();
+    fft_in_place(&mut buffer, true)?;
+    Ok(buffer)
+}
+
+/// Forward FFT of a real signal.
+///
+/// The input is zero-padded to the next power of two; the full complex
+/// spectrum of that padded length is returned (not just the positive
+/// frequencies), which keeps downstream code simple.
+pub fn fft_real(input: &[f64]) -> Result<Vec<Complex>> {
+    if input.is_empty() {
+        return Err(DspError::EmptyInput { operation: "fft_real" });
+    }
+    let n = next_power_of_two(input.len());
+    let mut buffer = vec![Complex::ZERO; n];
+    for (slot, &x) in buffer.iter_mut().zip(input.iter()) {
+        *slot = Complex::from_real(x);
+    }
+    fft_in_place(&mut buffer, false)?;
+    Ok(buffer)
+}
+
+/// Forward FFT of a real signal padded/truncated to exactly `n` points
+/// (`n` must be a power of two).
+pub fn fft_real_n(input: &[f64], n: usize) -> Result<Vec<Complex>> {
+    if input.is_empty() {
+        return Err(DspError::EmptyInput { operation: "fft_real_n" });
+    }
+    if !is_power_of_two(n) {
+        return Err(DspError::invalid_parameter(
+            "n",
+            format!("{n} is not a power of two"),
+        ));
+    }
+    let mut buffer = vec![Complex::ZERO; n];
+    for (slot, &x) in buffer.iter_mut().zip(input.iter()) {
+        *slot = Complex::from_real(x);
+    }
+    fft_in_place(&mut buffer, false)?;
+    Ok(buffer)
+}
+
+/// Inverse FFT returning only the real parts (the caller asserts the
+/// spectrum is conjugate-symmetric, e.g. because it came from a real
+/// signal).
+pub fn ifft_real(spectrum: &[Complex]) -> Result<Vec<f64>> {
+    let out = ifft(spectrum)?;
+    Ok(out.into_iter().map(|c| c.re).collect())
+}
+
+/// Frequency in Hz corresponding to FFT bin `bin` for a transform of length
+/// `n` at `sample_rate_hz`.  Bins above `n/2` map to negative frequencies.
+#[inline]
+pub fn bin_frequency(bin: usize, n: usize, sample_rate_hz: f64) -> f64 {
+    let k = bin % n;
+    if k <= n / 2 {
+        k as f64 * sample_rate_hz / n as f64
+    } else {
+        (k as f64 - n as f64) * sample_rate_hz / n as f64
+    }
+}
+
+/// FFT bin index closest to `frequency_hz` for a transform of length `n` at
+/// `sample_rate_hz`.
+#[inline]
+pub fn frequency_bin(frequency_hz: f64, n: usize, sample_rate_hz: f64) -> usize {
+    let bin = (frequency_hz / sample_rate_hz * n as f64).round() as isize;
+    bin.rem_euclid(n as isize) as usize
+}
+
+/// Linear (fast, FFT-based) convolution of two real sequences.
+///
+/// The output length is `a.len() + b.len() - 1`, matching direct
+/// convolution.
+pub fn fft_convolve(a: &[f64], b: &[f64]) -> Result<Vec<f64>> {
+    if a.is_empty() || b.is_empty() {
+        return Err(DspError::EmptyInput {
+            operation: "fft_convolve",
+        });
+    }
+    let out_len = a.len() + b.len() - 1;
+    let n = next_power_of_two(out_len);
+    let mut fa = vec![Complex::ZERO; n];
+    let mut fb = vec![Complex::ZERO; n];
+    for (slot, &x) in fa.iter_mut().zip(a.iter()) {
+        *slot = Complex::from_real(x);
+    }
+    for (slot, &x) in fb.iter_mut().zip(b.iter()) {
+        *slot = Complex::from_real(x);
+    }
+    fft_in_place(&mut fa, false)?;
+    fft_in_place(&mut fb, false)?;
+    for (x, y) in fa.iter_mut().zip(fb.iter()) {
+        *x = *x * *y;
+    }
+    fft_in_place(&mut fa, true)?;
+    Ok(fa.into_iter().take(out_len).map(|c| c.re).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() < eps
+    }
+
+    #[test]
+    fn rejects_empty_and_non_power_of_two() {
+        assert!(fft(&[]).is_err());
+        let mut buf = vec![Complex::ZERO; 3];
+        assert!(fft_in_place(&mut buf, false).is_err());
+        assert!(fft_real_n(&[1.0], 3).is_err());
+    }
+
+    #[test]
+    fn transform_of_impulse_is_flat() {
+        let mut input = vec![Complex::ZERO; 8];
+        input[0] = Complex::ONE;
+        let out = fft(&input).unwrap();
+        for bin in out {
+            assert!(approx(bin.re, 1.0, 1e-12));
+            assert!(approx(bin.im, 0.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn transform_of_constant_concentrates_at_dc() {
+        let input = vec![Complex::ONE; 16];
+        let out = fft(&input).unwrap();
+        assert!(approx(out[0].re, 16.0, 1e-9));
+        for bin in &out[1..] {
+            assert!(bin.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sine_peaks_at_expected_bin() {
+        let n = 256;
+        let fs = 8_000.0;
+        let f = 1_000.0; // exactly bin 32
+        let samples: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / fs).sin())
+            .collect();
+        let spec = fft_real(&samples).unwrap();
+        let k = frequency_bin(f, n, fs);
+        assert_eq!(k, 32);
+        let peak_mag = spec[k].abs();
+        assert!(approx(peak_mag, n as f64 / 2.0, 1e-6));
+        // All other positive-frequency bins are tiny.
+        for (i, bin) in spec.iter().enumerate().take(n / 2) {
+            if i != k {
+                assert!(bin.abs() < 1e-6, "bin {i} leaked {}", bin.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_recovers_signal() {
+        let n = 128;
+        let samples: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.1).sin(), (i as f64 * 0.05).cos()))
+            .collect();
+        let back = ifft(&fft(&samples).unwrap()).unwrap();
+        for (a, b) in samples.iter().zip(back.iter()) {
+            assert!(approx(a.re, b.re, 1e-9));
+            assert!(approx(a.im, b.im, 1e-9));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 64;
+        let samples: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64 - 3.0) / 3.0).collect();
+        let spec = fft_real_n(&samples, n).unwrap();
+        let time_energy: f64 = samples.iter().map(|x| x * x).sum();
+        let freq_energy: f64 = spec.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
+        assert!(approx(time_energy, freq_energy, 1e-9));
+    }
+
+    #[test]
+    fn bin_frequency_maps_both_halves() {
+        assert!(approx(bin_frequency(0, 8, 8000.0), 0.0, 1e-12));
+        assert!(approx(bin_frequency(1, 8, 8000.0), 1000.0, 1e-12));
+        assert!(approx(bin_frequency(4, 8, 8000.0), 4000.0, 1e-12));
+        assert!(approx(bin_frequency(7, 8, 8000.0), -1000.0, 1e-12));
+    }
+
+    #[test]
+    fn fft_convolution_matches_direct() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [0.5, -1.0, 0.25];
+        let fast = fft_convolve(&a, &b).unwrap();
+        let mut direct = vec![0.0; a.len() + b.len() - 1];
+        for (i, &x) in a.iter().enumerate() {
+            for (j, &y) in b.iter().enumerate() {
+                direct[i + j] += x * y;
+            }
+        }
+        assert_eq!(fast.len(), direct.len());
+        for (f, d) in fast.iter().zip(direct.iter()) {
+            assert!(approx(*f, *d, 1e-9));
+        }
+    }
+
+    #[test]
+    fn next_power_of_two_helper() {
+        assert_eq!(next_power_of_two(0), 1);
+        assert_eq!(next_power_of_two(1), 1);
+        assert_eq!(next_power_of_two(5), 8);
+        assert_eq!(next_power_of_two(1024), 1024);
+        assert!(is_power_of_two(64));
+        assert!(!is_power_of_two(65));
+        assert!(!is_power_of_two(0));
+    }
+}

@@ -1,0 +1,354 @@
+//! Second-order IIR sections (biquads) and Butterworth cascades.
+//!
+//! Biquads are used where a cheap recursive filter is preferable to a long
+//! FIR: the microphone model's anti-alias filter, the defense's sub-band
+//! isolators, and the envelope detector's smoothing stage.
+
+use crate::error::{DspError, Result};
+use crate::signal::Signal;
+
+/// One direct-form-I second-order section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Biquad {
+    // Feed-forward coefficients.
+    b0: f64,
+    b1: f64,
+    b2: f64,
+    // Feedback coefficients (a0 normalised to 1).
+    a1: f64,
+    a2: f64,
+}
+
+impl Biquad {
+    /// Creates a section from raw coefficients (`a0` is used to normalise).
+    pub fn new(b0: f64, b1: f64, b2: f64, a0: f64, a1: f64, a2: f64) -> Result<Self> {
+        if a0 == 0.0 || !a0.is_finite() {
+            return Err(DspError::invalid_parameter("a0", "must be finite and non-zero"));
+        }
+        Ok(Biquad {
+            b0: b0 / a0,
+            b1: b1 / a0,
+            b2: b2 / a0,
+            a1: a1 / a0,
+            a2: a2 / a0,
+        })
+    }
+
+    /// RBJ-cookbook low-pass section.
+    pub fn low_pass(cutoff_hz: f64, q: f64, sample_rate_hz: f64) -> Result<Self> {
+        let (w0, alpha) = omega_alpha(cutoff_hz, q, sample_rate_hz)?;
+        let cos_w0 = w0.cos();
+        Biquad::new(
+            (1.0 - cos_w0) / 2.0,
+            1.0 - cos_w0,
+            (1.0 - cos_w0) / 2.0,
+            1.0 + alpha,
+            -2.0 * cos_w0,
+            1.0 - alpha,
+        )
+    }
+
+    /// RBJ-cookbook high-pass section.
+    pub fn high_pass(cutoff_hz: f64, q: f64, sample_rate_hz: f64) -> Result<Self> {
+        let (w0, alpha) = omega_alpha(cutoff_hz, q, sample_rate_hz)?;
+        let cos_w0 = w0.cos();
+        Biquad::new(
+            (1.0 + cos_w0) / 2.0,
+            -(1.0 + cos_w0),
+            (1.0 + cos_w0) / 2.0,
+            1.0 + alpha,
+            -2.0 * cos_w0,
+            1.0 - alpha,
+        )
+    }
+
+    /// RBJ-cookbook band-pass section (constant 0 dB peak gain).
+    pub fn band_pass(center_hz: f64, q: f64, sample_rate_hz: f64) -> Result<Self> {
+        let (w0, alpha) = omega_alpha(center_hz, q, sample_rate_hz)?;
+        let cos_w0 = w0.cos();
+        Biquad::new(alpha, 0.0, -alpha, 1.0 + alpha, -2.0 * cos_w0, 1.0 - alpha)
+    }
+
+    /// RBJ-cookbook notch section.
+    pub fn notch(center_hz: f64, q: f64, sample_rate_hz: f64) -> Result<Self> {
+        let (w0, alpha) = omega_alpha(center_hz, q, sample_rate_hz)?;
+        let cos_w0 = w0.cos();
+        Biquad::new(1.0, -2.0 * cos_w0, 1.0, 1.0 + alpha, -2.0 * cos_w0, 1.0 - alpha)
+    }
+
+    /// Filters a buffer, returning a new vector (initial state is zero).
+    pub fn filter(&self, input: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(input.len());
+        let mut x1 = 0.0;
+        let mut x2 = 0.0;
+        let mut y1 = 0.0;
+        let mut y2 = 0.0;
+        for &x in input {
+            let y = self.b0 * x + self.b1 * x1 + self.b2 * x2 - self.a1 * y1 - self.a2 * y2;
+            x2 = x1;
+            x1 = x;
+            y2 = y1;
+            y1 = y;
+            out.push(y);
+        }
+        out
+    }
+
+    /// Magnitude response at `frequency_hz`.
+    pub fn magnitude_response(&self, frequency_hz: f64, sample_rate_hz: f64) -> f64 {
+        let w = 2.0 * std::f64::consts::PI * frequency_hz / sample_rate_hz;
+        let (c1, s1) = (w.cos(), w.sin());
+        let (c2, s2) = ((2.0 * w).cos(), (2.0 * w).sin());
+        // H(e^jw) = (b0 + b1 e^-jw + b2 e^-2jw) / (1 + a1 e^-jw + a2 e^-2jw)
+        let num_re = self.b0 + self.b1 * c1 + self.b2 * c2;
+        let num_im = -(self.b1 * s1 + self.b2 * s2);
+        let den_re = 1.0 + self.a1 * c1 + self.a2 * c2;
+        let den_im = -(self.a1 * s1 + self.a2 * s2);
+        (num_re.hypot(num_im)) / (den_re.hypot(den_im))
+    }
+}
+
+fn omega_alpha(frequency_hz: f64, q: f64, sample_rate_hz: f64) -> Result<(f64, f64)> {
+    if !(sample_rate_hz > 0.0) {
+        return Err(DspError::InvalidSampleRate { sample_rate_hz });
+    }
+    let nyquist = sample_rate_hz / 2.0;
+    if frequency_hz <= 0.0 || frequency_hz >= nyquist {
+        return Err(DspError::InvalidFrequency {
+            frequency_hz,
+            nyquist_hz: nyquist,
+        });
+    }
+    if q <= 0.0 {
+        return Err(DspError::invalid_parameter("q", "must be positive"));
+    }
+    let w0 = 2.0 * std::f64::consts::PI * frequency_hz / sample_rate_hz;
+    let alpha = w0.sin() / (2.0 * q);
+    Ok((w0, alpha))
+}
+
+/// A cascade of biquad sections, e.g. a higher-order Butterworth filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiquadCascade {
+    sections: Vec<Biquad>,
+}
+
+impl BiquadCascade {
+    /// Builds a cascade from explicit sections.
+    pub fn new(sections: Vec<Biquad>) -> Result<Self> {
+        if sections.is_empty() {
+            return Err(DspError::EmptyInput {
+                operation: "BiquadCascade::new",
+            });
+        }
+        Ok(BiquadCascade { sections })
+    }
+
+    /// Butterworth low-pass of even order `order` (rounded up), built as
+    /// `order / 2` cascaded sections with the standard Butterworth Q values.
+    pub fn butterworth_low_pass(cutoff_hz: f64, order: usize, sample_rate_hz: f64) -> Result<Self> {
+        let sections = butterworth_qs(order)?
+            .into_iter()
+            .map(|q| Biquad::low_pass(cutoff_hz, q, sample_rate_hz))
+            .collect::<Result<Vec<_>>>()?;
+        BiquadCascade::new(sections)
+    }
+
+    /// Butterworth high-pass of even order `order` (rounded up).
+    pub fn butterworth_high_pass(cutoff_hz: f64, order: usize, sample_rate_hz: f64) -> Result<Self> {
+        let sections = butterworth_qs(order)?
+            .into_iter()
+            .map(|q| Biquad::high_pass(cutoff_hz, q, sample_rate_hz))
+            .collect::<Result<Vec<_>>>()?;
+        BiquadCascade::new(sections)
+    }
+
+    /// Band-pass built as a Butterworth high-pass at `low_hz` followed by a
+    /// Butterworth low-pass at `high_hz` (each of order `order`).
+    pub fn butterworth_band_pass(
+        low_hz: f64,
+        high_hz: f64,
+        order: usize,
+        sample_rate_hz: f64,
+    ) -> Result<Self> {
+        if low_hz >= high_hz {
+            return Err(DspError::invalid_parameter(
+                "band edges",
+                format!("low {low_hz} Hz must be below high {high_hz} Hz"),
+            ));
+        }
+        let mut sections = BiquadCascade::butterworth_high_pass(low_hz, order, sample_rate_hz)?.sections;
+        sections.extend(BiquadCascade::butterworth_low_pass(high_hz, order, sample_rate_hz)?.sections);
+        BiquadCascade::new(sections)
+    }
+
+    /// Number of second-order sections.
+    pub fn num_sections(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// Filters a buffer through all sections in sequence.
+    pub fn filter(&self, input: &[f64]) -> Vec<f64> {
+        let mut buffer = input.to_vec();
+        for section in &self.sections {
+            buffer = section.filter(&buffer);
+        }
+        buffer
+    }
+
+    /// Filters a [`Signal`], preserving its sample rate.
+    pub fn filter_signal(&self, input: &Signal) -> Result<Signal> {
+        Signal::new(self.filter(input.samples()), input.sample_rate_hz())
+    }
+
+    /// Zero-phase filtering (forward + time-reversed pass).
+    pub fn filtfilt(&self, input: &[f64]) -> Vec<f64> {
+        let forward = self.filter(input);
+        let mut reversed: Vec<f64> = forward.into_iter().rev().collect();
+        reversed = self.filter(&reversed);
+        reversed.reverse();
+        reversed
+    }
+
+    /// Combined magnitude response of the cascade.
+    pub fn magnitude_response(&self, frequency_hz: f64, sample_rate_hz: f64) -> f64 {
+        self.sections
+            .iter()
+            .map(|s| s.magnitude_response(frequency_hz, sample_rate_hz))
+            .product()
+    }
+}
+
+/// Q values of the second-order sections of an order-`order` Butterworth
+/// filter (order is rounded up to the next even number).
+fn butterworth_qs(order: usize) -> Result<Vec<f64>> {
+    if order == 0 {
+        return Err(DspError::invalid_parameter("order", "must be at least 1"));
+    }
+    let order = if order % 2 == 0 { order } else { order + 1 };
+    let n_sections = order / 2;
+    let mut qs = Vec::with_capacity(n_sections);
+    for k in 0..n_sections {
+        let theta = std::f64::consts::PI * (2.0 * k as f64 + 1.0) / (2.0 * order as f64);
+        qs.push(1.0 / (2.0 * theta.sin()));
+    }
+    Ok(qs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq: f64, fs: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / fs).sin())
+            .collect()
+    }
+
+    fn rms(x: &[f64]) -> f64 {
+        (x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(Biquad::low_pass(0.0, 0.707, 48_000.0).is_err());
+        assert!(Biquad::low_pass(30_000.0, 0.707, 48_000.0).is_err());
+        assert!(Biquad::low_pass(1_000.0, -1.0, 48_000.0).is_err());
+        assert!(Biquad::low_pass(1_000.0, 0.707, 0.0).is_err());
+        assert!(Biquad::new(1.0, 0.0, 0.0, 0.0, 0.0, 0.0).is_err());
+        assert!(BiquadCascade::new(vec![]).is_err());
+        assert!(BiquadCascade::butterworth_low_pass(1_000.0, 0, 48_000.0).is_err());
+        assert!(BiquadCascade::butterworth_band_pass(5_000.0, 1_000.0, 4, 48_000.0).is_err());
+    }
+
+    #[test]
+    fn butterworth_order_rounds_up() {
+        let c = BiquadCascade::butterworth_low_pass(1_000.0, 5, 48_000.0).unwrap();
+        assert_eq!(c.num_sections(), 3);
+        let c = BiquadCascade::butterworth_low_pass(1_000.0, 4, 48_000.0).unwrap();
+        assert_eq!(c.num_sections(), 2);
+    }
+
+    #[test]
+    fn low_pass_response_at_cutoff_is_minus_3db() {
+        let c = BiquadCascade::butterworth_low_pass(1_000.0, 2, 48_000.0).unwrap();
+        let mag = c.magnitude_response(1_000.0, 48_000.0);
+        assert!((mag - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.02, "mag = {mag}");
+        assert!((c.magnitude_response(10.0, 48_000.0) - 1.0).abs() < 1e-3);
+        assert!(c.magnitude_response(10_000.0, 48_000.0) < 0.02);
+    }
+
+    #[test]
+    fn butterworth_low_pass_filters_tones() {
+        let fs = 48_000.0;
+        let c = BiquadCascade::butterworth_low_pass(2_000.0, 6, fs).unwrap();
+        let low = tone(500.0, fs, 9_600);
+        let high = tone(10_000.0, fs, 9_600);
+        let steady = 2_000..9_000;
+        assert!(rms(&c.filter(&low)[steady.clone()]) / rms(&low[steady.clone()]) > 0.95);
+        assert!(rms(&c.filter(&high)[steady.clone()]) / rms(&high[steady]) < 1e-3);
+    }
+
+    #[test]
+    fn butterworth_high_pass_filters_tones() {
+        let fs = 48_000.0;
+        let c = BiquadCascade::butterworth_high_pass(2_000.0, 6, fs).unwrap();
+        let low = tone(200.0, fs, 9_600);
+        let high = tone(8_000.0, fs, 9_600);
+        let steady = 2_000..9_000;
+        assert!(rms(&c.filter(&low)[steady.clone()]) / rms(&low[steady.clone()]) < 1e-3);
+        assert!(rms(&c.filter(&high)[steady.clone()]) / rms(&high[steady]) > 0.95);
+    }
+
+    #[test]
+    fn band_pass_selects_band() {
+        let fs = 48_000.0;
+        let c = BiquadCascade::butterworth_band_pass(1_000.0, 4_000.0, 4, fs).unwrap();
+        let inside = tone(2_000.0, fs, 9_600);
+        let below = tone(100.0, fs, 9_600);
+        let above = tone(12_000.0, fs, 9_600);
+        let steady = 2_000..9_000;
+        assert!(rms(&c.filter(&inside)[steady.clone()]) / rms(&inside[steady.clone()]) > 0.9);
+        assert!(rms(&c.filter(&below)[steady.clone()]) / rms(&below[steady.clone()]) < 0.01);
+        assert!(rms(&c.filter(&above)[steady.clone()]) / rms(&above[steady]) < 0.01);
+    }
+
+    #[test]
+    fn notch_removes_centre_frequency() {
+        let fs = 8_000.0;
+        let n = Biquad::notch(1_000.0, 5.0, fs).unwrap();
+        assert!(n.magnitude_response(1_000.0, fs) < 1e-6);
+        assert!(n.magnitude_response(100.0, fs) > 0.95);
+        assert!(n.magnitude_response(3_000.0, fs) > 0.95);
+    }
+
+    #[test]
+    fn single_section_band_pass_peaks_at_centre() {
+        let fs = 8_000.0;
+        let bp = Biquad::band_pass(1_000.0, 2.0, fs).unwrap();
+        let at_centre = bp.magnitude_response(1_000.0, fs);
+        assert!((at_centre - 1.0).abs() < 0.01);
+        assert!(bp.magnitude_response(100.0, fs) < 0.2);
+    }
+
+    #[test]
+    fn filtfilt_doubles_attenuation_without_phase() {
+        let fs = 8_000.0;
+        let c = BiquadCascade::butterworth_low_pass(1_000.0, 2, fs).unwrap();
+        let x = tone(500.0, fs, 4_000);
+        let y = c.filtfilt(&x);
+        assert_eq!(y.len(), x.len());
+        // A 500 Hz tone is in the passband; filtfilt keeps it near unity.
+        let steady = 1_000..3_000;
+        assert!(rms(&y[steady.clone()]) / rms(&x[steady]) > 0.9);
+    }
+
+    #[test]
+    fn filter_signal_preserves_rate() {
+        let s = Signal::tone(440.0, 1.0, 0.25, 8_000.0).unwrap();
+        let c = BiquadCascade::butterworth_low_pass(1_000.0, 4, 8_000.0).unwrap();
+        let out = c.filter_signal(&s).unwrap();
+        assert_eq!(out.sample_rate_hz(), 8_000.0);
+        assert_eq!(out.len(), s.len());
+    }
+}

@@ -1,0 +1,366 @@
+//! FIR filter design by the windowed-sinc method, plus application helpers.
+//!
+//! The designs here are the standard textbook constructions: an ideal
+//! brick-wall response is truncated to `taps` coefficients and shaped with a
+//! window (Hamming by default).  [`FirFilter::filtfilt`] applies the filter
+//! forward and backward for zero phase distortion, which matters when the
+//! filtered signal is later compared sample-aligned against a reference
+//! (e.g. the defense's shadow-correlation feature).
+
+use crate::error::{DspError, Result};
+use crate::fft::fft_convolve;
+use crate::signal::Signal;
+use crate::window::WindowKind;
+
+/// A finite-impulse-response filter described by its coefficients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FirFilter {
+    coefficients: Vec<f64>,
+}
+
+impl FirFilter {
+    /// Wraps raw coefficients as a filter.
+    pub fn from_coefficients(coefficients: Vec<f64>) -> Result<Self> {
+        if coefficients.is_empty() {
+            return Err(DspError::EmptyInput {
+                operation: "FirFilter::from_coefficients",
+            });
+        }
+        Ok(FirFilter { coefficients })
+    }
+
+    /// Designs a low-pass filter with the given cutoff.
+    ///
+    /// `taps` is forced odd so the filter has a symmetric (linear-phase)
+    /// impulse response with an integer group delay of `(taps - 1) / 2`.
+    pub fn low_pass(cutoff_hz: f64, sample_rate_hz: f64, taps: usize, window: WindowKind) -> Result<Self> {
+        validate(cutoff_hz, sample_rate_hz, taps)?;
+        let taps = make_odd(taps);
+        let fc = cutoff_hz / sample_rate_hz; // normalised (cycles per sample)
+        let mid = (taps / 2) as isize;
+        let win = window.symmetric(taps);
+        let coefficients: Vec<f64> = (0..taps)
+            .map(|i| {
+                let n = i as isize - mid;
+                sinc(2.0 * fc * n as f64) * 2.0 * fc * win[i]
+            })
+            .collect();
+        let mut filter = FirFilter { coefficients };
+        filter.normalize_dc_gain();
+        Ok(filter)
+    }
+
+    /// Designs a high-pass filter by spectral inversion of a low-pass.
+    pub fn high_pass(cutoff_hz: f64, sample_rate_hz: f64, taps: usize, window: WindowKind) -> Result<Self> {
+        validate(cutoff_hz, sample_rate_hz, taps)?;
+        let taps = make_odd(taps);
+        let low = FirFilter::low_pass(cutoff_hz, sample_rate_hz, taps, window)?;
+        let mid = taps / 2;
+        let coefficients: Vec<f64> = low
+            .coefficients
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| if i == mid { 1.0 - c } else { -c })
+            .collect();
+        Ok(FirFilter { coefficients })
+    }
+
+    /// Designs a band-pass filter between `low_hz` and `high_hz`.
+    pub fn band_pass(
+        low_hz: f64,
+        high_hz: f64,
+        sample_rate_hz: f64,
+        taps: usize,
+        window: WindowKind,
+    ) -> Result<Self> {
+        if low_hz >= high_hz {
+            return Err(DspError::invalid_parameter(
+                "band edges",
+                format!("low {low_hz} Hz must be below high {high_hz} Hz"),
+            ));
+        }
+        validate(low_hz, sample_rate_hz, taps)?;
+        validate(high_hz, sample_rate_hz, taps)?;
+        let taps = make_odd(taps);
+        let f1 = low_hz / sample_rate_hz;
+        let f2 = high_hz / sample_rate_hz;
+        let mid = (taps / 2) as isize;
+        let win = window.symmetric(taps);
+        let coefficients: Vec<f64> = (0..taps)
+            .map(|i| {
+                let n = (i as isize - mid) as f64;
+                (2.0 * f2 * sinc(2.0 * f2 * n) - 2.0 * f1 * sinc(2.0 * f1 * n)) * win[i]
+            })
+            .collect();
+        Ok(FirFilter { coefficients })
+    }
+
+    /// Filter coefficients (impulse response).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Number of taps.
+    pub fn len(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// `true` if the filter has no taps (cannot occur for designed filters).
+    pub fn is_empty(&self) -> bool {
+        self.coefficients.is_empty()
+    }
+
+    /// Group delay in samples (exact for the symmetric designs above).
+    pub fn group_delay_samples(&self) -> usize {
+        (self.coefficients.len() - 1) / 2
+    }
+
+    /// Applies the filter by linear convolution, keeping the central portion
+    /// so the output has the same length as the input and is time-aligned
+    /// with it (the group delay is compensated).
+    pub fn filter(&self, input: &[f64]) -> Result<Vec<f64>> {
+        if input.is_empty() {
+            return Err(DspError::EmptyInput {
+                operation: "FirFilter::filter",
+            });
+        }
+        let full = if input.len().saturating_mul(self.coefficients.len()) > 16_384 {
+            fft_convolve(input, &self.coefficients)?
+        } else {
+            direct_convolve(input, &self.coefficients)
+        };
+        let delay = self.group_delay_samples();
+        let out: Vec<f64> = full.into_iter().skip(delay).take(input.len()).collect();
+        Ok(out)
+    }
+
+    /// Applies the filter to a [`Signal`], preserving its sample rate.
+    pub fn filter_signal(&self, input: &Signal) -> Result<Signal> {
+        let samples = self.filter(input.samples())?;
+        Signal::new(samples, input.sample_rate_hz())
+    }
+
+    /// Zero-phase filtering: forward pass, reverse, forward pass, reverse.
+    /// The magnitude response is applied twice (squared) but the phase is
+    /// exactly zero.
+    pub fn filtfilt(&self, input: &[f64]) -> Result<Vec<f64>> {
+        let forward = self.filter(input)?;
+        let mut reversed: Vec<f64> = forward.into_iter().rev().collect();
+        reversed = self.filter(&reversed)?;
+        reversed.reverse();
+        Ok(reversed)
+    }
+
+    /// Magnitude response at `frequency_hz` given `sample_rate_hz`.
+    pub fn magnitude_response(&self, frequency_hz: f64, sample_rate_hz: f64) -> f64 {
+        let w = 2.0 * std::f64::consts::PI * frequency_hz / sample_rate_hz;
+        let mut re = 0.0;
+        let mut im = 0.0;
+        for (n, &c) in self.coefficients.iter().enumerate() {
+            re += c * (w * n as f64).cos();
+            im -= c * (w * n as f64).sin();
+        }
+        re.hypot(im)
+    }
+
+    /// Scales the coefficients so the DC gain is exactly 1 (for low-pass
+    /// prototypes).
+    fn normalize_dc_gain(&mut self) {
+        let sum: f64 = self.coefficients.iter().sum();
+        if sum.abs() > 1e-15 {
+            for c in &mut self.coefficients {
+                *c /= sum;
+            }
+        }
+    }
+}
+
+/// Normalised sinc: `sin(pi x) / (pi x)`.
+fn sinc(x: f64) -> f64 {
+    if x.abs() < 1e-12 {
+        1.0
+    } else {
+        let px = std::f64::consts::PI * x;
+        px.sin() / px
+    }
+}
+
+fn make_odd(taps: usize) -> usize {
+    if taps % 2 == 0 {
+        taps + 1
+    } else {
+        taps
+    }
+}
+
+fn validate(cutoff_hz: f64, sample_rate_hz: f64, taps: usize) -> Result<()> {
+    if !(sample_rate_hz > 0.0) {
+        return Err(DspError::InvalidSampleRate { sample_rate_hz });
+    }
+    let nyquist = sample_rate_hz / 2.0;
+    if cutoff_hz <= 0.0 || cutoff_hz >= nyquist {
+        return Err(DspError::InvalidFrequency {
+            frequency_hz: cutoff_hz,
+            nyquist_hz: nyquist,
+        });
+    }
+    if taps < 3 {
+        return Err(DspError::invalid_parameter(
+            "taps",
+            format!("{taps} is too few; need at least 3"),
+        ));
+    }
+    Ok(())
+}
+
+fn direct_convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] += x * y;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq: f64, fs: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / fs).sin())
+            .collect()
+    }
+
+    fn rms(x: &[f64]) -> f64 {
+        (x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn design_validation() {
+        assert!(FirFilter::low_pass(0.0, 48_000.0, 101, WindowKind::Hamming).is_err());
+        assert!(FirFilter::low_pass(30_000.0, 48_000.0, 101, WindowKind::Hamming).is_err());
+        assert!(FirFilter::low_pass(1_000.0, 0.0, 101, WindowKind::Hamming).is_err());
+        assert!(FirFilter::low_pass(1_000.0, 48_000.0, 2, WindowKind::Hamming).is_err());
+        assert!(FirFilter::band_pass(2_000.0, 1_000.0, 48_000.0, 101, WindowKind::Hamming).is_err());
+        assert!(FirFilter::from_coefficients(vec![]).is_err());
+    }
+
+    #[test]
+    fn even_tap_requests_are_made_odd() {
+        let f = FirFilter::low_pass(1_000.0, 48_000.0, 100, WindowKind::Hamming).unwrap();
+        assert_eq!(f.len() % 2, 1);
+    }
+
+    #[test]
+    fn low_pass_passes_low_and_rejects_high() {
+        let fs = 48_000.0;
+        let f = FirFilter::low_pass(4_000.0, fs, 201, WindowKind::Hamming).unwrap();
+        let low = tone(1_000.0, fs, 4_800);
+        let high = tone(12_000.0, fs, 4_800);
+        let low_out = f.filter(&low).unwrap();
+        let high_out = f.filter(&high).unwrap();
+        // Compare only the steady-state middle to avoid edge transients.
+        let mid = 1_000..3_800;
+        let low_ratio = rms(&low_out[mid.clone()]) / rms(&low[mid.clone()]);
+        let high_ratio = rms(&high_out[mid.clone()]) / rms(&high[mid]);
+        assert!(low_ratio > 0.95, "passband attenuation too high: {low_ratio}");
+        assert!(high_ratio < 0.01, "stopband leakage too high: {high_ratio}");
+    }
+
+    #[test]
+    fn high_pass_rejects_low_and_passes_high() {
+        let fs = 48_000.0;
+        let f = FirFilter::high_pass(4_000.0, fs, 201, WindowKind::Hamming).unwrap();
+        let low = tone(500.0, fs, 4_800);
+        let high = tone(10_000.0, fs, 4_800);
+        let mid = 1_000..3_800;
+        let low_ratio = rms(&f.filter(&low).unwrap()[mid.clone()]) / rms(&low[mid.clone()]);
+        let high_ratio = rms(&f.filter(&high).unwrap()[mid.clone()]) / rms(&high[mid]);
+        assert!(low_ratio < 0.02, "stopband leakage too high: {low_ratio}");
+        assert!(high_ratio > 0.9, "passband attenuation too high: {high_ratio}");
+    }
+
+    #[test]
+    fn band_pass_selects_the_band() {
+        let fs = 48_000.0;
+        let f = FirFilter::band_pass(2_000.0, 6_000.0, fs, 301, WindowKind::Hamming).unwrap();
+        let inside = tone(4_000.0, fs, 4_800);
+        let below = tone(500.0, fs, 4_800);
+        let above = tone(12_000.0, fs, 4_800);
+        let mid = 1_000..3_800;
+        assert!(rms(&f.filter(&inside).unwrap()[mid.clone()]) / rms(&inside[mid.clone()]) > 0.9);
+        assert!(rms(&f.filter(&below).unwrap()[mid.clone()]) / rms(&below[mid.clone()]) < 0.03);
+        assert!(rms(&f.filter(&above).unwrap()[mid.clone()]) / rms(&above[mid]) < 0.03);
+    }
+
+    #[test]
+    fn magnitude_response_matches_filtering() {
+        let fs = 48_000.0;
+        let f = FirFilter::low_pass(4_000.0, fs, 201, WindowKind::Hamming).unwrap();
+        assert!((f.magnitude_response(0.0, fs) - 1.0).abs() < 1e-6);
+        assert!(f.magnitude_response(1_000.0, fs) > 0.95);
+        assert!(f.magnitude_response(12_000.0, fs) < 0.01);
+    }
+
+    #[test]
+    fn filter_output_is_time_aligned() {
+        let fs = 8_000.0;
+        let f = FirFilter::low_pass(1_000.0, fs, 101, WindowKind::Hamming).unwrap();
+        // An impulse in the middle should come out centred at the same index.
+        let mut x = vec![0.0; 400];
+        x[200] = 1.0;
+        let y = f.filter(&x).unwrap();
+        assert_eq!(y.len(), x.len());
+        let peak_index = y
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak_index, 200);
+    }
+
+    #[test]
+    fn filtfilt_has_zero_phase() {
+        let fs = 8_000.0;
+        let f = FirFilter::low_pass(1_500.0, fs, 101, WindowKind::Hamming).unwrap();
+        let x = tone(500.0, fs, 2_000);
+        let y = f.filtfilt(&x).unwrap();
+        assert_eq!(y.len(), x.len());
+        // Zero phase: peak cross-correlation at zero lag within the steady state.
+        let mid = 500..1_500usize;
+        let mut best_lag = 0isize;
+        let mut best = f64::MIN;
+        for lag in -10isize..=10 {
+            let mut acc = 0.0;
+            for i in mid.clone() {
+                let j = i as isize + lag;
+                if j >= 0 && (j as usize) < x.len() {
+                    acc += x[i] * y[j as usize];
+                }
+            }
+            if acc > best {
+                best = acc;
+                best_lag = lag;
+            }
+        }
+        assert_eq!(best_lag, 0);
+    }
+
+    #[test]
+    fn filter_signal_preserves_rate() {
+        let s = Signal::tone(440.0, 1.0, 0.2, 8_000.0).unwrap();
+        let f = FirFilter::low_pass(1_000.0, 8_000.0, 51, WindowKind::Hamming).unwrap();
+        let out = f.filter_signal(&s).unwrap();
+        assert_eq!(out.sample_rate_hz(), 8_000.0);
+        assert_eq!(out.len(), s.len());
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        let f = FirFilter::low_pass(1_000.0, 8_000.0, 51, WindowKind::Hamming).unwrap();
+        assert!(f.filter(&[]).is_err());
+    }
+}

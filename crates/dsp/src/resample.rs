@@ -1,0 +1,208 @@
+//! Sample-rate conversion.
+//!
+//! The attack pipeline needs to move between very different rates: voice
+//! commands are synthesised at 48 kHz, the ultrasonic playback signal lives
+//! at 192 kHz (or higher, to fit a 40–60 kHz carrier), and the victim
+//! microphone resamples back down to 48 kHz or 16 kHz.  Integer-factor
+//! conversion uses zero-stuffing / decimation with a half-band-style FIR
+//! anti-alias filter; arbitrary ratios fall back to band-limited linear
+//! interpolation after appropriate filtering.
+
+use crate::error::{DspError, Result};
+use crate::filter::fir::FirFilter;
+use crate::signal::Signal;
+use crate::window::WindowKind;
+
+/// Upsamples by an integer `factor`: zero-stuffing followed by an
+/// interpolation low-pass at the original Nyquist frequency.
+pub fn upsample(input: &Signal, factor: usize) -> Result<Signal> {
+    if factor == 0 {
+        return Err(DspError::invalid_parameter("factor", "must be at least 1"));
+    }
+    if input.is_empty() {
+        return Err(DspError::EmptyInput { operation: "upsample" });
+    }
+    if factor == 1 {
+        return Ok(input.clone());
+    }
+    let out_rate = input.sample_rate_hz() * factor as f64;
+    let mut stuffed = vec![0.0; input.len() * factor];
+    for (i, &x) in input.samples().iter().enumerate() {
+        stuffed[i * factor] = x * factor as f64; // compensate interpolation gain
+    }
+    // Anti-image filter at the original Nyquist, with a little margin.
+    let cutoff = input.nyquist_hz() * 0.95;
+    let taps = (16 * factor + 1).max(65);
+    let lpf = FirFilter::low_pass(cutoff, out_rate, taps, WindowKind::Blackman)?;
+    let filtered = lpf.filter(&stuffed)?;
+    Signal::new(filtered, out_rate)
+}
+
+/// Downsamples by an integer `factor`: anti-alias low-pass then decimation.
+pub fn downsample(input: &Signal, factor: usize) -> Result<Signal> {
+    if factor == 0 {
+        return Err(DspError::invalid_parameter("factor", "must be at least 1"));
+    }
+    if input.is_empty() {
+        return Err(DspError::EmptyInput {
+            operation: "downsample",
+        });
+    }
+    if factor == 1 {
+        return Ok(input.clone());
+    }
+    let out_rate = input.sample_rate_hz() / factor as f64;
+    let cutoff = (out_rate / 2.0) * 0.95;
+    let taps = (16 * factor + 1).max(65);
+    let lpf = FirFilter::low_pass(cutoff, input.sample_rate_hz(), taps, WindowKind::Blackman)?;
+    let filtered = lpf.filter(input.samples())?;
+    let decimated: Vec<f64> = filtered.iter().step_by(factor).copied().collect();
+    Signal::new(decimated, out_rate)
+}
+
+/// Resamples to an arbitrary target rate.
+///
+/// Integer up/down factors take the exact polyphase-style path; other ratios
+/// are handled by upsampling to a common fine grid when the ratio is a small
+/// rational, and otherwise by band-limited linear interpolation (adequate
+/// for the smooth, heavily oversampled signals used in this workspace).
+pub fn resample(input: &Signal, target_rate_hz: f64) -> Result<Signal> {
+    if !(target_rate_hz > 0.0) || !target_rate_hz.is_finite() {
+        return Err(DspError::InvalidSampleRate {
+            sample_rate_hz: target_rate_hz,
+        });
+    }
+    if input.is_empty() {
+        return Err(DspError::EmptyInput { operation: "resample" });
+    }
+    let source_rate = input.sample_rate_hz();
+    if (source_rate - target_rate_hz).abs() < 1e-9 {
+        return Ok(input.clone());
+    }
+    let ratio = target_rate_hz / source_rate;
+    // Exact integer factors.
+    if (ratio.round() - ratio).abs() < 1e-9 && ratio >= 1.0 {
+        return upsample(input, ratio.round() as usize);
+    }
+    let inv = source_rate / target_rate_hz;
+    if (inv.round() - inv).abs() < 1e-9 && inv >= 1.0 {
+        return downsample(input, inv.round() as usize);
+    }
+    // General path: if downsampling, anti-alias first, then linearly
+    // interpolate onto the target grid.
+    let working: Signal = if target_rate_hz < source_rate {
+        let cutoff = (target_rate_hz / 2.0) * 0.95;
+        let lpf = FirFilter::low_pass(cutoff, source_rate, 255, WindowKind::Blackman)?;
+        lpf.filter_signal(input)?
+    } else {
+        input.clone()
+    };
+    let out_len = ((input.len() as f64) * ratio).round() as usize;
+    let samples = working.samples();
+    let mut out = Vec::with_capacity(out_len);
+    for i in 0..out_len {
+        let t = i as f64 / ratio;
+        let i0 = t.floor() as usize;
+        let frac = t - i0 as f64;
+        let a = samples.get(i0).copied().unwrap_or(0.0);
+        let b = samples.get(i0 + 1).copied().unwrap_or(a);
+        out.push(a + (b - a) * frac);
+    }
+    Signal::new(out, target_rate_hz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spectrum::band_power;
+
+    fn tone(freq: f64, fs: f64, dur: f64) -> Signal {
+        Signal::tone(freq, 1.0, dur, fs).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let s = tone(1_000.0, 48_000.0, 0.1);
+        assert!(upsample(&s, 0).is_err());
+        assert!(downsample(&s, 0).is_err());
+        assert!(resample(&s, 0.0).is_err());
+        assert!(resample(&s, f64::NAN).is_err());
+        let empty = Signal::new(vec![], 48_000.0).unwrap();
+        assert!(upsample(&empty, 2).is_err());
+        assert!(downsample(&empty, 2).is_err());
+        assert!(resample(&empty, 96_000.0).is_err());
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let s = tone(1_000.0, 48_000.0, 0.05);
+        assert_eq!(upsample(&s, 1).unwrap(), s);
+        assert_eq!(downsample(&s, 1).unwrap(), s);
+        assert_eq!(resample(&s, 48_000.0).unwrap(), s);
+    }
+
+    #[test]
+    fn upsampling_quadruples_rate_and_preserves_tone() {
+        let s = tone(1_000.0, 48_000.0, 0.2);
+        let up = upsample(&s, 4).unwrap();
+        assert_eq!(up.sample_rate_hz(), 192_000.0);
+        assert_eq!(up.len(), s.len() * 4);
+        // Tone survives with roughly the same RMS (within filter ripple).
+        assert!((up.rms() - s.rms()).abs() / s.rms() < 0.1);
+        // No image energy near 47 kHz (192k/4 - 1k image would be at 47k/49k).
+        let image = band_power(up.samples(), up.sample_rate_hz(), 40_000.0, 60_000.0).unwrap();
+        let fundamental = band_power(up.samples(), up.sample_rate_hz(), 500.0, 1_500.0).unwrap();
+        assert!(image / fundamental < 1e-4, "image/fundamental = {}", image / fundamental);
+    }
+
+    #[test]
+    fn downsampling_halves_rate_and_removes_high_band() {
+        let fs = 48_000.0;
+        let mut s = tone(1_000.0, fs, 0.2);
+        let high = tone(20_000.0, fs, 0.2);
+        s.mix(&high).unwrap();
+        let down = downsample(&s, 2).unwrap();
+        assert_eq!(down.sample_rate_hz(), 24_000.0);
+        // The 20 kHz component is above the new Nyquist and must not alias in.
+        let alias_band = band_power(down.samples(), 24_000.0, 3_000.0, 11_000.0).unwrap();
+        let tone_band = band_power(down.samples(), 24_000.0, 500.0, 1_500.0).unwrap();
+        assert!(alias_band / tone_band < 1e-3);
+    }
+
+    #[test]
+    fn roundtrip_up_down_preserves_signal() {
+        let s = tone(2_000.0, 48_000.0, 0.2);
+        let up = upsample(&s, 4).unwrap();
+        let back = downsample(&up, 4).unwrap();
+        assert_eq!(back.sample_rate_hz(), 48_000.0);
+        // Compare steady-state RMS.
+        let a = s.slice_seconds(0.05, 0.15).rms();
+        let b = back.slice_seconds(0.05, 0.15).rms();
+        assert!((a - b).abs() / a < 0.05, "rms {a} vs {b}");
+    }
+
+    #[test]
+    fn arbitrary_ratio_resampling() {
+        let s = tone(1_000.0, 48_000.0, 0.2);
+        let out = resample(&s, 44_100.0).unwrap();
+        assert_eq!(out.sample_rate_hz(), 44_100.0);
+        let expected_len = (s.len() as f64 * 44_100.0 / 48_000.0).round() as usize;
+        assert_eq!(out.len(), expected_len);
+        // The tone is still there.
+        let p = band_power(out.samples(), 44_100.0, 800.0, 1_200.0).unwrap();
+        let total = band_power(out.samples(), 44_100.0, 10.0, 22_000.0).unwrap();
+        assert!(p / total > 0.9);
+    }
+
+    #[test]
+    fn resample_to_lower_non_integer_rate_antialiases() {
+        let fs = 48_000.0;
+        let mut s = tone(1_000.0, fs, 0.2);
+        s.mix(&tone(15_000.0, fs, 0.2)).unwrap();
+        let out = resample(&s, 16_000.0).unwrap();
+        assert_eq!(out.sample_rate_hz(), 16_000.0);
+        let alias = band_power(out.samples(), 16_000.0, 2_000.0, 7_500.0).unwrap();
+        let tone_band = band_power(out.samples(), 16_000.0, 800.0, 1_200.0).unwrap();
+        assert!(alias / tone_band < 0.01, "alias ratio {}", alias / tone_band);
+    }
+}

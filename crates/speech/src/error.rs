@@ -1,0 +1,73 @@
+//! Error type for the speech substrate.
+
+use std::fmt;
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, SpeechError>;
+
+/// Errors produced by synthesis, feature extraction or recognition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpeechError {
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Description of the violation.
+        message: String,
+    },
+    /// The recogniser holds no templates for the requested operation.
+    NoTemplates,
+    /// An error bubbled up from the DSP layer.
+    Dsp(ivc_dsp::DspError),
+}
+
+impl fmt::Display for SpeechError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpeechError::InvalidParameter { name, message } => {
+                write!(f, "invalid speech parameter `{name}`: {message}")
+            }
+            SpeechError::NoTemplates => write!(f, "recogniser has no enrolled command templates"),
+            SpeechError::Dsp(e) => write!(f, "dsp error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpeechError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpeechError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ivc_dsp::DspError> for SpeechError {
+    fn from(e: ivc_dsp::DspError) -> Self {
+        SpeechError::Dsp(e)
+    }
+}
+
+impl SpeechError {
+    /// Helper to build an [`SpeechError::InvalidParameter`].
+    pub fn invalid(name: &'static str, message: impl Into<String>) -> Self {
+        SpeechError::InvalidParameter {
+            name,
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        assert!(SpeechError::invalid("f0", "negative").to_string().contains("f0"));
+        assert!(SpeechError::NoTemplates.to_string().contains("templates"));
+        let e: SpeechError = ivc_dsp::DspError::EmptyInput { operation: "x" }.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&SpeechError::NoTemplates).is_none());
+    }
+}

@@ -1,0 +1,92 @@
+//! Recognition metrics: edit distance, word error rate and word accuracy.
+
+/// Levenshtein edit distance between two word sequences.
+pub fn edit_distance(reference: &[&str], hypothesis: &[&str]) -> usize {
+    let n = reference.len();
+    let m = hypothesis.len();
+    let mut dp = vec![vec![0usize; m + 1]; n + 1];
+    for (i, row) in dp.iter_mut().enumerate() {
+        row[0] = i;
+    }
+    for j in 0..=m {
+        dp[0][j] = j;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let substitution_cost = usize::from(reference[i - 1] != hypothesis[j - 1]);
+            dp[i][j] = (dp[i - 1][j] + 1)
+                .min(dp[i][j - 1] + 1)
+                .min(dp[i - 1][j - 1] + substitution_cost);
+        }
+    }
+    dp[n][m]
+}
+
+/// Word error rate: edit distance divided by the reference length.
+/// Returns 0 when both sequences are empty.
+pub fn word_error_rate(reference: &[&str], hypothesis: &[&str]) -> f64 {
+    if reference.is_empty() {
+        return if hypothesis.is_empty() { 0.0 } else { 1.0 };
+    }
+    edit_distance(reference, hypothesis) as f64 / reference.len() as f64
+}
+
+/// Word accuracy: `max(0, 1 - WER)`.
+pub fn word_accuracy(reference: &[&str], hypothesis: &[&str]) -> f64 {
+    (1.0 - word_error_rate(reference, hypothesis)).max(0.0)
+}
+
+/// Aggregates a set of boolean trial outcomes into a success rate in `[0, 1]`.
+pub fn success_rate(outcomes: &[bool]) -> f64 {
+    if outcomes.is_empty() {
+        return 0.0;
+    }
+    outcomes.iter().filter(|&&b| b).count() as f64 / outcomes.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_cases() {
+        assert_eq!(edit_distance(&[], &[]), 0);
+        assert_eq!(edit_distance(&["a"], &[]), 1);
+        assert_eq!(edit_distance(&[], &["a"]), 1);
+        assert_eq!(edit_distance(&["ok", "google"], &["ok", "google"]), 0);
+        assert_eq!(edit_distance(&["ok", "google"], &["ok", "giggle"]), 1);
+        assert_eq!(
+            edit_distance(&["take", "a", "picture"], &["take", "picture"]),
+            1
+        );
+        assert_eq!(
+            edit_distance(&["alexa", "add", "milk"], &["ok", "google", "call", "mom"]),
+            4
+        );
+    }
+
+    #[test]
+    fn wer_and_accuracy() {
+        let reference = ["ok", "google", "take", "a", "picture"];
+        assert_eq!(word_error_rate(&reference, &reference), 0.0);
+        assert_eq!(word_accuracy(&reference, &reference), 1.0);
+        let hyp = ["ok", "google", "take", "picture"];
+        assert!((word_error_rate(&reference, &hyp) - 0.2).abs() < 1e-12);
+        assert!((word_accuracy(&reference, &hyp) - 0.8).abs() < 1e-12);
+        // Catastrophic hypothesis clamps to zero accuracy.
+        let garbage = ["x", "y", "z", "w", "v", "u", "t", "s"];
+        assert_eq!(word_accuracy(&reference, &garbage), 0.0);
+        assert_eq!(word_error_rate(&[], &[]), 0.0);
+        assert_eq!(word_error_rate(&[], &["a"]), 1.0);
+    }
+
+    #[test]
+    fn success_rate_aggregation() {
+        assert_eq!(success_rate(&[]), 0.0);
+        assert_eq!(success_rate(&[true, true, false, false]), 0.5);
+        assert_eq!(success_rate(&[true; 50]), 1.0);
+        let mut outcomes = vec![true; 40];
+        outcomes.extend(vec![false; 10]);
+        assert!((success_rate(&outcomes) - 0.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,366 @@
+//! The template-matching recogniser that stands in for Google Assistant /
+//! Alexa in the evaluation.
+//!
+//! Templates are the corpus commands rendered by the canonical synthetic
+//! speaker; a recording is accepted when its MFCC sequence DTW-aligns to a
+//! template with a small normalised distance, and per-word accuracy is the
+//! fraction of the template's words whose aligned path cost stays below a
+//! threshold.  The recogniser is intentionally simple — what matters is that
+//! its accuracy *degrades monotonically* with band-limiting, distortion and
+//! noise, mirroring a production recogniser's behaviour across the attack
+//! distance sweep.
+
+use crate::commands::{corpus, CommandId, VoiceCommand};
+use crate::dtw::{align_with_costs, cost_matrix};
+use crate::error::{Result, SpeechError};
+use crate::mfcc::{mfcc, MfccConfig, MfccFrames};
+use crate::synthesis::{SpeakerProfile, Synthesizer, Utterance};
+use crate::vad::{detect_speech, VadConfig};
+use ivc_dsp::resample::resample;
+use ivc_dsp::signal::Signal;
+
+/// Configuration of the recogniser.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecognizerConfig {
+    /// MFCC front-end configuration (shared by templates and queries).
+    pub mfcc: MfccConfig,
+    /// Internal analysis rate; recordings are resampled to this before
+    /// feature extraction.
+    pub analysis_rate_hz: f64,
+    /// Mean per-frame DTW distance below which a word counts as recognised.
+    pub word_distance_threshold: f64,
+    /// Overall normalised distance above which a recording is rejected
+    /// outright (treated as "not a known command").
+    pub rejection_distance: f64,
+    /// Minimum fraction of words that must be recognised for the command to
+    /// count as accepted end-to-end (the wake word plus most of the payload).
+    pub acceptance_word_fraction: f64,
+}
+
+impl Default for RecognizerConfig {
+    fn default() -> Self {
+        RecognizerConfig {
+            mfcc: MfccConfig::default(),
+            analysis_rate_hz: 16_000.0,
+            word_distance_threshold: 11.0,
+            rejection_distance: 14.0,
+            acceptance_word_fraction: 0.6,
+        }
+    }
+}
+
+/// A command template: features plus per-word frame ranges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommandTemplate {
+    /// The command this template renders.
+    pub command: VoiceCommand,
+    frames: MfccFrames,
+    /// `(start_frame, end_frame)` for each word.
+    word_frame_ranges: Vec<(usize, usize)>,
+}
+
+/// Outcome of recognising one recording.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecognitionOutcome {
+    /// The best-matching command, or `None` if every template was rejected.
+    pub command: Option<CommandId>,
+    /// Normalised DTW distance to the best template.
+    pub best_distance: f64,
+    /// Normalised DTW distance to the runner-up template.
+    pub second_distance: f64,
+    /// Fraction of the best template's words recognised.
+    pub word_accuracy: f64,
+}
+
+impl RecognitionOutcome {
+    /// Margin between the best and runner-up distances (larger = more
+    /// confident).
+    pub fn margin(&self) -> f64 {
+        self.second_distance - self.best_distance
+    }
+}
+
+/// The template-matching recogniser.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recognizer {
+    config: RecognizerConfig,
+    templates: Vec<CommandTemplate>,
+}
+
+impl Recognizer {
+    /// Creates an empty recogniser with the given configuration.
+    pub fn new(config: RecognizerConfig) -> Self {
+        Recognizer {
+            config,
+            templates: Vec::new(),
+        }
+    }
+
+    /// Creates a recogniser pre-enrolled with the full command corpus,
+    /// rendered by the canonical speaker.
+    pub fn with_default_corpus() -> Result<Self> {
+        let mut recognizer = Recognizer::new(RecognizerConfig::default());
+        let synth = Synthesizer::new(48_000.0)?;
+        for command in corpus() {
+            let utterance = synth.render(&command, &SpeakerProfile::canonical())?;
+            recognizer.enroll(&utterance, command)?;
+        }
+        Ok(recognizer)
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &RecognizerConfig {
+        &self.config
+    }
+
+    /// Number of enrolled templates.
+    pub fn num_templates(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Enrolls `utterance` as the template for `command`.
+    pub fn enroll(&mut self, utterance: &Utterance, command: VoiceCommand) -> Result<()> {
+        if utterance.word_boundaries.len() != command.num_words() {
+            return Err(SpeechError::invalid(
+                "utterance",
+                "word boundary count does not match the command's word count",
+            ));
+        }
+        let prepared = self.prepare(&utterance.signal)?;
+        let frames = mfcc(&prepared, &self.config.mfcc)?;
+        // Word boundaries are expressed in the original signal's time base;
+        // preparation trims leading silence, so shift accordingly.
+        let trim_offset = self.leading_trim_s(&utterance.signal)?;
+        let word_frame_ranges = utterance
+            .word_boundaries
+            .iter()
+            .map(|b| {
+                let start = frames.frame_at_time((b.start_s - trim_offset).max(0.0));
+                let end = frames.frame_at_time((b.end_s - trim_offset).max(0.0)).max(start + 1);
+                (start, end)
+            })
+            .collect();
+        self.templates.push(CommandTemplate {
+            command,
+            frames,
+            word_frame_ranges,
+        });
+        Ok(())
+    }
+
+    /// Recognises a recording against all enrolled templates.
+    pub fn recognize(&self, recording: &Signal) -> Result<RecognitionOutcome> {
+        if self.templates.is_empty() {
+            return Err(SpeechError::NoTemplates);
+        }
+        let prepared = self.prepare(recording)?;
+        let query = mfcc(&prepared, &self.config.mfcc)?;
+        let mut scored: Vec<(usize, f64, f64)> = Vec::new(); // (template idx, distance, word accuracy)
+        for (idx, template) in self.templates.iter().enumerate() {
+            let costs = cost_matrix(&template.frames.frames, &query.frames);
+            let alignment = align_with_costs(&costs)?;
+            let accuracy = self.word_accuracy_from_alignment(template, &alignment, &costs);
+            scored.push((idx, alignment.normalized_distance, accuracy));
+        }
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let best = scored[0];
+        let second_distance = scored.get(1).map(|s| s.1).unwrap_or(f64::INFINITY);
+        let accepted = best.1 <= self.config.rejection_distance;
+        Ok(RecognitionOutcome {
+            command: accepted.then(|| self.templates[best.0].command.id),
+            best_distance: best.1,
+            second_distance,
+            word_accuracy: best.2,
+        })
+    }
+
+    /// Word accuracy of `recording` measured against the template for
+    /// `expected`, regardless of which command the recogniser would pick.
+    pub fn word_accuracy(&self, recording: &Signal, expected: CommandId) -> Result<f64> {
+        let template = self
+            .templates
+            .iter()
+            .find(|t| t.command.id == expected)
+            .ok_or(SpeechError::NoTemplates)?;
+        let prepared = self.prepare(recording)?;
+        let query = mfcc(&prepared, &self.config.mfcc)?;
+        let costs = cost_matrix(&template.frames.frames, &query.frames);
+        let alignment = align_with_costs(&costs)?;
+        Ok(self.word_accuracy_from_alignment(template, &alignment, &costs))
+    }
+
+    /// End-to-end acceptance: would the voice assistant act on this
+    /// recording as the expected command?  Requires the expected command to
+    /// win recognition and enough of its words to be intelligible.
+    pub fn command_accepted(&self, recording: &Signal, expected: CommandId) -> Result<bool> {
+        let outcome = self.recognize(recording)?;
+        if outcome.command != Some(expected) {
+            return Ok(false);
+        }
+        let accuracy = self.word_accuracy(recording, expected)?;
+        Ok(accuracy >= self.config.acceptance_word_fraction)
+    }
+
+    fn word_accuracy_from_alignment(
+        &self,
+        template: &CommandTemplate,
+        alignment: &crate::dtw::DtwAlignment,
+        costs: &[Vec<f64>],
+    ) -> f64 {
+        if template.word_frame_ranges.is_empty() {
+            return 0.0;
+        }
+        let recognised = template
+            .word_frame_ranges
+            .iter()
+            .filter(|(start, end)| {
+                alignment
+                    .mean_distance_in_template_range(*start, *end, costs)
+                    .map(|d| d <= self.config.word_distance_threshold)
+                    .unwrap_or(false)
+            })
+            .count();
+        recognised as f64 / template.word_frame_ranges.len() as f64
+    }
+
+    /// Resamples to the analysis rate, trims silence around the detected
+    /// speech and normalises the level — the same preparation for templates
+    /// and queries.
+    fn prepare(&self, signal: &Signal) -> Result<Signal> {
+        if signal.is_empty() {
+            return Err(SpeechError::invalid("recording", "empty signal"));
+        }
+        let resampled = if (signal.sample_rate_hz() - self.config.analysis_rate_hz).abs() > 1e-6 {
+            resample(signal, self.config.analysis_rate_hz)?
+        } else {
+            signal.clone()
+        };
+        let trimmed = self.trim_to_speech(&resampled)?;
+        let mut normalised = trimmed;
+        normalised.remove_dc();
+        normalised.normalize_peak(0.5);
+        Ok(normalised)
+    }
+
+    fn trim_to_speech(&self, signal: &Signal) -> Result<Signal> {
+        let regions = detect_speech(signal, &VadConfig::default())?;
+        if regions.is_empty() {
+            return Ok(signal.clone());
+        }
+        let start = regions.first().unwrap().start_s;
+        let end = regions.last().unwrap().end_s;
+        Ok(signal.slice_seconds((start - 0.05).max(0.0), (end + 0.05).min(signal.duration_s())))
+    }
+
+    fn leading_trim_s(&self, signal: &Signal) -> Result<f64> {
+        let resampled = if (signal.sample_rate_hz() - self.config.analysis_rate_hz).abs() > 1e-6 {
+            resample(signal, self.config.analysis_rate_hz)?
+        } else {
+            signal.clone()
+        };
+        let regions = detect_speech(&resampled, &VadConfig::default())?;
+        Ok(regions
+            .first()
+            .map(|r| (r.start_s - 0.05).max(0.0))
+            .unwrap_or(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noisy(signal: &Signal, rms: f64, seed: u64) -> Signal {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let noise: Vec<f64> = (0..signal.len()).map(|_| rng.gen_range(-1.0..1.0) * rms).collect();
+        let mut out = signal.clone();
+        for (s, n) in out.samples_mut().iter_mut().zip(noise.iter()) {
+            *s += n;
+        }
+        out
+    }
+
+    #[test]
+    fn empty_recogniser_rejects_queries() {
+        let r = Recognizer::new(RecognizerConfig::default());
+        let s = Signal::tone(440.0, 0.5, 0.5, 16_000.0).unwrap();
+        assert!(matches!(r.recognize(&s), Err(SpeechError::NoTemplates)));
+        assert_eq!(r.num_templates(), 0);
+    }
+
+    #[test]
+    fn clean_template_playback_is_recognised_with_full_word_accuracy() {
+        let r = Recognizer::with_default_corpus().unwrap();
+        assert_eq!(r.num_templates(), corpus().len());
+        let synth = Synthesizer::new(48_000.0).unwrap();
+        for command in corpus().iter().take(3) {
+            let utt = synth.render(command, &SpeakerProfile::canonical()).unwrap();
+            let outcome = r.recognize(&utt.signal).unwrap();
+            assert_eq!(outcome.command, Some(command.id), "command {}", command.text);
+            assert!(outcome.word_accuracy > 0.99, "accuracy {}", outcome.word_accuracy);
+            assert!(r.command_accepted(&utt.signal, command.id).unwrap());
+        }
+    }
+
+    #[test]
+    fn commands_are_not_confused_with_each_other() {
+        let r = Recognizer::with_default_corpus().unwrap();
+        let synth = Synthesizer::new(48_000.0).unwrap();
+        let commands = corpus();
+        let utt = synth.render(&commands[1], &SpeakerProfile::canonical()).unwrap();
+        // The Alexa shopping-list command must not be accepted as the
+        // camera command.
+        assert!(!r.command_accepted(&utt.signal, commands[0].id).unwrap());
+    }
+
+    #[test]
+    fn moderate_noise_degrades_but_does_not_destroy_recognition() {
+        let r = Recognizer::with_default_corpus().unwrap();
+        let synth = Synthesizer::new(48_000.0).unwrap();
+        let command = &corpus()[0];
+        let utt = synth.render(command, &SpeakerProfile::canonical()).unwrap();
+        let slightly_noisy = noisy(&utt.signal, 0.01, 1);
+        let acc_clean = r.word_accuracy(&utt.signal, command.id).unwrap();
+        let acc_noisy = r.word_accuracy(&slightly_noisy, command.id).unwrap();
+        assert!(acc_clean >= acc_noisy - 1e-9);
+        assert!(acc_noisy > 0.5, "accuracy {acc_noisy}");
+    }
+
+    #[test]
+    fn heavy_noise_is_rejected() {
+        let r = Recognizer::with_default_corpus().unwrap();
+        let command = &corpus()[0];
+        // Pure noise, no speech at all.
+        let noise = noisy(&Signal::silence(2.0, 48_000.0).unwrap(), 0.3, 2);
+        let acc = r.word_accuracy(&noise, command.id).unwrap();
+        assert!(acc < 0.4, "accuracy {acc}");
+        assert!(!r.command_accepted(&noise, command.id).unwrap());
+    }
+
+    #[test]
+    fn level_invariance() {
+        // The recogniser normalises level, so a quiet recording of the right
+        // command is still accepted (this models the tiny demodulated
+        // amplitude of an attack recording).
+        let r = Recognizer::with_default_corpus().unwrap();
+        let synth = Synthesizer::new(48_000.0).unwrap();
+        let command = &corpus()[2];
+        let utt = synth.render(command, &SpeakerProfile::canonical()).unwrap();
+        let quiet = utt.signal.scaled(0.002);
+        assert!(r.command_accepted(&quiet, command.id).unwrap());
+    }
+
+    #[test]
+    fn enrollment_validates_word_boundaries() {
+        let mut r = Recognizer::new(RecognizerConfig::default());
+        let synth = Synthesizer::new(48_000.0).unwrap();
+        let commands = corpus();
+        let utt = synth.render(&commands[0], &SpeakerProfile::canonical()).unwrap();
+        // Enrolling with a mismatched command (different word count) fails.
+        assert!(r.enroll(&utt, commands[1].clone()).is_err());
+        assert!(r.enroll(&utt, commands[0].clone()).is_ok());
+        assert_eq!(r.num_templates(), 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! The paper's headline experiment in miniature: how far does the inaudible
+//! attack reach with a single speaker versus a speaker array?
+//!
+//! Run with: `cargo run --release --example long_range_attack`
+
+use inaudible_voice_commands::core::{run_trial, Delivery, Scenario};
+use inaudible_voice_commands::speech::commands::corpus;
+use inaudible_voice_commands::speech::recognizer::Recognizer;
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let recognizer = Recognizer::with_default_corpus()?;
+    let command = &corpus()[2]; // "ok google turn on airplane mode"
+    let distances = [1.0, 2.0, 4.0, 6.0, 8.0];
+
+    let configurations = [
+        (
+            "single speaker, 3 W (inaudibility-constrained)",
+            Delivery::SingleSpeakerUltrasound {
+                power_w: 3.0,
+                carrier_hz: 40_000.0,
+            },
+        ),
+        (
+            "16-element array, 120 W total",
+            Delivery::ArrayUltrasound {
+                num_elements: 16,
+                total_power_w: 120.0,
+                carrier_hz: 40_000.0,
+            },
+        ),
+    ];
+
+    println!("command: \"{}\"", command.text);
+    println!("{:>10}  {:>44}  {:>10}", "distance", "configuration", "accuracy");
+    for (label, delivery) in configurations {
+        for d in distances {
+            let scenario = Scenario {
+                delivery,
+                max_voice_duration_s: 1.2,
+                ..Scenario::default_attack()
+            }
+            .at_distance(d);
+            let outcome = run_trial(command, &scenario, &recognizer, None)?;
+            println!("{d:>8.1} m  {label:>44}  {:>10.2}", outcome.word_accuracy);
+        }
+        println!();
+    }
+    println!("The single speaker collapses within a couple of metres once its power is capped");
+    println!("for inaudibility; the array keeps the command intelligible several metres out.");
+    Ok(())
+}

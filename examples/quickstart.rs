@@ -1,0 +1,50 @@
+//! Quickstart: build one inaudible attack, play it at a simulated phone,
+//! and see both sides — does the assistant obey, and does the defense
+//! notice?
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use inaudible_voice_commands::core::{run_trial, Delivery, Scenario};
+use inaudible_voice_commands::speech::commands::corpus;
+use inaudible_voice_commands::speech::recognizer::Recognizer;
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    // The victim's speech recogniser, enrolled with the command corpus.
+    let recognizer = Recognizer::with_default_corpus()?;
+    let command = &corpus()[0]; // "ok google take a picture"
+
+    // An 8-element ultrasonic array, 2 m from an Android phone.
+    let scenario = Scenario {
+        delivery: Delivery::ArrayUltrasound {
+            num_elements: 8,
+            total_power_w: 60.0,
+            carrier_hz: 40_000.0,
+        },
+        max_voice_duration_s: 1.5, // keep the example snappy
+        ..Scenario::default_attack()
+    };
+
+    println!("injecting: \"{}\"", command.text);
+    println!("scenario:  {} at {:.1} m from the {}", scenario.delivery.label(), scenario.distance_m, "Android phone");
+
+    let outcome = run_trial(command, &scenario, &recognizer, None)?;
+
+    println!();
+    println!("command accepted by the assistant: {}", outcome.accepted);
+    println!("word accuracy:                     {:.2}", outcome.word_accuracy);
+    if let Some(leak) = &outcome.leakage {
+        println!(
+            "leakage at a bystander (1 m):      {:.1} dB SPL (audible: {})",
+            leak.audible_spl_db,
+            leak.is_audible()
+        );
+    }
+    println!(
+        "defense trace — shadow power ratio {:.1} dB, shadow correlation {:.2}",
+        outcome.defense_features.shadow_power_ratio_db, outcome.defense_features.shadow_correlation
+    );
+    println!();
+    println!("(A legitimate speaker at the same distance leaves shadow correlation near zero —");
+    println!(" run `cargo run --release --example defense_evaluation` to see the detector trained on that gap.)");
+    Ok(())
+}

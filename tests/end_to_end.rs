@@ -1,0 +1,130 @@
+//! Cross-crate integration tests: the full attack and defense loop through
+//! the public umbrella API.
+
+use inaudible_voice_commands::core::{run_trial, Delivery, Scenario};
+use inaudible_voice_commands::defense::classifier::{LogisticRegression, TrainingConfig};
+use inaudible_voice_commands::defense::dataset::{Dataset, DatasetConfig};
+use inaudible_voice_commands::defense::evaluation::evaluate;
+use inaudible_voice_commands::speech::commands::corpus;
+use inaudible_voice_commands::speech::recognizer::Recognizer;
+
+fn quick(delivery: Delivery) -> Scenario {
+    Scenario {
+        delivery,
+        max_voice_duration_s: 1.0,
+        ..Scenario::default_attack()
+    }
+}
+
+#[test]
+fn legitimate_and_attack_deliveries_are_both_accepted_at_close_range() {
+    let recognizer = Recognizer::with_default_corpus().unwrap();
+    let command = &corpus()[0];
+
+    let legit = run_trial(
+        command,
+        &quick(Delivery::Legitimate { talker_spl_db: 68.0 }).at_distance(1.5),
+        &recognizer,
+        None,
+    )
+    .unwrap();
+    let attack = run_trial(
+        command,
+        &quick(Delivery::ArrayUltrasound {
+            num_elements: 8,
+            total_power_w: 60.0,
+            carrier_hz: 40_000.0,
+        })
+        .at_distance(1.5),
+        &recognizer,
+        None,
+    )
+    .unwrap();
+
+    assert!(legit.word_accuracy > 0.5, "legit accuracy {}", legit.word_accuracy);
+    assert!(attack.word_accuracy > 0.5, "attack accuracy {}", attack.word_accuracy);
+    // The attack leaves its tell-tale shadow, the legitimate recording does not.
+    assert!(
+        attack.defense_features.shadow_correlation > legit.defense_features.shadow_correlation,
+        "attack shadow {} vs legit {}",
+        attack.defense_features.shadow_correlation,
+        legit.defense_features.shadow_correlation
+    );
+    assert!(
+        attack.defense_features.shadow_power_ratio_db
+            > legit.defense_features.shadow_power_ratio_db + 3.0
+    );
+}
+
+#[test]
+fn array_attack_outranges_the_inaudibility_constrained_single_speaker() {
+    let recognizer = Recognizer::with_default_corpus().unwrap();
+    let command = &corpus()[0];
+    let distance = 5.0;
+
+    let single = run_trial(
+        command,
+        &quick(Delivery::SingleSpeakerUltrasound {
+            power_w: 3.0,
+            carrier_hz: 40_000.0,
+        })
+        .at_distance(distance),
+        &recognizer,
+        None,
+    )
+    .unwrap();
+    let array = run_trial(
+        command,
+        &quick(Delivery::ArrayUltrasound {
+            num_elements: 12,
+            total_power_w: 100.0,
+            carrier_hz: 40_000.0,
+        })
+        .at_distance(distance),
+        &recognizer,
+        None,
+    )
+    .unwrap();
+
+    assert!(
+        array.word_accuracy > single.word_accuracy,
+        "array {} should beat single {} at {distance} m",
+        array.word_accuracy,
+        single.word_accuracy
+    );
+    // And the array's voice-band leakage stays below the single speaker's
+    // would-be leakage at the power it would need for the same reach.
+    let array_leak = array.leakage.unwrap();
+    assert!(array_leak.voice_band_spl_db < 45.0, "voice-band leak {}", array_leak.voice_band_spl_db);
+}
+
+#[test]
+fn trained_detector_separates_attacks_from_legitimate_recordings() {
+    let config = DatasetConfig {
+        distances_m: vec![1.5, 3.0],
+        num_speaker_variants: 2,
+        command_indices: vec![0],
+        attack_elements: 6,
+        max_voice_duration_s: 0.9,
+        ..DatasetConfig::default()
+    };
+    let train_set = Dataset::generate(&config).unwrap().to_feature_samples().unwrap();
+    let model = LogisticRegression::train(&train_set, &TrainingConfig::default()).unwrap();
+
+    // A fresh, differently-seeded corpus as the held-out test set.
+    let test_config = DatasetConfig {
+        seed: 99,
+        command_indices: vec![1],
+        ..config
+    };
+    let test_set = Dataset::generate(&test_config)
+        .unwrap()
+        .to_feature_samples()
+        .unwrap();
+    let matrix = evaluate(&model, &test_set).unwrap();
+    assert!(
+        matrix.accuracy() >= 0.75,
+        "held-out detection accuracy {} too low",
+        matrix.accuracy()
+    );
+}
