@@ -37,7 +37,10 @@ impl AdcConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         if !(self.output_rate_hz > 0.0) {
-            return Err(AcousticsError::invalid("output_rate_hz", "must be positive"));
+            return Err(AcousticsError::invalid(
+                "output_rate_hz",
+                "must be positive",
+            ));
         }
         if self.bits < 4 || self.bits > 32 {
             return Err(AcousticsError::invalid("bits", "must be within [4, 32]"));
@@ -61,7 +64,8 @@ pub fn digitize(analog_full_scale: &Signal, config: &AdcConfig, seed: u64) -> Re
         return Err(AcousticsError::invalid("analog_full_scale", "empty signal"));
     }
     let input_rate = analog_full_scale.sample_rate_hz();
-    let cutoff = (config.output_rate_hz / 2.0 * config.anti_alias_fraction).min(input_rate / 2.0 * 0.98);
+    let cutoff =
+        (config.output_rate_hz / 2.0 * config.anti_alias_fraction).min(input_rate / 2.0 * 0.98);
 
     // Anti-alias low-pass at the output Nyquist (applied at the input rate).
     let filtered = if cutoff < input_rate / 2.0 * 0.98 {
@@ -137,7 +141,8 @@ mod tests {
     #[test]
     fn out_of_band_ultrasound_is_removed() {
         let mut s = Signal::tone(1_000.0, 0.2, 0.25, 192_000.0).unwrap();
-        s.mix(&Signal::tone(40_000.0, 0.8, 0.25, 192_000.0).unwrap()).unwrap();
+        s.mix(&Signal::tone(40_000.0, 0.8, 0.25, 192_000.0).unwrap())
+            .unwrap();
         let out = digitize(&s, &AdcConfig::default(), 1).unwrap();
         // Nothing above 20 kHz can exist at 48 kHz output, and nothing
         // should have aliased into 2-20 kHz either.

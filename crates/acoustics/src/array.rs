@@ -14,7 +14,7 @@
 
 use crate::environment::AirEnvironment;
 use crate::error::{AcousticsError, Result};
-use crate::propagation::propagate;
+use crate::propagation::{propagate, propagate_from_aperture};
 use crate::speaker::UltrasonicSpeaker;
 use ivc_dsp::signal::Signal;
 
@@ -40,14 +40,32 @@ pub struct ElementDrive {
 
 impl SpeakerArray {
     /// Creates an array of `num_elements` copies of `element`.
-    pub fn new(element: UltrasonicSpeaker, num_elements: usize, element_spacing_m: f64) -> Result<Self> {
+    pub fn new(
+        element: UltrasonicSpeaker,
+        num_elements: usize,
+        element_spacing_m: f64,
+    ) -> Result<Self> {
         if num_elements == 0 {
-            return Err(AcousticsError::invalid("num_elements", "must be at least 1"));
+            return Err(AcousticsError::invalid(
+                "num_elements",
+                "must be at least 1",
+            ));
         }
         if !(element_spacing_m > 0.0) || element_spacing_m > 1.0 {
             return Err(AcousticsError::invalid(
                 "element_spacing_m",
                 "must be in (0, 1] metres",
+            ));
+        }
+        // Propagation models apertures up to 10 m; enforce the bound here so
+        // that any array that can be constructed can also be propagated
+        // (`field_at_target` would otherwise fail late on a parameter the
+        // caller never passed).
+        let aperture_m = element_spacing_m * (num_elements.saturating_sub(1)) as f64;
+        if aperture_m > 10.0 {
+            return Err(AcousticsError::invalid(
+                "(num_elements - 1) * element_spacing_m",
+                format!("aperture {aperture_m:.2} m exceeds the supported 10 m"),
             ));
         }
         Ok(SpeakerArray {
@@ -79,7 +97,10 @@ impl SpeakerArray {
     /// elements stay silent.
     pub fn emitted_field_at_1m(&self, drives: &[ElementDrive]) -> Result<Signal> {
         if drives.is_empty() {
-            return Err(AcousticsError::invalid("drives", "no element drives provided"));
+            return Err(AcousticsError::invalid(
+                "drives",
+                "no element drives provided",
+            ));
         }
         if drives.len() > self.num_elements {
             return Err(AcousticsError::invalid(
@@ -108,6 +129,13 @@ impl SpeakerArray {
     }
 
     /// Pressure waveform arriving at a target `distance_m` away on-axis.
+    ///
+    /// The array's aperture matters here: at ultrasonic wavelengths a
+    /// multi-element array is many wavelengths across, so its on-axis beam
+    /// stays collimated out to the aperture's Rayleigh distance before the
+    /// spherical `1/r` decay starts (see
+    /// [`crate::propagation::rayleigh_distance_m`]).  This collimation — not
+    /// raw power — is what turns the array into a *long-range* attack.
     pub fn field_at_target(
         &self,
         drives: &[ElementDrive],
@@ -115,20 +143,23 @@ impl SpeakerArray {
         env: &AirEnvironment,
     ) -> Result<Signal> {
         let near = self.emitted_field_at_1m(drives)?;
-        propagate(&near, distance_m, env)
+        propagate_from_aperture(&near, distance_m, self.aperture_m(), env)
     }
 
     /// Pressure waveform at a bystander standing `distance_m` from the array
-    /// (for audibility analysis of the leakage).  Physically identical to
-    /// [`SpeakerArray::field_at_target`]; the separate name keeps call sites
-    /// self-documenting.
+    /// (for audibility analysis of the leakage).
+    ///
+    /// The bystander stands *off-axis* (next to the rig, not down the beam),
+    /// so the collimation gain of [`SpeakerArray::field_at_target`] does not
+    /// apply and the field decays as from a point source.
     pub fn field_at_bystander(
         &self,
         drives: &[ElementDrive],
         distance_m: f64,
         env: &AirEnvironment,
     ) -> Result<Signal> {
-        self.field_at_target(drives, distance_m, env)
+        let near = self.emitted_field_at_1m(drives)?;
+        propagate(&near, distance_m, env)
     }
 
     /// Total electrical power across all drives, in watt.
@@ -153,6 +184,10 @@ mod tests {
         assert!(SpeakerArray::new(spk.clone(), 0, 0.03).is_err());
         assert!(SpeakerArray::new(spk.clone(), 4, 0.0).is_err());
         assert!(SpeakerArray::new(spk.clone(), 4, 2.0).is_err());
+        // Aperture (spacing x (n-1)) beyond the propagation model's 10 m
+        // bound is rejected at construction, not at field_at_target time.
+        assert!(SpeakerArray::new(spk.clone(), 12, 1.0).is_err());
+        assert!(SpeakerArray::new(spk.clone(), 11, 1.0).is_ok());
         let array = SpeakerArray::new(spk, 2, 0.03).unwrap();
         assert!(array.emitted_field_at_1m(&[]).is_err());
         let too_many: Vec<ElementDrive> = (0..3)
@@ -218,7 +253,11 @@ mod tests {
         let field = array.emitted_field_at_1m(&drives).unwrap();
         let imd = band_power(field.samples(), fs, 4_500.0, 5_500.0).unwrap();
         let carriers = band_power(field.samples(), fs, 29_000.0, 36_000.0).unwrap();
-        assert!(imd / carriers < 1e-6, "in-air IMD fraction {}", imd / carriers);
+        assert!(
+            imd / carriers < 1e-6,
+            "in-air IMD fraction {}",
+            imd / carriers
+        );
 
         // Control: the same two tones through ONE element do intermodulate.
         let mut combined = drive_tone(30_000.0, fs).scaled(0.5);

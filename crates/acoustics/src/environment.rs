@@ -27,7 +27,11 @@ impl Default for AirEnvironment {
 
 impl AirEnvironment {
     /// Creates a validated environment.
-    pub fn new(temperature_c: f64, relative_humidity_percent: f64, pressure_kpa: f64) -> Result<Self> {
+    pub fn new(
+        temperature_c: f64,
+        relative_humidity_percent: f64,
+        pressure_kpa: f64,
+    ) -> Result<Self> {
         if !(-50.0..=60.0).contains(&temperature_c) {
             return Err(AcousticsError::invalid(
                 "temperature_c",
@@ -112,7 +116,10 @@ mod tests {
     fn humidity_concentration_is_monotonic_in_rh() {
         let dry = AirEnvironment::new(20.0, 20.0, 101.325).unwrap();
         let humid = AirEnvironment::new(20.0, 80.0, 101.325).unwrap();
-        assert!(humid.water_vapour_molar_concentration_percent() > dry.water_vapour_molar_concentration_percent());
+        assert!(
+            humid.water_vapour_molar_concentration_percent()
+                > dry.water_vapour_molar_concentration_percent()
+        );
         // At 20 C / 50 % RH the molar concentration is roughly 1.1-1.2 %.
         let h = AirEnvironment::default().water_vapour_molar_concentration_percent();
         assert!(h > 0.8 && h < 1.6, "h = {h}");

@@ -226,7 +226,9 @@ mod tests {
     #[test]
     fn capture_rejects_empty_input() {
         let mic = DevicePreset::AndroidPhone.microphone();
-        assert!(mic.capture(&Signal::new(vec![], 192_000.0).unwrap(), 0).is_err());
+        assert!(mic
+            .capture(&Signal::new(vec![], 192_000.0).unwrap(), 0)
+            .is_err());
     }
 
     #[test]
@@ -241,7 +243,11 @@ mod tests {
         assert!(tone / rest > 100.0, "tone/rest {}", tone / rest);
         // Recording level: 70 dB SPL is 50 dB below the 120 dB AOP,
         // i.e. amplitude ~3e-3 of full scale.
-        assert!(rec.peak() > 1e-3 && rec.peak() < 1e-2, "peak {}", rec.peak());
+        assert!(
+            rec.peak() > 1e-3 && rec.peak() < 1e-2,
+            "peak {}",
+            rec.peak()
+        );
     }
 
     #[test]
@@ -276,7 +282,11 @@ mod tests {
         let rec = mic.capture(&p, 1).unwrap();
         let tone = band_power(rec.samples(), 48_000.0, 900.0, 1_100.0).unwrap();
         let background = band_power(rec.samples(), 48_000.0, 5_000.0, 15_000.0).unwrap();
-        assert!(tone / background > 30.0, "demodulated tone/background {}", tone / background);
+        assert!(
+            tone / background > 30.0,
+            "demodulated tone/background {}",
+            tone / background
+        );
     }
 
     #[test]
@@ -309,7 +319,10 @@ mod tests {
         // Audible band gains are comparable.
         assert!((echo.front_end_gain(1_000.0) - phone.front_end_gain(1_000.0)).abs() < 0.2);
         // And the link-budget view agrees.
-        assert!(echo.demodulation_gain_db(100.0, 40_000.0) < phone.demodulation_gain_db(100.0, 40_000.0));
+        assert!(
+            echo.demodulation_gain_db(100.0, 40_000.0)
+                < phone.demodulation_gain_db(100.0, 40_000.0)
+        );
     }
 
     #[test]

@@ -13,7 +13,10 @@ use rand::{Rng, SeedableRng};
 /// Generates zero-mean white Gaussian noise with the given RMS amplitude.
 pub fn white_noise(rms: f64, duration_s: f64, sample_rate_hz: f64, seed: u64) -> Result<Signal> {
     if rms < 0.0 || !rms.is_finite() {
-        return Err(AcousticsError::invalid("rms", "must be non-negative and finite"));
+        return Err(AcousticsError::invalid(
+            "rms",
+            "must be non-negative and finite",
+        ));
     }
     let n = (duration_s * sample_rate_hz).round().max(0.0) as usize;
     let mut rng = StdRng::seed_from_u64(seed);

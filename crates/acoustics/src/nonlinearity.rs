@@ -109,9 +109,8 @@ pub fn measure_two_tone_products(
     input.mix(&Signal::tone(f2_hz, amplitude, duration_s, sample_rate_hz)?)?;
     let output = poly.apply(&input);
     let fs = sample_rate_hz;
-    let measure = |f: f64| -> Result<f64> {
-        Ok(ivc_dsp::goertzel::tone_amplitude(output.samples(), fs, f)?)
-    };
+    let measure =
+        |f: f64| -> Result<f64> { Ok(ivc_dsp::goertzel::tone_amplitude(output.samples(), fs, f)?) };
     Ok(TwoToneProducts {
         difference: measure(f2_hz - f1_hz)?,
         sum: if f1_hz + f2_hz < fs / 2.0 {
@@ -138,7 +137,10 @@ mod tests {
         assert!(Polynomial::new(f64::NAN, 0.1, 0.0).is_err());
         assert!(Polynomial::new(1.0, f64::INFINITY, 0.0).is_err());
         assert!(Polynomial::new(1.0, 0.1, 0.01).is_ok());
-        assert!(measure_two_tone_products(&Polynomial::LINEAR, 30_000.0, 25_000.0, 0.5, 192_000.0).is_err());
+        assert!(
+            measure_two_tone_products(&Polynomial::LINEAR, 30_000.0, 25_000.0, 0.5, 192_000.0)
+                .is_err()
+        );
     }
 
     #[test]
@@ -159,7 +161,11 @@ mod tests {
         let p = Polynomial::new(1.0, 0.3, 0.0).unwrap();
         let prod = measure_two_tone_products(&p, 25_000.0, 30_000.0, 0.5, 192_000.0).unwrap();
         // Expected difference amplitude: g2 * a^2 = 0.3 * 0.25 = 0.075.
-        assert!((prod.difference - 0.075).abs() < 0.01, "difference {}", prod.difference);
+        assert!(
+            (prod.difference - 0.075).abs() < 0.01,
+            "difference {}",
+            prod.difference
+        );
         // Harmonic at 2*f1: g2 * a^2 / 2 = 0.0375.
         assert!((prod.harmonic_f1 - 0.0375).abs() < 0.01);
     }

@@ -28,22 +28,60 @@ use ivc_dsp::signal::Signal;
 /// Returns the pressure waveform at the receiver, including spreading loss,
 /// absorption and delay.
 pub fn propagate(source_at_1m: &Signal, distance_m: f64, env: &AirEnvironment) -> Result<Signal> {
+    propagate_from_aperture(source_at_1m, distance_m, 0.0, env)
+}
+
+/// The on-axis distance (m) out to which a source of physical size
+/// `aperture_m` keeps its beam collimated at `frequency_hz` — the last
+/// axial maximum of a piston radiator, `N = D²·f / (4c)`.
+///
+/// Beyond `N` the field spreads spherically; inside it the on-axis pressure
+/// stays at the source level.  For a point source (`aperture_m = 0`) or for
+/// audible frequencies this is well under the 1 m reference distance and the
+/// familiar `1/r` law applies everywhere.  For the paper's speaker arrays at
+/// 40 kHz (λ ≈ 8.6 mm) it reaches several metres — this collimation is what
+/// makes the *long-range* attack long-range.
+pub fn rayleigh_distance_m(aperture_m: f64, frequency_hz: f64, env: &AirEnvironment) -> f64 {
+    (aperture_m * aperture_m * frequency_hz / (4.0 * env.speed_of_sound_m_per_s())).max(0.0)
+}
+
+/// Propagates `source_at_1m` to a receiver `distance_m` away from a source
+/// of physical aperture `aperture_m` (0 for a point source).
+///
+/// Identical to [`propagate`] except that each frequency's spreading loss
+/// starts at that frequency's [`rayleigh_distance_m`] instead of at the 1 m
+/// reference, so a large ultrasonic array's collimated beam reaches much
+/// farther than a point source of the same power, while its audible leakage
+/// still decays as `1/r`.
+pub fn propagate_from_aperture(
+    source_at_1m: &Signal,
+    distance_m: f64,
+    aperture_m: f64,
+    env: &AirEnvironment,
+) -> Result<Signal> {
     if !(distance_m > 0.0) || !distance_m.is_finite() {
         return Err(AcousticsError::invalid(
             "distance_m",
             format!("{distance_m} must be positive and finite"),
         ));
     }
+    if !(0.0..=10.0).contains(&aperture_m) {
+        return Err(AcousticsError::invalid(
+            "aperture_m",
+            format!("{aperture_m} must be within [0, 10] metres"),
+        ));
+    }
     if source_at_1m.is_empty() {
         return Err(AcousticsError::invalid("source_at_1m", "empty signal"));
     }
     let fs = source_at_1m.sample_rate_hz();
-    // Spreading: reference distance is 1 m, so gain is 1/r (never > 1; the
-    // near field below 1 m is clamped to the 1 m value, which is the common
-    // convention for loudspeaker sensitivity figures).
-    let spreading_gain = 1.0 / distance_m.max(1.0);
 
-    // Frequency-dependent absorption applied via the FFT.
+    // Frequency-dependent spreading and absorption applied via the FFT.
+    // Spreading: the reference distance is 1 m, so the point-source gain is
+    // 1/r (never > 1; the near field below 1 m is clamped to the 1 m value,
+    // which is the common convention for loudspeaker sensitivity figures).
+    // An extended source keeps its on-axis level out to the frequency's
+    // Rayleigh distance before the 1/r decay starts.
     let n = next_power_of_two(source_at_1m.len());
     let mut buffer = vec![Complex::ZERO; n];
     for (slot, &x) in buffer.iter_mut().zip(source_at_1m.samples().iter()) {
@@ -52,11 +90,17 @@ pub fn propagate(source_at_1m: &Signal, distance_m: f64, env: &AirEnvironment) -
     fft_in_place(&mut buffer, false)?;
     for (k, value) in buffer.iter_mut().enumerate() {
         let f = bin_frequency(k, n, fs).abs();
+        let collimated_to_m = rayleigh_distance_m(aperture_m, f, env).max(1.0);
+        let spreading_gain = (collimated_to_m / distance_m).min(1.0);
         let gain = absorption_gain(f, distance_m, env)?;
         *value = value.scale(gain * spreading_gain);
     }
     fft_in_place(&mut buffer, true)?;
-    let mut samples: Vec<f64> = buffer.into_iter().take(source_at_1m.len()).map(|c| c.re).collect();
+    let mut samples: Vec<f64> = buffer
+        .into_iter()
+        .take(source_at_1m.len())
+        .map(|c| c.re)
+        .collect();
 
     // Whole-sample propagation delay.
     let delay_samples = (distance_m / env.speed_of_sound_m_per_s() * fs).round() as usize;
@@ -72,13 +116,33 @@ pub fn propagate(source_at_1m: &Signal, distance_m: f64, env: &AirEnvironment) -
 /// spreading plus absorption.  Useful for link-budget style calculations in
 /// the attack planner without synthesising a waveform.
 pub fn path_loss_db(frequency_hz: f64, distance_m: f64, env: &AirEnvironment) -> Result<f64> {
+    path_loss_from_aperture_db(frequency_hz, distance_m, 0.0, env)
+}
+
+/// [`path_loss_db`] for a source of physical aperture `aperture_m`: the
+/// single-frequency view of [`propagate_from_aperture`], with spreading
+/// starting at the frequency's [`rayleigh_distance_m`] instead of at 1 m.
+/// Keeps planner predictions consistent with the waveform simulation.
+pub fn path_loss_from_aperture_db(
+    frequency_hz: f64,
+    distance_m: f64,
+    aperture_m: f64,
+    env: &AirEnvironment,
+) -> Result<f64> {
     if !(distance_m > 0.0) || !distance_m.is_finite() {
         return Err(AcousticsError::invalid(
             "distance_m",
             format!("{distance_m} must be positive and finite"),
         ));
     }
-    let spreading_db = 20.0 * distance_m.max(1.0).log10();
+    if !(0.0..=10.0).contains(&aperture_m) {
+        return Err(AcousticsError::invalid(
+            "aperture_m",
+            format!("{aperture_m} must be within [0, 10] metres"),
+        ));
+    }
+    let collimated_to_m = rayleigh_distance_m(aperture_m, frequency_hz, env).max(1.0);
+    let spreading_db = 20.0 * (distance_m / collimated_to_m).max(1.0).log10();
     let absorption_db = crate::absorption::absorption_db(frequency_hz, distance_m, env)?;
     Ok(spreading_db + absorption_db)
 }
@@ -142,7 +206,11 @@ mod tests {
         let audible = path_loss_db(1_000.0, 8.0, &env).unwrap();
         let ultrasonic = path_loss_db(40_000.0, 8.0, &env).unwrap();
         // Both share ~18 dB spreading; ultrasound pays several dB more.
-        assert!(ultrasonic - audible > 5.0, "difference {}", ultrasonic - audible);
+        assert!(
+            ultrasonic - audible > 5.0,
+            "difference {}",
+            ultrasonic - audible
+        );
     }
 
     #[test]
@@ -154,7 +222,10 @@ mod tests {
         let received = propagate(&s, d, &env).unwrap();
         let expected_spl = 110.0 - path_loss_db(40_000.0, d, &env).unwrap();
         let measured = waveform_spl_db(&received.samples()[received.len() / 2..]);
-        assert!((measured - expected_spl).abs() < 0.5, "{measured} vs {expected_spl}");
+        assert!(
+            (measured - expected_spl).abs() < 0.5,
+            "{measured} vs {expected_spl}"
+        );
     }
 
     #[test]
@@ -179,11 +250,77 @@ mod tests {
     }
 
     #[test]
+    fn rayleigh_distance_scales_with_aperture_and_frequency() {
+        let env = AirEnvironment::default();
+        assert_eq!(rayleigh_distance_m(0.0, 40_000.0, &env), 0.0);
+        let small = rayleigh_distance_m(0.33, 40_000.0, &env);
+        let large = rayleigh_distance_m(1.8, 40_000.0, &env);
+        let audible = rayleigh_distance_m(1.8, 1_000.0, &env);
+        // A 12-element array (0.33 m) collimates for ~3 m at 40 kHz; the
+        // paper's 61-element rig (1.8 m) for the better part of 100 m.
+        assert!((2.0..5.0).contains(&small), "small-array N {small}");
+        assert!(large > 50.0, "large-array N {large}");
+        // The same rig at 1 kHz is a point source at room scales.
+        assert!(audible < large / 30.0, "audible N {audible}");
+    }
+
+    #[test]
+    fn zero_aperture_matches_point_source_propagation() {
+        let env = AirEnvironment::default();
+        let s = ultrasound_tone(40_000.0, 110.0, 192_000.0);
+        let point = propagate(&s, 5.0, &env).unwrap();
+        let aperture = propagate_from_aperture(&s, 5.0, 0.0, &env).unwrap();
+        assert_eq!(point.samples(), aperture.samples());
+        assert!(propagate_from_aperture(&s, 5.0, -1.0, &env).is_err());
+        assert!(propagate_from_aperture(&s, 5.0, 50.0, &env).is_err());
+    }
+
+    #[test]
+    fn collimated_ultrasound_outranges_a_point_source() {
+        let env = AirEnvironment::default();
+        let s = ultrasound_tone(40_000.0, 110.0, 192_000.0);
+        let d = 6.0;
+        let point = propagate(&s, d, &env).unwrap();
+        let beam = propagate_from_aperture(&s, d, 0.5, &env).unwrap();
+        let spl_point = waveform_spl_db(&point.samples()[point.len() / 2..]);
+        let spl_beam = waveform_spl_db(&beam.samples()[beam.len() / 2..]);
+        // 0.5 m aperture at 40 kHz collimates for ~7 m: essentially all the
+        // 1/r spreading loss (~15.6 dB at 6 m) is recovered; absorption is
+        // identical for both.
+        assert!(spl_beam - spl_point > 10.0, "{spl_beam} vs {spl_point}");
+        // The beam never exceeds the source level budget: spreading gain is
+        // clamped at unity.
+        let near = propagate_from_aperture(&s, 1.0, 0.5, &env).unwrap();
+        let spl_near = waveform_spl_db(&near.samples()[near.len() / 2..]);
+        assert!(spl_near <= 110.5, "near SPL {spl_near}");
+    }
+
+    #[test]
+    fn aperture_does_not_help_audible_leakage() {
+        let env = AirEnvironment::default();
+        let s = ultrasound_tone(1_000.0, 80.0, 48_000.0);
+        let d = 4.0;
+        let point = propagate(&s, d, &env).unwrap();
+        let beam = propagate_from_aperture(&s, d, 0.5, &env).unwrap();
+        let spl_point = waveform_spl_db(&point.samples()[point.len() / 2..]);
+        let spl_beam = waveform_spl_db(&beam.samples()[beam.len() / 2..]);
+        // At 1 kHz a 0.5 m aperture is smaller than a wavelength's Rayleigh
+        // scale: spreading stays spherical.
+        assert!(
+            (spl_beam - spl_point).abs() < 0.2,
+            "{spl_beam} vs {spl_point}"
+        );
+    }
+
+    #[test]
     fn near_field_is_clamped_to_reference() {
         let env = AirEnvironment::default();
         let s = ultrasound_tone(1_000.0, 80.0, 48_000.0);
         let near = propagate(&s, 0.25, &env).unwrap();
         let spl = waveform_spl_db(&near.samples()[near.len() / 2..]);
-        assert!(spl <= 80.5, "near-field SPL should not exceed the 1 m value: {spl}");
+        assert!(
+            spl <= 80.5,
+            "near-field SPL should not exceed the 1 m value: {spl}"
+        );
     }
 }

@@ -52,10 +52,16 @@ pub fn audibility(
     margin_db: f64,
 ) -> Result<AudibilityReport> {
     if pressure_samples.is_empty() {
-        return Err(AcousticsError::invalid("pressure_samples", "empty waveform"));
+        return Err(AcousticsError::invalid(
+            "pressure_samples",
+            "empty waveform",
+        ));
     }
     if !(sample_rate_hz > 0.0) {
-        return Err(AcousticsError::invalid("sample_rate_hz", "must be positive"));
+        return Err(AcousticsError::invalid(
+            "sample_rate_hz",
+            "must be positive",
+        ));
     }
     let seg = pressure_samples.len().clamp(512, 8_192);
     let psd = welch_psd(pressure_samples, sample_rate_hz, seg, 0.5, WindowKind::Hann)?;

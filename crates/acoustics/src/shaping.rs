@@ -71,7 +71,8 @@ mod tests {
     fn selective_attenuation_of_one_component() {
         let fs = 48_000.0;
         let mut s = Signal::tone(1_000.0, 0.5, 0.3, fs).unwrap();
-        s.mix(&Signal::tone(8_000.0, 0.5, 0.3, fs).unwrap()).unwrap();
+        s.mix(&Signal::tone(8_000.0, 0.5, 0.3, fs).unwrap())
+            .unwrap();
         let out = shape_spectrum(&s, |f| if f > 4_000.0 { 0.01 } else { 1.0 }).unwrap();
         let low = band_power(out.samples(), fs, 800.0, 1_200.0).unwrap();
         let high = band_power(out.samples(), fs, 7_500.0, 8_500.0).unwrap();
@@ -80,8 +81,14 @@ mod tests {
 
     #[test]
     fn one_pole_responses_have_correct_corners() {
-        assert!((one_pole_low_pass_gain(1_000.0, 1_000.0) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
-        assert!((one_pole_high_pass_gain(1_000.0, 1_000.0) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
+        assert!(
+            (one_pole_low_pass_gain(1_000.0, 1_000.0) - std::f64::consts::FRAC_1_SQRT_2).abs()
+                < 1e-9
+        );
+        assert!(
+            (one_pole_high_pass_gain(1_000.0, 1_000.0) - std::f64::consts::FRAC_1_SQRT_2).abs()
+                < 1e-9
+        );
         assert!(one_pole_low_pass_gain(100.0, 1_000.0) > 0.99);
         assert!(one_pole_low_pass_gain(10_000.0, 1_000.0) < 0.1);
         assert!(one_pole_high_pass_gain(10_000.0, 1_000.0) > 0.99);

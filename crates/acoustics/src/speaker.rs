@@ -180,7 +180,9 @@ mod tests {
         let drive = Signal::tone(30_000.0, 1.0, 0.1, 192_000.0).unwrap();
         assert!(spk.emit_at_1m(&drive, 0.0).is_err());
         assert!(spk.emit_at_1m(&drive, 100.0).is_err());
-        assert!(spk.emit_at_1m(&Signal::new(vec![], 192_000.0).unwrap(), 1.0).is_err());
+        assert!(spk
+            .emit_at_1m(&Signal::new(vec![], 192_000.0).unwrap(), 1.0)
+            .is_err());
         let hot = drive.scaled(2.0);
         assert!(spk.emit_at_1m(&hot, 1.0).is_err());
         assert!(spk.spl_at_1m_db(0.0).is_err());
@@ -219,7 +221,9 @@ mod tests {
         let spk = UltrasonicSpeaker::default();
         let fs = 192_000.0;
         let mut drive = Signal::tone(30_000.0, 0.5, 0.3, fs).unwrap();
-        drive.mix(&Signal::tone(35_000.0, 0.5, 0.3, fs).unwrap()).unwrap();
+        drive
+            .mix(&Signal::tone(35_000.0, 0.5, 0.3, fs).unwrap())
+            .unwrap();
         let quiet = spk.emit_at_1m(&drive, 2.0).unwrap();
         let loud = spk.emit_at_1m(&drive, 29.0).unwrap();
         let leak_quiet = band_power(quiet.samples(), fs, 4_500.0, 5_500.0).unwrap();
@@ -228,7 +232,10 @@ mod tests {
         let carrier_loud = band_power(loud.samples(), fs, 29_000.0, 36_000.0).unwrap();
         let carrier_gain = carrier_loud / carrier_quiet;
         let leak_gain = leak_loud / leak_quiet;
-        assert!(leak_gain > carrier_gain * 3.0, "leakage should grow faster: {leak_gain} vs {carrier_gain}");
+        assert!(
+            leak_gain > carrier_gain * 3.0,
+            "leakage should grow faster: {leak_gain} vs {carrier_gain}"
+        );
     }
 
     #[test]
@@ -239,7 +246,9 @@ mod tests {
         };
         let fs = 192_000.0;
         let mut drive = Signal::tone(30_000.0, 0.5, 0.3, fs).unwrap();
-        drive.mix(&Signal::tone(35_000.0, 0.5, 0.3, fs).unwrap()).unwrap();
+        drive
+            .mix(&Signal::tone(35_000.0, 0.5, 0.3, fs).unwrap())
+            .unwrap();
         let out = spk.emit_at_1m(&drive, 29.0).unwrap();
         let leak = band_power(out.samples(), fs, 4_500.0, 5_500.0).unwrap();
         let carrier = band_power(out.samples(), fs, 29_000.0, 36_000.0).unwrap();

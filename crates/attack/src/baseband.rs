@@ -74,7 +74,12 @@ pub fn prepare_baseband(voice: &Signal, config: &BasebandConfig) -> Result<Signa
         ));
     }
     // Low-pass at the cutoff.
-    let lpf = FirFilter::low_pass(config.cutoff_hz, voice.sample_rate_hz(), 255, WindowKind::Hamming)?;
+    let lpf = FirFilter::low_pass(
+        config.cutoff_hz,
+        voice.sample_rate_hz(),
+        255,
+        WindowKind::Hamming,
+    )?;
     let mut filtered = lpf.filter_signal(voice)?;
     filtered.remove_dc();
     // Upsample to the playback rate.
@@ -119,7 +124,9 @@ mod tests {
     fn output_is_band_limited_normalised_and_at_playback_rate() {
         let fs = 48_000.0;
         let mut voice = Signal::tone(1_000.0, 0.4, 0.4, fs).unwrap();
-        voice.mix(&Signal::tone(14_000.0, 0.4, 0.4, fs).unwrap()).unwrap();
+        voice
+            .mix(&Signal::tone(14_000.0, 0.4, 0.4, fs).unwrap())
+            .unwrap();
         let cfg = BasebandConfig::default();
         let baseband = prepare_baseband(&voice, &cfg).unwrap();
         assert_eq!(baseband.sample_rate_hz(), 192_000.0);
@@ -132,7 +139,9 @@ mod tests {
     #[test]
     fn synthesised_command_survives_preparation() {
         let synth = Synthesizer::new(48_000.0).unwrap();
-        let utt = synth.render(&corpus()[0], &SpeakerProfile::canonical()).unwrap();
+        let utt = synth
+            .render(&corpus()[0], &SpeakerProfile::canonical())
+            .unwrap();
         let baseband = prepare_baseband(&utt.signal, &BasebandConfig::default()).unwrap();
         assert!((baseband.duration_s() - utt.signal.duration_s()).abs() < 0.02);
         // Voice-band energy dominates.

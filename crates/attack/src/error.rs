@@ -88,8 +88,12 @@ mod tests {
 
     #[test]
     fn display_and_conversions() {
-        assert!(AttackError::invalid("carrier", "too low").to_string().contains("carrier"));
-        assert!(AttackError::Infeasible { reason: "x".into() }.to_string().contains("infeasible"));
+        assert!(AttackError::invalid("carrier", "too low")
+            .to_string()
+            .contains("carrier"));
+        assert!(AttackError::Infeasible { reason: "x".into() }
+            .to_string()
+            .contains("infeasible"));
         let e: AttackError = ivc_dsp::DspError::EmptyInput { operation: "f" }.into();
         assert!(std::error::Error::source(&e).is_some());
         let e: AttackError = ivc_acoustics::AcousticsError::invalid("d", "m").into();

@@ -74,8 +74,10 @@ mod tests {
     fn synthetic_voice() -> Signal {
         let fs = 48_000.0;
         let mut s = Signal::tone(400.0, 0.5, 0.4, fs).unwrap();
-        s.mix(&Signal::tone(1_300.0, 0.4, 0.4, fs).unwrap()).unwrap();
-        s.mix(&Signal::tone(2_600.0, 0.3, 0.4, fs).unwrap()).unwrap();
+        s.mix(&Signal::tone(1_300.0, 0.4, 0.4, fs).unwrap())
+            .unwrap();
+        s.mix(&Signal::tone(2_600.0, 0.3, 0.4, fs).unwrap())
+            .unwrap();
         s.normalize_peak(0.5);
         s
     }
@@ -105,7 +107,11 @@ mod tests {
         .unwrap();
         // Leakage grows with power, and at full power it is audible.
         assert!(loud.audible_spl_db > quiet.audible_spl_db + 15.0);
-        assert!(loud.is_audible(), "worst margin {}", loud.audibility.worst_margin_db);
+        assert!(
+            loud.is_audible(),
+            "worst margin {}",
+            loud.audibility.worst_margin_db
+        );
         assert!((loud.bystander_distance_m - 1.0).abs() < 1e-12);
     }
 

@@ -141,8 +141,10 @@ mod tests {
 
     fn synthetic_voice(fs: f64) -> Signal {
         let mut s = Signal::tone(400.0, 0.5, 0.4, fs).unwrap();
-        s.mix(&Signal::tone(1_100.0, 0.4, 0.4, fs).unwrap()).unwrap();
-        s.mix(&Signal::tone(2_300.0, 0.3, 0.4, fs).unwrap()).unwrap();
+        s.mix(&Signal::tone(1_100.0, 0.4, 0.4, fs).unwrap())
+            .unwrap();
+        s.mix(&Signal::tone(2_300.0, 0.3, 0.4, fs).unwrap())
+            .unwrap();
         s.normalize_peak(0.5);
         s
     }
@@ -162,7 +164,8 @@ mod tests {
     #[test]
     fn element_power_allocation_adds_up() {
         let voice = synthetic_voice(48_000.0);
-        let attack = MultiSpeakerAttack::build(&voice, 40_000.0, 5, &BasebandConfig::default()).unwrap();
+        let attack =
+            MultiSpeakerAttack::build(&voice, 40_000.0, 5, &BasebandConfig::default()).unwrap();
         let drives = attack.element_drives(20.0, 0.25, 30.0).unwrap();
         assert_eq!(drives.len(), 5);
         let total: f64 = drives.iter().map(|d| d.power_w).sum();
@@ -177,7 +180,8 @@ mod tests {
     #[test]
     fn single_speaker_helper() {
         let voice = synthetic_voice(48_000.0);
-        let single = SingleSpeakerAttack::build(&voice, 40_000.0, 0.8, &BasebandConfig::default()).unwrap();
+        let single =
+            SingleSpeakerAttack::build(&voice, 40_000.0, 0.8, &BasebandConfig::default()).unwrap();
         let drives = single_speaker_element_drives(&single, 12.0).unwrap();
         assert_eq!(drives.len(), 1);
         assert!((drives[0].power_w - 12.0).abs() < 1e-12);
@@ -190,7 +194,8 @@ mod tests {
         // audible voice, yet the non-linear microphone's recording does.
         let fs = 192_000.0;
         let voice = synthetic_voice(48_000.0);
-        let attack = MultiSpeakerAttack::build(&voice, 40_000.0, 5, &BasebandConfig::default()).unwrap();
+        let attack =
+            MultiSpeakerAttack::build(&voice, 40_000.0, 5, &BasebandConfig::default()).unwrap();
         let array = SpeakerArray::new(UltrasonicSpeaker::default(), 8, 0.03).unwrap();
         let drives = attack.element_drives(60.0, 0.3, 30.0).unwrap();
         let env = ivc_acoustics::environment::AirEnvironment::default();
@@ -212,7 +217,11 @@ mod tests {
         let rec_fs = recording.sample_rate_hz();
         let voice_band = band_power(recording.samples(), rec_fs, 300.0, 3_000.0).unwrap();
         let quiet_band = band_power(recording.samples(), rec_fs, 8_000.0, 18_000.0).unwrap();
-        assert!(voice_band / quiet_band > 20.0, "voice/quiet {}", voice_band / quiet_band);
+        assert!(
+            voice_band / quiet_band > 20.0,
+            "voice/quiet {}",
+            voice_band / quiet_band
+        );
 
         // (c) and that recording correlates with the original voice waveform
         //     (band-limited comparison at a common rate).

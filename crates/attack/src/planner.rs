@@ -16,7 +16,7 @@ use crate::leakage::estimate_leakage;
 use ivc_acoustics::array::{ElementDrive, SpeakerArray};
 use ivc_acoustics::environment::AirEnvironment;
 use ivc_acoustics::microphone::Microphone;
-use ivc_acoustics::propagation::path_loss_db;
+use ivc_acoustics::propagation::path_loss_from_aperture_db;
 
 /// Planner configuration and environment.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,7 +87,10 @@ impl AttackPlanner {
                 "need 0 < min_power_w < max_power_w",
             ));
         }
-        let audible_at = |planner: &Self, power: f64, drives: &mut dyn FnMut(f64) -> Result<Vec<ElementDrive>>| -> Result<bool> {
+        let audible_at = |planner: &Self,
+                          power: f64,
+                          drives: &mut dyn FnMut(f64) -> Result<Vec<ElementDrive>>|
+         -> Result<bool> {
             let d = drives(power)?;
             let report = estimate_leakage(
                 array,
@@ -100,9 +103,7 @@ impl AttackPlanner {
         };
         if audible_at(self, min_power_w, &mut build_drives)? {
             return Err(AttackError::Infeasible {
-                reason: format!(
-                    "leakage is audible even at the minimum power of {min_power_w} W"
-                ),
+                reason: format!("leakage is audible even at the minimum power of {min_power_w} W"),
             });
         }
         if !audible_at(self, max_power_w, &mut build_drives)? {
@@ -125,18 +126,26 @@ impl AttackPlanner {
     /// whose carrier element radiates `carrier_spl_at_1m_db` and whose
     /// sideband elements together radiate `sideband_spl_at_1m_db` (both
     /// referenced to 1 m from the array).
+    ///
+    /// `aperture_m` is the radiating array's physical aperture
+    /// ([`SpeakerArray::aperture_m`]; pass 0 for a single speaker): the
+    /// on-axis beam stays collimated out to the aperture's Rayleigh
+    /// distance, exactly as in the waveform-level
+    /// [`SpeakerArray::field_at_target`] simulation, so planner predictions
+    /// and trial outcomes agree.
     pub fn link_budget(
         &self,
         carrier_spl_at_1m_db: f64,
         sideband_spl_at_1m_db: f64,
         carrier_hz: f64,
         distance_m: f64,
+        aperture_m: f64,
         microphone: &Microphone,
     ) -> Result<LinkBudget> {
         if !(distance_m > 0.0) {
             return Err(AttackError::invalid("distance_m", "must be positive"));
         }
-        let loss = path_loss_db(carrier_hz, distance_m, &self.env)?;
+        let loss = path_loss_from_aperture_db(carrier_hz, distance_m, aperture_m, &self.env)?;
         let received_carrier = carrier_spl_at_1m_db - loss;
         let received_sideband = sideband_spl_at_1m_db - loss;
 
@@ -170,6 +179,7 @@ impl AttackPlanner {
         carrier_spl_at_1m_db: f64,
         sideband_spl_at_1m_db: f64,
         carrier_hz: f64,
+        aperture_m: f64,
         microphone: &Microphone,
         max_distance_m: f64,
     ) -> Result<f64> {
@@ -184,6 +194,7 @@ impl AttackPlanner {
                 sideband_spl_at_1m_db,
                 carrier_hz,
                 d,
+                aperture_m,
                 microphone,
             )?;
             if budget.is_predicted_successful() {
@@ -208,7 +219,8 @@ mod tests {
     fn synthetic_voice() -> Signal {
         let fs = 48_000.0;
         let mut s = Signal::tone(400.0, 0.5, 0.35, fs).unwrap();
-        s.mix(&Signal::tone(1_500.0, 0.4, 0.35, fs).unwrap()).unwrap();
+        s.mix(&Signal::tone(1_500.0, 0.4, 0.35, fs).unwrap())
+            .unwrap();
         s.normalize_peak(0.5);
         s
     }
@@ -217,8 +229,12 @@ mod tests {
     fn validation() {
         let planner = AttackPlanner::default();
         let mic = DevicePreset::AndroidPhone.microphone();
-        assert!(planner.link_budget(110.0, 104.0, 40_000.0, 0.0, &mic).is_err());
-        assert!(planner.predicted_range_m(110.0, 104.0, 40_000.0, &mic, 0.0).is_err());
+        assert!(planner
+            .link_budget(110.0, 104.0, 40_000.0, 0.0, 0.0, &mic)
+            .is_err());
+        assert!(planner
+            .predicted_range_m(110.0, 104.0, 40_000.0, 0.0, &mic, 0.0)
+            .is_err());
         let array = SpeakerArray::new(UltrasonicSpeaker::default(), 1, 0.03).unwrap();
         assert!(planner
             .max_inaudible_total_power(&array, 5.0, 1.0, |_| Ok(vec![]))
@@ -229,8 +245,12 @@ mod tests {
     fn link_budget_snr_falls_with_distance() {
         let planner = AttackPlanner::default();
         let mic = DevicePreset::AndroidPhone.microphone();
-        let near = planner.link_budget(115.0, 109.0, 40_000.0, 1.0, &mic).unwrap();
-        let far = planner.link_budget(115.0, 109.0, 40_000.0, 8.0, &mic).unwrap();
+        let near = planner
+            .link_budget(115.0, 109.0, 40_000.0, 1.0, 0.0, &mic)
+            .unwrap();
+        let far = planner
+            .link_budget(115.0, 109.0, 40_000.0, 8.0, 0.0, &mic)
+            .unwrap();
         assert!(near.snr_db > far.snr_db + 20.0);
         assert!(near.is_predicted_successful());
     }
@@ -240,10 +260,10 @@ mod tests {
         let planner = AttackPlanner::default();
         let mic = DevicePreset::AndroidPhone.microphone();
         let short = planner
-            .predicted_range_m(100.0, 94.0, 40_000.0, &mic, 15.0)
+            .predicted_range_m(100.0, 94.0, 40_000.0, 0.0, &mic, 15.0)
             .unwrap();
         let long = planner
-            .predicted_range_m(120.0, 114.0, 40_000.0, &mic, 15.0)
+            .predicted_range_m(120.0, 114.0, 40_000.0, 0.0, &mic, 15.0)
             .unwrap();
         assert!(long > short, "{short} -> {long}");
         assert!(long > 2.0);
@@ -254,10 +274,35 @@ mod tests {
         let planner = AttackPlanner::default();
         let phone = DevicePreset::AndroidPhone.microphone();
         let echo = DevicePreset::AmazonEcho.microphone();
-        let phone_range = planner.predicted_range_m(115.0, 109.0, 40_000.0, &phone, 15.0).unwrap();
-        let echo_range = planner.predicted_range_m(115.0, 109.0, 40_000.0, &echo, 15.0).unwrap();
-        assert!(phone_range > echo_range, "phone {phone_range} vs echo {echo_range}");
+        let phone_range = planner
+            .predicted_range_m(115.0, 109.0, 40_000.0, 0.0, &phone, 15.0)
+            .unwrap();
+        let echo_range = planner
+            .predicted_range_m(115.0, 109.0, 40_000.0, 0.0, &echo, 15.0)
+            .unwrap();
+        assert!(
+            phone_range > echo_range,
+            "phone {phone_range} vs echo {echo_range}"
+        );
         assert!(echo_range > 0.0);
+    }
+
+    #[test]
+    fn array_aperture_extends_predicted_range() {
+        // Same radiated levels, but from a 12-element array (0.33 m
+        // aperture): the collimated beam must predict a longer reach than a
+        // point source — mirroring what SpeakerArray::field_at_target
+        // simulates at the waveform level.
+        let planner = AttackPlanner::default();
+        let mic = DevicePreset::AndroidPhone.microphone();
+        let array = SpeakerArray::new(UltrasonicSpeaker::default(), 12, 0.03).unwrap();
+        let point = planner
+            .predicted_range_m(115.0, 109.0, 40_000.0, 0.0, &mic, 15.0)
+            .unwrap();
+        let beamed = planner
+            .predicted_range_m(115.0, 109.0, 40_000.0, array.aperture_m(), &mic, 15.0)
+            .unwrap();
+        assert!(beamed > point + 1.0, "point {point} m vs beamed {beamed} m");
     }
 
     #[test]

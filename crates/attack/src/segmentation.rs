@@ -53,10 +53,7 @@ pub fn plan_segmentation(low_hz: f64, high_hz: f64, num_slices: usize) -> Result
         return Err(AttackError::invalid("num_slices", "must be at least 1"));
     }
     if !(low_hz >= 0.0) || high_hz <= low_hz {
-        return Err(AttackError::invalid(
-            "band",
-            "need 0 <= low_hz < high_hz",
-        ));
+        return Err(AttackError::invalid("band", "need 0 <= low_hz < high_hz"));
     }
     let width = (high_hz - low_hz) / num_slices as f64;
     let slices = (0..num_slices)
@@ -122,7 +119,9 @@ pub fn segment_baseband(
         ));
     }
     let fs = baseband.sample_rate_hz();
-    if carrier_hz <= 20_000.0 + baseband_bandwidth_hz || carrier_hz >= fs / 2.0 - baseband_bandwidth_hz {
+    if carrier_hz <= 20_000.0 + baseband_bandwidth_hz
+        || carrier_hz >= fs / 2.0 - baseband_bandwidth_hz
+    {
         return Err(AttackError::invalid(
             "carrier_hz",
             "carrier must keep both sidebands ultrasonic and below Nyquist",
@@ -144,7 +143,13 @@ pub fn segment_baseband(
             lpf.filter_signal(baseband)?
         } else {
             let taps = 511;
-            let bpf = FirFilter::band_pass(slice.low_hz.max(30.0), slice.high_hz, fs, taps, WindowKind::Hamming)?;
+            let bpf = FirFilter::band_pass(
+                slice.low_hz.max(30.0),
+                slice.high_hz,
+                fs,
+                taps,
+                WindowKind::Hamming,
+            )?;
             bpf.filter_signal(baseband)?
         };
         modulated.push(dsb_sc_modulate(&sliced, carrier_hz)?);
@@ -177,8 +182,10 @@ mod tests {
     fn synthetic_baseband(fs: f64) -> Signal {
         // A voice-like mixture: components at 300, 1200 and 3000 Hz.
         let mut s = Signal::tone(300.0, 0.5, 0.3, fs).unwrap();
-        s.mix(&Signal::tone(1_200.0, 0.4, 0.3, fs).unwrap()).unwrap();
-        s.mix(&Signal::tone(3_000.0, 0.3, 0.3, fs).unwrap()).unwrap();
+        s.mix(&Signal::tone(1_200.0, 0.4, 0.3, fs).unwrap())
+            .unwrap();
+        s.mix(&Signal::tone(3_000.0, 0.3, 0.3, fs).unwrap())
+            .unwrap();
         s.normalize_peak(1.0);
         s
     }
@@ -215,7 +222,8 @@ mod tests {
         let baseband = synthetic_baseband(fs);
         let seg = segment_baseband(&baseband, 40_000.0, 8_000.0, 4).unwrap();
         assert_eq!(seg.num_drives(), 5);
-        let carrier_power = band_power(seg.carrier_drive.samples(), fs, 39_500.0, 40_500.0).unwrap();
+        let carrier_power =
+            band_power(seg.carrier_drive.samples(), fs, 39_500.0, 40_500.0).unwrap();
         let elsewhere = band_power(seg.carrier_drive.samples(), fs, 30_000.0, 38_000.0).unwrap();
         assert!(carrier_power / elsewhere.max(1e-18) > 1e4);
         assert!((seg.carrier_drive.peak() - 1.0).abs() < 1e-9);
@@ -233,10 +241,18 @@ mod tests {
         let d3 = &seg.sideband_drives[3];
         let d0_near = band_power(d0.samples(), fs, 40_200.0, 40_450.0).unwrap();
         let d0_far = band_power(d0.samples(), fs, 42_500.0, 43_500.0).unwrap();
-        assert!(d0_near / d0_far.max(1e-18) > 100.0, "slice 0 leaks: {}", d0_near / d0_far);
+        assert!(
+            d0_near / d0_far.max(1e-18) > 100.0,
+            "slice 0 leaks: {}",
+            d0_near / d0_far
+        );
         let d3_near = band_power(d3.samples(), fs, 42_500.0, 43_500.0).unwrap();
         let d3_far = band_power(d3.samples(), fs, 40_150.0, 40_500.0).unwrap();
-        assert!(d3_near / d3_far.max(1e-18) > 10.0, "slice 3 leaks: {}", d3_near / d3_far);
+        assert!(
+            d3_near / d3_far.max(1e-18) > 10.0,
+            "slice 3 leaks: {}",
+            d3_near / d3_far
+        );
     }
 
     #[test]

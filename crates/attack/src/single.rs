@@ -99,19 +99,26 @@ mod tests {
 
     #[test]
     fn attack_signal_is_entirely_ultrasonic() {
-        let attack = SingleSpeakerAttack::build(&voice(), 40_000.0, 0.8, &BasebandConfig::default()).unwrap();
+        let attack =
+            SingleSpeakerAttack::build(&voice(), 40_000.0, 0.8, &BasebandConfig::default())
+                .unwrap();
         let fs = attack.drive.sample_rate_hz();
         assert_eq!(fs, 192_000.0);
         assert!((attack.drive.peak() - 1.0).abs() < 1e-6);
         let audible = band_power(attack.drive.samples(), fs, 50.0, 18_000.0).unwrap();
         let ultrasonic = band_power(attack.drive.samples(), fs, 30_000.0, 50_000.0).unwrap();
-        assert!(ultrasonic / audible.max(1e-18) > 1e4, "ratio {}", ultrasonic / audible);
+        assert!(
+            ultrasonic / audible.max(1e-18) > 1e4,
+            "ratio {}",
+            ultrasonic / audible
+        );
     }
 
     #[test]
     fn square_law_demodulation_recovers_the_voice_spectrum() {
         let v = voice();
-        let attack = SingleSpeakerAttack::build(&v, 40_000.0, 0.9, &BasebandConfig::default()).unwrap();
+        let attack =
+            SingleSpeakerAttack::build(&v, 40_000.0, 0.9, &BasebandConfig::default()).unwrap();
         let demod = square_law_demodulate(&attack.drive, 8_000.0).unwrap();
         // The demodulated signal should correlate with the baseband's band
         // energy layout: strong voice band, nothing near 10-20 kHz.
@@ -124,11 +131,19 @@ mod tests {
     #[test]
     fn carrier_frequency_is_respected() {
         for carrier in [30_000.0, 40_000.0, 60_000.0] {
-            let attack = SingleSpeakerAttack::build(&voice(), carrier, 0.8, &BasebandConfig::default()).unwrap();
+            let attack =
+                SingleSpeakerAttack::build(&voice(), carrier, 0.8, &BasebandConfig::default())
+                    .unwrap();
             let fs = attack.drive.sample_rate_hz();
-            let at_carrier = band_power(attack.drive.samples(), fs, carrier - 500.0, carrier + 500.0).unwrap();
-            let elsewhere = band_power(attack.drive.samples(), fs, carrier + 12_000.0, carrier + 20_000.0)
-                .unwrap_or(0.0);
+            let at_carrier =
+                band_power(attack.drive.samples(), fs, carrier - 500.0, carrier + 500.0).unwrap();
+            let elsewhere = band_power(
+                attack.drive.samples(),
+                fs,
+                carrier + 12_000.0,
+                carrier + 20_000.0,
+            )
+            .unwrap_or(0.0);
             assert!(at_carrier > elsewhere * 100.0, "carrier {carrier}");
             assert!((attack.carrier_hz - carrier).abs() < 1e-9);
         }

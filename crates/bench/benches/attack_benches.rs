@@ -10,8 +10,10 @@ use ivc_dsp::signal::Signal;
 fn voice() -> Signal {
     let fs = 48_000.0;
     let mut s = Signal::tone(400.0, 0.5, 0.5, fs).unwrap();
-    s.mix(&Signal::tone(1_300.0, 0.4, 0.5, fs).unwrap()).unwrap();
-    s.mix(&Signal::tone(2_700.0, 0.3, 0.5, fs).unwrap()).unwrap();
+    s.mix(&Signal::tone(1_300.0, 0.4, 0.5, fs).unwrap())
+        .unwrap();
+    s.mix(&Signal::tone(2_700.0, 0.3, 0.5, fs).unwrap())
+        .unwrap();
     s.normalize_peak(0.5);
     s
 }
@@ -26,7 +28,9 @@ fn bench_attack(c: &mut Criterion) {
         b.iter(|| prepare_baseband(std::hint::black_box(&v), &cfg).unwrap())
     });
     group.bench_function("single_speaker_attack_0p5s", |b| {
-        b.iter(|| SingleSpeakerAttack::build(std::hint::black_box(&v), 40_000.0, 0.9, &cfg).unwrap())
+        b.iter(|| {
+            SingleSpeakerAttack::build(std::hint::black_box(&v), 40_000.0, 0.9, &cfg).unwrap()
+        })
     });
     group.bench_function("multispeaker_attack_8el_0p5s", |b| {
         b.iter(|| MultiSpeakerAttack::build(std::hint::black_box(&v), 40_000.0, 8, &cfg).unwrap())

@@ -42,7 +42,8 @@ fn bench_defense(c: &mut Criterion) {
         .collect();
     group.bench_function("logistic_regression_training_60x3", |b| {
         b.iter(|| {
-            LogisticRegression::train(std::hint::black_box(&samples), &TrainingConfig::default()).unwrap()
+            LogisticRegression::train(std::hint::black_box(&samples), &TrainingConfig::default())
+                .unwrap()
         })
     });
     group.finish();

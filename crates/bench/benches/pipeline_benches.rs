@@ -14,7 +14,9 @@ fn bench_pipeline(c: &mut Criterion) {
     let command = &corpus()[0];
 
     let legit = Scenario {
-        delivery: Delivery::Legitimate { talker_spl_db: 65.0 },
+        delivery: Delivery::Legitimate {
+            talker_spl_db: 65.0,
+        },
         max_voice_duration_s: 1.0,
         ..Scenario::default_attack()
     };

@@ -77,7 +77,12 @@ pub fn fig_a1_leakage_vs_power(fidelity: Fidelity) -> Result<Table> {
     };
     let mut table = Table::new(
         "E-A1: single-speaker leakage vs drive power (bystander at 1 m)",
-        &["Power (W)", "Leakage SPL (dB)", "Voice-band leak (dB)", "Audible?"],
+        &[
+            "Power (W)",
+            "Leakage SPL (dB)",
+            "Voice-band leak (dB)",
+            "Audible?",
+        ],
     );
     for power in powers {
         let scenario = Scenario {
@@ -93,7 +98,11 @@ pub fn fig_a1_leakage_vs_power(fidelity: Fidelity) -> Result<Table> {
             fmt(power, 1),
             fmt(leak.audible_spl_db, 1),
             fmt(leak.voice_band_spl_db, 1),
-            if leak.is_audible() { "yes".into() } else { "no".into() },
+            if leak.is_audible() {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     Ok(table)
@@ -158,7 +167,7 @@ pub fn fig_a2_accuracy_vs_distance(fidelity: Fidelity) -> Result<(Table, Vec<Ser
             fmt(columns[2][columns[2].len() - 1], 2),
         ]);
     }
-    for ((name, _), ys) in configs.iter().zip(columns.into_iter()) {
+    for ((name, _), ys) in configs.iter().zip(columns) {
         series.push(Series::new(*name, distances.clone(), ys));
     }
     Ok((table, series))
@@ -178,7 +187,12 @@ pub fn fig_a3_accuracy_vs_speakers(fidelity: Fidelity) -> Result<Table> {
     };
     let mut table = Table::new(
         format!("E-A3: word accuracy vs number of elements (distance {distance} m)"),
-        &["Elements", "Total power (W)", "Word accuracy", "Leak voice-band SPL (dB)"],
+        &[
+            "Elements",
+            "Total power (W)",
+            "Word accuracy",
+            "Leak voice-band SPL (dB)",
+        ],
     );
     for &n in &element_counts {
         let total_power = 7.0 * n as f64; // the per-element budget is fixed
@@ -214,7 +228,13 @@ pub fn fig_a4_leakage_vs_speakers(fidelity: Fidelity) -> Result<Table> {
     let total_power = 30.0;
     let mut table = Table::new(
         format!("E-A4: leakage vs number of elements (total power {total_power} W, bystander 1 m)"),
-        &["Elements", "Leak SPL (dB)", "Leak dB(A)", "Voice-band leak (dB)", "Audible?"],
+        &[
+            "Elements",
+            "Leak SPL (dB)",
+            "Leak dB(A)",
+            "Voice-band leak (dB)",
+            "Audible?",
+        ],
     );
     for &n in &element_counts {
         let scenario = Scenario {
@@ -232,7 +252,11 @@ pub fn fig_a4_leakage_vs_speakers(fidelity: Fidelity) -> Result<Table> {
             fmt(leak.audible_spl_db, 1),
             fmt(leak.audible_spl_dba, 1),
             fmt(leak.voice_band_spl_db, 1),
-            if leak.is_audible() { "yes".into() } else { "no".into() },
+            if leak.is_audible() {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     Ok(table)
@@ -281,7 +305,9 @@ pub fn fig_a6_carrier_frequency(fidelity: Fidelity) -> Result<Table> {
     let command = &corpus()[0];
     let carriers: Vec<f64> = match fidelity {
         Fidelity::Quick => vec![30_000.0, 40_000.0, 60_000.0],
-        Fidelity::Full => vec![28_000.0, 32_000.0, 36_000.0, 40_000.0, 48_000.0, 56_000.0, 64_000.0],
+        Fidelity::Full => vec![
+            28_000.0, 32_000.0, 36_000.0, 40_000.0, 48_000.0, 56_000.0, 64_000.0,
+        ],
     };
     let mut table = Table::new(
         "E-A6: word accuracy vs carrier frequency (single speaker, 10 W, 1.5 m)",
@@ -374,9 +400,18 @@ pub fn fig_b2_spectrogram_triplet(fidelity: Fidelity) -> Result<Table> {
     let bands = 8;
     let mut table = Table::new(
         "E-B2: band-energy summaries (dB) of normal voice / attack ultrasound / recording",
-        &["Band", "Normal (0-8 kHz)", "Attack drive (0-96 kHz)", "Recording (0-8 kHz)"],
+        &[
+            "Band",
+            "Normal (0-8 kHz)",
+            "Attack drive (0-96 kHz)",
+            "Recording (0-8 kHz)",
+        ],
     );
-    let sg_voice = spectrogram(voice.samples(), voice.sample_rate_hz(), &StftConfig::default())?;
+    let sg_voice = spectrogram(
+        voice.samples(),
+        voice.sample_rate_hz(),
+        &StftConfig::default(),
+    )?;
     let sg_attack = spectrogram(
         attack.drive.samples(),
         attack.drive.sample_rate_hz(),
@@ -469,7 +504,7 @@ pub fn fig_d1_d2_feature_separation(fidelity: Fidelity) -> Result<Table> {
         "E-D1/E-D2: defense feature means (legitimate vs attack recordings)",
         &["Feature", "Legit mean", "Attack mean"],
     );
-    let mut sums = vec![[0.0f64; 2]; DefenseFeatures::DIMENSION];
+    let mut sums = [[0.0f64; 2]; DefenseFeatures::DIMENSION];
     let mut counts = [0usize; 2];
     for r in &dataset.recordings {
         let f = DefenseFeatures::extract(&r.recording)?.to_vector();
@@ -499,7 +534,10 @@ pub fn fig_d3_roc(fidelity: Fidelity) -> Result<Table> {
         &["FPR", "TPR"],
     );
     for p in roc.points.iter().take(12) {
-        table.push_row(vec![fmt(p.false_positive_rate, 3), fmt(p.true_positive_rate, 3)]);
+        table.push_row(vec![
+            fmt(p.false_positive_rate, 3),
+            fmt(p.true_positive_rate, 3),
+        ]);
     }
     Ok(table)
 }
@@ -600,7 +638,12 @@ pub fn fig_d6_adaptive_attacker(fidelity: Fidelity) -> Result<Table> {
     };
     let mut table = Table::new(
         "E-D6: adaptive attacker (shadow suppression)",
-        &["Suppression", "Detection prob.", "Attack word accuracy", "Attacker wins?"],
+        &[
+            "Suppression",
+            "Detection prob.",
+            "Attack word accuracy",
+            "Attacker wins?",
+        ],
     );
     for &alpha in &suppressions {
         let compensated = precompensated_baseband(&voice, alpha)?;
@@ -627,7 +670,11 @@ pub fn fig_d6_adaptive_attacker(fidelity: Fidelity) -> Result<Table> {
             fmt(alpha, 2),
             fmt(p, 2),
             fmt(accuracy, 2),
-            if outcome.attacker_wins() { "yes".into() } else { "no".into() },
+            if outcome.attacker_wins() {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     Ok(table)

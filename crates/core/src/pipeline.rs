@@ -54,7 +54,9 @@ pub fn run_trial(
     };
     let utterance = synth.render(command, &profile)?;
     let voice = if utterance.signal.duration_s() > scenario.max_voice_duration_s {
-        utterance.signal.slice_seconds(0.0, scenario.max_voice_duration_s)
+        utterance
+            .signal
+            .slice_seconds(0.0, scenario.max_voice_duration_s)
     } else {
         utterance.signal.clone()
     };
@@ -69,12 +71,22 @@ pub fn run_trial(
                 None,
             )
         }
-        Delivery::SingleSpeakerUltrasound { power_w, carrier_hz } => {
-            let attack = SingleSpeakerAttack::build(&voice, carrier_hz, 0.9, &BasebandConfig::default())?;
+        Delivery::SingleSpeakerUltrasound {
+            power_w,
+            carrier_hz,
+        } => {
+            let attack =
+                SingleSpeakerAttack::build(&voice, carrier_hz, 0.9, &BasebandConfig::default())?;
             let speaker = UltrasonicSpeaker::default();
             let array = SpeakerArray::new(speaker.clone(), 1, 0.03)?;
             let drives = single_speaker_element_drives(&attack, power_w.min(speaker.max_power_w))?;
-            let leak = estimate_leakage(&array, &drives, scenario.bystander_distance_m, &scenario.env, 0.0)?;
+            let leak = estimate_leakage(
+                &array,
+                &drives,
+                scenario.bystander_distance_m,
+                &scenario.env,
+                0.0,
+            )?;
             (
                 array.field_at_target(&drives, scenario.distance_m, &scenario.env)?,
                 Some(leak),
@@ -88,13 +100,29 @@ pub fn run_trial(
             let speaker = UltrasonicSpeaker::default();
             let array = SpeakerArray::new(speaker.clone(), num_elements.max(1), 0.03)?;
             let drives = if num_elements <= 1 {
-                let attack = SingleSpeakerAttack::build(&voice, carrier_hz, 0.9, &BasebandConfig::default())?;
+                let attack = SingleSpeakerAttack::build(
+                    &voice,
+                    carrier_hz,
+                    0.9,
+                    &BasebandConfig::default(),
+                )?;
                 single_speaker_element_drives(&attack, total_power_w.min(speaker.max_power_w))?
             } else {
-                let attack = MultiSpeakerAttack::build(&voice, carrier_hz, num_elements, &BasebandConfig::default())?;
+                let attack = MultiSpeakerAttack::build(
+                    &voice,
+                    carrier_hz,
+                    num_elements,
+                    &BasebandConfig::default(),
+                )?;
                 attack.element_drives(total_power_w, 0.3, speaker.max_power_w)?
             };
-            let leak = estimate_leakage(&array, &drives, scenario.bystander_distance_m, &scenario.env, 0.0)?;
+            let leak = estimate_leakage(
+                &array,
+                &drives,
+                scenario.bystander_distance_m,
+                &scenario.env,
+                0.0,
+            )?;
             (
                 array.field_at_target(&drives, scenario.distance_m, &scenario.env)?,
                 Some(leak),
@@ -151,11 +179,17 @@ mod tests {
     fn legitimate_delivery_is_accepted_and_not_detected_as_attack() {
         let recognizer = Recognizer::with_default_corpus().unwrap();
         let command = &corpus()[0];
-        let scenario = quick_scenario(Delivery::Legitimate { talker_spl_db: 68.0 });
+        let scenario = quick_scenario(Delivery::Legitimate {
+            talker_spl_db: 68.0,
+        });
         let outcome = run_trial(command, &scenario, &recognizer, None).unwrap();
         assert!(outcome.leakage.is_none());
         assert!(outcome.detection_probability.is_none());
-        assert!(outcome.word_accuracy > 0.5, "accuracy {}", outcome.word_accuracy);
+        assert!(
+            outcome.word_accuracy > 0.5,
+            "accuracy {}",
+            outcome.word_accuracy
+        );
         assert!(outcome.recording.len() > 1_000);
     }
 
@@ -170,7 +204,11 @@ mod tests {
         });
         let outcome = run_trial(command, &scenario, &recognizer, None).unwrap();
         assert!(outcome.leakage.is_some());
-        assert!(outcome.word_accuracy > 0.4, "accuracy {}", outcome.word_accuracy);
+        assert!(
+            outcome.word_accuracy > 0.4,
+            "accuracy {}",
+            outcome.word_accuracy
+        );
         // The defense trace is present even when the attack succeeds.
         assert!(outcome.defense_features.shadow_correlation > 0.2);
     }

@@ -92,13 +92,21 @@ impl Table {
             cells
                 .iter()
                 .enumerate()
-                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+                .map(|(i, c)| {
+                    format!(
+                        "{:width$}",
+                        c,
+                        width = widths.get(i).copied().unwrap_or(c.len())
+                    )
+                })
                 .collect::<Vec<_>>()
                 .join("  ")
         };
         out.push_str(&format_row(&self.headers));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&format_row(row));
@@ -134,7 +142,10 @@ mod tests {
 
     #[test]
     fn table_rendering_is_aligned_and_complete() {
-        let mut table = Table::new("Attack range vs power", &["Power (W)", "Phone (cm)", "Echo (cm)"]);
+        let mut table = Table::new(
+            "Attack range vs power",
+            &["Power (W)", "Phone (cm)", "Echo (cm)"],
+        );
         table.push_row(vec!["9.2".into(), "222".into(), "145".into()]);
         table.push_row(vec!["23.7".into(), "354".into(), "239".into()]);
         let rendered = table.render();
@@ -149,7 +160,7 @@ mod tests {
 
     #[test]
     fn fmt_helper() {
-        assert_eq!(fmt(3.14159, 2), "3.14");
+        assert_eq!(fmt(3.15159, 2), "3.15");
         assert_eq!(fmt(10.0, 0), "10");
     }
 }

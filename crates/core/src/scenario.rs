@@ -100,7 +100,9 @@ impl Scenario {
     /// A legitimate-use counterpart of [`Scenario::default_attack`].
     pub fn default_legitimate() -> Self {
         Scenario {
-            delivery: Delivery::Legitimate { talker_spl_db: 65.0 },
+            delivery: Delivery::Legitimate {
+                talker_spl_db: 65.0,
+            },
             ..Scenario::default_attack()
         }
     }
@@ -128,7 +130,10 @@ mod tests {
 
     #[test]
     fn delivery_classification_and_labels() {
-        assert!(!Delivery::Legitimate { talker_spl_db: 65.0 }.is_attack());
+        assert!(!Delivery::Legitimate {
+            talker_spl_db: 65.0
+        }
+        .is_attack());
         assert!(Delivery::SingleSpeakerUltrasound {
             power_w: 10.0,
             carrier_hz: 40_000.0
@@ -140,7 +145,11 @@ mod tests {
             carrier_hz: 40_000.0
         }
         .is_attack());
-        assert!(Delivery::Legitimate { talker_spl_db: 65.0 }.label().contains("legitimate"));
+        assert!(Delivery::Legitimate {
+            talker_spl_db: 65.0
+        }
+        .label()
+        .contains("legitimate"));
         assert!(Delivery::ArrayUltrasound {
             num_elements: 61,
             total_power_w: 100.0,

@@ -97,7 +97,12 @@ impl LogisticRegression {
             let mut grad_b = 0.0;
             for (f, y) in samples {
                 let x = standardise(f);
-                let z: f64 = weights.iter().zip(x.iter()).map(|(w, v)| w * v).sum::<f64>() + bias;
+                let z: f64 = weights
+                    .iter()
+                    .zip(x.iter())
+                    .map(|(w, v)| w * v)
+                    .sum::<f64>()
+                    + bias;
                 let p = sigmoid(z);
                 let err = p - if *y { 1.0 } else { 0.0 };
                 for (g, v) in grad_w.iter_mut().zip(x.iter()) {
@@ -226,7 +231,8 @@ mod tests {
 
     #[test]
     fn rejects_mismatched_dimensions_at_prediction_time() {
-        let model = LogisticRegression::train(&toy_dataset(10), &TrainingConfig::default()).unwrap();
+        let model =
+            LogisticRegression::train(&toy_dataset(10), &TrainingConfig::default()).unwrap();
         assert!(model.predict_probability(&vec![1.0]).is_err());
         assert!(model.predict(&vec![1.0, 2.0, 3.0]).is_err());
     }

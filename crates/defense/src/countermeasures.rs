@@ -112,7 +112,10 @@ mod tests {
         // (the anti-shadow), which the original lacked.
         let low_orig = band_power(v.samples(), fs, 2.0, 80.0).unwrap();
         let low_comp = band_power(compensated.samples(), fs, 2.0, 80.0).unwrap();
-        assert!(low_comp > low_orig * 5.0, "orig {low_orig} vs comp {low_comp}");
+        assert!(
+            low_comp > low_orig * 5.0,
+            "orig {low_orig} vs comp {low_comp}"
+        );
         // The voice band is essentially untouched.
         let voice_orig = band_power(v.samples(), fs, 600.0, 800.0).unwrap();
         let voice_comp = band_power(compensated.samples(), fs, 600.0, 800.0).unwrap();

@@ -82,6 +82,9 @@ impl Default for DatasetConfig {
     }
 }
 
+/// Feature vectors paired with their attack/legitimate labels.
+pub type LabeledFeatures = Vec<(FeatureVector, bool)>;
+
 /// A labelled corpus of recordings.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
@@ -131,7 +134,10 @@ pub fn generate_attack_recording(
     seed: u64,
 ) -> Result<Signal> {
     if attack_elements == 0 {
-        return Err(DefenseError::invalid("attack_elements", "must be at least 1"));
+        return Err(DefenseError::invalid(
+            "attack_elements",
+            "must be at least 1",
+        ));
     }
     let speaker = UltrasonicSpeaker::default();
     let baseband_cfg = BasebandConfig::default();
@@ -254,7 +260,7 @@ impl Dataset {
     }
 
     /// Extracts defense features for every recording.
-    pub fn to_feature_samples(&self) -> Result<Vec<(FeatureVector, bool)>> {
+    pub fn to_feature_samples(&self) -> Result<LabeledFeatures> {
         self.recordings
             .iter()
             .map(|r| {
@@ -268,10 +274,7 @@ impl Dataset {
 
     /// Deterministic split into train and test sets: every `1/test_every`-th
     /// sample of each class goes to the test set.
-    pub fn split_features(
-        &self,
-        test_every: usize,
-    ) -> Result<(Vec<(FeatureVector, bool)>, Vec<(FeatureVector, bool)>)> {
+    pub fn split_features(&self, test_every: usize) -> Result<(LabeledFeatures, LabeledFeatures)> {
         if test_every < 2 {
             return Err(DefenseError::invalid("test_every", "must be at least 2"));
         }
@@ -350,10 +353,7 @@ mod tests {
         let ds = Dataset::generate(&cfg).unwrap();
         let samples = ds.to_feature_samples().unwrap();
         assert_eq!(samples.len(), ds.len());
-        assert_eq!(
-            samples.iter().filter(|(_, y)| *y).count(),
-            ds.num_attacks()
-        );
+        assert_eq!(samples.iter().filter(|(_, y)| *y).count(), ds.num_attacks());
         for (f, _) in &samples {
             assert_eq!(f.len(), DefenseFeatures::DIMENSION);
         }

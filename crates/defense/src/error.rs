@@ -87,9 +87,11 @@ mod tests {
     #[test]
     fn display_and_conversions() {
         assert!(DefenseError::invalid("x", "bad").to_string().contains("x"));
-        assert!(DefenseError::DegenerateDataset { message: "empty".into() }
-            .to_string()
-            .contains("empty"));
+        assert!(DefenseError::DegenerateDataset {
+            message: "empty".into()
+        }
+        .to_string()
+        .contains("empty"));
         let e: DefenseError = ivc_dsp::DspError::EmptyInput { operation: "f" }.into();
         assert!(e.to_string().contains("dsp"));
         let e: DefenseError = ivc_speech::SpeechError::NoTemplates.into();

@@ -128,13 +128,13 @@ impl DefenseFeatures {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ivc_acoustics::environment::AirEnvironment;
     use ivc_acoustics::microphone::DevicePreset;
     use ivc_acoustics::propagation::propagate;
+    use ivc_acoustics::speaker::UltrasonicSpeaker;
     use ivc_acoustics::spl::spl_db_to_pressure;
     use ivc_attack::baseband::BasebandConfig;
     use ivc_attack::single::SingleSpeakerAttack;
-    use ivc_acoustics::speaker::UltrasonicSpeaker;
-    use ivc_acoustics::environment::AirEnvironment;
 
     fn synthetic_voice() -> Signal {
         // Amplitude-modulated voice-like signal: components at 350/1200/2500
@@ -160,26 +160,36 @@ mod tests {
     fn legit_recording() -> Signal {
         // Voice at conversational level propagated 1.5 m to the phone.
         let voice = synthetic_voice();
-        let pressure = voice.scaled(spl_db_to_pressure(68.0) * std::f64::consts::SQRT_2 / voice.peak());
+        let pressure =
+            voice.scaled(spl_db_to_pressure(68.0) * std::f64::consts::SQRT_2 / voice.peak());
         let env = AirEnvironment::default();
         let at_mic = propagate(&pressure, 1.5, &env).unwrap();
-        DevicePreset::AndroidPhone.microphone().capture(&at_mic, 11).unwrap()
+        DevicePreset::AndroidPhone
+            .microphone()
+            .capture(&at_mic, 11)
+            .unwrap()
     }
 
     fn attack_recording() -> Signal {
         let voice = synthetic_voice();
-        let attack = SingleSpeakerAttack::build(&voice, 40_000.0, 0.9, &BasebandConfig::default()).unwrap();
+        let attack =
+            SingleSpeakerAttack::build(&voice, 40_000.0, 0.9, &BasebandConfig::default()).unwrap();
         let speaker = UltrasonicSpeaker::default();
         let emitted = speaker.emit_at_1m(&attack.drive, 25.0).unwrap();
         let env = AirEnvironment::default();
         let at_mic = propagate(&emitted, 1.5, &env).unwrap();
-        DevicePreset::AndroidPhone.microphone().capture(&at_mic, 12).unwrap()
+        DevicePreset::AndroidPhone
+            .microphone()
+            .capture(&at_mic, 12)
+            .unwrap()
     }
 
     #[test]
     fn validation() {
         assert!(DefenseFeatures::extract(&Signal::new(vec![], 48_000.0).unwrap()).is_err());
-        assert!(DefenseFeatures::extract(&Signal::tone(100.0, 0.3, 0.2, 4_000.0).unwrap()).is_err());
+        assert!(
+            DefenseFeatures::extract(&Signal::tone(100.0, 0.3, 0.2, 4_000.0).unwrap()).is_err()
+        );
         assert_eq!(DefenseFeatures::NAMES.len(), DefenseFeatures::DIMENSION);
     }
 

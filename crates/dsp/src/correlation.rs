@@ -74,7 +74,11 @@ pub fn best_alignment(a: &[f64], b: &[f64], max_lag: usize) -> Result<(isize, f6
     let (idx, &peak) = values
         .iter()
         .enumerate()
-        .max_by(|x, y| x.1.abs().partial_cmp(&y.1.abs()).unwrap_or(std::cmp::Ordering::Equal))
+        .max_by(|x, y| {
+            x.1.abs()
+                .partial_cmp(&y.1.abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
         .expect("cross_correlation returns at least one lag");
     Ok((lags[idx], peak / norm))
 }
@@ -117,8 +121,7 @@ pub fn fundamental_period(
     }
     let ac = autocorrelation(a, max_lag)?;
     let mut best: Option<(usize, f64)> = None;
-    for lag in min_lag..ac.len() {
-        let v = ac[lag];
+    for (lag, &v) in ac.iter().enumerate().skip(min_lag) {
         if v >= threshold {
             match best {
                 Some((_, bv)) if v <= bv => {}
@@ -174,12 +177,12 @@ mod tests {
     #[test]
     fn best_alignment_finds_known_delay() {
         let n = 1_000;
-        let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.05).sin() * (-(i as f64 - 500.0).powi(2) / 20_000.0).exp()).collect();
+        let a: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * 0.05).sin() * (-(i as f64 - 500.0).powi(2) / 20_000.0).exp())
+            .collect();
         let delay = 37usize;
         let mut b = vec![0.0; n];
-        for i in 0..n - delay {
-            b[i + delay] = a[i];
-        }
+        b[delay..n].copy_from_slice(&a[..n - delay]);
         let (lag, peak) = best_alignment(&a, &b, 100).unwrap();
         assert_eq!(lag, delay as isize);
         assert!(peak > 0.8);

@@ -44,18 +44,28 @@ pub fn analytic_signal(samples: &[f64]) -> Result<Vec<Complex>> {
 
 /// Amplitude envelope via the analytic signal (Hilbert method).
 pub fn hilbert_envelope(samples: &[f64]) -> Result<Vec<f64>> {
-    Ok(analytic_signal(samples)?.into_iter().map(|c| c.abs()).collect())
+    Ok(analytic_signal(samples)?
+        .into_iter()
+        .map(|c| c.abs())
+        .collect())
 }
 
 /// Instantaneous phase of the analytic signal, in radians (not unwrapped).
 pub fn instantaneous_phase(samples: &[f64]) -> Result<Vec<f64>> {
-    Ok(analytic_signal(samples)?.into_iter().map(|c| c.arg()).collect())
+    Ok(analytic_signal(samples)?
+        .into_iter()
+        .map(|c| c.arg())
+        .collect())
 }
 
 /// Rectify-and-smooth envelope detector: absolute value followed by a
 /// low-pass filter at `cutoff_hz`.  This mirrors the behaviour of an analog
 /// AM envelope detector and of the `s²` term of a non-linear microphone.
-pub fn rectified_envelope(samples: &[f64], sample_rate_hz: f64, cutoff_hz: f64) -> Result<Vec<f64>> {
+pub fn rectified_envelope(
+    samples: &[f64],
+    sample_rate_hz: f64,
+    cutoff_hz: f64,
+) -> Result<Vec<f64>> {
     if samples.is_empty() {
         return Err(DspError::EmptyInput {
             operation: "rectified_envelope",

@@ -100,7 +100,9 @@ pub fn ifft(input: &[Complex]) -> Result<Vec<Complex>> {
 /// frequencies), which keeps downstream code simple.
 pub fn fft_real(input: &[f64]) -> Result<Vec<Complex>> {
     if input.is_empty() {
-        return Err(DspError::EmptyInput { operation: "fft_real" });
+        return Err(DspError::EmptyInput {
+            operation: "fft_real",
+        });
     }
     let n = next_power_of_two(input.len());
     let mut buffer = vec![Complex::ZERO; n];
@@ -115,7 +117,9 @@ pub fn fft_real(input: &[f64]) -> Result<Vec<Complex>> {
 /// (`n` must be a power of two).
 pub fn fft_real_n(input: &[f64], n: usize) -> Result<Vec<Complex>> {
     if input.is_empty() {
-        return Err(DspError::EmptyInput { operation: "fft_real_n" });
+        return Err(DspError::EmptyInput {
+            operation: "fft_real_n",
+        });
     }
     if !is_power_of_two(n) {
         return Err(DspError::invalid_parameter(
@@ -182,7 +186,7 @@ pub fn fft_convolve(a: &[f64], b: &[f64]) -> Result<Vec<f64>> {
     fft_in_place(&mut fa, false)?;
     fft_in_place(&mut fb, false)?;
     for (x, y) in fa.iter_mut().zip(fb.iter()) {
-        *x = *x * *y;
+        *x *= *y;
     }
     fft_in_place(&mut fa, true)?;
     Ok(fa.into_iter().take(out_len).map(|c| c.re).collect())

@@ -23,7 +23,10 @@ impl Biquad {
     /// Creates a section from raw coefficients (`a0` is used to normalise).
     pub fn new(b0: f64, b1: f64, b2: f64, a0: f64, a1: f64, a2: f64) -> Result<Self> {
         if a0 == 0.0 || !a0.is_finite() {
-            return Err(DspError::invalid_parameter("a0", "must be finite and non-zero"));
+            return Err(DspError::invalid_parameter(
+                "a0",
+                "must be finite and non-zero",
+            ));
         }
         Ok(Biquad {
             b0: b0 / a0,
@@ -73,7 +76,14 @@ impl Biquad {
     pub fn notch(center_hz: f64, q: f64, sample_rate_hz: f64) -> Result<Self> {
         let (w0, alpha) = omega_alpha(center_hz, q, sample_rate_hz)?;
         let cos_w0 = w0.cos();
-        Biquad::new(1.0, -2.0 * cos_w0, 1.0, 1.0 + alpha, -2.0 * cos_w0, 1.0 - alpha)
+        Biquad::new(
+            1.0,
+            -2.0 * cos_w0,
+            1.0,
+            1.0 + alpha,
+            -2.0 * cos_w0,
+            1.0 - alpha,
+        )
     }
 
     /// Filters a buffer, returning a new vector (initial state is zero).
@@ -155,7 +165,11 @@ impl BiquadCascade {
     }
 
     /// Butterworth high-pass of even order `order` (rounded up).
-    pub fn butterworth_high_pass(cutoff_hz: f64, order: usize, sample_rate_hz: f64) -> Result<Self> {
+    pub fn butterworth_high_pass(
+        cutoff_hz: f64,
+        order: usize,
+        sample_rate_hz: f64,
+    ) -> Result<Self> {
         let sections = butterworth_qs(order)?
             .into_iter()
             .map(|q| Biquad::high_pass(cutoff_hz, q, sample_rate_hz))
@@ -177,8 +191,10 @@ impl BiquadCascade {
                 format!("low {low_hz} Hz must be below high {high_hz} Hz"),
             ));
         }
-        let mut sections = BiquadCascade::butterworth_high_pass(low_hz, order, sample_rate_hz)?.sections;
-        sections.extend(BiquadCascade::butterworth_low_pass(high_hz, order, sample_rate_hz)?.sections);
+        let mut sections =
+            BiquadCascade::butterworth_high_pass(low_hz, order, sample_rate_hz)?.sections;
+        sections
+            .extend(BiquadCascade::butterworth_low_pass(high_hz, order, sample_rate_hz)?.sections);
         BiquadCascade::new(sections)
     }
 
@@ -273,7 +289,10 @@ mod tests {
     fn low_pass_response_at_cutoff_is_minus_3db() {
         let c = BiquadCascade::butterworth_low_pass(1_000.0, 2, 48_000.0).unwrap();
         let mag = c.magnitude_response(1_000.0, 48_000.0);
-        assert!((mag - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.02, "mag = {mag}");
+        assert!(
+            (mag - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.02,
+            "mag = {mag}"
+        );
         assert!((c.magnitude_response(10.0, 48_000.0) - 1.0).abs() < 1e-3);
         assert!(c.magnitude_response(10_000.0, 48_000.0) < 0.02);
     }

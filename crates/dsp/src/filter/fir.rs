@@ -33,7 +33,12 @@ impl FirFilter {
     ///
     /// `taps` is forced odd so the filter has a symmetric (linear-phase)
     /// impulse response with an integer group delay of `(taps - 1) / 2`.
-    pub fn low_pass(cutoff_hz: f64, sample_rate_hz: f64, taps: usize, window: WindowKind) -> Result<Self> {
+    pub fn low_pass(
+        cutoff_hz: f64,
+        sample_rate_hz: f64,
+        taps: usize,
+        window: WindowKind,
+    ) -> Result<Self> {
         validate(cutoff_hz, sample_rate_hz, taps)?;
         let taps = make_odd(taps);
         let fc = cutoff_hz / sample_rate_hz; // normalised (cycles per sample)
@@ -51,7 +56,12 @@ impl FirFilter {
     }
 
     /// Designs a high-pass filter by spectral inversion of a low-pass.
-    pub fn high_pass(cutoff_hz: f64, sample_rate_hz: f64, taps: usize, window: WindowKind) -> Result<Self> {
+    pub fn high_pass(
+        cutoff_hz: f64,
+        sample_rate_hz: f64,
+        taps: usize,
+        window: WindowKind,
+    ) -> Result<Self> {
         validate(cutoff_hz, sample_rate_hz, taps)?;
         let taps = make_odd(taps);
         let low = FirFilter::low_pass(cutoff_hz, sample_rate_hz, taps, window)?;
@@ -243,7 +253,9 @@ mod tests {
         assert!(FirFilter::low_pass(30_000.0, 48_000.0, 101, WindowKind::Hamming).is_err());
         assert!(FirFilter::low_pass(1_000.0, 0.0, 101, WindowKind::Hamming).is_err());
         assert!(FirFilter::low_pass(1_000.0, 48_000.0, 2, WindowKind::Hamming).is_err());
-        assert!(FirFilter::band_pass(2_000.0, 1_000.0, 48_000.0, 101, WindowKind::Hamming).is_err());
+        assert!(
+            FirFilter::band_pass(2_000.0, 1_000.0, 48_000.0, 101, WindowKind::Hamming).is_err()
+        );
         assert!(FirFilter::from_coefficients(vec![]).is_err());
     }
 
@@ -265,7 +277,10 @@ mod tests {
         let mid = 1_000..3_800;
         let low_ratio = rms(&low_out[mid.clone()]) / rms(&low[mid.clone()]);
         let high_ratio = rms(&high_out[mid.clone()]) / rms(&high[mid]);
-        assert!(low_ratio > 0.95, "passband attenuation too high: {low_ratio}");
+        assert!(
+            low_ratio > 0.95,
+            "passband attenuation too high: {low_ratio}"
+        );
         assert!(high_ratio < 0.01, "stopband leakage too high: {high_ratio}");
     }
 
@@ -279,7 +294,10 @@ mod tests {
         let low_ratio = rms(&f.filter(&low).unwrap()[mid.clone()]) / rms(&low[mid.clone()]);
         let high_ratio = rms(&f.filter(&high).unwrap()[mid.clone()]) / rms(&high[mid]);
         assert!(low_ratio < 0.02, "stopband leakage too high: {low_ratio}");
-        assert!(high_ratio > 0.9, "passband attenuation too high: {high_ratio}");
+        assert!(
+            high_ratio > 0.9,
+            "passband attenuation too high: {high_ratio}"
+        );
     }
 
     #[test]

@@ -89,7 +89,8 @@ mod tests {
     fn resolves_mixture_components() {
         let fs = 48_000.0;
         let mut s = Signal::tone(1_000.0, 0.5, 0.5, fs).unwrap();
-        s.mix(&Signal::tone(3_000.0, 0.25, 0.5, fs).unwrap()).unwrap();
+        s.mix(&Signal::tone(3_000.0, 0.25, 0.5, fs).unwrap())
+            .unwrap();
         let amps = tone_amplitudes(s.samples(), fs, &[1_000.0, 3_000.0, 5_000.0]).unwrap();
         assert!((amps[0] - 0.5).abs() < 0.02);
         assert!((amps[1] - 0.25).abs() < 0.02);

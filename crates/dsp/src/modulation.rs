@@ -125,10 +125,7 @@ pub fn coherent_demodulate(
 /// second-order non-linearity) and low-pass filtered.  This is exactly the
 /// mechanism by which a victim microphone recovers the attacker's baseband,
 /// and it is also the source of the defense's tell-tale `m(t)²` shadow.
-pub fn square_law_demodulate(
-    modulated: &Signal,
-    baseband_cutoff_hz: f64,
-) -> Result<Signal> {
+pub fn square_law_demodulate(modulated: &Signal, baseband_cutoff_hz: f64) -> Result<Signal> {
     if modulated.is_empty() {
         return Err(DspError::EmptyInput {
             operation: "square_law_demodulate",
@@ -180,7 +177,11 @@ mod tests {
         let y = am_modulate(&m, &AmConfig::new(40_000.0, 0.8)).unwrap();
         let near_carrier = band_power(y.samples(), fs, 36_000.0, 44_000.0).unwrap();
         let audible = band_power(y.samples(), fs, 100.0, 20_000.0).unwrap();
-        assert!(near_carrier / audible > 1e4, "ratio {}", near_carrier / audible);
+        assert!(
+            near_carrier / audible > 1e4,
+            "ratio {}",
+            near_carrier / audible
+        );
         assert!((y.peak() - 1.0).abs() < 1e-9);
     }
 
@@ -218,7 +219,11 @@ mod tests {
         // The demodulated signal should contain a strong 1 kHz component.
         let p_tone = band_power(d.samples(), fs, 800.0, 1_200.0).unwrap();
         let p_rest = band_power(d.samples(), fs, 3_000.0, 8_000.0).unwrap();
-        assert!(p_tone / p_rest.max(1e-20) > 10.0, "ratio {}", p_tone / p_rest);
+        assert!(
+            p_tone / p_rest.max(1e-20) > 10.0,
+            "ratio {}",
+            p_tone / p_rest
+        );
     }
 
     #[test]
@@ -227,7 +232,8 @@ mod tests {
         // in, 5 kHz out after the square law and LPF.
         let fs = 192_000.0;
         let mut x = Signal::tone(25_000.0, 0.5, 0.2, fs).unwrap();
-        x.mix(&Signal::tone(30_000.0, 0.5, 0.2, fs).unwrap()).unwrap();
+        x.mix(&Signal::tone(30_000.0, 0.5, 0.2, fs).unwrap())
+            .unwrap();
         let d = square_law_demodulate(&x, 10_000.0).unwrap();
         let p_diff = band_power(d.samples(), fs, 4_800.0, 5_200.0).unwrap();
         let p_rest = band_power(d.samples(), fs, 1_000.0, 4_000.0).unwrap();

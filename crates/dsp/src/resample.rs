@@ -20,7 +20,9 @@ pub fn upsample(input: &Signal, factor: usize) -> Result<Signal> {
         return Err(DspError::invalid_parameter("factor", "must be at least 1"));
     }
     if input.is_empty() {
-        return Err(DspError::EmptyInput { operation: "upsample" });
+        return Err(DspError::EmptyInput {
+            operation: "upsample",
+        });
     }
     if factor == 1 {
         return Ok(input.clone());
@@ -73,7 +75,9 @@ pub fn resample(input: &Signal, target_rate_hz: f64) -> Result<Signal> {
         });
     }
     if input.is_empty() {
-        return Err(DspError::EmptyInput { operation: "resample" });
+        return Err(DspError::EmptyInput {
+            operation: "resample",
+        });
     }
     let source_rate = input.sample_rate_hz();
     if (source_rate - target_rate_hz).abs() < 1e-9 {
@@ -152,7 +156,11 @@ mod tests {
         // No image energy near 47 kHz (192k/4 - 1k image would be at 47k/49k).
         let image = band_power(up.samples(), up.sample_rate_hz(), 40_000.0, 60_000.0).unwrap();
         let fundamental = band_power(up.samples(), up.sample_rate_hz(), 500.0, 1_500.0).unwrap();
-        assert!(image / fundamental < 1e-4, "image/fundamental = {}", image / fundamental);
+        assert!(
+            image / fundamental < 1e-4,
+            "image/fundamental = {}",
+            image / fundamental
+        );
     }
 
     #[test]
@@ -203,6 +211,10 @@ mod tests {
         assert_eq!(out.sample_rate_hz(), 16_000.0);
         let alias = band_power(out.samples(), 16_000.0, 2_000.0, 7_500.0).unwrap();
         let tone_band = band_power(out.samples(), 16_000.0, 800.0, 1_200.0).unwrap();
-        assert!(alias / tone_band < 0.01, "alias ratio {}", alias / tone_band);
+        assert!(
+            alias / tone_band < 0.01,
+            "alias ratio {}",
+            alias / tone_band
+        );
     }
 }

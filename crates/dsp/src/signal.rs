@@ -37,7 +37,12 @@ impl Signal {
     }
 
     /// Creates a sine tone.
-    pub fn tone(frequency_hz: f64, amplitude: f64, duration_s: f64, sample_rate_hz: f64) -> Result<Self> {
+    pub fn tone(
+        frequency_hz: f64,
+        amplitude: f64,
+        duration_s: f64,
+        sample_rate_hz: f64,
+    ) -> Result<Self> {
         if !(sample_rate_hz > 0.0) {
             return Err(DspError::InvalidSampleRate { sample_rate_hz });
         }
@@ -203,9 +208,14 @@ impl Signal {
     /// Extracts the samples between `start_s` and `end_s` (clamped to the
     /// signal bounds) as a new signal.
     pub fn slice_seconds(&self, start_s: f64, end_s: f64) -> Signal {
-        let start = ((start_s * self.sample_rate_hz).round().max(0.0) as usize).min(self.samples.len());
+        let start =
+            ((start_s * self.sample_rate_hz).round().max(0.0) as usize).min(self.samples.len());
         let end = ((end_s * self.sample_rate_hz).round().max(0.0) as usize).min(self.samples.len());
-        let (start, end) = if start <= end { (start, end) } else { (end, start) };
+        let (start, end) = if start <= end {
+            (start, end)
+        } else {
+            (end, start)
+        };
         Signal {
             samples: self.samples[start..end].to_vec(),
             sample_rate_hz: self.sample_rate_hz,

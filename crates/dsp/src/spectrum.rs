@@ -96,7 +96,13 @@ fn linear_slope(points: &[(f64, f64)]) -> f64 {
 
 /// Single-segment periodogram of `samples`.
 pub fn periodogram(samples: &[f64], sample_rate_hz: f64) -> Result<PowerSpectrum> {
-    welch_psd(samples, sample_rate_hz, samples.len().max(16), 0.0, WindowKind::Hann)
+    welch_psd(
+        samples,
+        sample_rate_hz,
+        samples.len().max(16),
+        0.0,
+        WindowKind::Hann,
+    )
 }
 
 /// Welch PSD estimate with segments of `segment_len` samples and fractional
@@ -109,7 +115,9 @@ pub fn welch_psd(
     window: WindowKind,
 ) -> Result<PowerSpectrum> {
     if samples.is_empty() {
-        return Err(DspError::EmptyInput { operation: "welch_psd" });
+        return Err(DspError::EmptyInput {
+            operation: "welch_psd",
+        });
     }
     if !(sample_rate_hz > 0.0) {
         return Err(DspError::InvalidSampleRate { sample_rate_hz });
@@ -145,11 +153,7 @@ pub fn welch_psd(
     }
     if n_segments == 0 {
         // Signal shorter than one segment: pad a single frame.
-        let mut frame: Vec<f64> = samples
-            .iter()
-            .zip(win.iter())
-            .map(|(s, w)| s * w)
-            .collect();
+        let mut frame: Vec<f64> = samples.iter().zip(win.iter()).map(|(s, w)| s * w).collect();
         frame.resize(nfft, 0.0);
         let spec = fft_real_n(&frame, nfft)?;
         for (k, acc) in accumulated.iter_mut().enumerate() {
@@ -219,7 +223,10 @@ pub fn total_harmonic_distortion(
     let mut harmonic = 0.0;
     let mut k = 2.0;
     while k * fundamental_hz < sample_rate_hz / 2.0 {
-        harmonic += psd.band_power(k * fundamental_hz - half_width, k * fundamental_hz + half_width);
+        harmonic += psd.band_power(
+            k * fundamental_hz - half_width,
+            k * fundamental_hz + half_width,
+        );
         k += 1.0;
     }
     Ok(harmonic / fundamental.max(1e-24))
@@ -261,14 +268,18 @@ mod tests {
         // Mean-square of a sine of amplitude a is a^2/2.
         let expected = amp * amp / 2.0;
         let total = psd.total_power();
-        assert!((total - expected).abs() / expected < 0.05, "total {total} vs {expected}");
+        assert!(
+            (total - expected).abs() / expected < 0.05,
+            "total {total} vs {expected}"
+        );
     }
 
     #[test]
     fn band_power_isolates_components() {
         let fs = 48_000.0;
         let mut sig = Signal::tone(1_000.0, 1.0, 0.5, fs).unwrap();
-        sig.mix(&Signal::tone(10_000.0, 0.1, 0.5, fs).unwrap()).unwrap();
+        sig.mix(&Signal::tone(10_000.0, 0.1, 0.5, fs).unwrap())
+            .unwrap();
         let x = sig.samples();
         let low = band_power(x, fs, 500.0, 1_500.0).unwrap();
         let high = band_power(x, fs, 9_000.0, 11_000.0).unwrap();
@@ -291,7 +302,8 @@ mod tests {
     fn centroid_sits_between_two_equal_tones() {
         let fs = 48_000.0;
         let mut sig = Signal::tone(1_000.0, 1.0, 0.5, fs).unwrap();
-        sig.mix(&Signal::tone(3_000.0, 1.0, 0.5, fs).unwrap()).unwrap();
+        sig.mix(&Signal::tone(3_000.0, 1.0, 0.5, fs).unwrap())
+            .unwrap();
         let psd = welch_psd(sig.samples(), fs, 4_096, 0.5, WindowKind::Hann).unwrap();
         let c = psd.centroid_hz();
         assert!(c > 1_500.0 && c < 2_500.0, "centroid {c}");
@@ -301,7 +313,8 @@ mod tests {
     fn tilt_is_negative_for_low_frequency_weighted_signal() {
         let fs = 8_000.0;
         let mut sig = Signal::tone(200.0, 1.0, 1.0, fs).unwrap();
-        sig.mix(&Signal::tone(2_000.0, 0.05, 1.0, fs).unwrap()).unwrap();
+        sig.mix(&Signal::tone(2_000.0, 0.05, 1.0, fs).unwrap())
+            .unwrap();
         let psd = welch_psd(sig.samples(), fs, 1_024, 0.5, WindowKind::Hann).unwrap();
         assert!(psd.tilt_db_per_khz() < 0.0);
     }

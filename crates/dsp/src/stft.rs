@@ -68,7 +68,11 @@ impl StftConfig {
 }
 
 /// Computes the power spectrogram of `samples`.
-pub fn spectrogram(samples: &[f64], sample_rate_hz: f64, config: &StftConfig) -> Result<Spectrogram> {
+pub fn spectrogram(
+    samples: &[f64],
+    sample_rate_hz: f64,
+    config: &StftConfig,
+) -> Result<Spectrogram> {
     if samples.is_empty() {
         return Err(DspError::EmptyInput {
             operation: "spectrogram",
@@ -245,7 +249,11 @@ mod tests {
         };
         let sg = spectrogram(&x, fs, &cfg).unwrap();
         // Roughly len / hop frames.
-        assert!(sg.num_frames() >= 60 && sg.num_frames() <= 63, "{}", sg.num_frames());
+        assert!(
+            sg.num_frames() >= 60 && sg.num_frames() <= 63,
+            "{}",
+            sg.num_frames()
+        );
         assert_eq!(sg.num_bins(), 129);
         assert_eq!(sg.times_s.len(), sg.num_frames());
     }

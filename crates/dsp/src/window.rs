@@ -52,9 +52,7 @@ impl WindowKind {
             WindowKind::Rectangular => 1.0,
             WindowKind::Hann => 0.5 - 0.5 * (2.0 * PI * x).cos(),
             WindowKind::Hamming => 0.54 - 0.46 * (2.0 * PI * x).cos(),
-            WindowKind::Blackman => {
-                0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos()
-            }
+            WindowKind::Blackman => 0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos(),
             WindowKind::Bartlett => 1.0 - (2.0 * x - 1.0).abs(),
             WindowKind::FlatTop => {
                 0.215_578_95 - 0.416_631_58 * (2.0 * PI * x).cos()
@@ -166,7 +164,7 @@ mod tests {
             WindowKind::Bartlett,
         ] {
             for &v in &kind.symmetric(257) {
-                assert!(v >= -1e-12 && v <= 1.0 + 1e-12, "{kind:?} produced {v}");
+                assert!((-1e-12..=1.0 + 1e-12).contains(&v), "{kind:?} produced {v}");
             }
         }
     }

@@ -54,7 +54,7 @@ proptest! {
             WindowKind::Bartlett,
         ][kind_idx];
         for v in kind.symmetric(n) {
-            prop_assert!(v >= -1e-9 && v <= 1.0 + 1e-9);
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v));
         }
     }
 
@@ -108,7 +108,7 @@ proptest! {
     #[test]
     fn pearson_correlation_is_bounded(a in sample_vec(128), b in sample_vec(128)) {
         let r = pearson_correlation(&a, &b).unwrap();
-        prop_assert!(r >= -1.0 - 1e-9 && r <= 1.0 + 1e-9);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
     }
 
     #[test]

@@ -174,7 +174,11 @@ mod tests {
         let commands = corpus();
         assert!(commands.len() >= 8);
         for c in &commands {
-            assert!(c.is_renderable(), "command {:?} uses unknown phonemes", c.text);
+            assert!(
+                c.is_renderable(),
+                "command {:?} uses unknown phonemes",
+                c.text
+            );
             assert!(c.num_words() >= 3);
             assert!(!c.phoneme_symbols().is_empty());
         }

@@ -72,7 +72,10 @@ pub fn cost_matrix(template: &[Vec<f64>], query: &[Vec<f64>]) -> Vec<Vec<f64>> {
 /// match / insertion / deletion, no slope constraint).
 pub fn align(template: &[Vec<f64>], query: &[Vec<f64>]) -> Result<DtwAlignment> {
     if template.is_empty() || query.is_empty() {
-        return Err(SpeechError::invalid("dtw", "both sequences must be non-empty"));
+        return Err(SpeechError::invalid(
+            "dtw",
+            "both sequences must be non-empty",
+        ));
     }
     let costs = cost_matrix(template, query);
     align_with_costs(&costs)
@@ -171,11 +174,17 @@ mod tests {
     fn time_stretched_sequence_still_aligns_cheaply() {
         let template = seq(&[0.0, 1.0, 2.0, 3.0, 2.0, 1.0, 0.0]);
         // The same shape, but each value doubled in duration.
-        let stretched = seq(&[0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 2.0, 2.0, 1.0, 1.0, 0.0, 0.0]);
+        let stretched = seq(&[
+            0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 2.0, 2.0, 1.0, 1.0, 0.0, 0.0,
+        ]);
         let different = seq(&[5.0, -3.0, 7.0, -2.0, 6.0, -1.0, 5.0]);
         let good = align(&template, &stretched).unwrap();
         let bad = align(&template, &different).unwrap();
-        assert!(good.normalized_distance < 0.2, "{}", good.normalized_distance);
+        assert!(
+            good.normalized_distance < 0.2,
+            "{}",
+            good.normalized_distance
+        );
         assert!(bad.normalized_distance > good.normalized_distance * 5.0);
     }
 
@@ -205,7 +214,9 @@ mod tests {
         let second = out.mean_distance_in_template_range(3, 6, &costs).unwrap();
         assert!(first < 0.5);
         assert!(second > 2.0);
-        assert!(out.mean_distance_in_template_range(10, 20, &costs).is_none());
+        assert!(out
+            .mean_distance_in_template_range(10, 20, &costs)
+            .is_none());
     }
 
     #[test]

@@ -64,7 +64,9 @@ mod tests {
 
     #[test]
     fn display_and_sources() {
-        assert!(SpeechError::invalid("f0", "negative").to_string().contains("f0"));
+        assert!(SpeechError::invalid("f0", "negative")
+            .to_string()
+            .contains("f0"));
         assert!(SpeechError::NoTemplates.to_string().contains("templates"));
         let e: SpeechError = ivc_dsp::DspError::EmptyInput { operation: "x" }.into();
         assert!(std::error::Error::source(&e).is_some());

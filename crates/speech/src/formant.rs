@@ -33,7 +33,10 @@ pub fn render_phoneme(
         ));
     }
     if !(50.0..=400.0).contains(&f0_hz) {
-        return Err(SpeechError::invalid("f0_hz", format!("{f0_hz} outside [50, 400]")));
+        return Err(SpeechError::invalid(
+            "f0_hz",
+            format!("{f0_hz} outside [50, 400]"),
+        ));
     }
     if !(0.25..=4.0).contains(&duration_scale) {
         return Err(SpeechError::invalid(
@@ -49,14 +52,14 @@ pub fn render_phoneme(
         Manner::Vowel | Manner::Nasal => {
             let source = glottal_source(f0_hz, n, sample_rate_hz);
             let filtered = formant_filter(&source, phoneme, sample_rate_hz)?;
-            let extra_lowpass = if phoneme.manner == Manner::Nasal {
+
+            if phoneme.manner == Manner::Nasal {
                 // Nasals are muffled: an extra low-pass around 1 kHz.
                 let lpf = BiquadCascade::butterworth_low_pass(1_000.0, 2, sample_rate_hz)?;
                 lpf.filter(&filtered)
             } else {
                 filtered
-            };
-            extra_lowpass
+            }
         }
         Manner::Fricative => {
             let noise = noise_source(n, seed);
@@ -64,7 +67,11 @@ pub fn render_phoneme(
             if phoneme.voiced {
                 // Voiced fricatives mix in a weak voiced component.
                 let source = glottal_source(f0_hz, n, sample_rate_hz);
-                let voiced = formant_filter(&source, Phoneme::lookup("AH").as_ref().unwrap(), sample_rate_hz)?;
+                let voiced = formant_filter(
+                    &source,
+                    Phoneme::lookup("AH").as_ref().unwrap(),
+                    sample_rate_hz,
+                )?;
                 for (s, v) in shaped.iter_mut().zip(voiced.iter()) {
                     *s = 0.7 * *s + 0.3 * v;
                 }

@@ -53,7 +53,10 @@ impl MfccConfig {
                 "need 0 < hop_s <= frame_s",
             ));
         }
-        if self.num_filters < 4 || self.num_coefficients == 0 || self.num_coefficients > self.num_filters {
+        if self.num_filters < 4
+            || self.num_coefficients == 0
+            || self.num_coefficients > self.num_filters
+        {
             return Err(SpeechError::invalid(
                 "filterbank",
                 "need 4 <= num_filters and 1 <= num_coefficients <= num_filters",
@@ -109,6 +112,43 @@ impl MfccFrames {
         let idx = ((time_s - self.first_frame_time_s) / self.hop_s).round();
         idx.clamp(0.0, (self.frames.len() - 1) as f64) as usize
     }
+
+    /// Cepstral mean normalisation: subtract the per-dimension mean over the
+    /// whole utterance.
+    ///
+    /// A linear channel (speaker response, microphone roll-off, the spectral
+    /// tilt the ultrasonic demodulation path imposes) multiplies every
+    /// frame's spectrum by the same transfer function, which adds the same
+    /// constant to every cepstral vector — removing the utterance mean
+    /// removes the channel.  Applied to both templates and queries it makes
+    /// the DTW distance compare *speech content* rather than *recording
+    /// chains*.
+    ///
+    /// Only the first `num_dims` dimensions are normalised, so callers can
+    /// exclude the appended log-energy term (the usual CMN practice: energy
+    /// carries the speech/silence contour, which the channel does not bias
+    /// the way it biases the spectral envelope).
+    pub fn apply_mean_normalization(&mut self, num_dims: usize) {
+        if self.frames.is_empty() {
+            return;
+        }
+        let dim = self.frames[0].len().min(num_dims);
+        let mut mean = vec![0.0; dim];
+        for frame in &self.frames {
+            for (m, x) in mean.iter_mut().zip(frame.iter()) {
+                *m += x;
+            }
+        }
+        let n = self.frames.len() as f64;
+        for m in &mut mean {
+            *m /= n;
+        }
+        for frame in &mut self.frames {
+            for (x, m) in frame.iter_mut().zip(mean.iter()) {
+                *x -= m;
+            }
+        }
+    }
 }
 
 fn hz_to_mel(f: f64) -> f64 {
@@ -129,7 +169,10 @@ pub fn mfcc(signal: &Signal, config: &MfccConfig) -> Result<MfccFrames> {
     let frame_len = (config.frame_s * fs).round() as usize;
     let hop = (config.hop_s * fs).round().max(1.0) as usize;
     if frame_len < 8 {
-        return Err(SpeechError::invalid("frame_s", "too short for this sample rate"));
+        return Err(SpeechError::invalid(
+            "frame_s",
+            "too short for this sample rate",
+        ));
     }
     // Pre-emphasis.
     let mut emphasised = Vec::with_capacity(signal.len());
@@ -258,7 +301,11 @@ mod tests {
         let cfg = MfccConfig::default();
         let frames = mfcc(&s, &cfg).unwrap();
         // (1.0 - 0.025) / 0.010 + 1 ~ 98-99 frames.
-        assert!(frames.len() >= 96 && frames.len() <= 100, "frames {}", frames.len());
+        assert!(
+            frames.len() >= 96 && frames.len() <= 100,
+            "frames {}",
+            frames.len()
+        );
         assert_eq!(frames.frames[0].len(), cfg.frame_dimension());
         assert!((frames.frame_time_s(1) - frames.frame_time_s(0) - 0.01).abs() < 1e-12);
     }
@@ -309,6 +356,66 @@ mod tests {
         assert_eq!(frames.frame_at_time(100.0), frames.len() - 1);
         let mid = frames.frame_at_time(0.25);
         assert!(mid > 10 && mid < frames.len() - 10);
+    }
+
+    #[test]
+    fn mean_normalization_zeroes_cepstral_means_but_keeps_energy() {
+        let fs = 16_000.0;
+        let cfg = MfccConfig::default();
+        let mut frames = mfcc(&tone(700.0, fs, 0.4), &cfg).unwrap();
+        let energy_before: Vec<f64> = frames
+            .frames
+            .iter()
+            .map(|f| f[cfg.frame_dimension() - 1])
+            .collect();
+        frames.apply_mean_normalization(cfg.num_coefficients);
+        let n = frames.len() as f64;
+        for k in 0..cfg.num_coefficients {
+            let mean: f64 = frames.frames.iter().map(|f| f[k]).sum::<f64>() / n;
+            assert!(mean.abs() < 1e-9, "dim {k} mean {mean}");
+        }
+        let energy_after: Vec<f64> = frames
+            .frames
+            .iter()
+            .map(|f| f[cfg.frame_dimension() - 1])
+            .collect();
+        assert_eq!(energy_before, energy_after);
+    }
+
+    #[test]
+    fn mean_normalization_removes_a_constant_spectral_tilt() {
+        // A linear channel (here: pre-emphasis difference acting as a tilt)
+        // shifts every frame's cepstrum by the same offset; after CMN the
+        // two versions of the same signal should be nearly identical.
+        let fs = 16_000.0;
+        let cfg = MfccConfig::default();
+        let tilted_cfg = MfccConfig {
+            pre_emphasis: 0.5,
+            ..cfg
+        };
+        let s = tone(700.0, fs, 0.4);
+        let mut a = mfcc(&s, &cfg).unwrap();
+        let mut b = mfcc(&s, &tilted_cfg).unwrap();
+        let dist = |x: &MfccFrames, y: &MfccFrames| -> f64 {
+            x.frames
+                .iter()
+                .zip(y.frames.iter())
+                .map(|(p, q)| {
+                    p.iter()
+                        .take(cfg.num_coefficients)
+                        .zip(q.iter())
+                        .map(|(u, v)| (u - v) * (u - v))
+                        .sum::<f64>()
+                        .sqrt()
+                })
+                .sum::<f64>()
+                / x.len() as f64
+        };
+        let before = dist(&a, &b);
+        a.apply_mean_normalization(cfg.num_coefficients);
+        b.apply_mean_normalization(cfg.num_coefficients);
+        let after = dist(&a, &b);
+        assert!(after < before * 0.5, "before {before} after {after}");
     }
 
     #[test]

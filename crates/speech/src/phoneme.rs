@@ -68,7 +68,13 @@ impl Phoneme {
         }
     }
 
-    const fn fricative(symbol: &'static str, low: f64, high: f64, voiced: bool, amplitude: f64) -> Self {
+    const fn fricative(
+        symbol: &'static str,
+        low: f64,
+        high: f64,
+        voiced: bool,
+        amplitude: f64,
+    ) -> Self {
         Phoneme {
             symbol,
             manner: Manner::Fricative,

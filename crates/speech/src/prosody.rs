@@ -22,7 +22,12 @@ pub struct PitchContour {
 
 impl PitchContour {
     /// Creates a validated contour.
-    pub fn new(base_f0_hz: f64, declination: f64, intonation_depth: f64, intonation_rate_hz: f64) -> Result<Self> {
+    pub fn new(
+        base_f0_hz: f64,
+        declination: f64,
+        intonation_depth: f64,
+        intonation_rate_hz: f64,
+    ) -> Result<Self> {
         if !(50.0..=400.0).contains(&base_f0_hz) {
             return Err(SpeechError::invalid(
                 "base_f0_hz",

@@ -35,6 +35,15 @@ pub struct RecognizerConfig {
     /// Minimum fraction of words that must be recognised for the command to
     /// count as accepted end-to-end (the wake word plus most of the payload).
     pub acceptance_word_fraction: f64,
+    /// Apply per-utterance cepstral mean normalisation to templates and
+    /// queries.  This removes linear-channel mismatch (microphone roll-off,
+    /// the demodulation path's spectral tilt) and helps when templates and
+    /// recordings come from different recording chains.  Off by default:
+    /// `word_distance_threshold` and `rejection_distance` are calibrated for
+    /// un-normalised cepstra, and CMN also shrinks the distance gap between
+    /// speech and non-speech recordings, so enabling it calls for re-tuned
+    /// thresholds.
+    pub cepstral_mean_normalization: bool,
 }
 
 impl Default for RecognizerConfig {
@@ -45,6 +54,7 @@ impl Default for RecognizerConfig {
             word_distance_threshold: 11.0,
             rejection_distance: 14.0,
             acceptance_word_fraction: 0.6,
+            cepstral_mean_normalization: false,
         }
     }
 }
@@ -127,7 +137,7 @@ impl Recognizer {
             ));
         }
         let prepared = self.prepare(&utterance.signal)?;
-        let frames = mfcc(&prepared, &self.config.mfcc)?;
+        let frames = self.features(&prepared)?;
         // Word boundaries are expressed in the original signal's time base;
         // preparation trims leading silence, so shift accordingly.
         let trim_offset = self.leading_trim_s(&utterance.signal)?;
@@ -136,7 +146,9 @@ impl Recognizer {
             .iter()
             .map(|b| {
                 let start = frames.frame_at_time((b.start_s - trim_offset).max(0.0));
-                let end = frames.frame_at_time((b.end_s - trim_offset).max(0.0)).max(start + 1);
+                let end = frames
+                    .frame_at_time((b.end_s - trim_offset).max(0.0))
+                    .max(start + 1);
                 (start, end)
             })
             .collect();
@@ -154,7 +166,7 @@ impl Recognizer {
             return Err(SpeechError::NoTemplates);
         }
         let prepared = self.prepare(recording)?;
-        let query = mfcc(&prepared, &self.config.mfcc)?;
+        let query = self.features(&prepared)?;
         let mut scored: Vec<(usize, f64, f64)> = Vec::new(); // (template idx, distance, word accuracy)
         for (idx, template) in self.templates.iter().enumerate() {
             let costs = cost_matrix(&template.frames.frames, &query.frames);
@@ -183,7 +195,7 @@ impl Recognizer {
             .find(|t| t.command.id == expected)
             .ok_or(SpeechError::NoTemplates)?;
         let prepared = self.prepare(recording)?;
-        let query = mfcc(&prepared, &self.config.mfcc)?;
+        let query = self.features(&prepared)?;
         let costs = cost_matrix(&template.frames.frames, &query.frames);
         let alignment = align_with_costs(&costs)?;
         Ok(self.word_accuracy_from_alignment(template, &alignment, &costs))
@@ -223,6 +235,17 @@ impl Recognizer {
         recognised as f64 / template.word_frame_ranges.len() as f64
     }
 
+    /// MFCC extraction plus (optional) cepstral mean normalisation — the
+    /// shared front-end for templates and queries.
+    fn features(&self, prepared: &Signal) -> Result<crate::mfcc::MfccFrames> {
+        let mut frames = mfcc(prepared, &self.config.mfcc)?;
+        if self.config.cepstral_mean_normalization {
+            // Normalise the cepstra but leave the appended log-energy term.
+            frames.apply_mean_normalization(self.config.mfcc.num_coefficients);
+        }
+        Ok(frames)
+    }
+
     /// Resamples to the analysis rate, trims silence around the detected
     /// speech and normalises the level — the same preparation for templates
     /// and queries.
@@ -249,7 +272,10 @@ impl Recognizer {
         }
         let start = regions.first().unwrap().start_s;
         let end = regions.last().unwrap().end_s;
-        Ok(signal.slice_seconds((start - 0.05).max(0.0), (end + 0.05).min(signal.duration_s())))
+        Ok(signal.slice_seconds(
+            (start - 0.05).max(0.0),
+            (end + 0.05).min(signal.duration_s()),
+        ))
     }
 
     fn leading_trim_s(&self, signal: &Signal) -> Result<f64> {
@@ -274,7 +300,9 @@ mod tests {
 
     fn noisy(signal: &Signal, rms: f64, seed: u64) -> Signal {
         let mut rng = StdRng::seed_from_u64(seed);
-        let noise: Vec<f64> = (0..signal.len()).map(|_| rng.gen_range(-1.0..1.0) * rms).collect();
+        let noise: Vec<f64> = (0..signal.len())
+            .map(|_| rng.gen_range(-1.0..1.0) * rms)
+            .collect();
         let mut out = signal.clone();
         for (s, n) in out.samples_mut().iter_mut().zip(noise.iter()) {
             *s += n;
@@ -298,8 +326,17 @@ mod tests {
         for command in corpus().iter().take(3) {
             let utt = synth.render(command, &SpeakerProfile::canonical()).unwrap();
             let outcome = r.recognize(&utt.signal).unwrap();
-            assert_eq!(outcome.command, Some(command.id), "command {}", command.text);
-            assert!(outcome.word_accuracy > 0.99, "accuracy {}", outcome.word_accuracy);
+            assert_eq!(
+                outcome.command,
+                Some(command.id),
+                "command {}",
+                command.text
+            );
+            assert!(
+                outcome.word_accuracy > 0.99,
+                "accuracy {}",
+                outcome.word_accuracy
+            );
             assert!(r.command_accepted(&utt.signal, command.id).unwrap());
         }
     }
@@ -309,7 +346,9 @@ mod tests {
         let r = Recognizer::with_default_corpus().unwrap();
         let synth = Synthesizer::new(48_000.0).unwrap();
         let commands = corpus();
-        let utt = synth.render(&commands[1], &SpeakerProfile::canonical()).unwrap();
+        let utt = synth
+            .render(&commands[1], &SpeakerProfile::canonical())
+            .unwrap();
         // The Alexa shopping-list command must not be accepted as the
         // camera command.
         assert!(!r.command_accepted(&utt.signal, commands[0].id).unwrap());
@@ -353,11 +392,41 @@ mod tests {
     }
 
     #[test]
+    fn cmn_recognizer_still_recognises_clean_speech() {
+        // CMN changes the distance scale, so it is opt-in; with it enabled a
+        // clean rendering of an enrolled command must still match its own
+        // template essentially perfectly (distance ~ 0).
+        let mut r = Recognizer::new(RecognizerConfig {
+            cepstral_mean_normalization: true,
+            ..RecognizerConfig::default()
+        });
+        let synth = Synthesizer::new(48_000.0).unwrap();
+        for command in corpus() {
+            let utt = synth
+                .render(&command, &SpeakerProfile::canonical())
+                .unwrap();
+            r.enroll(&utt, command).unwrap();
+        }
+        let command = &corpus()[0];
+        let utt = synth.render(command, &SpeakerProfile::canonical()).unwrap();
+        let outcome = r.recognize(&utt.signal).unwrap();
+        assert_eq!(outcome.command, Some(command.id));
+        assert!(
+            outcome.best_distance < 1.0,
+            "distance {}",
+            outcome.best_distance
+        );
+        assert!(outcome.word_accuracy > 0.99);
+    }
+
+    #[test]
     fn enrollment_validates_word_boundaries() {
         let mut r = Recognizer::new(RecognizerConfig::default());
         let synth = Synthesizer::new(48_000.0).unwrap();
         let commands = corpus();
-        let utt = synth.render(&commands[0], &SpeakerProfile::canonical()).unwrap();
+        let utt = synth
+            .render(&commands[0], &SpeakerProfile::canonical())
+            .unwrap();
         // Enrolling with a mismatched command (different word count) fails.
         assert!(r.enroll(&utt, commands[1].clone()).is_err());
         assert!(r.enroll(&utt, commands[0].clone()).is_ok());

@@ -226,7 +226,9 @@ mod tests {
     #[test]
     fn rendered_command_has_speechlike_properties() {
         let synth = Synthesizer::new(48_000.0).unwrap();
-        let utt = synth.render(&corpus()[0], &SpeakerProfile::canonical()).unwrap();
+        let utt = synth
+            .render(&corpus()[0], &SpeakerProfile::canonical())
+            .unwrap();
         // A five-word command takes on the order of 1-3 seconds.
         assert!(utt.signal.duration_s() > 0.8 && utt.signal.duration_s() < 4.0);
         assert_eq!(utt.word_boundaries.len(), corpus()[0].num_words());
@@ -244,7 +246,11 @@ mod tests {
             let utt = synth.render(command, &SpeakerProfile::canonical()).unwrap();
             let mut last_end = 0.0;
             for b in &utt.word_boundaries {
-                assert!(b.start_s >= last_end - 1e-9, "overlapping words in {}", command.text);
+                assert!(
+                    b.start_s >= last_end - 1e-9,
+                    "overlapping words in {}",
+                    command.text
+                );
                 assert!(b.end_s > b.start_s);
                 assert!(b.end_s <= utt.signal.duration_s() + 1e-9);
                 last_end = b.end_s;
@@ -278,7 +284,9 @@ mod tests {
     #[test]
     fn rendering_at_high_rate_supports_ultrasonic_pipelines() {
         let synth = Synthesizer::new(192_000.0).unwrap();
-        let utt = synth.render(&corpus()[4], &SpeakerProfile::canonical()).unwrap();
+        let utt = synth
+            .render(&corpus()[4], &SpeakerProfile::canonical())
+            .unwrap();
         assert_eq!(utt.signal.sample_rate_hz(), 192_000.0);
         assert!(utt.signal.duration_s() > 0.5);
     }

@@ -50,7 +50,10 @@ pub fn detect_speech(signal: &Signal, config: &VadConfig) -> Result<Vec<SpeechRe
         return Err(SpeechError::invalid("signal", "empty input"));
     }
     if config.frame_s <= 0.0 || config.min_region_s < 0.0 {
-        return Err(SpeechError::invalid("VadConfig", "frame_s must be positive"));
+        return Err(SpeechError::invalid(
+            "VadConfig",
+            "frame_s must be positive",
+        ));
     }
     let fs = signal.sample_rate_hz();
     let frame_len = ((config.frame_s * fs).round() as usize).max(1);
@@ -82,7 +85,14 @@ pub fn detect_speech(signal: &Signal, config: &VadConfig) -> Result<Vec<SpeechRe
         }
     }
     if let Some(s) = start {
-        push_region(&mut regions, s, energies.len(), frame_len, fs, config.min_region_s);
+        push_region(
+            &mut regions,
+            s,
+            energies.len(),
+            frame_len,
+            fs,
+            config.min_region_s,
+        );
     }
     Ok(regions)
 }
@@ -146,9 +156,11 @@ mod tests {
     fn detects_multiple_bursts() {
         let fs = 16_000.0;
         let mut s = Signal::silence(0.3, fs).unwrap();
-        s.append(&Signal::tone(600.0, 0.5, 0.2, fs).unwrap()).unwrap();
+        s.append(&Signal::tone(600.0, 0.5, 0.2, fs).unwrap())
+            .unwrap();
         s.append(&Signal::silence(0.3, fs).unwrap()).unwrap();
-        s.append(&Signal::tone(600.0, 0.5, 0.2, fs).unwrap()).unwrap();
+        s.append(&Signal::tone(600.0, 0.5, 0.2, fs).unwrap())
+            .unwrap();
         s.append(&Signal::silence(0.3, fs).unwrap()).unwrap();
         let regions = detect_speech(&s, &VadConfig::default()).unwrap();
         assert_eq!(regions.len(), 2);
@@ -158,7 +170,8 @@ mod tests {
     fn short_blips_are_discarded() {
         let fs = 16_000.0;
         let mut s = Signal::silence(0.5, fs).unwrap();
-        s.append(&Signal::tone(600.0, 0.5, 0.01, fs).unwrap()).unwrap();
+        s.append(&Signal::tone(600.0, 0.5, 0.01, fs).unwrap())
+            .unwrap();
         s.append(&Signal::silence(0.5, fs).unwrap()).unwrap();
         let regions = detect_speech(&s, &VadConfig::default()).unwrap();
         assert!(regions.is_empty());

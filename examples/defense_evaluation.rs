@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     );
 
     let (train, test) = dataset.split_features(3)?;
-    println!("  train: {} samples, test: {} samples", train.len(), test.len());
+    println!(
+        "  train: {} samples, test: {} samples",
+        train.len(),
+        test.len()
+    );
 
     let model = LogisticRegression::train(&train, &TrainingConfig::default())?;
     println!("\ntrained detector weights (standardised feature space):");
@@ -40,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     println!("\nheld-out evaluation:");
     println!("  accuracy:            {:.2}", matrix.accuracy());
     println!("  detection rate (TPR): {:.2}", matrix.true_positive_rate());
-    println!("  false positives (FPR): {:.2}", matrix.false_positive_rate());
+    println!(
+        "  false positives (FPR): {:.2}",
+        matrix.false_positive_rate()
+    );
 
     let roc = RocCurve::from_model(&model, &test)?;
     println!("  ROC AUC:             {:.3}", roc.auc);

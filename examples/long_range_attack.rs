@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     ];
 
     println!("command: \"{}\"", command.text);
-    println!("{:>10}  {:>44}  {:>10}", "distance", "configuration", "accuracy");
+    println!(
+        "{:>10}  {:>44}  {:>10}",
+        "distance", "configuration", "accuracy"
+    );
     for (label, delivery) in configurations {
         for d in distances {
             let scenario = Scenario {

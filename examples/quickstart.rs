@@ -25,13 +25,20 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     };
 
     println!("injecting: \"{}\"", command.text);
-    println!("scenario:  {} at {:.1} m from the {}", scenario.delivery.label(), scenario.distance_m, "Android phone");
+    println!(
+        "scenario:  {} at {:.1} m from the Android phone",
+        scenario.delivery.label(),
+        scenario.distance_m
+    );
 
     let outcome = run_trial(command, &scenario, &recognizer, None)?;
 
     println!();
     println!("command accepted by the assistant: {}", outcome.accepted);
-    println!("word accuracy:                     {:.2}", outcome.word_accuracy);
+    println!(
+        "word accuracy:                     {:.2}",
+        outcome.word_accuracy
+    );
     if let Some(leak) = &outcome.leakage {
         println!(
             "leakage at a bystander (1 m):      {:.1} dB SPL (audible: {})",

@@ -36,6 +36,11 @@ pub mod prelude {
     pub use ivc_defense::prelude::*;
     pub use ivc_dsp::prelude::*;
     pub use ivc_speech::prelude::*;
+
+    // Every substrate prelude exports its own `Result` alias; pick the
+    // end-to-end pipeline's boxed-error alias for the umbrella prelude so
+    // the glob re-exports above stay unambiguous.
+    pub use ivc_core::Result;
 }
 
 #[cfg(test)]

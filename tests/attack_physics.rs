@@ -32,7 +32,8 @@ fn syllabic_voice() -> Signal {
 #[test]
 fn the_attack_field_is_inaudible_but_the_recording_contains_voice() {
     let voice = syllabic_voice();
-    let attack = MultiSpeakerAttack::build(&voice, 40_000.0, 6, &BasebandConfig::default()).unwrap();
+    let attack =
+        MultiSpeakerAttack::build(&voice, 40_000.0, 6, &BasebandConfig::default()).unwrap();
     let array = SpeakerArray::new(UltrasonicSpeaker::default(), 6, 0.03).unwrap();
     let drives = attack.element_drives(50.0, 0.3, 30.0).unwrap();
     let env = AirEnvironment::default();
@@ -42,14 +43,13 @@ fn the_attack_field_is_inaudible_but_the_recording_contains_voice() {
     // total power — the property that lets the real attack stay unnoticed.
     let field = array.field_at_target(&drives, 2.0, &env).unwrap();
     let fs_field = field.sample_rate_hz();
-    let single_attack =
-        inaudible_voice_commands::attack::single::SingleSpeakerAttack::build(
-            &voice,
-            40_000.0,
-            0.9,
-            &BasebandConfig::default(),
-        )
-        .unwrap();
+    let single_attack = inaudible_voice_commands::attack::single::SingleSpeakerAttack::build(
+        &voice,
+        40_000.0,
+        0.9,
+        &BasebandConfig::default(),
+    )
+    .unwrap();
     let single_array = SpeakerArray::new(UltrasonicSpeaker::default(), 1, 0.03).unwrap();
     let single_drives =
         inaudible_voice_commands::attack::multispeaker::single_speaker_element_drives(
@@ -57,7 +57,9 @@ fn the_attack_field_is_inaudible_but_the_recording_contains_voice() {
             30.0,
         )
         .unwrap();
-    let single_field = single_array.field_at_target(&single_drives, 2.0, &env).unwrap();
+    let single_field = single_array
+        .field_at_target(&single_drives, 2.0, &env)
+        .unwrap();
     let segmented_voice_leak = band_power(field.samples(), fs_field, 300.0, 4_000.0).unwrap();
     let single_voice_leak = band_power(single_field.samples(), fs_field, 300.0, 4_000.0).unwrap();
     assert!(
@@ -68,7 +70,10 @@ fn the_attack_field_is_inaudible_but_the_recording_contains_voice() {
     // And a much louder legitimate-speech field at the same spot WOULD be heard,
     // confirming the audibility model is not trivially silent.
     let report = audibility(field.samples(), fs_field, 60.0).unwrap();
-    assert!(!report.audible, "residue should not be flagged at a 60 dB margin");
+    assert!(
+        !report.audible,
+        "residue should not be flagged at a 60 dB margin"
+    );
 
     // ...while the non-linear microphone turns the field into an audible-band recording.
     let mic = DevicePreset::AndroidPhone.microphone();
@@ -86,14 +91,21 @@ fn the_attack_field_is_inaudible_but_the_recording_contains_voice() {
 #[test]
 fn a_linear_microphone_is_immune() {
     let voice = syllabic_voice();
-    let attack = MultiSpeakerAttack::build(&voice, 40_000.0, 6, &BasebandConfig::default()).unwrap();
+    let attack =
+        MultiSpeakerAttack::build(&voice, 40_000.0, 6, &BasebandConfig::default()).unwrap();
     let array = SpeakerArray::new(UltrasonicSpeaker::default(), 6, 0.03).unwrap();
     let drives = attack.element_drives(50.0, 0.3, 30.0).unwrap();
     let env = AirEnvironment::default();
     let field = array.field_at_target(&drives, 2.0, &env).unwrap();
 
-    let nonlinear = DevicePreset::AndroidPhone.microphone().capture(&field, 5).unwrap();
-    let linear = DevicePreset::LinearReference.microphone().capture(&field, 5).unwrap();
+    let nonlinear = DevicePreset::AndroidPhone
+        .microphone()
+        .capture(&field, 5)
+        .unwrap();
+    let linear = DevicePreset::LinearReference
+        .microphone()
+        .capture(&field, 5)
+        .unwrap();
     let fs = nonlinear.sample_rate_hz();
     let injected_nonlinear = band_power(nonlinear.samples(), fs, 300.0, 3_000.0).unwrap();
     let injected_linear = band_power(linear.samples(), fs, 300.0, 3_000.0).unwrap();
@@ -109,14 +121,21 @@ fn echo_needs_the_attacker_closer_than_the_phone() {
     // The plastic-grille device attenuates ultrasound more, so at the same
     // distance its demodulated voice is weaker.
     let voice = syllabic_voice();
-    let attack = MultiSpeakerAttack::build(&voice, 40_000.0, 6, &BasebandConfig::default()).unwrap();
+    let attack =
+        MultiSpeakerAttack::build(&voice, 40_000.0, 6, &BasebandConfig::default()).unwrap();
     let array = SpeakerArray::new(UltrasonicSpeaker::default(), 6, 0.03).unwrap();
     let drives = attack.element_drives(50.0, 0.3, 30.0).unwrap();
     let env = AirEnvironment::default();
     let field = array.field_at_target(&drives, 3.0, &env).unwrap();
 
-    let phone = DevicePreset::AndroidPhone.microphone().capture(&field, 6).unwrap();
-    let echo = DevicePreset::AmazonEcho.microphone().capture(&field, 6).unwrap();
+    let phone = DevicePreset::AndroidPhone
+        .microphone()
+        .capture(&field, 6)
+        .unwrap();
+    let echo = DevicePreset::AmazonEcho
+        .microphone()
+        .capture(&field, 6)
+        .unwrap();
     let fs = phone.sample_rate_hz();
     let phone_voice = band_power(phone.samples(), fs, 300.0, 3_000.0).unwrap();
     let echo_voice = band_power(echo.samples(), fs, 300.0, 3_000.0).unwrap();

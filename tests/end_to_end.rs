@@ -23,7 +23,10 @@ fn legitimate_and_attack_deliveries_are_both_accepted_at_close_range() {
 
     let legit = run_trial(
         command,
-        &quick(Delivery::Legitimate { talker_spl_db: 68.0 }).at_distance(1.5),
+        &quick(Delivery::Legitimate {
+            talker_spl_db: 68.0,
+        })
+        .at_distance(1.5),
         &recognizer,
         None,
     )
@@ -41,8 +44,16 @@ fn legitimate_and_attack_deliveries_are_both_accepted_at_close_range() {
     )
     .unwrap();
 
-    assert!(legit.word_accuracy > 0.5, "legit accuracy {}", legit.word_accuracy);
-    assert!(attack.word_accuracy > 0.5, "attack accuracy {}", attack.word_accuracy);
+    assert!(
+        legit.word_accuracy > 0.5,
+        "legit accuracy {}",
+        legit.word_accuracy
+    );
+    assert!(
+        attack.word_accuracy > 0.5,
+        "attack accuracy {}",
+        attack.word_accuracy
+    );
     // The attack leaves its tell-tale shadow, the legitimate recording does not.
     assert!(
         attack.defense_features.shadow_correlation > legit.defense_features.shadow_correlation,
@@ -95,7 +106,11 @@ fn array_attack_outranges_the_inaudibility_constrained_single_speaker() {
     // And the array's voice-band leakage stays below the single speaker's
     // would-be leakage at the power it would need for the same reach.
     let array_leak = array.leakage.unwrap();
-    assert!(array_leak.voice_band_spl_db < 45.0, "voice-band leak {}", array_leak.voice_band_spl_db);
+    assert!(
+        array_leak.voice_band_spl_db < 45.0,
+        "voice-band leak {}",
+        array_leak.voice_band_spl_db
+    );
 }
 
 #[test]
@@ -108,7 +123,10 @@ fn trained_detector_separates_attacks_from_legitimate_recordings() {
         max_voice_duration_s: 0.9,
         ..DatasetConfig::default()
     };
-    let train_set = Dataset::generate(&config).unwrap().to_feature_samples().unwrap();
+    let train_set = Dataset::generate(&config)
+        .unwrap()
+        .to_feature_samples()
+        .unwrap();
     let model = LogisticRegression::train(&train_set, &TrainingConfig::default()).unwrap();
 
     // A fresh, differently-seeded corpus as the held-out test set.

@@ -1,0 +1,162 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the slice of the criterion API the bench targets use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — backed by a plain
+//! wall-clock harness: per sample it runs a timed batch of iterations and
+//! reports the minimum, mean and maximum nanoseconds per iteration on
+//! stdout.  No statistics, plots or HTML reports; the output format is
+//! stable (`BENCH <group>/<name> min=… mean=… max=… ns/iter`) so CI can
+//! grep it once BENCH_* tracking starts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Time `routine` and print a one-line summary.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples_ns: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher);
+        let ns = &bencher.samples_ns;
+        if ns.is_empty() {
+            println!("BENCH {}/{} (no samples)", self.name, id);
+            return self;
+        }
+        let min = ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = ns.iter().cloned().fold(0.0f64, f64::max);
+        let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+        println!(
+            "BENCH {}/{} min={min:.1} mean={mean:.1} max={max:.1} ns/iter ({} samples)",
+            self.name,
+            id,
+            ns.len()
+        );
+        self
+    }
+
+    /// End the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the hot loop.
+#[derive(Debug)]
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly, recording nanoseconds per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and batch-size calibration: aim for ~5 ms per sample so
+        // short routines are not dominated by timer resolution.
+        let start = Instant::now();
+        black_box(routine());
+        let once_ns = start.elapsed().as_nanos().max(1) as f64;
+        let batch = ((5_000_000.0 / once_ns) as usize).clamp(1, 1_000_000);
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed_ns = start.elapsed().as_nanos() as f64;
+            self.samples_ns.push(elapsed_ns / batch as f64);
+        }
+    }
+}
+
+/// Bundle benchmark functions into a callable group, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        fn $group_name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags such as
+            // `--bench`; this minimal harness has no options to parse.
+            let _ = std::env::args();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_to_1000(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.finish();
+    }
+
+    criterion_group!(benches, sum_to_1000);
+
+    #[test]
+    fn harness_runs_and_records() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher {
+            samples_ns: Vec::new(),
+            sample_size: 4,
+        };
+        b.iter(|| black_box(2 + 2));
+        assert_eq!(b.samples_ns.len(), 4);
+        assert!(b.samples_ns.iter().all(|ns| *ns >= 0.0));
+    }
+}

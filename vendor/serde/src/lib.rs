@@ -1,0 +1,50 @@
+//! Offline stand-in for `serde`.
+//!
+//! No crates.io access is available in this build environment, so this crate
+//! supplies just enough of serde's surface for the workspace to compile:
+//! `Serialize` and `Deserialize` as **marker traits** (there is no data
+//! model and no serialiser to drive), and the matching derives re-exported
+//! from the vendored [`serde_derive`].  `ivc-core` derives these on its
+//! result/scenario types so that swapping in the real serde later is a
+//! manifest-only change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// Let the derive-generated `impl serde::Serialize for …` blocks resolve even
+// inside this crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that the real serde could serialise.
+pub trait Serialize {}
+
+/// Marker for types that the real serde could deserialise.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(test)]
+mod tests {
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    #[allow(dead_code)]
+    struct Plain {
+        x: f64,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    #[allow(dead_code)]
+    enum Choice {
+        A,
+        B { v: u32 },
+    }
+
+    fn assert_both<T: Serialize + for<'a> Deserialize<'a>>() {}
+
+    #[test]
+    fn derives_produce_impls() {
+        assert_both::<Plain>();
+        assert_both::<Choice>();
+    }
+}

@@ -1,0 +1,61 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored [`serde`](../serde) crate defines `Serialize` and
+//! `Deserialize` as *marker* traits (no data model, no serialisers exist in
+//! this offline environment), so the derives only need to name the type and
+//! emit empty impls.  Implemented directly on `proc_macro` token streams —
+//! `syn`/`quote` are not available offline.
+//!
+//! Limitation: generic types are rejected; nothing in the workspace derives
+//! serde on a generic type.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the identifier following the `struct`/`enum`/`union` keyword and
+/// reject generic parameter lists.
+fn type_name(input: TokenStream) -> Result<String, String> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        let TokenTree::Ident(id) = &tt else { continue };
+        let kw = id.to_string();
+        if kw != "struct" && kw != "enum" && kw != "union" {
+            continue;
+        }
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            return Err("expected a type name after `struct`/`enum`".to_string());
+        };
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '<' {
+                return Err(format!(
+                    "offline serde stub cannot derive for generic type `{name}`"
+                ));
+            }
+        }
+        return Ok(name.to_string());
+    }
+    Err("offline serde stub: no `struct` or `enum` found in derive input".to_string())
+}
+
+fn emit(input: TokenStream, template: &str) -> TokenStream {
+    match type_name(input) {
+        Ok(name) => template.replace("__NAME__", &name),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    }
+    .parse()
+    .expect("offline serde stub generated invalid Rust")
+}
+
+/// Derive the (marker) `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, "impl serde::Serialize for __NAME__ {}")
+}
+
+/// Derive the (marker) `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, "impl<'de> serde::Deserialize<'de> for __NAME__ {}")
+}
