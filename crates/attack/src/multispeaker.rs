@@ -10,14 +10,43 @@ use ivc_dsp::signal::Signal;
 /// A fully constructed multi-speaker attack.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MultiSpeakerAttack {
-    /// The segmented drives (carrier element + sideband elements).
+    /// The segmented drives (carrier element(s) + sideband elements).
     pub drives: SegmentedDrives,
     /// Number of array elements used (carrier + sidebands).
     pub num_elements: usize,
+    /// Number of elements playing the bare carrier.  More than one when the
+    /// carrier's power share exceeds a single element's rating: identical
+    /// carrier elements add coherently and produce no intermodulation of
+    /// their own, so this is how a big array keeps its carrier-to-sideband
+    /// balance (see [`MultiSpeakerAttack::build_balanced`]).
+    pub carrier_elements: usize,
     /// Carrier frequency in Hz.
     pub carrier_hz: f64,
     /// The prepared baseband (for analysis and defense experiments).
     pub baseband: Signal,
+}
+
+/// How a total electrical budget was split across the elements — including
+/// what could **not** be allocated because the per-element rating bound.
+///
+/// `element_drives` used to cap silently; sweeps over large arrays (the
+/// E-A2 61-element anomaly) showed that the dropped budget matters, so the
+/// allocation now reports it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerAllocation {
+    /// One drive per element: carrier element(s) first, then sidebands.
+    pub drives: Vec<ElementDrive>,
+    /// The budget the caller asked for, in watt.
+    pub requested_total_w: f64,
+    /// What was actually assigned (`requested_total_w - shortfall_w`).
+    pub allocated_total_w: f64,
+    /// Total power across the carrier element(s), in watt.
+    pub carrier_total_w: f64,
+    /// Total power across the sideband elements, in watt.
+    pub sideband_total_w: f64,
+    /// Budget that could not be placed on any element because every element
+    /// hit its `max_element_power_w` rating, in watt.
+    pub shortfall_w: f64,
 }
 
 impl MultiSpeakerAttack {
@@ -33,12 +62,65 @@ impl MultiSpeakerAttack {
         num_elements: usize,
         config: &BasebandConfig,
     ) -> Result<Self> {
+        Self::build_with_carriers(voice, carrier_hz, num_elements, 1, config)
+    }
+
+    /// Builds a multi-speaker attack whose carrier/sideband element split is
+    /// balanced against the power budget it will actually be driven with.
+    ///
+    /// [`MultiSpeakerAttack::build`] always dedicates exactly one element to
+    /// the carrier.  For large arrays at high power that silently breaks the
+    /// attack: the carrier element saturates at `max_element_power_w` while
+    /// the sideband budget keeps growing, and inside the victim microphone
+    /// the `sideband × sideband` self-products (baseband-squared distortion)
+    /// swamp the `carrier × sideband` voice product.  This was the root
+    /// cause of the E-A2 anomaly where a 61-element / 400 W array
+    /// *underperformed* a 16-element / 120 W one.
+    ///
+    /// Here the number of carrier elements grows with the carrier's power
+    /// share (`ceil(total · fraction / max_element_power)`, at most
+    /// `num_elements - 1`), which keeps the demodulated voice product
+    /// dominant at any scale.  Pure-tone carrier elements add coherently and
+    /// create no intermodulation of their own, so the extra elements cost
+    /// nothing acoustically.
+    pub fn build_balanced(
+        voice: &Signal,
+        carrier_hz: f64,
+        num_elements: usize,
+        total_power_w: f64,
+        carrier_power_fraction: f64,
+        max_element_power_w: f64,
+        config: &BasebandConfig,
+    ) -> Result<Self> {
+        validate_power_split(total_power_w, carrier_power_fraction, max_element_power_w)?;
         if num_elements < 2 {
             return Err(AttackError::invalid(
                 "num_elements",
                 "need at least 2 elements (1 carrier + 1 sideband); use SingleSpeakerAttack for 1",
             ));
         }
+        let carrier_share_w = total_power_w * carrier_power_fraction;
+        let carrier_elements =
+            ((carrier_share_w / max_element_power_w).ceil() as usize).clamp(1, num_elements - 1);
+        Self::build_with_carriers(voice, carrier_hz, num_elements, carrier_elements, config)
+    }
+
+    /// The shared constructor: `carrier_elements` elements play the bare
+    /// carrier, the rest carry the spectrum slices.
+    fn build_with_carriers(
+        voice: &Signal,
+        carrier_hz: f64,
+        num_elements: usize,
+        carrier_elements: usize,
+        config: &BasebandConfig,
+    ) -> Result<Self> {
+        if num_elements < 2 {
+            return Err(AttackError::invalid(
+                "num_elements",
+                "need at least 2 elements (1 carrier + 1 sideband); use SingleSpeakerAttack for 1",
+            ));
+        }
+        debug_assert!((1..num_elements).contains(&carrier_elements));
         config.validate()?;
         if carrier_hz < config.minimum_carrier_hz() || carrier_hz > config.maximum_carrier_hz() {
             return Err(AttackError::invalid(
@@ -51,9 +133,15 @@ impl MultiSpeakerAttack {
             ));
         }
         let baseband = prepare_baseband(voice, config)?;
-        let drives = segment_baseband(&baseband, carrier_hz, config.cutoff_hz, num_elements - 1)?;
+        let drives = segment_baseband(
+            &baseband,
+            carrier_hz,
+            config.cutoff_hz,
+            num_elements - carrier_elements,
+        )?;
         Ok(MultiSpeakerAttack {
-            num_elements: drives.num_drives(),
+            num_elements: carrier_elements + drives.sideband_drives.len(),
+            carrier_elements,
             carrier_hz,
             drives,
             baseband,
@@ -63,53 +151,116 @@ impl MultiSpeakerAttack {
     /// Converts the attack into per-element [`ElementDrive`]s for a speaker
     /// array, splitting `total_power_w` across the elements.
     ///
-    /// The carrier element receives `carrier_power_fraction` of the total
+    /// The carrier element(s) receive `carrier_power_fraction` of the total
     /// (the carrier is what every sideband multiplies against inside the
     /// microphone, so it deserves a healthy share); the remainder is divided
     /// equally among the sideband elements.
+    ///
+    /// Convenience wrapper around [`MultiSpeakerAttack::allocate_power`]
+    /// that discards the budget accounting; sweeps that care about capped
+    /// budget (any experiment at serious power) should call
+    /// `allocate_power` and look at [`PowerAllocation::shortfall_w`].
     pub fn element_drives(
         &self,
         total_power_w: f64,
         carrier_power_fraction: f64,
         max_element_power_w: f64,
     ) -> Result<Vec<ElementDrive>> {
-        if !(total_power_w > 0.0) || !total_power_w.is_finite() {
-            return Err(AttackError::invalid("total_power_w", "must be positive"));
-        }
-        if !(0.05..=0.9).contains(&carrier_power_fraction) {
-            return Err(AttackError::invalid(
-                "carrier_power_fraction",
-                "must be within [0.05, 0.9]",
-            ));
-        }
-        let n_sidebands = self.drives.sideband_drives.len();
-        let carrier_power = (total_power_w * carrier_power_fraction).min(max_element_power_w);
-        let sideband_power =
-            ((total_power_w - carrier_power) / n_sidebands as f64).min(max_element_power_w);
-        if carrier_power <= 0.0 || sideband_power <= 0.0 {
+        Ok(self
+            .allocate_power(total_power_w, carrier_power_fraction, max_element_power_w)?
+            .drives)
+    }
+
+    /// Splits `total_power_w` across the elements and reports exactly where
+    /// every watt went — including the watts that went nowhere.
+    ///
+    /// The carrier share (`total · fraction`) is spread equally over the
+    /// carrier element(s), clamped to `max_element_power_w` each; whatever
+    /// the carrier cannot take is returned to the sideband pool.  Sideband
+    /// elements split that pool equally, again clamped per element; any
+    /// remainder is offered back to the carrier element(s) up to their
+    /// rating.  Budget that still cannot be placed is **reported** as
+    /// [`PowerAllocation::shortfall_w`] instead of being silently dropped.
+    pub fn allocate_power(
+        &self,
+        total_power_w: f64,
+        carrier_power_fraction: f64,
+        max_element_power_w: f64,
+    ) -> Result<PowerAllocation> {
+        validate_power_split(total_power_w, carrier_power_fraction, max_element_power_w)?;
+        let n_carriers = self.carrier_elements as f64;
+        let n_sidebands = self.drives.sideband_drives.len() as f64;
+        // Carrier share, spread over the carrier element(s) and clamped.
+        let per_carrier =
+            (total_power_w * carrier_power_fraction / n_carriers).min(max_element_power_w);
+        let mut carrier_total = per_carrier * n_carriers;
+        // Sidebands split the remainder equally, clamped per element.
+        let per_sideband = ((total_power_w - carrier_total) / n_sidebands).min(max_element_power_w);
+        let sideband_total = per_sideband * n_sidebands;
+        // Overflow the sidebands could not take goes back to the carrier(s)
+        // up to their rating; what is left after that is a true shortfall.
+        let unplaced = total_power_w - carrier_total - sideband_total;
+        let carrier_headroom = max_element_power_w * n_carriers - carrier_total;
+        let topped_up = unplaced.min(carrier_headroom).max(0.0);
+        carrier_total += topped_up;
+        let per_carrier = carrier_total / n_carriers;
+        let shortfall = (unplaced - topped_up).max(0.0);
+        if per_carrier <= 0.0 || per_sideband <= 0.0 {
             return Err(AttackError::invalid(
                 "total_power_w",
                 "too little power to drive every element",
             ));
         }
         let mut drives = Vec::with_capacity(self.num_elements);
-        drives.push(ElementDrive {
-            drive: self.drives.carrier_drive.clone(),
-            power_w: carrier_power,
-        });
+        for _ in 0..self.carrier_elements {
+            drives.push(ElementDrive {
+                drive: self.drives.carrier_drive.clone(),
+                power_w: per_carrier,
+            });
+        }
         for sideband in &self.drives.sideband_drives {
             drives.push(ElementDrive {
                 drive: sideband.clone(),
-                power_w: sideband_power,
+                power_w: per_sideband,
             });
         }
-        Ok(drives)
+        Ok(PowerAllocation {
+            drives,
+            requested_total_w: total_power_w,
+            allocated_total_w: total_power_w - shortfall,
+            carrier_total_w: carrier_total,
+            sideband_total_w: sideband_total,
+            shortfall_w: shortfall,
+        })
     }
 
     /// Duration of the attack in seconds.
     pub fn duration_s(&self) -> f64 {
         self.drives.carrier_drive.duration_s()
     }
+}
+
+fn validate_power_split(
+    total_power_w: f64,
+    carrier_power_fraction: f64,
+    max_element_power_w: f64,
+) -> Result<()> {
+    if !(total_power_w > 0.0) || !total_power_w.is_finite() {
+        return Err(AttackError::invalid("total_power_w", "must be positive"));
+    }
+    if !(0.05..=0.9).contains(&carrier_power_fraction) {
+        return Err(AttackError::invalid(
+            "carrier_power_fraction",
+            "must be within [0.05, 0.9]",
+        ));
+    }
+    if !(max_element_power_w > 0.0) || !max_element_power_w.is_finite() {
+        return Err(AttackError::invalid(
+            "max_element_power_w",
+            "must be positive",
+        ));
+    }
+    Ok(())
 }
 
 /// Convenience: the drive list for a *single-speaker* attack, so callers can
@@ -175,6 +326,65 @@ mod tests {
         // Per-element cap is respected.
         let capped = attack.element_drives(200.0, 0.25, 30.0).unwrap();
         assert!(capped.iter().all(|d| d.power_w <= 30.0 + 1e-9));
+    }
+
+    #[test]
+    fn balanced_build_scales_carrier_elements_with_the_budget() {
+        let voice = synthetic_voice(48_000.0);
+        let cfg = BasebandConfig::default();
+        // Small budget: one carrier element, same as `build`.
+        let small =
+            MultiSpeakerAttack::build_balanced(&voice, 40_000.0, 8, 60.0, 0.3, 30.0, &cfg).unwrap();
+        assert_eq!(small.carrier_elements, 1);
+        assert_eq!(small.num_elements, 8);
+        assert_eq!(small.drives.sideband_drives.len(), 7);
+        // The E-A2 anomaly configuration: 400 W * 0.3 = 120 W of carrier
+        // needs four 30 W elements.
+        let big = MultiSpeakerAttack::build_balanced(&voice, 40_000.0, 61, 400.0, 0.3, 30.0, &cfg)
+            .unwrap();
+        assert_eq!(big.carrier_elements, 4);
+        assert_eq!(big.num_elements, 61);
+        assert_eq!(big.drives.sideband_drives.len(), 57);
+        let allocation = big.allocate_power(400.0, 0.3, 30.0).unwrap();
+        assert_eq!(allocation.drives.len(), 61);
+        // The full carrier share is now placed (the single-carrier build
+        // could only place 30 of the 120 W).
+        assert!((allocation.carrier_total_w - 120.0).abs() < 1e-9);
+        assert!((allocation.shortfall_w).abs() < 1e-12);
+        let total: f64 = allocation.drives.iter().map(|d| d.power_w).sum();
+        assert!((total - 400.0).abs() < 1e-9);
+        // Even a huge budget never allocates more than one carrier short of
+        // the array to the carrier.
+        let capped =
+            MultiSpeakerAttack::build_balanced(&voice, 40_000.0, 4, 900.0, 0.9, 30.0, &cfg)
+                .unwrap();
+        assert_eq!(capped.carrier_elements, 3);
+        assert!(
+            MultiSpeakerAttack::build_balanced(&voice, 40_000.0, 1, 60.0, 0.3, 30.0, &cfg).is_err()
+        );
+    }
+
+    #[test]
+    fn allocation_reports_shortfall_instead_of_dropping_budget() {
+        let voice = synthetic_voice(48_000.0);
+        let attack =
+            MultiSpeakerAttack::build(&voice, 40_000.0, 4, &BasebandConfig::default()).unwrap();
+        // 4 elements rated 30 W each can place at most 120 W.
+        let allocation = attack.allocate_power(200.0, 0.25, 30.0).unwrap();
+        assert!((allocation.allocated_total_w - 120.0).abs() < 1e-9);
+        assert!((allocation.shortfall_w - 80.0).abs() < 1e-9);
+        assert!(allocation.drives.iter().all(|d| d.power_w <= 30.0 + 1e-9));
+        // The carrier is topped up to its rating before budget is declared
+        // lost.
+        assert!((allocation.carrier_total_w - 30.0).abs() < 1e-9);
+        // Within the placeable range nothing is lost and the report matches
+        // the request.
+        let fits = attack.allocate_power(20.0, 0.25, 30.0).unwrap();
+        assert!(fits.shortfall_w.abs() < 1e-12);
+        assert!((fits.allocated_total_w - 20.0).abs() < 1e-9);
+        assert!((fits.requested_total_w - 20.0).abs() < 1e-9);
+        assert!((fits.carrier_total_w - 5.0).abs() < 1e-9);
+        assert!((fits.sideband_total_w - 15.0).abs() < 1e-9);
     }
 
     #[test]

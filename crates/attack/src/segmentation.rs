@@ -37,6 +37,28 @@ impl SpectrumSlice {
     }
 }
 
+/// Number of taps of the per-slice band-pass FIR filters.
+pub const SLICE_FILTER_TAPS: usize = 511;
+
+/// The narrowest passband a `taps`-tap windowed-sinc filter at `fs` can
+/// actually realise (its Hamming main-lobe width, `≈ 2·fs/taps`).  Slices
+/// below this width still *work* — adjacent filters overlap and the slice
+/// energy is radiated from neighbouring elements too — but the per-element
+/// band isolation the segmentation promises degrades gracefully rather than
+/// holding exactly.
+///
+/// This limit was audited while chasing the E-A2 61-element anomaly: at
+/// 192 kHz, 60 slices of ~132 Hz sit far below the 511-tap limit of
+/// ~750 Hz, yet the *radiated* sideband energy stays intact (the overlap
+/// redistributes, not destroys, slice energy) — the anomaly's root cause
+/// was the carrier power cap, fixed in
+/// [`crate::multispeaker::MultiSpeakerAttack::build_balanced`].  The limit
+/// is exposed (and flagged via [`SegmentedDrives::resolution_limited`]) so
+/// that future sweeps can tell the two regimes apart.
+pub fn minimum_resolvable_bandwidth_hz(sample_rate_hz: f64, taps: usize) -> f64 {
+    2.0 * sample_rate_hz / taps.max(1) as f64
+}
+
 /// The full segmentation plan: which slice goes to which element.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SegmentationPlan {
@@ -96,6 +118,21 @@ impl SegmentedDrives {
         v.extend(self.sideband_drives.iter());
         v
     }
+
+    /// `true` when the plan's slices are narrower than the slice filters
+    /// can resolve (see [`minimum_resolvable_bandwidth_hz`]): per-element
+    /// band isolation is then approximate, with adjacent elements sharing
+    /// overlapping skirts.
+    pub fn resolution_limited(&self) -> bool {
+        let fs = self.carrier_drive.sample_rate_hz();
+        let limit = minimum_resolvable_bandwidth_hz(fs, SLICE_FILTER_TAPS);
+        self.sideband_drives.len() > 1
+            && self
+                .plan
+                .slices
+                .iter()
+                .any(|slice| slice.bandwidth_hz() < limit)
+    }
 }
 
 /// Builds the per-element drives for a prepared baseband.
@@ -142,7 +179,7 @@ pub fn segment_baseband(
             let lpf = FirFilter::low_pass(slice.high_hz, fs, 255, WindowKind::Hamming)?;
             lpf.filter_signal(baseband)?
         } else {
-            let taps = 511;
+            let taps = SLICE_FILTER_TAPS;
             let bpf = FirFilter::band_pass(
                 slice.low_hz.max(30.0),
                 slice.high_hz,
@@ -281,6 +318,37 @@ mod tests {
             let ultra = band_power(d.samples(), fs, 28_000.0, 52_000.0).unwrap();
             assert!(ultra / audible.max(1e-18) > 1e3);
         }
+    }
+
+    #[test]
+    fn narrow_slices_are_flagged_but_do_not_lose_radiated_energy() {
+        let fs = 192_000.0;
+        let baseband = synthetic_baseband(fs);
+        let limit = minimum_resolvable_bandwidth_hz(fs, SLICE_FILTER_TAPS);
+        assert!((700.0..800.0).contains(&limit), "limit {limit}");
+        // 7 slices of ~1.1 kHz resolve cleanly; 60 slices of ~132 Hz are
+        // below the filter's main-lobe width.
+        let wide = segment_baseband(&baseband, 40_000.0, 8_000.0, 7).unwrap();
+        assert!(!wide.resolution_limited());
+        let narrow = segment_baseband(&baseband, 40_000.0, 8_000.0, 60).unwrap();
+        assert!(narrow.resolution_limited());
+        // The E-A2 audit's finding, pinned as a regression test: even far
+        // below the resolution limit, the *total* radiated sideband energy
+        // is preserved (overlapping skirts redistribute slice energy to
+        // neighbouring elements; they do not destroy it).  The anomaly's
+        // real cause was carrier power starvation, not the slice widths.
+        let sideband_energy = |seg: &SegmentedDrives| -> f64 {
+            seg.sideband_drives
+                .iter()
+                .map(|d| band_power(d.samples(), fs, 32_000.0, 48_000.0).unwrap())
+                .sum()
+        };
+        let wide_total = sideband_energy(&wide);
+        let narrow_total = sideband_energy(&narrow);
+        assert!(
+            narrow_total > wide_total * 0.5,
+            "narrow slices collapsed: {narrow_total:.3e} vs {wide_total:.3e}"
+        );
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Reproduction driver: prints the rows/series of every paper table and
-//! figure.
+//! figure, and runs campaign presets through the parallel engine.
 //!
 //! Usage:
 //!
@@ -7,38 +7,210 @@
 //! cargo run --release -p ivc-bench --bin repro -- all        # every experiment
 //! cargo run --release -p ivc-bench --bin repro -- a2 d3      # a subset
 //! IVC_FULL=1 cargo run --release -p ivc-bench --bin repro -- all   # full-fidelity sweeps
+//!
+//! # Campaign presets (smoke, a1, a2, b3, defense) through the engine:
+//! cargo run --release -p ivc-bench --bin repro -- campaign smoke --workers 2
+//!
+//! # Flags (apply to campaign-backed experiments a1/a2/b3 too):
+//! #   --workers N     worker threads (default: all cores)
+//! #   --archive DIR   write each campaign's JSON report into DIR
 //! ```
 
 use ivc_bench::*;
+use ivc_experiments::{default_workers, CampaignReport};
+use std::path::{Path, PathBuf};
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let fidelity = Fidelity::from_env();
-    let selected: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        vec![
-            "a1", "a2", "a3", "a4", "a5", "a6", "b1", "b2", "b3", "d1", "d3", "d4", "d5", "d6",
-        ]
-        .into_iter()
-        .map(String::from)
-        .collect()
-    } else {
-        args
-    };
-    println!("fidelity: {fidelity:?} (set IVC_FULL=1 for full sweeps)\n");
-    for experiment in &selected {
-        let result = run_one(experiment, fidelity);
-        match result {
-            Ok(output) => println!("{output}"),
-            Err(e) => eprintln!("experiment {experiment} failed: {e}"),
-        }
+struct Options {
+    workers: usize,
+    archive: Option<PathBuf>,
+    campaign_presets: Vec<String>,
+    experiments: Vec<String>,
+}
+
+/// The next token as a flag's value, rejecting another flag in that slot
+/// (so `--archive --workers 2` errors instead of archiving to "--workers").
+fn flag_value<'a, I: Iterator<Item = &'a String>>(
+    iter: &mut std::iter::Peekable<I>,
+    flag: &str,
+    wants: &str,
+) -> Result<&'a String, String> {
+    match iter.peek() {
+        Some(value) if !value.starts_with("--") => Ok(iter.next().expect("peeked")),
+        _ => Err(format!("{flag} needs {wants}")),
     }
 }
 
-fn run_one(name: &str, fidelity: Fidelity) -> ivc_core::Result<String> {
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        workers: default_workers(),
+        archive: None,
+        campaign_presets: Vec::new(),
+        experiments: Vec::new(),
+    };
+    let mut campaign_mode = false;
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--workers" => {
+                let value = flag_value(&mut iter, "--workers", "a number")?;
+                options.workers = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid --workers value '{value}'"))?
+                    .max(1);
+            }
+            "--archive" => {
+                let value = flag_value(&mut iter, "--archive", "a directory")?;
+                options.archive = Some(PathBuf::from(value));
+            }
+            "campaign" if !campaign_mode => {
+                // `campaign` is a subcommand, not a modifier: mixing it
+                // with experiment ids would silently drop them.
+                if !options.experiments.is_empty() {
+                    return Err(format!(
+                        "'campaign' cannot be combined with experiment ids ({})",
+                        options.experiments.join(", ")
+                    ));
+                }
+                campaign_mode = true;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag '{other}'"));
+            }
+            other => {
+                if campaign_mode {
+                    options.campaign_presets.push(other.to_string());
+                } else {
+                    options.experiments.push(other.to_string());
+                }
+            }
+        }
+    }
+    if campaign_mode && options.campaign_presets.is_empty() {
+        return Err(
+            "campaign needs a preset name (available: smoke, a1, a2, b3, defense)".to_string(),
+        );
+    }
+    Ok(options)
+}
+
+fn archive_report(report: &CampaignReport, dir: &Path) -> ivc_core::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.json", report.spec.name));
+    report.save(&path)?;
+    Ok(path)
+}
+
+/// Archives every report into the `--archive` directory (when set).
+/// Returns `false` if any write failed, so callers can fail the process —
+/// a requested archive that was not produced must not exit 0.
+#[must_use]
+fn archive_all(reports: &[CampaignReport], archive: &Option<PathBuf>) -> bool {
+    let Some(dir) = archive else {
+        return true;
+    };
+    let mut ok = true;
+    for report in reports {
+        match archive_report(report, dir) {
+            Ok(path) => println!("archived {}", path.display()),
+            Err(e) => {
+                eprintln!("archiving {} failed: {e}", report.spec.name);
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let fidelity = Fidelity::from_env();
+    println!(
+        "fidelity: {fidelity:?} (set IVC_FULL=1 for full sweeps); workers: {}\n",
+        options.workers
+    );
+
+    // Campaign mode: run the named presets and print their summaries.
+    if !options.campaign_presets.is_empty() {
+        for preset in &options.campaign_presets {
+            match run_campaign_preset(preset, fidelity, options.workers) {
+                Ok(reports) => {
+                    for report in &reports {
+                        println!("{}", report.summary_table().render());
+                        for curve in &report.curves {
+                            println!(
+                                "range at >= 0.8 success [{}]: {} m",
+                                curve.label,
+                                curve
+                                    .range_at_success_rate(0.8)
+                                    .map(|d| format!("{d:.1}"))
+                                    .unwrap_or_else(|| "-".into())
+                            );
+                        }
+                        println!();
+                    }
+                    if !archive_all(&reports, &options.archive) {
+                        std::process::exit(1);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("campaign {preset} failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        return;
+    }
+
+    let selected: Vec<String> =
+        if options.experiments.is_empty() || options.experiments.iter().any(|a| a == "all") {
+            vec![
+                "a1", "a2", "a3", "a4", "a5", "a6", "b1", "b2", "b3", "d1", "d3", "d4", "d5", "d6",
+            ]
+            .into_iter()
+            .map(String::from)
+            .collect()
+        } else {
+            options.experiments.clone()
+        };
+    let mut archives_ok = true;
+    let mut experiments_ok = true;
+    for experiment in &selected {
+        let result = run_one(experiment, fidelity, &options, &mut archives_ok);
+        match result {
+            Ok(output) => println!("{output}"),
+            Err(e) => {
+                eprintln!("experiment {experiment} failed: {e}");
+                experiments_ok = false;
+            }
+        }
+    }
+    if !archives_ok || !experiments_ok {
+        std::process::exit(1);
+    }
+}
+
+fn run_one(
+    name: &str,
+    fidelity: Fidelity,
+    options: &Options,
+    archives_ok: &mut bool,
+) -> ivc_core::Result<String> {
     Ok(match name {
-        "a1" => fig_a1_leakage_vs_power(fidelity)?.render(),
+        "a1" => {
+            let (table, report) = fig_a1_leakage_vs_power(fidelity, options.workers)?;
+            *archives_ok &= archive_all(std::slice::from_ref(&report), &options.archive);
+            table.render()
+        }
         "a2" => {
-            let (table, series) = fig_a2_accuracy_vs_distance(fidelity)?;
+            let (table, series, report) = fig_a2_accuracy_vs_distance(fidelity, options.workers)?;
+            *archives_ok &= archive_all(std::slice::from_ref(&report), &options.archive);
             let mut out = table.render();
             for s in series {
                 out.push_str(&format!(
@@ -55,7 +227,11 @@ fn run_one(name: &str, fidelity: Fidelity) -> ivc_core::Result<String> {
         "a6" => fig_a6_carrier_frequency(fidelity)?.render(),
         "b1" => tab_b1_range_vs_power(fidelity)?.render(),
         "b2" => fig_b2_spectrogram_triplet(fidelity)?.render(),
-        "b3" => tab_b3_success_rate(fidelity)?.render(),
+        "b3" => {
+            let (table, reports) = tab_b3_success_rate(fidelity, options.workers)?;
+            *archives_ok &= archive_all(&reports, &options.archive);
+            table.render()
+        }
         "d1" | "d2" => fig_d1_d2_feature_separation(fidelity)?.render(),
         "d3" => fig_d3_roc(fidelity)?.render(),
         "d4" => tab_d4_detection_grid(fidelity)?.render(),

@@ -22,8 +22,8 @@ use ivc_defense::classifier::{LogisticRegression, TrainingConfig};
 use ivc_defense::dataset::{Dataset, DatasetConfig};
 use ivc_defense::evaluation::{evaluate, RocCurve};
 use ivc_defense::features::DefenseFeatures;
+use ivc_experiments::{presets, run_campaign, CampaignReport};
 use ivc_speech::commands::corpus;
-use ivc_speech::metrics::success_rate;
 use ivc_speech::recognizer::Recognizer;
 
 /// How exhaustive the sweeps should be.
@@ -43,6 +43,11 @@ impl Fidelity {
             Ok("1") | Ok("true") => Fidelity::Full,
             _ => Fidelity::Quick,
         }
+    }
+
+    /// The campaign-preset flavour of this fidelity.
+    pub fn quick(self) -> bool {
+        self == Fidelity::Quick
     }
 
     fn voice_cap_s(self) -> f64 {
@@ -68,13 +73,15 @@ fn base_attack_scenario(fidelity: Fidelity) -> Scenario {
 }
 
 /// E-A1 — audible leakage of a single speaker versus drive power.
-pub fn fig_a1_leakage_vs_power(fidelity: Fidelity) -> Result<Table> {
-    let recognizer = Recognizer::with_default_corpus()?;
-    let command = &corpus()[0];
-    let powers: Vec<f64> = match fidelity {
-        Fidelity::Quick => vec![1.0, 8.0, 29.0],
-        Fidelity::Full => vec![0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 29.0],
-    };
+///
+/// Runs as a built-in campaign (`ivc_experiments::presets::a1`) through
+/// the parallel engine; the returned report is the archivable record.
+pub fn fig_a1_leakage_vs_power(
+    fidelity: Fidelity,
+    workers: usize,
+) -> Result<(Table, CampaignReport)> {
+    let spec = presets::a1(fidelity.quick());
+    let report = run_campaign(&spec, workers)?;
     let mut table = Table::new(
         "E-A1: single-speaker leakage vs drive power (bystander at 1 m)",
         &[
@@ -84,93 +91,72 @@ pub fn fig_a1_leakage_vs_power(fidelity: Fidelity) -> Result<Table> {
             "Audible?",
         ],
     );
-    for power in powers {
-        let scenario = Scenario {
-            delivery: Delivery::SingleSpeakerUltrasound {
-                power_w: power,
-                carrier_hz: 40_000.0,
-            },
-            ..base_attack_scenario(fidelity)
+    for (i, delivery) in spec.deliveries.iter().enumerate() {
+        let Delivery::SingleSpeakerUltrasound { power_w, .. } = delivery.delivery else {
+            unreachable!("a1 sweeps single-speaker powers");
         };
-        let outcome = run_trial(command, &scenario, &recognizer, None)?;
-        let leak = outcome.leakage.expect("attack delivery has leakage");
+        let cell = report
+            .find_cell(0, i, 0, 0, 0)
+            .expect("a1 grid covers every power");
+        let audible = cell
+            .stats
+            .leak_audible_fraction
+            .expect("attack delivery has leakage")
+            >= 0.5;
         table.push_row(vec![
-            fmt(power, 1),
-            fmt(leak.audible_spl_db, 1),
-            fmt(leak.voice_band_spl_db, 1),
-            if leak.is_audible() {
-                "yes".into()
-            } else {
-                "no".into()
-            },
+            fmt(power_w, 1),
+            fmt(cell.stats.mean_bystander_spl_db.unwrap_or(f64::NAN), 1),
+            fmt(
+                cell.stats.mean_bystander_voice_spl_db.unwrap_or(f64::NAN),
+                1,
+            ),
+            if audible { "yes".into() } else { "no".into() },
         ]);
     }
-    Ok(table)
+    Ok((table, report))
 }
 
 /// E-A2 — word accuracy versus distance: single speaker vs array.
-pub fn fig_a2_accuracy_vs_distance(fidelity: Fidelity) -> Result<(Table, Vec<Series>)> {
-    let recognizer = Recognizer::with_default_corpus()?;
-    let command = &corpus()[0];
-    let distances: Vec<f64> = match fidelity {
-        Fidelity::Quick => vec![1.0, 3.0, 6.0],
-        Fidelity::Full => vec![0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.6, 9.0],
-    };
-    // The single speaker is constrained to a power that stays inaudible
-    // (the leakage experiments put that around a few watts); the array gets
-    // its full budget because its leakage is unintelligible residue.
-    let configs: Vec<(&str, Delivery)> = vec![
-        (
-            "single speaker (inaudibility-constrained, 3 W)",
-            Delivery::SingleSpeakerUltrasound {
-                power_w: 3.0,
-                carrier_hz: 40_000.0,
-            },
-        ),
-        (
-            "array (16 elements, 120 W total)",
-            Delivery::ArrayUltrasound {
-                num_elements: 16,
-                total_power_w: 120.0,
-                carrier_hz: 40_000.0,
-            },
-        ),
-        (
-            "array (61 elements, 400 W total)",
-            Delivery::ArrayUltrasound {
-                num_elements: fidelity.trials(8, 61),
-                total_power_w: fidelity.trials(60, 400) as f64,
-                carrier_hz: 40_000.0,
-            },
-        ),
-    ];
+///
+/// Runs as a built-in campaign (`ivc_experiments::presets::a2`); the
+/// series are the report's psychometric curves read as accuracy curves.
+pub fn fig_a2_accuracy_vs_distance(
+    fidelity: Fidelity,
+    workers: usize,
+) -> Result<(Table, Vec<Series>, CampaignReport)> {
+    let spec = presets::a2(fidelity.quick());
+    let report = run_campaign(&spec, workers)?;
     let mut table = Table::new(
         "E-A2: injected-command word accuracy vs distance",
         &["Distance (m)", "Single 3 W", "Array 16", "Array 61"],
     );
-    let mut series: Vec<Series> = Vec::new();
-    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
-    for &d in &distances {
-        for (i, (_, delivery)) in configs.iter().enumerate() {
-            let scenario = Scenario {
-                delivery: *delivery,
-                ..base_attack_scenario(fidelity)
-            }
-            .at_distance(d);
-            let outcome = run_trial(command, &scenario, &recognizer, None)?;
-            columns[i].push(outcome.word_accuracy);
-        }
+    for (di, &distance) in spec.distances_m.iter().enumerate() {
+        let accuracy = |delivery_index: usize| -> f64 {
+            report
+                .find_cell(0, delivery_index, 0, 0, di)
+                .expect("a2 grid covers every (delivery, distance)")
+                .stats
+                .mean_word_accuracy
+        };
         table.push_row(vec![
-            fmt(d, 1),
-            fmt(columns[0][columns[0].len() - 1], 2),
-            fmt(columns[1][columns[1].len() - 1], 2),
-            fmt(columns[2][columns[2].len() - 1], 2),
+            fmt(distance, 1),
+            fmt(accuracy(0), 2),
+            fmt(accuracy(1), 2),
+            fmt(accuracy(2), 2),
         ]);
     }
-    for ((name, _), ys) in configs.iter().zip(columns) {
-        series.push(Series::new(*name, distances.clone(), ys));
-    }
-    Ok((table, series))
+    let series = report
+        .curves
+        .iter()
+        .map(|curve| {
+            Series::new(
+                curve.label.clone(),
+                curve.distances_m.clone(),
+                curve.mean_word_accuracy.clone(),
+            )
+        })
+        .collect();
+    Ok((table, series, report))
 }
 
 /// E-A3 — word accuracy versus number of array elements at long range.
@@ -437,42 +423,64 @@ pub fn fig_b2_spectrogram_triplet(fidelity: Fidelity) -> Result<Table> {
 }
 
 /// E-B3 — success rates over repeated trials (Song–Mittal §4.2).
-pub fn tab_b3_success_rate(fidelity: Fidelity) -> Result<Table> {
-    let recognizer = Recognizer::with_default_corpus()?;
-    let trials = fidelity.trials(5, 50);
+///
+/// Runs each (device, distance, command) case as its own built-in
+/// campaign (`ivc_experiments::presets::b3`) so the success rates come
+/// with Wilson confidence intervals for free.
+pub fn tab_b3_success_rate(
+    fidelity: Fidelity,
+    workers: usize,
+) -> Result<(Table, Vec<CampaignReport>)> {
+    let specs = presets::b3(fidelity.quick());
+    let trials = specs[0].trials_per_cell;
     let mut table = Table::new(
         format!("E-B3: attack success rate over {trials} trials"),
-        &["Device", "Distance (m)", "Command", "Success rate"],
+        &[
+            "Device",
+            "Distance (m)",
+            "Command",
+            "Success rate",
+            "95% CI",
+        ],
     );
-    let cases = [
-        (DevicePreset::AndroidPhone, 3.0, 2usize),
-        (DevicePreset::AmazonEcho, 2.0, 1usize),
-    ];
-    for (device, distance, command_index) in cases {
-        let command = &corpus()[command_index];
-        let mut outcomes = Vec::new();
-        for trial in 0..trials {
-            let scenario = Scenario {
-                device,
-                delivery: Delivery::SingleSpeakerUltrasound {
-                    power_w: 18.7,
-                    carrier_hz: 30_000.0,
-                },
-                ..base_attack_scenario(fidelity)
-            }
-            .at_distance(distance)
-            .with_seed(1_000 + trial as u64);
-            let outcome = run_trial(command, &scenario, &recognizer, None)?;
-            outcomes.push(outcome.accepted);
-        }
+    let mut reports = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let report = run_campaign(&spec, workers)?;
+        let cell = &report.cells[0];
         table.push_row(vec![
-            device.name().to_string(),
-            fmt(distance, 1),
-            command.text.to_string(),
-            fmt(success_rate(&outcomes), 2),
+            spec.devices[0].name().to_string(),
+            fmt(spec.distances_m[0], 1),
+            corpus()[spec.command_indices[0]].text.to_string(),
+            fmt(cell.stats.success_rate, 2),
+            format!(
+                "[{}, {}]",
+                fmt(cell.stats.success_ci_low, 2),
+                fmt(cell.stats.success_ci_high, 2)
+            ),
         ]);
+        reports.push(report);
     }
-    Ok(table)
+    Ok((table, reports))
+}
+
+/// Runs a named campaign preset through the engine, returning one report
+/// per expanded spec (`b3` expands to two).
+pub fn run_campaign_preset(
+    name: &str,
+    fidelity: Fidelity,
+    workers: usize,
+) -> Result<Vec<CampaignReport>> {
+    let specs = presets::by_name(name, fidelity.quick()).ok_or_else(|| {
+        format!(
+            "unknown campaign preset '{name}' (available: {})",
+            presets::PRESET_NAMES.join(", ")
+        )
+    })?;
+    let mut reports = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        reports.push(run_campaign(spec, workers)?);
+    }
+    Ok(reports)
 }
 
 /// Builds the detector's training corpus and a trained model.

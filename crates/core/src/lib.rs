@@ -17,14 +17,19 @@
 //!   the defense verdict.
 //! * [`results`] — small table/series containers used by the reproduction
 //!   harness to print paper-style outputs (serialisable with `serde`).
+//! * [`json`] — a dependency-free JSON value model, writer and parser used
+//!   to archive experiment reports (the vendored `serde` stand-in has no
+//!   data model, so archival gets its own deterministic layer).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod pipeline;
 pub mod results;
 pub mod scenario;
 
+pub use json::JsonValue;
 pub use pipeline::{run_trial, TrialOutcome};
 pub use results::{Series, Table};
 pub use scenario::{Delivery, Scenario};

@@ -27,8 +27,21 @@ pub struct TrialOutcome {
     pub accepted: bool,
     /// Word accuracy against the intended command's template.
     pub word_accuracy: f64,
+    /// The intended command's words that were recognised, in word order
+    /// (`word_accuracy` is `recognized_words.len() / command.num_words()`).
+    pub recognized_words: Vec<String>,
     /// Speaker-side leakage report (attack deliveries only).
     pub leakage: Option<LeakageReport>,
+    /// Unweighted audible-band SPL a bystander near the source would hear,
+    /// in dB (`None` for legitimate deliveries) — the leakage report's
+    /// headline number, flattened for aggregation.
+    pub bystander_spl_db: Option<f64>,
+    /// Electrical budget the delivery asked for but could not place because
+    /// per-element power ratings bound (0 when everything fit).
+    pub power_shortfall_w: f64,
+    /// The master seed the trial ran with (copied from the scenario, so a
+    /// result archive is self-contained).
+    pub seed: u64,
     /// The defense's features for this recording.
     pub defense_features: DefenseFeatures,
     /// The detector's attack probability, if a trained detector was supplied.
@@ -62,13 +75,14 @@ pub fn run_trial(
     };
 
     // 2. Deliver it to the microphone port as a pressure waveform.
-    let (mut pressure_at_port, leakage) = match scenario.delivery {
+    let (mut pressure_at_port, leakage, power_shortfall_w) = match scenario.delivery {
         Delivery::Legitimate { talker_spl_db } => {
             let rms = voice.rms().max(1e-12);
             let pressure_at_1m = voice.scaled(spl_db_to_pressure(talker_spl_db) / rms);
             (
                 propagate(&pressure_at_1m, scenario.distance_m, &scenario.env)?,
                 None,
+                0.0,
             )
         }
         Delivery::SingleSpeakerUltrasound {
@@ -79,7 +93,8 @@ pub fn run_trial(
                 SingleSpeakerAttack::build(&voice, carrier_hz, 0.9, &BasebandConfig::default())?;
             let speaker = UltrasonicSpeaker::default();
             let array = SpeakerArray::new(speaker.clone(), 1, 0.03)?;
-            let drives = single_speaker_element_drives(&attack, power_w.min(speaker.max_power_w))?;
+            let placed_w = power_w.min(speaker.max_power_w);
+            let drives = single_speaker_element_drives(&attack, placed_w)?;
             let leak = estimate_leakage(
                 &array,
                 &drives,
@@ -90,6 +105,7 @@ pub fn run_trial(
             (
                 array.field_at_target(&drives, scenario.distance_m, &scenario.env)?,
                 Some(leak),
+                power_w - placed_w,
             )
         }
         Delivery::ArrayUltrasound {
@@ -99,22 +115,34 @@ pub fn run_trial(
         } => {
             let speaker = UltrasonicSpeaker::default();
             let array = SpeakerArray::new(speaker.clone(), num_elements.max(1), 0.03)?;
-            let drives = if num_elements <= 1 {
+            let (drives, shortfall_w) = if num_elements <= 1 {
                 let attack = SingleSpeakerAttack::build(
                     &voice,
                     carrier_hz,
                     0.9,
                     &BasebandConfig::default(),
                 )?;
-                single_speaker_element_drives(&attack, total_power_w.min(speaker.max_power_w))?
+                let placed_w = total_power_w.min(speaker.max_power_w);
+                (
+                    single_speaker_element_drives(&attack, placed_w)?,
+                    total_power_w - placed_w,
+                )
             } else {
-                let attack = MultiSpeakerAttack::build(
+                // `build_balanced` sizes the carrier element group against
+                // the budget, so big arrays keep their carrier-to-sideband
+                // balance instead of starving the carrier at one element's
+                // rating (the old E-A2 61-element anomaly).
+                let attack = MultiSpeakerAttack::build_balanced(
                     &voice,
                     carrier_hz,
                     num_elements,
+                    total_power_w,
+                    0.3,
+                    speaker.max_power_w,
                     &BasebandConfig::default(),
                 )?;
-                attack.element_drives(total_power_w, 0.3, speaker.max_power_w)?
+                let allocation = attack.allocate_power(total_power_w, 0.3, speaker.max_power_w)?;
+                (allocation.drives, allocation.shortfall_w)
             };
             let leak = estimate_leakage(
                 &array,
@@ -126,6 +154,7 @@ pub fn run_trial(
             (
                 array.field_at_target(&drives, scenario.distance_m, &scenario.env)?,
                 Some(leak),
+                shortfall_w,
             )
         }
     };
@@ -143,9 +172,18 @@ pub fn run_trial(
         .microphone()
         .capture(&pressure_at_port, scenario.seed)?;
 
-    // 4. Recognition and defense.
-    let accepted = recognizer.command_accepted(&recording, command.id)?;
-    let word_accuracy = recognizer.word_accuracy(&recording, command.id)?;
+    // 4. Recognition and defense.  `evaluate` prepares and featurises the
+    // recording once and owns the acceptance rule, so the pipeline cannot
+    // drift from `Recognizer::command_accepted`.
+    let evaluation = recognizer.evaluate(&recording, command.id)?;
+    let word_accuracy = evaluation.word_accuracy;
+    let accepted = evaluation.accepted;
+    let recognized_words: Vec<String> = evaluation
+        .word_recognition
+        .into_iter()
+        .filter(|(_, ok)| *ok)
+        .map(|(word, _)| word)
+        .collect();
     let defense_features = DefenseFeatures::extract(&recording)?;
     let detection_probability = match detector {
         Some(model) => Some(model.predict_probability(&defense_features.to_vector())?),
@@ -156,6 +194,10 @@ pub fn run_trial(
         recording,
         accepted,
         word_accuracy,
+        recognized_words,
+        bystander_spl_db: leakage.as_ref().map(|leak| leak.audible_spl_db),
+        power_shortfall_w,
+        seed: scenario.seed,
         leakage,
         defense_features,
         detection_probability,
@@ -184,11 +226,21 @@ mod tests {
         });
         let outcome = run_trial(command, &scenario, &recognizer, None).unwrap();
         assert!(outcome.leakage.is_none());
+        assert!(outcome.bystander_spl_db.is_none());
         assert!(outcome.detection_probability.is_none());
         assert!(
             outcome.word_accuracy > 0.5,
             "accuracy {}",
             outcome.word_accuracy
+        );
+        // The aggregation fields are consistent with the headline numbers.
+        assert_eq!(outcome.seed, scenario.seed);
+        assert_eq!(outcome.power_shortfall_w, 0.0);
+        assert!(
+            (outcome.word_accuracy
+                - outcome.recognized_words.len() as f64 / command.num_words() as f64)
+                .abs()
+                < 1e-12
         );
         assert!(outcome.recording.len() > 1_000);
     }
@@ -204,6 +256,12 @@ mod tests {
         });
         let outcome = run_trial(command, &scenario, &recognizer, None).unwrap();
         assert!(outcome.leakage.is_some());
+        assert_eq!(
+            outcome.bystander_spl_db,
+            outcome.leakage.as_ref().map(|l| l.audible_spl_db)
+        );
+        // 60 W over 6 elements fits every rating: nothing is lost.
+        assert_eq!(outcome.power_shortfall_w, 0.0);
         assert!(
             outcome.word_accuracy > 0.4,
             "accuracy {}",

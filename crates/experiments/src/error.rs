@@ -1,0 +1,73 @@
+//! Error type of the campaign engine.
+
+use std::fmt;
+
+/// Everything that can go wrong while expanding, running or archiving a
+/// campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentError {
+    /// A campaign specification field failed validation.
+    InvalidSpec {
+        /// Which field.
+        field: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// Campaign-wide setup failed before any trial ran (e.g. the
+    /// recogniser could not be built).
+    Setup(String),
+    /// A trial of the underlying pipeline failed.
+    Trial {
+        /// Index of the grid cell the trial belonged to.
+        cell_index: usize,
+        /// Trial index within the cell.
+        trial_index: usize,
+        /// The pipeline's error message.
+        message: String,
+    },
+    /// A report could not be decoded from JSON.
+    Decode(String),
+    /// Reading or writing an archive file failed.
+    Io(String),
+}
+
+impl ExperimentError {
+    /// Convenience constructor for [`ExperimentError::InvalidSpec`].
+    pub fn invalid(field: &'static str, reason: impl Into<String>) -> Self {
+        ExperimentError::InvalidSpec {
+            field,
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`ExperimentError::Decode`].
+    pub fn decode(reason: impl Into<String>) -> Self {
+        ExperimentError::Decode(reason.into())
+    }
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::InvalidSpec { field, reason } => {
+                write!(f, "invalid campaign spec: {field}: {reason}")
+            }
+            ExperimentError::Setup(reason) => write!(f, "campaign setup failed: {reason}"),
+            ExperimentError::Trial {
+                cell_index,
+                trial_index,
+                message,
+            } => write!(
+                f,
+                "trial {trial_index} of cell {cell_index} failed: {message}"
+            ),
+            ExperimentError::Decode(reason) => write!(f, "report decode error: {reason}"),
+            ExperimentError::Io(reason) => write!(f, "archive I/O error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+/// Result alias of the campaign engine.
+pub type Result<T> = std::result::Result<T, ExperimentError>;

@@ -1,0 +1,214 @@
+//! The parallel campaign executor: a bounded `std::thread` worker pool
+//! that fans the expanded grid's trials out and collects records in job
+//! order.
+//!
+//! Determinism contract: the same spec produces the **byte-identical**
+//! archived report at any worker count.  Three design choices make that
+//! hold:
+//!
+//! 1. every trial's seed is a pure function of the spec
+//!    ([`crate::grid::CampaignSpec::trial_seed`]) — never of scheduling;
+//! 2. workers pull job indices from a shared counter but write results
+//!    into the job's own slot, so collection order is job order, not
+//!    completion order; and
+//! 3. the pipeline itself is single-threaded and deterministic per trial.
+
+use crate::aggregate::{aggregate_cells, psychometric_curves};
+use crate::error::{ExperimentError, Result};
+use crate::grid::CampaignSpec;
+use crate::report::CampaignReport;
+use ivc_core::run_trial;
+use ivc_speech::commands::{corpus, VoiceCommand};
+use ivc_speech::recognizer::Recognizer;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// What one trial contributed to its cell — the archived unit of raw data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialRecord {
+    /// The cell this trial belongs to.
+    pub cell_index: usize,
+    /// Trial index within the cell.
+    pub trial_index: usize,
+    /// The seed the trial ran with.
+    pub seed: u64,
+    /// Did the device accept the command end to end?
+    pub accepted: bool,
+    /// Word accuracy against the intended command.
+    pub word_accuracy: f64,
+    /// The intended command's words that were recognised.
+    pub recognized_words: Vec<String>,
+    /// Audible-band SPL at the bystander, in dB (attack deliveries only).
+    pub bystander_spl_db: Option<f64>,
+    /// Voice-band (intelligible) SPL at the bystander, in dB.
+    pub bystander_voice_spl_db: Option<f64>,
+    /// Would a bystander notice the leakage?
+    pub leak_audible: Option<bool>,
+    /// Electrical budget the delivery could not place (see
+    /// [`ivc_core::TrialOutcome::power_shortfall_w`]).
+    pub power_shortfall_w: f64,
+}
+
+/// A sensible default worker count: the machine's parallelism.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs every trial of `spec` on a pool of `workers` threads and returns
+/// the aggregated, archivable report.
+///
+/// `workers` is clamped to `[1, number of trials]`.  The report is
+/// byte-identical across worker counts (see the module docs).
+pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> Result<CampaignReport> {
+    spec.validate()?;
+    let recognizer = Recognizer::with_default_corpus()
+        .map_err(|e| ExperimentError::Setup(format!("recogniser: {e}")))?;
+    let commands = corpus();
+    let cells = spec.cells();
+    let trials_per_cell = spec.trials_per_cell;
+    let num_jobs = spec.num_trials();
+    let workers = workers.clamp(1, num_jobs);
+
+    let next_job = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<std::result::Result<TrialRecord, String>>>> =
+        Mutex::new((0..num_jobs).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let job = next_job.fetch_add(1, Ordering::Relaxed);
+                if job >= num_jobs {
+                    break;
+                }
+                let cell = &cells[job / trials_per_cell];
+                let trial_index = job % trials_per_cell;
+                let result = run_one_trial(spec, cell, trial_index, &commands, &recognizer);
+                slots.lock().expect("result mutex poisoned")[job] = Some(result);
+            });
+        }
+    });
+
+    // Collect in job order so the first failure reported is deterministic.
+    let mut records = Vec::with_capacity(num_jobs);
+    for (job, slot) in slots
+        .into_inner()
+        .expect("result mutex poisoned")
+        .into_iter()
+        .enumerate()
+    {
+        match slot.expect("worker pool left a job unfinished") {
+            Ok(record) => records.push(record),
+            Err(message) => {
+                return Err(ExperimentError::Trial {
+                    cell_index: job / trials_per_cell,
+                    trial_index: job % trials_per_cell,
+                    message,
+                })
+            }
+        }
+    }
+
+    let cell_reports = aggregate_cells(spec, &cells, &records);
+    let curves = psychometric_curves(spec, &cell_reports);
+    Ok(CampaignReport {
+        spec: spec.clone(),
+        cells: cell_reports,
+        curves,
+    })
+}
+
+fn run_one_trial(
+    spec: &CampaignSpec,
+    cell: &crate::grid::CellSpec,
+    trial_index: usize,
+    commands: &[VoiceCommand],
+    recognizer: &Recognizer,
+) -> std::result::Result<TrialRecord, String> {
+    let scenario = spec.scenario(cell, trial_index);
+    let command = &commands[spec.command_index(cell)];
+    let outcome = run_trial(command, &scenario, recognizer, None).map_err(|e| e.to_string())?;
+    Ok(TrialRecord {
+        cell_index: cell.cell_index,
+        trial_index,
+        seed: outcome.seed,
+        accepted: outcome.accepted,
+        word_accuracy: outcome.word_accuracy,
+        recognized_words: outcome.recognized_words,
+        bystander_spl_db: outcome.bystander_spl_db,
+        bystander_voice_spl_db: outcome.leakage.as_ref().map(|l| l.voice_band_spl_db),
+        leak_audible: outcome.leakage.as_ref().map(|l| l.is_audible()),
+        power_shortfall_w: outcome.power_shortfall_w,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::DeliverySpec;
+
+    /// A deliberately tiny campaign: 2 deliveries × 2 distances, truncated
+    /// commands, so the whole thing runs in seconds even in debug builds.
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            deliveries: vec![
+                DeliverySpec::legitimate("talker 68 dB", 68.0),
+                DeliverySpec::array("6-element array, 60 W", 6, 60.0, 40_000.0),
+            ],
+            distances_m: vec![1.0, 2.0],
+            max_voice_duration_s: 0.8,
+            ..CampaignSpec::new("tiny")
+        }
+    }
+
+    #[test]
+    fn campaign_runs_and_aggregates() {
+        let spec = tiny_spec();
+        let report = run_campaign(&spec, 2).unwrap();
+        assert_eq!(report.cells.len(), 4);
+        assert_eq!(report.curves.len(), 2);
+        for cell_report in &report.cells {
+            assert_eq!(cell_report.stats.trials, 1);
+            assert_eq!(cell_report.trials.len(), 1);
+            let record = &cell_report.trials[0];
+            assert_eq!(record.seed, spec.base_seed);
+            // Attack cells carry leakage numbers, legitimate ones do not.
+            let is_attack = spec.deliveries[cell_report.cell.delivery_index]
+                .delivery
+                .is_attack();
+            assert_eq!(record.bystander_spl_db.is_some(), is_attack);
+            assert_eq!(record.leak_audible.is_some(), is_attack);
+        }
+        // The close-range array injection should recognise at least some
+        // words; the legitimate talker should dominate it at no distance.
+        let legit_curve = &report.curves[0];
+        assert_eq!(legit_curve.distances_m, vec![1.0, 2.0]);
+        assert!(legit_curve.mean_word_accuracy[0] > 0.5);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_report() {
+        let spec = tiny_spec();
+        let serial = run_campaign(&spec, 1).unwrap();
+        let parallel = run_campaign(&spec, 8).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(
+            serial.to_json_string(),
+            parallel.to_json_string(),
+            "archived bytes must not depend on the worker count"
+        );
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_before_any_work() {
+        let spec = CampaignSpec {
+            trials_per_cell: 0,
+            ..tiny_spec()
+        };
+        assert!(matches!(
+            run_campaign(&spec, 4),
+            Err(ExperimentError::InvalidSpec { .. })
+        ));
+    }
+}

@@ -1,0 +1,516 @@
+//! The parameter-grid DSL: a [`CampaignSpec`] declares axes (device,
+//! delivery configuration, environment, command, distance) plus shared
+//! scalars, and expands into the full cross product of concrete
+//! [`Scenario`]s.
+//!
+//! Expansion order is part of the engine's contract: cells are enumerated
+//! devices → deliveries → environments → commands → distances (distance
+//! innermost), so success-vs-distance curves read off contiguous cell
+//! ranges, and the same spec always produces the same cell indices.
+
+use crate::error::{ExperimentError, Result};
+use ivc_acoustics::environment::AirEnvironment;
+use ivc_acoustics::microphone::DevicePreset;
+use ivc_core::scenario::{Delivery, Scenario};
+use ivc_speech::commands::corpus;
+
+/// Named air-condition presets for the environment axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnvironmentPreset {
+    /// A typical indoor meeting room (20 °C, 50 % RH) — the default used by
+    /// every paper experiment.
+    MeetingRoom,
+    /// A heated building in winter: cooler and dry (16 °C, 25 % RH); dry
+    /// air absorbs ultrasound hardest.
+    WinterIndoor,
+    /// A hot, humid summer room (30 °C, 80 % RH).
+    SummerHumid,
+    /// Outdoors on a cool day (10 °C, 70 % RH, slightly low pressure).
+    Outdoor,
+}
+
+impl EnvironmentPreset {
+    /// All presets in a stable order.
+    pub const ALL: [EnvironmentPreset; 4] = [
+        EnvironmentPreset::MeetingRoom,
+        EnvironmentPreset::WinterIndoor,
+        EnvironmentPreset::SummerHumid,
+        EnvironmentPreset::Outdoor,
+    ];
+
+    /// Stable token used in JSON archives.
+    pub fn token(&self) -> &'static str {
+        match self {
+            EnvironmentPreset::MeetingRoom => "meeting_room",
+            EnvironmentPreset::WinterIndoor => "winter_indoor",
+            EnvironmentPreset::SummerHumid => "summer_humid",
+            EnvironmentPreset::Outdoor => "outdoor",
+        }
+    }
+
+    /// Parses an archive token back into a preset.
+    pub fn from_token(token: &str) -> Option<EnvironmentPreset> {
+        EnvironmentPreset::ALL
+            .into_iter()
+            .find(|p| p.token() == token)
+    }
+
+    /// The air conditions this preset stands for.
+    pub fn air(&self) -> AirEnvironment {
+        match self {
+            EnvironmentPreset::MeetingRoom => AirEnvironment::default(),
+            EnvironmentPreset::WinterIndoor => AirEnvironment {
+                temperature_c: 16.0,
+                relative_humidity_percent: 25.0,
+                pressure_kpa: 101.325,
+            },
+            EnvironmentPreset::SummerHumid => AirEnvironment {
+                temperature_c: 30.0,
+                relative_humidity_percent: 80.0,
+                pressure_kpa: 101.325,
+            },
+            EnvironmentPreset::Outdoor => AirEnvironment {
+                temperature_c: 10.0,
+                relative_humidity_percent: 70.0,
+                pressure_kpa: 100.0,
+            },
+        }
+    }
+}
+
+/// One labelled point on the delivery axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeliverySpec {
+    /// Label used in tables, curves and archives.
+    pub label: String,
+    /// The delivery configuration.
+    pub delivery: Delivery,
+}
+
+impl DeliverySpec {
+    /// A legitimate talker at `talker_spl_db` dB SPL (1 m).
+    pub fn legitimate(label: impl Into<String>, talker_spl_db: f64) -> Self {
+        DeliverySpec {
+            label: label.into(),
+            delivery: Delivery::Legitimate { talker_spl_db },
+        }
+    }
+
+    /// A single ultrasonic speaker at `power_w` watt.
+    pub fn single_speaker(label: impl Into<String>, power_w: f64, carrier_hz: f64) -> Self {
+        DeliverySpec {
+            label: label.into(),
+            delivery: Delivery::SingleSpeakerUltrasound {
+                power_w,
+                carrier_hz,
+            },
+        }
+    }
+
+    /// An ultrasonic array of `num_elements` at `total_power_w` watt.
+    pub fn array(
+        label: impl Into<String>,
+        num_elements: usize,
+        total_power_w: f64,
+        carrier_hz: f64,
+    ) -> Self {
+        DeliverySpec {
+            label: label.into(),
+            delivery: Delivery::ArrayUltrasound {
+                num_elements,
+                total_power_w,
+                carrier_hz,
+            },
+        }
+    }
+}
+
+/// A full campaign: the grid axes plus everything shared by all cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name (archived; also the default archive file stem).
+    pub name: String,
+    /// Device axis.
+    pub devices: Vec<DevicePreset>,
+    /// Delivery-configuration axis (element counts, powers, carriers —
+    /// anything [`Delivery`] expresses).
+    pub deliveries: Vec<DeliverySpec>,
+    /// Environment axis.
+    pub environments: Vec<EnvironmentPreset>,
+    /// Command axis: indices into [`ivc_speech::commands::corpus`].
+    pub command_indices: Vec<usize>,
+    /// Distance axis, in metres.
+    pub distances_m: Vec<f64>,
+    /// Ambient room noise for every cell, in dB SPL.
+    pub ambient_noise_spl_db: f64,
+    /// Bystander distance for leakage estimation, in metres.
+    pub bystander_distance_m: f64,
+    /// Trials per cell; trial `t` everywhere uses seed `base_seed + t`
+    /// (common random numbers across cells, so cross-cell comparisons are
+    /// paired).
+    pub trials_per_cell: usize,
+    /// Master seed; the only randomness a campaign sees.
+    pub base_seed: u64,
+    /// Voice-duration cap per trial, `f64::INFINITY` for whole commands.
+    pub max_voice_duration_s: f64,
+}
+
+impl CampaignSpec {
+    /// A single-cell starting point mirroring [`Scenario::default_attack`]:
+    /// Android phone, 8-element 40 W array, meeting room, command 0, 2 m,
+    /// one trial at seed 1.  Overwrite the axes you want to sweep.
+    pub fn new(name: impl Into<String>) -> Self {
+        CampaignSpec {
+            name: name.into(),
+            devices: vec![DevicePreset::AndroidPhone],
+            deliveries: vec![DeliverySpec::array(
+                "8-element array, 40 W",
+                8,
+                40.0,
+                40_000.0,
+            )],
+            environments: vec![EnvironmentPreset::MeetingRoom],
+            command_indices: vec![0],
+            distances_m: vec![2.0],
+            ambient_noise_spl_db: 40.0,
+            bystander_distance_m: 1.0,
+            trials_per_cell: 1,
+            base_seed: 1,
+            max_voice_duration_s: f64::INFINITY,
+        }
+    }
+
+    /// Validates every axis and scalar.
+    pub fn validate(&self) -> Result<()> {
+        if self.name.is_empty() {
+            return Err(ExperimentError::invalid("name", "must not be empty"));
+        }
+        if self.devices.is_empty() {
+            return Err(ExperimentError::invalid("devices", "axis is empty"));
+        }
+        if self.deliveries.is_empty() {
+            return Err(ExperimentError::invalid("deliveries", "axis is empty"));
+        }
+        if self.environments.is_empty() {
+            return Err(ExperimentError::invalid("environments", "axis is empty"));
+        }
+        if self.command_indices.is_empty() {
+            return Err(ExperimentError::invalid("command_indices", "axis is empty"));
+        }
+        let corpus_len = corpus().len();
+        for &index in &self.command_indices {
+            if index >= corpus_len {
+                return Err(ExperimentError::invalid(
+                    "command_indices",
+                    format!("index {index} outside the {corpus_len}-command corpus"),
+                ));
+            }
+        }
+        if self.distances_m.is_empty() {
+            return Err(ExperimentError::invalid("distances_m", "axis is empty"));
+        }
+        for &d in &self.distances_m {
+            if !(d > 0.0) || !d.is_finite() {
+                return Err(ExperimentError::invalid(
+                    "distances_m",
+                    format!("{d} must be positive and finite"),
+                ));
+            }
+        }
+        if !(self.bystander_distance_m > 0.0) || !self.bystander_distance_m.is_finite() {
+            return Err(ExperimentError::invalid(
+                "bystander_distance_m",
+                "must be positive and finite",
+            ));
+        }
+        if !self.ambient_noise_spl_db.is_finite() {
+            return Err(ExperimentError::invalid(
+                "ambient_noise_spl_db",
+                "must be finite",
+            ));
+        }
+        if self.trials_per_cell == 0 {
+            return Err(ExperimentError::invalid(
+                "trials_per_cell",
+                "must be at least 1",
+            ));
+        }
+        if !(self.max_voice_duration_s > 0.0) {
+            return Err(ExperimentError::invalid(
+                "max_voice_duration_s",
+                "must be positive (use f64::INFINITY for whole commands)",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of grid cells (the axis cross product).
+    pub fn num_cells(&self) -> usize {
+        self.devices.len()
+            * self.deliveries.len()
+            * self.environments.len()
+            * self.command_indices.len()
+            * self.distances_m.len()
+    }
+
+    /// Number of trials across the whole campaign.
+    pub fn num_trials(&self) -> usize {
+        self.num_cells() * self.trials_per_cell
+    }
+
+    /// Expands the grid into cells, in the documented order (devices →
+    /// deliveries → environments → commands → distances).
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut cells = Vec::with_capacity(self.num_cells());
+        let mut cell_index = 0;
+        for device_index in 0..self.devices.len() {
+            for delivery_index in 0..self.deliveries.len() {
+                for environment_index in 0..self.environments.len() {
+                    for command_position in 0..self.command_indices.len() {
+                        for distance_index in 0..self.distances_m.len() {
+                            cells.push(CellSpec {
+                                cell_index,
+                                device_index,
+                                delivery_index,
+                                environment_index,
+                                command_position,
+                                distance_index,
+                            });
+                            cell_index += 1;
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// The cell index at the given axis coordinates — the closed form of
+    /// the [`CampaignSpec::cells`] expansion order, kept next to it so the
+    /// ordering contract has exactly one owner.  `None` when any
+    /// coordinate is outside its axis.
+    pub fn cell_index_of(
+        &self,
+        device_index: usize,
+        delivery_index: usize,
+        environment_index: usize,
+        command_position: usize,
+        distance_index: usize,
+    ) -> Option<usize> {
+        if device_index >= self.devices.len()
+            || delivery_index >= self.deliveries.len()
+            || environment_index >= self.environments.len()
+            || command_position >= self.command_indices.len()
+            || distance_index >= self.distances_m.len()
+        {
+            return None;
+        }
+        Some(
+            (((device_index * self.deliveries.len() + delivery_index) * self.environments.len()
+                + environment_index)
+                * self.command_indices.len()
+                + command_position)
+                * self.distances_m.len()
+                + distance_index,
+        )
+    }
+
+    /// The seed trial `trial_index` uses in **every** cell (common random
+    /// numbers: the same trial index sees the same noise draw across cells,
+    /// so cross-cell differences are parameter effects, not seed luck).
+    pub fn trial_seed(&self, trial_index: usize) -> u64 {
+        self.base_seed.wrapping_add(trial_index as u64)
+    }
+
+    /// The concrete scenario of one trial of one cell.
+    pub fn scenario(&self, cell: &CellSpec, trial_index: usize) -> Scenario {
+        Scenario {
+            device: self.devices[cell.device_index],
+            distance_m: self.distances_m[cell.distance_index],
+            delivery: self.deliveries[cell.delivery_index].delivery,
+            ambient_noise_spl_db: self.ambient_noise_spl_db,
+            bystander_distance_m: self.bystander_distance_m,
+            env: self.environments[cell.environment_index].air(),
+            seed: self.trial_seed(trial_index),
+            max_voice_duration_s: self.max_voice_duration_s,
+        }
+    }
+
+    /// Corpus index of the command a cell injects.
+    pub fn command_index(&self, cell: &CellSpec) -> usize {
+        self.command_indices[cell.command_position]
+    }
+
+    /// Human-readable cell label used in summaries and archives.
+    pub fn cell_label(&self, cell: &CellSpec) -> String {
+        format!(
+            "{} | {} | {} | cmd {} | {} m",
+            self.devices[cell.device_index].name(),
+            self.deliveries[cell.delivery_index].label,
+            self.environments[cell.environment_index].token(),
+            self.command_index(cell),
+            self.distances_m[cell.distance_index],
+        )
+    }
+
+    /// Label of the curve a cell belongs to: the delivery label alone when
+    /// the other non-distance axes are singletons, the full combination
+    /// otherwise.
+    pub fn curve_label(&self, cell: &CellSpec) -> String {
+        let delivery = &self.deliveries[cell.delivery_index].label;
+        if self.devices.len() == 1
+            && self.environments.len() == 1
+            && self.command_indices.len() == 1
+        {
+            delivery.clone()
+        } else {
+            format!(
+                "{} | {} | {} | cmd {}",
+                self.devices[cell.device_index].name(),
+                delivery,
+                self.environments[cell.environment_index].token(),
+                self.command_index(cell),
+            )
+        }
+    }
+}
+
+/// One cell of the expanded grid: indices into the spec's axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellSpec {
+    /// Position in the expansion order (also the index into
+    /// `CampaignReport::cells`).
+    pub cell_index: usize,
+    /// Index into [`CampaignSpec::devices`].
+    pub device_index: usize,
+    /// Index into [`CampaignSpec::deliveries`].
+    pub delivery_index: usize,
+    /// Index into [`CampaignSpec::environments`].
+    pub environment_index: usize,
+    /// Position in [`CampaignSpec::command_indices`] (not the corpus index).
+    pub command_position: usize,
+    /// Index into [`CampaignSpec::distances_m`].
+    pub distance_index: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep_spec() -> CampaignSpec {
+        CampaignSpec {
+            devices: vec![DevicePreset::AndroidPhone, DevicePreset::AmazonEcho],
+            deliveries: vec![
+                DeliverySpec::single_speaker("single 3 W", 3.0, 40_000.0),
+                DeliverySpec::array("array 16", 16, 120.0, 40_000.0),
+                DeliverySpec::legitimate("talker", 65.0),
+            ],
+            environments: vec![EnvironmentPreset::MeetingRoom, EnvironmentPreset::Outdoor],
+            command_indices: vec![0, 2],
+            distances_m: vec![1.0, 3.0, 6.0],
+            trials_per_cell: 4,
+            base_seed: 100,
+            ..CampaignSpec::new("sweep")
+        }
+    }
+
+    #[test]
+    fn cardinality_is_the_axis_product() {
+        let spec = sweep_spec();
+        assert_eq!(spec.num_cells(), 2 * 3 * 2 * 2 * 3);
+        assert_eq!(spec.num_trials(), spec.num_cells() * 4);
+        let cells = spec.cells();
+        assert_eq!(cells.len(), spec.num_cells());
+        // Cell indices are their positions.
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.cell_index, i);
+        }
+        // Distance is the innermost axis; devices the outermost.
+        assert_eq!(cells[0].distance_index, 0);
+        assert_eq!(cells[1].distance_index, 1);
+        assert_eq!(cells[2].distance_index, 2);
+        assert_eq!(cells[3].distance_index, 0);
+        assert_eq!(cells[3].command_position, 1);
+        assert_eq!(cells.last().unwrap().device_index, 1);
+        // The closed-form index agrees with the expansion order for every
+        // cell (the two encodings of the ordering contract cannot drift).
+        for cell in &cells {
+            assert_eq!(
+                spec.cell_index_of(
+                    cell.device_index,
+                    cell.delivery_index,
+                    cell.environment_index,
+                    cell.command_position,
+                    cell.distance_index,
+                ),
+                Some(cell.cell_index)
+            );
+        }
+        assert_eq!(spec.cell_index_of(2, 0, 0, 0, 0), None);
+        assert_eq!(spec.cell_index_of(0, 0, 0, 0, 3), None);
+        // A single-cell spec expands to one cell.
+        assert_eq!(CampaignSpec::new("one").cells().len(), 1);
+    }
+
+    #[test]
+    fn scenario_resolution() {
+        let spec = sweep_spec();
+        let cells = spec.cells();
+        let cell = &cells[spec.num_cells() - 1];
+        let scenario = spec.scenario(cell, 3);
+        assert_eq!(scenario.device, DevicePreset::AmazonEcho);
+        assert_eq!(scenario.distance_m, 6.0);
+        assert_eq!(scenario.seed, 103);
+        assert_eq!(scenario.env, EnvironmentPreset::Outdoor.air());
+        assert_eq!(spec.command_index(cell), 2);
+        assert!(matches!(scenario.delivery, Delivery::Legitimate { .. }));
+        // Trial seeds are shared across cells (common random numbers).
+        assert_eq!(
+            spec.scenario(&cells[0], 2).seed,
+            spec.scenario(cell, 2).seed
+        );
+        let label = spec.cell_label(cell);
+        assert!(label.contains("talker") && label.contains("6 m"), "{label}");
+    }
+
+    #[test]
+    fn validation_catches_bad_axes() {
+        assert!(sweep_spec().validate().is_ok());
+        let empty_axis = CampaignSpec {
+            distances_m: vec![],
+            ..sweep_spec()
+        };
+        assert!(empty_axis.validate().is_err());
+        let bad_distance = CampaignSpec {
+            distances_m: vec![2.0, -1.0],
+            ..sweep_spec()
+        };
+        assert!(bad_distance.validate().is_err());
+        let bad_command = CampaignSpec {
+            command_indices: vec![999],
+            ..sweep_spec()
+        };
+        assert!(bad_command.validate().is_err());
+        let no_trials = CampaignSpec {
+            trials_per_cell: 0,
+            ..sweep_spec()
+        };
+        assert!(no_trials.validate().is_err());
+        let nan_noise = CampaignSpec {
+            ambient_noise_spl_db: f64::NAN,
+            ..sweep_spec()
+        };
+        assert!(nan_noise.validate().is_err());
+    }
+
+    #[test]
+    fn environment_tokens_round_trip() {
+        for preset in EnvironmentPreset::ALL {
+            assert_eq!(EnvironmentPreset::from_token(preset.token()), Some(preset));
+            // Every preset resolves to physical air conditions.
+            let air = preset.air();
+            assert!((-50.0..=60.0).contains(&air.temperature_c));
+        }
+        assert_eq!(EnvironmentPreset::from_token("underwater"), None);
+    }
+}

@@ -1,0 +1,60 @@
+//! # ivc-experiments — the parallel campaign engine
+//!
+//! The paper's headline results are all *sweeps*: attack success versus
+//! distance, element count, power and environment.  This crate turns
+//! one-off `run_trial` calls into reproducible campaigns:
+//!
+//! * [`grid`] — the parameter-grid DSL: a [`CampaignSpec`] declares axes
+//!   (device, delivery, environment, command, distance) and expands into
+//!   the concrete [`ivc_core::Scenario`] cross product.
+//! * [`executor`] — a bounded `std::thread` worker pool with
+//!   deterministic per-trial seeding: the same spec produces the
+//!   **byte-identical** archived report at any worker count.
+//! * [`aggregate`] — per-cell success rates with Wilson confidence
+//!   intervals, mean word accuracy and bystander SPL, and
+//!   success-vs-distance psychometric curves.
+//! * [`report`] — the archivable [`CampaignReport`] with its JSON
+//!   encoding (via the dependency-free [`ivc_core::json`] layer).
+//! * [`presets`] — built-in campaigns: the paper sweeps (`a1`, `a2`,
+//!   `b3`), a defense acceptance sweep, and the CI smoke grid.
+//!
+//! ```no_run
+//! use ivc_experiments::prelude::*;
+//!
+//! let spec = CampaignSpec {
+//!     deliveries: (1..=4)
+//!         .map(|i| DeliverySpec::array(format!("{} elements", 8 * i), 8 * i, 60.0, 40_000.0))
+//!         .collect(),
+//!     distances_m: vec![1.0, 2.0, 4.0],
+//!     trials_per_cell: 3,
+//!     ..CampaignSpec::new("my-sweep")
+//! };
+//! let report = run_campaign(&spec, default_workers()).unwrap();
+//! println!("{}", report.summary_table().render());
+//! report.save(std::path::Path::new("my-sweep.json")).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod error;
+pub mod executor;
+pub mod grid;
+pub mod presets;
+pub mod report;
+
+pub use aggregate::{CellReport, CellStats, PsychometricCurve};
+pub use error::{ExperimentError, Result};
+pub use executor::{default_workers, run_campaign, TrialRecord};
+pub use grid::{CampaignSpec, CellSpec, DeliverySpec, EnvironmentPreset};
+pub use report::CampaignReport;
+
+/// The commonly used items, in one import.
+pub mod prelude {
+    pub use crate::aggregate::{CellReport, CellStats, PsychometricCurve};
+    pub use crate::error::{ExperimentError, Result};
+    pub use crate::executor::{default_workers, run_campaign, TrialRecord};
+    pub use crate::grid::{CampaignSpec, CellSpec, DeliverySpec, EnvironmentPreset};
+    pub use crate::report::CampaignReport;
+}

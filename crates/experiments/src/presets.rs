@@ -1,0 +1,201 @@
+//! Built-in campaign specs: the paper sweeps (`a1`, `a2`, `b3`), a defense
+//! false-accept sweep, and the tiny CI smoke campaign.
+//!
+//! Every preset takes `quick` — `true` trims the grids and truncates the
+//! commands the way the repro harness's `Fidelity::Quick` does, `false`
+//! runs the full paper grids.
+
+use crate::grid::{CampaignSpec, DeliverySpec, EnvironmentPreset};
+use ivc_acoustics::microphone::DevicePreset;
+
+fn voice_cap_s(quick: bool) -> f64 {
+    if quick {
+        1.1
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// E-A1 — single-speaker leakage vs drive power (bystander at 1 m).
+pub fn a1(quick: bool) -> CampaignSpec {
+    let powers: &[f64] = if quick {
+        &[1.0, 8.0, 29.0]
+    } else {
+        &[0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 29.0]
+    };
+    CampaignSpec {
+        deliveries: powers
+            .iter()
+            .map(|&p| DeliverySpec::single_speaker(format!("single speaker, {p} W"), p, 40_000.0))
+            .collect(),
+        distances_m: vec![2.0],
+        max_voice_duration_s: voice_cap_s(quick),
+        ..CampaignSpec::new("a1-leakage-vs-power")
+    }
+}
+
+/// E-A2 — word accuracy vs distance: single speaker vs the two arrays.
+pub fn a2(quick: bool) -> CampaignSpec {
+    let distances: Vec<f64> = if quick {
+        vec![1.0, 3.0, 6.0]
+    } else {
+        vec![0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.6, 9.0]
+    };
+    // Quick mode stands the full 61-element rig down to 8 elements; the
+    // label must describe what actually ran (it is archived as provenance).
+    let (big_elements, big_power) = if quick { (8, 60.0) } else { (61, 400.0) };
+    CampaignSpec {
+        deliveries: vec![
+            DeliverySpec::single_speaker(
+                "single speaker (inaudibility-constrained, 3 W)",
+                3.0,
+                40_000.0,
+            ),
+            DeliverySpec::array("array (16 elements, 120 W total)", 16, 120.0, 40_000.0),
+            DeliverySpec::array(
+                format!("array ({big_elements} elements, {big_power} W total)"),
+                big_elements,
+                big_power,
+                40_000.0,
+            ),
+        ],
+        distances_m: distances,
+        max_voice_duration_s: voice_cap_s(quick),
+        ..CampaignSpec::new("a2-accuracy-vs-distance")
+    }
+}
+
+/// E-B3 — success rate over repeated trials (Song–Mittal §4.2): one spec
+/// per (device, distance, command) case.
+pub fn b3(quick: bool) -> Vec<CampaignSpec> {
+    let trials = if quick { 5 } else { 50 };
+    let cases = [
+        (
+            "b3-success-android",
+            DevicePreset::AndroidPhone,
+            3.0,
+            2usize,
+        ),
+        ("b3-success-echo", DevicePreset::AmazonEcho, 2.0, 1usize),
+    ];
+    cases
+        .into_iter()
+        .map(|(name, device, distance, command_index)| CampaignSpec {
+            devices: vec![device],
+            deliveries: vec![DeliverySpec::single_speaker(
+                "single speaker, 18.7 W",
+                18.7,
+                30_000.0,
+            )],
+            command_indices: vec![command_index],
+            distances_m: vec![distance],
+            trials_per_cell: trials,
+            base_seed: 1_000,
+            max_voice_duration_s: voice_cap_s(quick),
+            ..CampaignSpec::new(name)
+        })
+        .collect()
+}
+
+/// A defense-oriented false-accept sweep: a legitimate talker against the
+/// two attack flavours, across distances and environments, with repeated
+/// trials — the acceptance-rate side of the defense evaluation.
+pub fn defense(quick: bool) -> CampaignSpec {
+    CampaignSpec {
+        deliveries: vec![
+            DeliverySpec::legitimate("legitimate talker, 65 dB", 65.0),
+            DeliverySpec::single_speaker("single speaker, 18.7 W", 18.7, 40_000.0),
+            DeliverySpec::array("array (8 elements, 60 W)", 8, 60.0, 40_000.0),
+        ],
+        environments: if quick {
+            vec![EnvironmentPreset::MeetingRoom]
+        } else {
+            vec![
+                EnvironmentPreset::MeetingRoom,
+                EnvironmentPreset::SummerHumid,
+            ]
+        },
+        distances_m: if quick {
+            vec![1.5, 3.0]
+        } else {
+            vec![1.0, 2.0, 3.0, 5.0]
+        },
+        trials_per_cell: if quick { 2 } else { 5 },
+        base_seed: 42,
+        max_voice_duration_s: voice_cap_s(quick),
+        ..CampaignSpec::new("defense-acceptance-sweep")
+    }
+}
+
+/// The CI smoke campaign: a 2 x 2 grid, one trial per cell, truncated
+/// commands — seconds of wall clock, exercising the whole engine.
+pub fn smoke() -> CampaignSpec {
+    CampaignSpec {
+        deliveries: vec![
+            DeliverySpec::single_speaker("single speaker, 18.7 W", 18.7, 30_000.0),
+            DeliverySpec::array("array (6 elements, 60 W)", 6, 60.0, 40_000.0),
+        ],
+        distances_m: vec![1.0, 2.0],
+        max_voice_duration_s: 0.9,
+        ..CampaignSpec::new("smoke")
+    }
+}
+
+/// Preset names accepted by [`by_name`], for help text.
+pub const PRESET_NAMES: [&str; 5] = ["smoke", "a1", "a2", "b3", "defense"];
+
+/// Looks a preset up by name; `b3` expands to its two case campaigns.
+pub fn by_name(name: &str, quick: bool) -> Option<Vec<CampaignSpec>> {
+    match name {
+        "smoke" => Some(vec![smoke()]),
+        "a1" => Some(vec![a1(quick)]),
+        "a2" => Some(vec![a2(quick)]),
+        "b3" => Some(b3(quick)),
+        "defense" => Some(vec![defense(quick)]),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate_and_have_the_documented_shapes() {
+        for name in PRESET_NAMES {
+            for quick in [true, false] {
+                let specs = by_name(name, quick).unwrap();
+                assert!(!specs.is_empty(), "{name}");
+                for spec in &specs {
+                    spec.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+                }
+            }
+        }
+        assert!(by_name("nonexistent", true).is_none());
+        // Shapes the harness depends on.
+        assert_eq!(a1(true).num_cells(), 3);
+        assert_eq!(a1(false).num_cells(), 7);
+        assert_eq!(a2(true).num_cells(), 9);
+        assert_eq!(a2(false).num_cells(), 27);
+        assert_eq!(b3(true).len(), 2);
+        assert_eq!(b3(true)[0].num_trials(), 5);
+        assert_eq!(b3(false)[0].num_trials(), 50);
+        let smoke = smoke();
+        assert_eq!(smoke.num_cells(), 4);
+        assert_eq!(smoke.trials_per_cell, 1);
+        // The smoke campaign must stay tiny: it runs on every CI push.
+        assert!(smoke.num_trials() <= 4);
+        assert!(smoke.max_voice_duration_s <= 1.0);
+    }
+
+    #[test]
+    fn a2_quick_and_full_differ_only_where_documented() {
+        let quick = a2(true);
+        let full = a2(false);
+        assert_eq!(quick.deliveries.len(), full.deliveries.len());
+        assert_eq!(quick.deliveries[0], full.deliveries[0]);
+        assert_eq!(quick.deliveries[1], full.deliveries[1]);
+        assert_ne!(quick.deliveries[2], full.deliveries[2]);
+        assert!(quick.distances_m.len() < full.distances_m.len());
+    }
+}

@@ -90,6 +90,24 @@ impl RecognitionOutcome {
     }
 }
 
+/// Everything a trial needs from the recogniser about one recording,
+/// measured against one expected command — computed from a single prepared
+/// query (see [`Recognizer::evaluate`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialEvaluation {
+    /// Open-set recognition against every enrolled template.
+    pub outcome: RecognitionOutcome,
+    /// Per-word `(word, recognised)` verdicts against the expected
+    /// command's template, in word order.
+    pub word_recognition: Vec<(String, bool)>,
+    /// Recognised fraction of `word_recognition`.
+    pub word_accuracy: f64,
+    /// The end-to-end acceptance verdict — **the** acceptance rule (the
+    /// expected command must win recognition and enough of its words must
+    /// be intelligible); [`Recognizer::command_accepted`] delegates here.
+    pub accepted: bool,
+}
+
 /// The template-matching recogniser.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Recognizer {
@@ -162,33 +180,63 @@ impl Recognizer {
 
     /// Recognises a recording against all enrolled templates.
     pub fn recognize(&self, recording: &Signal) -> Result<RecognitionOutcome> {
+        Ok(self.recognize_with_flags(recording, None)?.0)
+    }
+
+    /// Shared scoring pass: one prepared query aligned against every
+    /// template, optionally also extracting the per-word verdicts for
+    /// `expected` from the same alignments.
+    fn recognize_with_flags(
+        &self,
+        recording: &Signal,
+        expected: Option<CommandId>,
+    ) -> Result<(RecognitionOutcome, Option<Vec<(String, bool)>>)> {
         if self.templates.is_empty() {
             return Err(SpeechError::NoTemplates);
         }
         let prepared = self.prepare(recording)?;
         let query = self.features(&prepared)?;
         let mut scored: Vec<(usize, f64, f64)> = Vec::new(); // (template idx, distance, word accuracy)
+        let mut expected_flags: Option<Vec<(String, bool)>> = None;
         for (idx, template) in self.templates.iter().enumerate() {
             let costs = cost_matrix(&template.frames.frames, &query.frames);
             let alignment = align_with_costs(&costs)?;
             let accuracy = self.word_accuracy_from_alignment(template, &alignment, &costs);
+            if expected == Some(template.command.id) {
+                expected_flags = Some(self.per_word_recognition(template, &alignment, &costs));
+            }
             scored.push((idx, alignment.normalized_distance, accuracy));
         }
         scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         let best = scored[0];
         let second_distance = scored.get(1).map(|s| s.1).unwrap_or(f64::INFINITY);
         let accepted = best.1 <= self.config.rejection_distance;
-        Ok(RecognitionOutcome {
+        let outcome = RecognitionOutcome {
             command: accepted.then(|| self.templates[best.0].command.id),
             best_distance: best.1,
             second_distance,
             word_accuracy: best.2,
-        })
+        };
+        Ok((outcome, expected_flags))
     }
 
     /// Word accuracy of `recording` measured against the template for
     /// `expected`, regardless of which command the recogniser would pick.
     pub fn word_accuracy(&self, recording: &Signal, expected: CommandId) -> Result<f64> {
+        let flags = self.word_recognition(recording, expected)?;
+        Ok(Self::fraction_recognized(&flags))
+    }
+
+    /// Per-word recognition verdicts of `recording` against the template
+    /// for `expected`: one `(word, recognised)` pair per template word, in
+    /// word order.  [`Recognizer::word_accuracy`] is the recognised
+    /// fraction of this list; result aggregation (campaign reports) archives
+    /// the list itself.
+    pub fn word_recognition(
+        &self,
+        recording: &Signal,
+        expected: CommandId,
+    ) -> Result<Vec<(String, bool)>> {
         let template = self
             .templates
             .iter()
@@ -198,19 +246,43 @@ impl Recognizer {
         let query = self.features(&prepared)?;
         let costs = cost_matrix(&template.frames.frames, &query.frames);
         let alignment = align_with_costs(&costs)?;
-        Ok(self.word_accuracy_from_alignment(template, &alignment, &costs))
+        Ok(self.per_word_recognition(template, &alignment, &costs))
+    }
+
+    fn fraction_recognized(flags: &[(String, bool)]) -> f64 {
+        if flags.is_empty() {
+            return 0.0;
+        }
+        flags.iter().filter(|(_, recognized)| *recognized).count() as f64 / flags.len() as f64
     }
 
     /// End-to-end acceptance: would the voice assistant act on this
     /// recording as the expected command?  Requires the expected command to
     /// win recognition and enough of its words to be intelligible.
     pub fn command_accepted(&self, recording: &Signal, expected: CommandId) -> Result<bool> {
-        let outcome = self.recognize(recording)?;
-        if outcome.command != Some(expected) {
-            return Ok(false);
-        }
-        let accuracy = self.word_accuracy(recording, expected)?;
-        Ok(accuracy >= self.config.acceptance_word_fraction)
+        Ok(self.evaluate(recording, expected)?.accepted)
+    }
+
+    /// Recognition, per-word verdicts and the acceptance rule from **one**
+    /// prepared query: the recording is resampled/trimmed/featurised once
+    /// and every template aligned once, instead of the separate
+    /// [`Recognizer::recognize`] + [`Recognizer::word_recognition`] passes.
+    /// This is what the trial pipeline (and therefore every campaign
+    /// trial) runs.
+    pub fn evaluate(&self, recording: &Signal, expected: CommandId) -> Result<TrialEvaluation> {
+        let (outcome, expected_flags) = self.recognize_with_flags(recording, Some(expected))?;
+        // `None` here means `expected` is not enrolled — the same condition
+        // `word_accuracy` reports as NoTemplates.
+        let word_recognition = expected_flags.ok_or(SpeechError::NoTemplates)?;
+        let word_accuracy = Self::fraction_recognized(&word_recognition);
+        let accepted = outcome.command == Some(expected)
+            && word_accuracy >= self.config.acceptance_word_fraction;
+        Ok(TrialEvaluation {
+            outcome,
+            word_recognition,
+            word_accuracy,
+            accepted,
+        })
     }
 
     fn word_accuracy_from_alignment(
@@ -219,20 +291,27 @@ impl Recognizer {
         alignment: &crate::dtw::DtwAlignment,
         costs: &[Vec<f64>],
     ) -> f64 {
-        if template.word_frame_ranges.is_empty() {
-            return 0.0;
-        }
-        let recognised = template
+        Self::fraction_recognized(&self.per_word_recognition(template, alignment, costs))
+    }
+
+    fn per_word_recognition(
+        &self,
+        template: &CommandTemplate,
+        alignment: &crate::dtw::DtwAlignment,
+        costs: &[Vec<f64>],
+    ) -> Vec<(String, bool)> {
+        template
             .word_frame_ranges
             .iter()
-            .filter(|(start, end)| {
-                alignment
+            .zip(template.command.words.iter())
+            .map(|((start, end), (word, _))| {
+                let recognized = alignment
                     .mean_distance_in_template_range(*start, *end, costs)
                     .map(|d| d <= self.config.word_distance_threshold)
-                    .unwrap_or(false)
+                    .unwrap_or(false);
+                (word.to_string(), recognized)
             })
-            .count();
-        recognised as f64 / template.word_frame_ranges.len() as f64
+            .collect()
     }
 
     /// MFCC extraction plus (optional) cepstral mean normalisation — the
@@ -417,6 +496,60 @@ mod tests {
             outcome.best_distance
         );
         assert!(outcome.word_accuracy > 0.99);
+    }
+
+    #[test]
+    fn word_recognition_lists_words_and_matches_accuracy() {
+        let r = Recognizer::with_default_corpus().unwrap();
+        let synth = Synthesizer::new(48_000.0).unwrap();
+        let command = &corpus()[0];
+        let utt = synth.render(command, &SpeakerProfile::canonical()).unwrap();
+        let flags = r.word_recognition(&utt.signal, command.id).unwrap();
+        assert_eq!(flags.len(), command.num_words());
+        // The words come back in command order.
+        for (flag, (word, _)) in flags.iter().zip(command.words.iter()) {
+            assert_eq!(flag.0, *word);
+        }
+        // A clean rendition recognises every word, and the accuracy is
+        // exactly the recognised fraction.
+        assert!(flags.iter().all(|(_, ok)| *ok));
+        let accuracy = r.word_accuracy(&utt.signal, command.id).unwrap();
+        let fraction = flags.iter().filter(|(_, ok)| *ok).count() as f64 / flags.len() as f64;
+        assert_eq!(accuracy, fraction);
+        // Pure noise recognises (essentially) nothing.
+        let noise = noisy(&Signal::silence(1.5, 48_000.0).unwrap(), 0.3, 7);
+        let noise_flags = r.word_recognition(&noise, command.id).unwrap();
+        assert!(noise_flags.iter().filter(|(_, ok)| *ok).count() <= 1);
+    }
+
+    #[test]
+    fn evaluate_agrees_with_the_separate_passes() {
+        let r = Recognizer::with_default_corpus().unwrap();
+        let synth = Synthesizer::new(48_000.0).unwrap();
+        let command = &corpus()[1];
+        let utt = synth.render(command, &SpeakerProfile::canonical()).unwrap();
+        let evaluation = r.evaluate(&utt.signal, command.id).unwrap();
+        assert_eq!(evaluation.outcome, r.recognize(&utt.signal).unwrap());
+        assert_eq!(
+            evaluation.word_recognition,
+            r.word_recognition(&utt.signal, command.id).unwrap()
+        );
+        assert_eq!(
+            evaluation.word_accuracy,
+            r.word_accuracy(&utt.signal, command.id).unwrap()
+        );
+        assert_eq!(
+            evaluation.accepted,
+            r.command_accepted(&utt.signal, command.id).unwrap()
+        );
+        assert!(evaluation.accepted);
+        // Evaluating against a different expected command flips acceptance
+        // but keeps the open-set outcome.
+        let other = r.evaluate(&utt.signal, corpus()[0].id).unwrap();
+        assert!(!other.accepted);
+        assert_eq!(other.outcome, evaluation.outcome);
+        // An unenrolled command id is an error, matching word_accuracy.
+        assert!(r.evaluate(&utt.signal, CommandId(999)).is_err());
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! A custom campaign grid through the parallel engine: element count ×
+//! distance, repeated trials, aggregate statistics and a JSON archive.
+//!
+//! ```sh
+//! cargo run --release --example campaign
+//! ```
+//!
+//! Writes `campaign-element-sweep.json` into the working directory; inspect
+//! it (or reload it with `CampaignReport::load`) to post-process results
+//! without re-running the simulation.
+
+use inaudible_voice_commands::prelude::*;
+use std::path::Path;
+
+fn main() -> Result<()> {
+    // The grid: how does attack success scale with array size at a fixed
+    // per-element power budget (7 W/element, the E-A3 convention)?
+    let spec = CampaignSpec {
+        deliveries: [4usize, 8, 16]
+            .into_iter()
+            .map(|n| {
+                DeliverySpec::array(
+                    format!("{n} elements, {} W", 7 * n),
+                    n,
+                    7.0 * n as f64,
+                    40_000.0,
+                )
+            })
+            .collect(),
+        distances_m: vec![1.0, 2.5, 4.0],
+        environments: vec![EnvironmentPreset::MeetingRoom],
+        trials_per_cell: 2,
+        base_seed: 7,
+        // Keep the example fast: truncate the command to its first second.
+        max_voice_duration_s: 1.0,
+        ..CampaignSpec::new("campaign-element-sweep")
+    };
+
+    println!(
+        "running '{}': {} cells x {} trials on {} workers...\n",
+        spec.name,
+        spec.num_cells(),
+        spec.trials_per_cell,
+        ivc_experiments::default_workers()
+    );
+    let report = run_campaign(&spec, ivc_experiments::default_workers())?;
+
+    // Aggregates per cell...
+    println!("{}", report.summary_table().render());
+    // ...and the psychometric success-vs-distance curves with 95 % CIs.
+    for curve in &report.curves {
+        println!("curve [{}]:", curve.label);
+        for (i, d) in curve.distances_m.iter().enumerate() {
+            println!(
+                "  {d} m: success {:.2} [{:.2}, {:.2}], word accuracy {:.2}",
+                curve.success_rates[i],
+                curve.ci_low[i],
+                curve.ci_high[i],
+                curve.mean_word_accuracy[i],
+            );
+        }
+    }
+
+    // Archive the whole report (spec + per-trial records + aggregates).
+    let path = Path::new("campaign-element-sweep.json");
+    report.save(path)?;
+    println!("\narchived to {}", path.display());
+
+    // The archive is lossless: reloading gives back the identical report.
+    let reloaded = CampaignReport::load(path)?;
+    assert_eq!(reloaded, report);
+    Ok(())
+}

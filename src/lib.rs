@@ -14,6 +14,8 @@
 //!   multi-speaker ultrasonic injection.
 //! * [`defense`] — non-linearity-trace features, classifier, evaluation.
 //! * [`core`] — end-to-end scenarios, the trial pipeline and result tables.
+//! * [`experiments`] — the parallel campaign engine: parameter grids,
+//!   worker-pool execution, aggregate statistics, JSON report archival.
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system inventory
 //! and `EXPERIMENTS.md` for the reproduced tables and figures.
@@ -26,6 +28,7 @@ pub use ivc_attack as attack;
 pub use ivc_core as core;
 pub use ivc_defense as defense;
 pub use ivc_dsp as dsp;
+pub use ivc_experiments as experiments;
 pub use ivc_speech as speech;
 
 /// The most commonly used items across the workspace, in one import.
@@ -35,6 +38,9 @@ pub mod prelude {
     pub use ivc_core::{run_trial, Delivery, Scenario, TrialOutcome};
     pub use ivc_defense::prelude::*;
     pub use ivc_dsp::prelude::*;
+    pub use ivc_experiments::{
+        run_campaign, CampaignReport, CampaignSpec, DeliverySpec, EnvironmentPreset,
+    };
     pub use ivc_speech::prelude::*;
 
     // Every substrate prelude exports its own `Result` alias; pick the
@@ -54,5 +60,6 @@ mod tests {
         let _ = crate::attack::baseband::BasebandConfig::default();
         let _ = crate::defense::features::DefenseFeatures::DIMENSION;
         let _ = crate::core::Scenario::default_attack();
+        let _ = crate::experiments::CampaignSpec::new("wired");
     }
 }

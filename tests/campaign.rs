@@ -1,0 +1,57 @@
+//! Integration tests of the campaign engine through the umbrella API:
+//! worker-count invariance of the archived bytes, and archive round-trips
+//! via the filesystem.
+
+use inaudible_voice_commands::experiments::{
+    run_campaign, CampaignReport, CampaignSpec, DeliverySpec,
+};
+
+/// A minimal grid that still exercises attack trials end to end.
+fn tiny_spec() -> CampaignSpec {
+    CampaignSpec {
+        deliveries: vec![DeliverySpec::array(
+            "6-element array, 60 W",
+            6,
+            60.0,
+            40_000.0,
+        )],
+        distances_m: vec![1.0, 2.0],
+        trials_per_cell: 2,
+        base_seed: 11,
+        max_voice_duration_s: 0.7,
+        ..CampaignSpec::new("integration-tiny")
+    }
+}
+
+#[test]
+fn campaign_reports_are_worker_count_invariant_and_archive_losslessly() {
+    let spec = tiny_spec();
+    let serial = run_campaign(&spec, 1).unwrap();
+    let parallel = run_campaign(&spec, 4).unwrap();
+
+    // The tentpole promise: same spec + seed => byte-identical archives,
+    // no matter how the trials were scheduled.
+    let serial_json = serial.to_json_string();
+    assert_eq!(serial_json, parallel.to_json_string());
+
+    // Repeated trials really happened and reference their seeds.
+    assert_eq!(serial.cells.len(), 2);
+    for cell in &serial.cells {
+        assert_eq!(cell.trials.len(), 2);
+        assert_eq!(cell.trials[0].seed, 11);
+        assert_eq!(cell.trials[1].seed, 12);
+        assert!(cell.stats.success_ci_low <= cell.stats.success_rate);
+        assert!(cell.stats.success_rate <= cell.stats.success_ci_high);
+    }
+
+    // Save → load → identical report, through a real file.
+    let path = std::env::temp_dir().join(format!(
+        "ivc-campaign-integration-{}.json",
+        std::process::id()
+    ));
+    serial.save(&path).unwrap();
+    let loaded = CampaignReport::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded, serial);
+    assert_eq!(loaded.to_json_string(), serial_json);
+}

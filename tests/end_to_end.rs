@@ -146,3 +146,46 @@ fn trained_detector_separates_attacks_from_legitimate_recordings() {
         matrix.accuracy()
     );
 }
+
+#[test]
+fn bigger_array_with_more_power_is_monotone_or_explained() {
+    // Regression test for the E-A2 anomaly: the 61-element / 400 W array
+    // used to *underperform* the 16-element / 120 W one at 3-6 m because
+    // the carrier was silently capped at one element's 30 W rating while
+    // the sideband budget kept growing (sideband x sideband distortion then
+    // swamps the carrier x sideband voice product inside the microphone).
+    // With the balanced carrier-element allocation the bigger, stronger
+    // array must do at least as well - or the outcome must *explain* the
+    // gap by reporting unplaced budget.
+    let recognizer = Recognizer::with_default_corpus().unwrap();
+    let command = &corpus()[0];
+    let at = |num_elements: usize, total_power_w: f64| {
+        let scenario = Scenario {
+            delivery: Delivery::ArrayUltrasound {
+                num_elements,
+                total_power_w,
+                carrier_hz: 40_000.0,
+            },
+            max_voice_duration_s: 0.7,
+            ..Scenario::default_attack()
+        }
+        .at_distance(3.0);
+        run_trial(command, &scenario, &recognizer, None).unwrap()
+    };
+    let small = at(16, 120.0);
+    let big = at(61, 400.0);
+    let monotone = big.word_accuracy + 1e-9 >= small.word_accuracy;
+    let explained = big.power_shortfall_w > 0.0;
+    assert!(
+        monotone || explained,
+        "61-element/400 W array underperforms (accuracy {} vs {}) with no reported \
+         power shortfall ({} W)",
+        big.word_accuracy,
+        small.word_accuracy,
+        big.power_shortfall_w
+    );
+    // With the current ratings (30 W/element) the whole 400 W budget fits,
+    // so the monotone branch is the one that must hold today.
+    assert_eq!(big.power_shortfall_w, 0.0);
+    assert!(monotone);
+}
