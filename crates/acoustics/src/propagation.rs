@@ -59,6 +59,62 @@ pub fn propagate_from_aperture(
     aperture_m: f64,
     env: &AirEnvironment,
 ) -> Result<Signal> {
+    propagate_with_gain_curve(source_at_1m, distance_m, aperture_m, &[], env)
+}
+
+/// Evaluates a sampled spectral gain curve at `frequency_hz` by linear
+/// interpolation over log-frequency, clamping beyond the first/last anchor.
+///
+/// An empty curve is the identity (gain exactly `1.0`), which is what makes
+/// [`propagate_from_aperture`] a bit-identical special case of
+/// [`propagate_with_gain_curve`].  Anchors must be sorted by frequency.
+pub fn interpolate_gain_curve(curve: &[(f64, f64)], frequency_hz: f64) -> f64 {
+    if frequency_hz.is_nan() {
+        // Propagate NaN (float convention) instead of panicking on the
+        // anchor-index underflow a NaN comparison chain would cause.
+        return f64::NAN;
+    }
+    match curve {
+        [] => 1.0,
+        [(_, g)] => *g,
+        _ => {
+            let first = curve[0];
+            let last = curve[curve.len() - 1];
+            if frequency_hz <= first.0 {
+                return first.1;
+            }
+            if frequency_hz >= last.0 {
+                return last.1;
+            }
+            let i = curve.partition_point(|(f, _)| *f <= frequency_hz);
+            let (f0, g0) = curve[i - 1];
+            let (f1, g1) = curve[i];
+            if f1 <= f0 {
+                return g0;
+            }
+            let t = (frequency_hz / f0).ln() / (f1 / f0).ln();
+            g0 + (g1 - g0) * t
+        }
+    }
+}
+
+/// The room-aware propagation primitive: [`propagate_from_aperture`] with
+/// an extra per-frequency amplitude gain (a sampled curve, see
+/// [`interpolate_gain_curve`]) folded into every bin.
+///
+/// Room models use the curve for what air does not do: surface reflection
+/// losses accumulated along an image-source path, or the transmission loss
+/// of an occluding wall between source and receiver.  Spreading and
+/// atmospheric absorption stay exact per-bin computations over
+/// `distance_m`, so a path through a room pays the same physics as the
+/// free-field path of the same length.
+pub fn propagate_with_gain_curve(
+    source_at_1m: &Signal,
+    distance_m: f64,
+    aperture_m: f64,
+    gain_curve: &[(f64, f64)],
+    env: &AirEnvironment,
+) -> Result<Signal> {
     if !(distance_m > 0.0) || !distance_m.is_finite() {
         return Err(AcousticsError::invalid(
             "distance_m",
@@ -93,7 +149,11 @@ pub fn propagate_from_aperture(
         let collimated_to_m = rayleigh_distance_m(aperture_m, f, env).max(1.0);
         let spreading_gain = (collimated_to_m / distance_m).min(1.0);
         let gain = absorption_gain(f, distance_m, env)?;
-        *value = value.scale(gain * spreading_gain);
+        // `interpolate_gain_curve` returns exactly 1.0 for an empty curve
+        // and `x * 1.0 == x` in IEEE arithmetic, so the free-field result
+        // is bit-identical to the pre-room-model implementation.
+        let curve_gain = interpolate_gain_curve(gain_curve, f);
+        *value = value.scale(gain * spreading_gain * curve_gain);
     }
     fft_in_place(&mut buffer, true)?;
     let mut samples: Vec<f64> = buffer
@@ -103,13 +163,21 @@ pub fn propagate_from_aperture(
         .collect();
 
     // Whole-sample propagation delay.
-    let delay_samples = (distance_m / env.speed_of_sound_m_per_s() * fs).round() as usize;
+    let delay_samples = propagation_delay_samples(distance_m, fs, env);
     if delay_samples > 0 {
         let mut delayed = vec![0.0; delay_samples];
         delayed.extend_from_slice(&samples);
         samples = delayed;
     }
     Ok(Signal::new(samples, fs)?)
+}
+
+/// The whole-sample delay of a path of `distance_m` at sample rate `fs` —
+/// the single owner of the rounding convention, so multipath taps (see
+/// `ivc-room`) land on exactly the same time axis as the direct path
+/// delayed here.
+pub fn propagation_delay_samples(distance_m: f64, fs: f64, env: &AirEnvironment) -> usize {
+    (distance_m / env.speed_of_sound_m_per_s() * fs).round() as usize
 }
 
 /// Propagation loss (in dB) for a single frequency over `distance_m`:
@@ -310,6 +378,54 @@ mod tests {
             (spl_beam - spl_point).abs() < 0.2,
             "{spl_beam} vs {spl_point}"
         );
+    }
+
+    #[test]
+    fn empty_gain_curve_is_bit_identical_to_free_field() {
+        let env = AirEnvironment::default();
+        let s = ultrasound_tone(40_000.0, 110.0, 192_000.0);
+        let free = propagate_from_aperture(&s, 4.0, 0.5, &env).unwrap();
+        let curved = propagate_with_gain_curve(&s, 4.0, 0.5, &[], &env).unwrap();
+        assert_eq!(free.samples(), curved.samples());
+    }
+
+    #[test]
+    fn gain_curve_interpolation_follows_the_anchors() {
+        assert_eq!(interpolate_gain_curve(&[], 1_000.0), 1.0);
+        let curve3 = [(100.0, 1.0), (1_000.0, 0.5), (10_000.0, 0.1)];
+        assert!(interpolate_gain_curve(&curve3, f64::NAN).is_nan());
+        assert_eq!(interpolate_gain_curve(&[(500.0, 0.25)], 40_000.0), 0.25);
+        let curve = [(100.0, 1.0), (1_000.0, 0.5), (10_000.0, 0.1)];
+        // Clamped outside the anchors.
+        assert_eq!(interpolate_gain_curve(&curve, 10.0), 1.0);
+        assert_eq!(interpolate_gain_curve(&curve, 1e6), 0.1);
+        // Exact at anchors, monotone between them.
+        assert_eq!(interpolate_gain_curve(&curve, 1_000.0), 0.5);
+        let mid = interpolate_gain_curve(&curve, 316.2);
+        assert!(mid < 1.0 && mid > 0.5, "mid {mid}");
+        // Log-frequency interpolation: the geometric midpoint of the
+        // anchor frequencies lands on the arithmetic midpoint of the gains.
+        let geo = interpolate_gain_curve(&curve, (100.0f64 * 1_000.0).sqrt());
+        assert!((geo - 0.75).abs() < 1e-9, "geo {geo}");
+    }
+
+    #[test]
+    fn gain_curve_attenuates_the_targeted_band() {
+        let env = AirEnvironment::default();
+        let fs = 192_000.0;
+        let mut s = ultrasound_tone(40_000.0, 100.0, fs);
+        s.mix(&ultrasound_tone(1_000.0, 100.0, fs)).unwrap();
+        // A curve that passes audible sound but kills ultrasound.
+        let curve = [(2_000.0, 1.0), (20_000.0, 0.01), (80_000.0, 0.001)];
+        let through = propagate_with_gain_curve(&s, 2.0, 0.0, &curve, &env).unwrap();
+        let free = propagate(&s, 2.0, &env).unwrap();
+        let band = |sig: &Signal, lo: f64, hi: f64| {
+            ivc_dsp::spectrum::band_power(sig.samples(), fs, lo, hi).unwrap()
+        };
+        let audible_ratio = band(&through, 500.0, 1_500.0) / band(&free, 500.0, 1_500.0);
+        let ultra_ratio = band(&through, 39_000.0, 41_000.0) / band(&free, 39_000.0, 41_000.0);
+        assert!(audible_ratio > 0.8, "audible ratio {audible_ratio}");
+        assert!(ultra_ratio < 1e-3, "ultrasound ratio {ultra_ratio}");
     }
 
     #[test]

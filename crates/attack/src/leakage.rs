@@ -39,7 +39,7 @@ impl LeakageReport {
 }
 
 /// Estimates the leakage heard by a bystander `bystander_distance_m` from
-/// the array while it plays `drives`.
+/// the array while it plays `drives`, assuming free-field propagation.
 pub fn estimate_leakage(
     array: &SpeakerArray,
     drives: &[ElementDrive],
@@ -48,6 +48,18 @@ pub fn estimate_leakage(
     audibility_margin_db: f64,
 ) -> Result<LeakageReport> {
     let field = array.field_at_bystander(drives, bystander_distance_m, env)?;
+    leakage_from_field(&field, bystander_distance_m, audibility_margin_db)
+}
+
+/// Analyses an already-propagated pressure waveform at the bystander's
+/// position — the back half of [`estimate_leakage`], split out so callers
+/// that propagate through a room model (multipath, occlusion) can reuse
+/// the psychoacoustic analysis unchanged.
+pub fn leakage_from_field(
+    field: &ivc_dsp::signal::Signal,
+    bystander_distance_m: f64,
+    audibility_margin_db: f64,
+) -> Result<LeakageReport> {
     let fs = field.sample_rate_hz();
     let report = audibility(field.samples(), fs, audibility_margin_db)?;
     let audible_power = band_power(field.samples(), fs, 50.0, 18_000.0)?;

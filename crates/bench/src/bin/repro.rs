@@ -8,10 +8,12 @@
 //! cargo run --release -p ivc-bench --bin repro -- a2 d3      # a subset
 //! IVC_FULL=1 cargo run --release -p ivc-bench --bin repro -- all   # full-fidelity sweeps
 //!
-//! # Campaign presets (smoke, a1, a2, b3, defense) through the engine:
+//! # Campaign presets (smoke, a1, a2, a3, a4, b3, defense, rooms) through
+//! # the engine:
 //! cargo run --release -p ivc-bench --bin repro -- campaign smoke --workers 2
+//! cargo run --release -p ivc-bench --bin repro -- campaign rooms
 //!
-//! # Flags (apply to campaign-backed experiments a1/a2/b3 too):
+//! # Flags (apply to campaign-backed experiments a1-a4/b3/rooms too):
 //! #   --workers N     worker threads (default: all cores)
 //! #   --archive DIR   write each campaign's JSON report into DIR
 //! ```
@@ -86,9 +88,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         }
     }
     if campaign_mode && options.campaign_presets.is_empty() {
-        return Err(
-            "campaign needs a preset name (available: smoke, a1, a2, b3, defense)".to_string(),
-        );
+        return Err(format!(
+            "campaign needs a preset name (available: {})",
+            ivc_experiments::presets::PRESET_NAMES.join(", ")
+        ));
     }
     Ok(options)
 }
@@ -171,7 +174,8 @@ fn main() {
     let selected: Vec<String> =
         if options.experiments.is_empty() || options.experiments.iter().any(|a| a == "all") {
             vec![
-                "a1", "a2", "a3", "a4", "a5", "a6", "b1", "b2", "b3", "d1", "d3", "d4", "d5", "d6",
+                "a1", "a2", "a3", "a4", "a5", "a6", "b1", "b2", "b3", "rooms", "d1", "d3", "d4",
+                "d5", "d6",
             ]
             .into_iter()
             .map(String::from)
@@ -221,8 +225,21 @@ fn run_one(
             }
             out
         }
-        "a3" => fig_a3_accuracy_vs_speakers(fidelity)?.render(),
-        "a4" => fig_a4_leakage_vs_speakers(fidelity)?.render(),
+        "a3" => {
+            let (table, report) = fig_a3_accuracy_vs_speakers(fidelity, options.workers)?;
+            *archives_ok &= archive_all(std::slice::from_ref(&report), &options.archive);
+            table.render()
+        }
+        "a4" => {
+            let (table, report) = fig_a4_leakage_vs_speakers(fidelity, options.workers)?;
+            *archives_ok &= archive_all(std::slice::from_ref(&report), &options.archive);
+            table.render()
+        }
+        "rooms" => {
+            let (table, report) = fig_rooms_sweep(fidelity, options.workers)?;
+            *archives_ok &= archive_all(std::slice::from_ref(&report), &options.archive);
+            table.render()
+        }
         "a5" => tab_a5_range_per_device(fidelity)?.render(),
         "a6" => fig_a6_carrier_frequency(fidelity)?.render(),
         "b1" => tab_b1_range_vs_power(fidelity)?.render(),

@@ -96,7 +96,7 @@ pub fn fig_a1_leakage_vs_power(
             unreachable!("a1 sweeps single-speaker powers");
         };
         let cell = report
-            .find_cell(0, i, 0, 0, 0)
+            .find_cell(0, i, 0, 0, 0, 0)
             .expect("a1 grid covers every power");
         let audible = cell
             .stats
@@ -133,7 +133,7 @@ pub fn fig_a2_accuracy_vs_distance(
     for (di, &distance) in spec.distances_m.iter().enumerate() {
         let accuracy = |delivery_index: usize| -> f64 {
             report
-                .find_cell(0, delivery_index, 0, 0, di)
+                .find_cell(0, delivery_index, 0, 0, 0, di)
                 .expect("a2 grid covers every (delivery, distance)")
                 .stats
                 .mean_word_accuracy
@@ -160,17 +160,16 @@ pub fn fig_a2_accuracy_vs_distance(
 }
 
 /// E-A3 — word accuracy versus number of array elements at long range.
-pub fn fig_a3_accuracy_vs_speakers(fidelity: Fidelity) -> Result<Table> {
-    let recognizer = Recognizer::with_default_corpus()?;
-    let command = &corpus()[0];
-    let element_counts: Vec<usize> = match fidelity {
-        Fidelity::Quick => vec![1, 4, 8],
-        Fidelity::Full => vec![1, 2, 4, 8, 16, 32, 61],
-    };
-    let distance = match fidelity {
-        Fidelity::Quick => 4.0,
-        Fidelity::Full => 7.6,
-    };
+///
+/// Runs as a built-in campaign (`ivc_experiments::presets::a3`) through
+/// the parallel engine; the table reproduces the bespoke loop it replaced.
+pub fn fig_a3_accuracy_vs_speakers(
+    fidelity: Fidelity,
+    workers: usize,
+) -> Result<(Table, CampaignReport)> {
+    let spec = presets::a3(fidelity.quick());
+    let report = run_campaign(&spec, workers)?;
+    let distance = spec.distances_m[0];
     let mut table = Table::new(
         format!("E-A3: word accuracy vs number of elements (distance {distance} m)"),
         &[
@@ -180,40 +179,48 @@ pub fn fig_a3_accuracy_vs_speakers(fidelity: Fidelity) -> Result<Table> {
             "Leak voice-band SPL (dB)",
         ],
     );
-    for &n in &element_counts {
-        let total_power = 7.0 * n as f64; // the per-element budget is fixed
-        let scenario = Scenario {
-            delivery: Delivery::ArrayUltrasound {
-                num_elements: n,
-                total_power_w: total_power,
-                carrier_hz: 40_000.0,
-            },
-            ..base_attack_scenario(fidelity)
-        }
-        .at_distance(distance);
-        let outcome = run_trial(command, &scenario, &recognizer, None)?;
-        let leak = outcome.leakage.expect("attack has leakage");
+    for (i, delivery) in spec.deliveries.iter().enumerate() {
+        let Delivery::ArrayUltrasound {
+            num_elements,
+            total_power_w,
+            ..
+        } = delivery.delivery
+        else {
+            unreachable!("a3 sweeps array element counts");
+        };
+        let cell = report
+            .find_cell(0, i, 0, 0, 0, 0)
+            .expect("a3 grid covers every element count");
         table.push_row(vec![
-            n.to_string(),
-            fmt(total_power, 1),
-            fmt(outcome.word_accuracy, 2),
-            fmt(leak.voice_band_spl_db, 1),
+            num_elements.to_string(),
+            fmt(total_power_w, 1),
+            fmt(cell.stats.mean_word_accuracy, 2),
+            fmt(
+                cell.stats.mean_bystander_voice_spl_db.unwrap_or(f64::NAN),
+                1,
+            ),
         ]);
     }
-    Ok(table)
+    Ok((table, report))
 }
 
 /// E-A4 — leakage audibility versus number of elements at equal total power.
-pub fn fig_a4_leakage_vs_speakers(fidelity: Fidelity) -> Result<Table> {
-    let recognizer = Recognizer::with_default_corpus()?;
-    let command = &corpus()[0];
-    let element_counts: Vec<usize> = match fidelity {
-        Fidelity::Quick => vec![1, 4, 8],
-        Fidelity::Full => vec![1, 2, 4, 8, 16, 32, 61],
+///
+/// Runs as a built-in campaign (`ivc_experiments::presets::a4`); the
+/// A-weighted column comes from the report's `mean_bystander_spl_dba`.
+pub fn fig_a4_leakage_vs_speakers(
+    fidelity: Fidelity,
+    workers: usize,
+) -> Result<(Table, CampaignReport)> {
+    let spec = presets::a4(fidelity.quick());
+    let report = run_campaign(&spec, workers)?;
+    let Delivery::ArrayUltrasound { total_power_w, .. } = spec.deliveries[0].delivery else {
+        unreachable!("a4 sweeps array element counts");
     };
-    let total_power = 30.0;
     let mut table = Table::new(
-        format!("E-A4: leakage vs number of elements (total power {total_power} W, bystander 1 m)"),
+        format!(
+            "E-A4: leakage vs number of elements (total power {total_power_w} W, bystander 1 m)"
+        ),
         &[
             "Elements",
             "Leak SPL (dB)",
@@ -222,30 +229,68 @@ pub fn fig_a4_leakage_vs_speakers(fidelity: Fidelity) -> Result<Table> {
             "Audible?",
         ],
     );
-    for &n in &element_counts {
-        let scenario = Scenario {
-            delivery: Delivery::ArrayUltrasound {
-                num_elements: n,
-                total_power_w: total_power,
-                carrier_hz: 40_000.0,
-            },
-            ..base_attack_scenario(fidelity)
+    for (i, delivery) in spec.deliveries.iter().enumerate() {
+        let Delivery::ArrayUltrasound { num_elements, .. } = delivery.delivery else {
+            unreachable!("a4 sweeps array element counts");
         };
-        let outcome = run_trial(command, &scenario, &recognizer, None)?;
-        let leak = outcome.leakage.expect("attack has leakage");
+        let cell = report
+            .find_cell(0, i, 0, 0, 0, 0)
+            .expect("a4 grid covers every element count");
+        let audible = cell
+            .stats
+            .leak_audible_fraction
+            .expect("attack delivery has leakage")
+            >= 0.5;
         table.push_row(vec![
-            n.to_string(),
-            fmt(leak.audible_spl_db, 1),
-            fmt(leak.audible_spl_dba, 1),
-            fmt(leak.voice_band_spl_db, 1),
-            if leak.is_audible() {
-                "yes".into()
-            } else {
-                "no".into()
-            },
+            num_elements.to_string(),
+            fmt(cell.stats.mean_bystander_spl_db.unwrap_or(f64::NAN), 1),
+            fmt(cell.stats.mean_bystander_spl_dba.unwrap_or(f64::NAN), 1),
+            fmt(
+                cell.stats.mean_bystander_voice_spl_db.unwrap_or(f64::NAN),
+                1,
+            ),
+            if audible { "yes".into() } else { "no".into() },
         ]);
     }
-    Ok(table)
+    Ok((table, report))
+}
+
+/// Room × distance sweep: the same array attack in every room preset,
+/// rendered as a word-accuracy pivot (rows = distances, columns = rooms)
+/// plus a bystander-leak pivot in the same table.
+pub fn fig_rooms_sweep(fidelity: Fidelity, workers: usize) -> Result<(Table, CampaignReport)> {
+    let spec = presets::rooms(fidelity.quick());
+    let report = run_campaign(&spec, workers)?;
+    let mut columns: Vec<String> = vec!["Distance (m)".into()];
+    for &room in &spec.rooms {
+        columns.push(format!("{} acc.", ivc_experiments::room_token(room)));
+    }
+    for &room in &spec.rooms {
+        columns.push(format!("{} leak dB", ivc_experiments::room_token(room)));
+    }
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "Rooms: word accuracy and bystander leak vs distance per room preset",
+        &column_refs,
+    );
+    for (di, &distance) in spec.distances_m.iter().enumerate() {
+        let cells: Vec<_> = (0..spec.rooms.len())
+            .map(|ri| {
+                report
+                    .find_cell(0, 0, ri, 0, 0, di)
+                    .expect("rooms grid covers every (room, distance)")
+            })
+            .collect();
+        let mut row = vec![fmt(distance, 1)];
+        row.extend(cells.iter().map(|c| fmt(c.stats.mean_word_accuracy, 2)));
+        row.extend(
+            cells
+                .iter()
+                .map(|c| fmt(c.stats.mean_bystander_spl_db.unwrap_or(f64::NAN), 1)),
+        );
+        table.push_row(row);
+    }
+    Ok((table, report))
 }
 
 /// E-A5 — attack range per device at a fixed array configuration.

@@ -2,18 +2,20 @@
 
 use crate::scenario::{Delivery, Scenario};
 use crate::Result;
-use ivc_acoustics::array::SpeakerArray;
+use ivc_acoustics::array::{ElementDrive, SpeakerArray};
+use ivc_acoustics::environment::AirEnvironment;
 use ivc_acoustics::noise::room_noise_pa;
-use ivc_acoustics::propagation::propagate;
+use ivc_acoustics::propagation::{propagate, propagate_from_aperture};
 use ivc_acoustics::speaker::UltrasonicSpeaker;
 use ivc_acoustics::spl::spl_db_to_pressure;
 use ivc_attack::baseband::BasebandConfig;
-use ivc_attack::leakage::{estimate_leakage, LeakageReport};
+use ivc_attack::leakage::{leakage_from_field, LeakageReport};
 use ivc_attack::multispeaker::{single_speaker_element_drives, MultiSpeakerAttack};
 use ivc_attack::single::SingleSpeakerAttack;
 use ivc_defense::classifier::LogisticRegression;
 use ivc_defense::features::DefenseFeatures;
 use ivc_dsp::signal::Signal;
+use ivc_room::{propagate_in_room, RoomInstance};
 use ivc_speech::commands::VoiceCommand;
 use ivc_speech::recognizer::Recognizer;
 use ivc_speech::synthesis::{SpeakerProfile, Synthesizer};
@@ -74,16 +76,24 @@ pub fn run_trial(
         utterance.signal.clone()
     };
 
-    // 2. Deliver it to the microphone port as a pressure waveform.
+    // 2. Deliver it to the microphone port as a pressure waveform.  When
+    //    the scenario names a room, both the attack path to the target
+    //    microphone and the leak path to the bystander go through the
+    //    room's image-source model; otherwise the historical free-field
+    //    channel is used (the `Anechoic` preset reproduces it bit for
+    //    bit, pinned by a regression test below).
+    let room = match scenario.room {
+        None => None,
+        Some(preset) => {
+            Some(preset.instantiate(scenario.distance_m, scenario.bystander_distance_m)?)
+        }
+    };
     let (mut pressure_at_port, leakage, power_shortfall_w) = match scenario.delivery {
         Delivery::Legitimate { talker_spl_db } => {
             let rms = voice.rms().max(1e-12);
             let pressure_at_1m = voice.scaled(spl_db_to_pressure(talker_spl_db) / rms);
-            (
-                propagate(&pressure_at_1m, scenario.distance_m, &scenario.env)?,
-                None,
-                0.0,
-            )
+            let at_port = propagate_to_target(&pressure_at_1m, 0.0, scenario, room.as_ref())?;
+            (at_port, None, 0.0)
         }
         Delivery::SingleSpeakerUltrasound {
             power_w,
@@ -95,18 +105,8 @@ pub fn run_trial(
             let array = SpeakerArray::new(speaker.clone(), 1, 0.03)?;
             let placed_w = power_w.min(speaker.max_power_w);
             let drives = single_speaker_element_drives(&attack, placed_w)?;
-            let leak = estimate_leakage(
-                &array,
-                &drives,
-                scenario.bystander_distance_m,
-                &scenario.env,
-                0.0,
-            )?;
-            (
-                array.field_at_target(&drives, scenario.distance_m, &scenario.env)?,
-                Some(leak),
-                power_w - placed_w,
-            )
+            let (at_port, leak) = deliver_attack(&array, &drives, scenario, room.as_ref())?;
+            (at_port, Some(leak), power_w - placed_w)
         }
         Delivery::ArrayUltrasound {
             num_elements,
@@ -144,18 +144,8 @@ pub fn run_trial(
                 let allocation = attack.allocate_power(total_power_w, 0.3, speaker.max_power_w)?;
                 (allocation.drives, allocation.shortfall_w)
             };
-            let leak = estimate_leakage(
-                &array,
-                &drives,
-                scenario.bystander_distance_m,
-                &scenario.env,
-                0.0,
-            )?;
-            (
-                array.field_at_target(&drives, scenario.distance_m, &scenario.env)?,
-                Some(leak),
-                shortfall_w,
-            )
+            let (at_port, leak) = deliver_attack(&array, &drives, scenario, room.as_ref())?;
+            (at_port, Some(leak), shortfall_w)
         }
     };
 
@@ -202,6 +192,50 @@ pub fn run_trial(
         defense_features,
         detection_probability,
     })
+}
+
+/// Propagates a 1 m-referenced pressure waveform from a source of
+/// `aperture_m` to the target microphone: free field when the scenario has
+/// no room, through the room's image-source response otherwise.
+fn propagate_to_target(
+    source_at_1m: &Signal,
+    aperture_m: f64,
+    scenario: &Scenario,
+    room: Option<&RoomInstance>,
+) -> Result<Signal> {
+    match room {
+        None => Ok(propagate_from_aperture(
+            source_at_1m,
+            scenario.distance_m,
+            aperture_m,
+            &scenario.env,
+        )?),
+        Some(instance) => Ok(propagate_in_room(
+            source_at_1m,
+            &instance.target_rir(aperture_m)?,
+            &scenario.env,
+        )?),
+    }
+}
+
+/// Emits the drives once, then propagates to the target (aperture-aware,
+/// room-aware) and to the bystander (point source, room-aware) and
+/// analyses the leakage there.
+fn deliver_attack(
+    array: &SpeakerArray,
+    drives: &[ElementDrive],
+    scenario: &Scenario,
+    room: Option<&RoomInstance>,
+) -> Result<(Signal, LeakageReport)> {
+    let near = array.emitted_field_at_1m(drives)?;
+    let at_port = propagate_to_target(&near, array.aperture_m(), scenario, room)?;
+    let env: &AirEnvironment = &scenario.env;
+    let bystander_field = match room {
+        None => propagate(&near, scenario.bystander_distance_m, env)?,
+        Some(instance) => propagate_in_room(&near, &instance.bystander_rir()?, env)?,
+    };
+    let leak = leakage_from_field(&bystander_field, scenario.bystander_distance_m, 0.0)?;
+    Ok((at_port, leak))
 }
 
 #[cfg(test)]
@@ -269,6 +303,92 @@ mod tests {
         );
         // The defense trace is present even when the attack succeeds.
         assert!(outcome.defense_features.shadow_correlation > 0.2);
+    }
+
+    #[test]
+    fn anechoic_room_is_bit_identical_to_free_field() {
+        // The satellite guarantee of the room subsystem: per-tap delays
+        // and gains are applied exactly like the free-field path, so a
+        // room that reflects nothing *is* the free-field trial — same
+        // recording bytes, same leakage, same verdict.
+        let recognizer = Recognizer::with_default_corpus().unwrap();
+        let command = &corpus()[0];
+        for delivery in [
+            Delivery::Legitimate {
+                talker_spl_db: 68.0,
+            },
+            Delivery::SingleSpeakerUltrasound {
+                power_w: 18.7,
+                carrier_hz: 40_000.0,
+            },
+            Delivery::ArrayUltrasound {
+                num_elements: 6,
+                total_power_w: 60.0,
+                carrier_hz: 40_000.0,
+            },
+        ] {
+            let free_field = quick_scenario(delivery);
+            let anechoic = free_field.in_room(Some(ivc_room::RoomPreset::Anechoic));
+            let a = run_trial(command, &free_field, &recognizer, None).unwrap();
+            let b = run_trial(command, &anechoic, &recognizer, None).unwrap();
+            assert_eq!(
+                a.recording.samples(),
+                b.recording.samples(),
+                "recordings diverge for {delivery:?}"
+            );
+            assert_eq!(a.word_accuracy, b.word_accuracy);
+            assert_eq!(a.leakage, b.leakage);
+        }
+    }
+
+    #[test]
+    fn reverberant_room_changes_the_trial_and_occlusion_guards_the_leak() {
+        let recognizer = Recognizer::with_default_corpus().unwrap();
+        let command = &corpus()[0];
+        let base = quick_scenario(Delivery::ArrayUltrasound {
+            num_elements: 8,
+            total_power_w: 60.0,
+            carrier_hz: 40_000.0,
+        });
+        let free = run_trial(command, &base, &recognizer, None).unwrap();
+        let office = run_trial(
+            command,
+            &base.in_room(Some(ivc_room::RoomPreset::Office)),
+            &recognizer,
+            None,
+        )
+        .unwrap();
+        // The office's reflections change the recording (but the trial
+        // still completes and produces a leakage estimate).
+        assert_ne!(free.recording.samples(), office.recording.samples());
+        assert!(office.leakage.is_some());
+
+        // Behind the doorway partition the bystander hears far less.
+        let doorway = run_trial(
+            command,
+            &base.in_room(Some(ivc_room::RoomPreset::ThroughDoorway)),
+            &recognizer,
+            None,
+        )
+        .unwrap();
+        let free_leak = free.bystander_spl_db.unwrap();
+        let doorway_leak = doorway.bystander_spl_db.unwrap();
+        assert!(
+            doorway_leak < free_leak - 10.0,
+            "doorway leak {doorway_leak} dB vs free-field {free_leak} dB"
+        );
+    }
+
+    #[test]
+    fn room_that_cannot_host_the_scenario_is_rejected() {
+        let recognizer = Recognizer::with_default_corpus().unwrap();
+        let command = &corpus()[0];
+        let scenario = quick_scenario(Delivery::Legitimate {
+            talker_spl_db: 68.0,
+        })
+        .in_room(Some(ivc_room::RoomPreset::Office))
+        .at_distance(7.0);
+        assert!(run_trial(command, &scenario, &recognizer, None).is_err());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use ivc_acoustics::environment::AirEnvironment;
 use ivc_acoustics::microphone::DevicePreset;
+use ivc_room::RoomPreset;
 use serde::{Deserialize, Serialize};
 
 /// How the voice command reaches the victim device.
@@ -70,6 +71,12 @@ pub struct Scenario {
     pub bystander_distance_m: f64,
     /// Air conditions.
     pub env: AirEnvironment,
+    /// The room the trial takes place in.  `None` keeps the historical
+    /// free-field channel (direct path only); `Some(preset)` propagates
+    /// both the attack path and the bystander's leak path through the
+    /// room's image-source model (`Anechoic` reproduces the free-field
+    /// result bit for bit).
+    pub room: Option<RoomPreset>,
     /// Master seed for every stochastic component of the trial.
     pub seed: u64,
     /// Optionally truncate the synthesised command to this many seconds to
@@ -92,6 +99,7 @@ impl Scenario {
             ambient_noise_spl_db: 40.0,
             bystander_distance_m: 1.0,
             env: AirEnvironment::default(),
+            room: None,
             seed: 1,
             max_voice_duration_s: f64::INFINITY,
         }
@@ -119,6 +127,14 @@ impl Scenario {
     pub fn with_seed(&self, seed: u64) -> Self {
         Scenario {
             seed,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy placed in a different room (`None` = free field).
+    pub fn in_room(&self, room: Option<RoomPreset>) -> Self {
+        Scenario {
+            room,
             ..self.clone()
         }
     }
@@ -171,6 +187,10 @@ mod tests {
         assert_eq!(far.device, attack.device);
         let reseeded = attack.with_seed(99);
         assert_eq!(reseeded.seed, 99);
+        assert_eq!(attack.room, None);
+        let roomed = attack.in_room(Some(RoomPreset::Office));
+        assert_eq!(roomed.room, Some(RoomPreset::Office));
+        assert_eq!(roomed.distance_m, attack.distance_m);
     }
 
     #[test]

@@ -23,6 +23,8 @@ pub struct CellStats {
     /// Mean audible-band bystander SPL in dB (`None` when no trial had a
     /// leakage estimate, i.e. legitimate deliveries).
     pub mean_bystander_spl_db: Option<f64>,
+    /// Mean A-weighted bystander SPL in dB(A).
+    pub mean_bystander_spl_dba: Option<f64>,
     /// Mean voice-band bystander SPL in dB.
     pub mean_bystander_voice_spl_db: Option<f64>,
     /// Fraction of trials whose leakage a bystander would notice.
@@ -56,6 +58,8 @@ pub struct PsychometricCurve {
     pub device_index: usize,
     /// Delivery-axis index of every point.
     pub delivery_index: usize,
+    /// Room-axis index of every point.
+    pub room_index: usize,
     /// Environment-axis index of every point.
     pub environment_index: usize,
     /// Command-axis position of every point.
@@ -159,6 +163,7 @@ pub fn aggregate_cells(
                 success_ci_high: ci_high,
                 mean_word_accuracy: mean(&accuracies),
                 mean_bystander_spl_db: mean_of_present(trials.iter().map(|t| t.bystander_spl_db)),
+                mean_bystander_spl_dba: mean_of_present(trials.iter().map(|t| t.bystander_spl_dba)),
                 mean_bystander_voice_spl_db: mean_of_present(
                     trials.iter().map(|t| t.bystander_voice_spl_db),
                 ),
@@ -192,6 +197,7 @@ pub fn psychometric_curves(spec: &CampaignSpec, cells: &[CellReport]) -> Vec<Psy
                 label: spec.curve_label(first),
                 device_index: first.device_index,
                 delivery_index: first.delivery_index,
+                room_index: first.room_index,
                 environment_index: first.environment_index,
                 command_position: first.command_position,
                 distances_m: spec.distances_m.clone(),
@@ -218,6 +224,7 @@ mod tests {
             word_accuracy: accuracy,
             recognized_words: vec!["ok".into()],
             bystander_spl_db: Some(40.0 + cell_index as f64),
+            bystander_spl_dba: Some(35.0 + cell_index as f64),
             bystander_voice_spl_db: Some(20.0),
             leak_audible: Some(cell_index % 2 == 0),
             power_shortfall_w: 0.0,
@@ -306,6 +313,7 @@ mod tests {
         let records: Vec<TrialRecord> = (0..2)
             .map(|t| TrialRecord {
                 bystander_spl_db: None,
+                bystander_spl_dba: None,
                 bystander_voice_spl_db: None,
                 leak_audible: None,
                 ..record(0, t, true, 1.0)

@@ -40,6 +40,8 @@ pub struct TrialRecord {
     pub recognized_words: Vec<String>,
     /// Audible-band SPL at the bystander, in dB (attack deliveries only).
     pub bystander_spl_db: Option<f64>,
+    /// A-weighted SPL at the bystander, in dB(A).
+    pub bystander_spl_dba: Option<f64>,
     /// Voice-band (intelligible) SPL at the bystander, in dB.
     pub bystander_voice_spl_db: Option<f64>,
     /// Would a bystander notice the leakage?
@@ -137,6 +139,7 @@ fn run_one_trial(
         word_accuracy: outcome.word_accuracy,
         recognized_words: outcome.recognized_words,
         bystander_spl_db: outcome.bystander_spl_db,
+        bystander_spl_dba: outcome.leakage.as_ref().map(|l| l.audible_spl_dba),
         bystander_voice_spl_db: outcome.leakage.as_ref().map(|l| l.voice_band_spl_db),
         leak_audible: outcome.leakage.as_ref().map(|l| l.is_audible()),
         power_shortfall_w: outcome.power_shortfall_w,

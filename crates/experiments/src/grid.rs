@@ -1,18 +1,38 @@
 //! The parameter-grid DSL: a [`CampaignSpec`] declares axes (device,
-//! delivery configuration, environment, command, distance) plus shared
-//! scalars, and expands into the full cross product of concrete
+//! delivery configuration, room, environment, command, distance) plus
+//! shared scalars, and expands into the full cross product of concrete
 //! [`Scenario`]s.
 //!
 //! Expansion order is part of the engine's contract: cells are enumerated
-//! devices → deliveries → environments → commands → distances (distance
-//! innermost), so success-vs-distance curves read off contiguous cell
-//! ranges, and the same spec always produces the same cell indices.
+//! devices → deliveries → rooms → environments → commands → distances
+//! (distance innermost), so success-vs-distance curves read off
+//! contiguous cell ranges, and the same spec always produces the same
+//! cell indices.  The room axis was inserted between deliveries and
+//! environments in report format v2; specs without a room axis default to
+//! the single free-field entry, which reproduces the v1 expansion order.
 
 use crate::error::{ExperimentError, Result};
 use ivc_acoustics::environment::AirEnvironment;
 use ivc_acoustics::microphone::DevicePreset;
 use ivc_core::scenario::{Delivery, Scenario};
+use ivc_room::RoomPreset;
 use ivc_speech::commands::corpus;
+
+/// Stable archive token of a room-axis entry (`None` = free field).
+pub fn room_token(room: Option<RoomPreset>) -> &'static str {
+    match room {
+        None => "free_field",
+        Some(preset) => preset.token(),
+    }
+}
+
+/// Parses a room-axis archive token (inverse of [`room_token`]).
+pub fn room_from_token(token: &str) -> Option<Option<RoomPreset>> {
+    if token == "free_field" {
+        return Some(None);
+    }
+    RoomPreset::from_token(token).map(Some)
+}
 
 /// Named air-condition presets for the environment axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,6 +155,9 @@ pub struct CampaignSpec {
     /// Delivery-configuration axis (element counts, powers, carriers —
     /// anything [`Delivery`] expresses).
     pub deliveries: Vec<DeliverySpec>,
+    /// Room axis: `None` is the free-field channel, `Some(preset)` runs
+    /// the trial inside that room's image-source model.
+    pub rooms: Vec<Option<RoomPreset>>,
     /// Environment axis.
     pub environments: Vec<EnvironmentPreset>,
     /// Command axis: indices into [`ivc_speech::commands::corpus`].
@@ -169,6 +192,7 @@ impl CampaignSpec {
                 40.0,
                 40_000.0,
             )],
+            rooms: vec![None],
             environments: vec![EnvironmentPreset::MeetingRoom],
             command_indices: vec![0],
             distances_m: vec![2.0],
@@ -190,6 +214,9 @@ impl CampaignSpec {
         }
         if self.deliveries.is_empty() {
             return Err(ExperimentError::invalid("deliveries", "axis is empty"));
+        }
+        if self.rooms.is_empty() {
+            return Err(ExperimentError::invalid("rooms", "axis is empty"));
         }
         if self.environments.is_empty() {
             return Err(ExperimentError::invalid("environments", "axis is empty"));
@@ -223,6 +250,20 @@ impl CampaignSpec {
                 "must be positive and finite",
             ));
         }
+        // Every room must host every distance (and the bystander), so a
+        // mis-sized sweep fails at validation instead of mid-campaign.
+        for &room in &self.rooms {
+            if let Some(preset) = room {
+                for &d in &self.distances_m {
+                    if let Err(e) = preset.instantiate(d, self.bystander_distance_m) {
+                        return Err(ExperimentError::invalid(
+                            "rooms",
+                            format!("{} at {d} m: {e}", preset.token()),
+                        ));
+                    }
+                }
+            }
+        }
         if !self.ambient_noise_spl_db.is_finite() {
             return Err(ExperimentError::invalid(
                 "ambient_noise_spl_db",
@@ -248,6 +289,7 @@ impl CampaignSpec {
     pub fn num_cells(&self) -> usize {
         self.devices.len()
             * self.deliveries.len()
+            * self.rooms.len()
             * self.environments.len()
             * self.command_indices.len()
             * self.distances_m.len()
@@ -259,24 +301,27 @@ impl CampaignSpec {
     }
 
     /// Expands the grid into cells, in the documented order (devices →
-    /// deliveries → environments → commands → distances).
+    /// deliveries → rooms → environments → commands → distances).
     pub fn cells(&self) -> Vec<CellSpec> {
         let mut cells = Vec::with_capacity(self.num_cells());
         let mut cell_index = 0;
         for device_index in 0..self.devices.len() {
             for delivery_index in 0..self.deliveries.len() {
-                for environment_index in 0..self.environments.len() {
-                    for command_position in 0..self.command_indices.len() {
-                        for distance_index in 0..self.distances_m.len() {
-                            cells.push(CellSpec {
-                                cell_index,
-                                device_index,
-                                delivery_index,
-                                environment_index,
-                                command_position,
-                                distance_index,
-                            });
-                            cell_index += 1;
+                for room_index in 0..self.rooms.len() {
+                    for environment_index in 0..self.environments.len() {
+                        for command_position in 0..self.command_indices.len() {
+                            for distance_index in 0..self.distances_m.len() {
+                                cells.push(CellSpec {
+                                    cell_index,
+                                    device_index,
+                                    delivery_index,
+                                    room_index,
+                                    environment_index,
+                                    command_position,
+                                    distance_index,
+                                });
+                                cell_index += 1;
+                            }
                         }
                     }
                 }
@@ -289,16 +334,19 @@ impl CampaignSpec {
     /// the [`CampaignSpec::cells`] expansion order, kept next to it so the
     /// ordering contract has exactly one owner.  `None` when any
     /// coordinate is outside its axis.
+    #[allow(clippy::too_many_arguments)]
     pub fn cell_index_of(
         &self,
         device_index: usize,
         delivery_index: usize,
+        room_index: usize,
         environment_index: usize,
         command_position: usize,
         distance_index: usize,
     ) -> Option<usize> {
         if device_index >= self.devices.len()
             || delivery_index >= self.deliveries.len()
+            || room_index >= self.rooms.len()
             || environment_index >= self.environments.len()
             || command_position >= self.command_indices.len()
             || distance_index >= self.distances_m.len()
@@ -306,7 +354,9 @@ impl CampaignSpec {
             return None;
         }
         Some(
-            (((device_index * self.deliveries.len() + delivery_index) * self.environments.len()
+            ((((device_index * self.deliveries.len() + delivery_index) * self.rooms.len()
+                + room_index)
+                * self.environments.len()
                 + environment_index)
                 * self.command_indices.len()
                 + command_position)
@@ -331,6 +381,7 @@ impl CampaignSpec {
             ambient_noise_spl_db: self.ambient_noise_spl_db,
             bystander_distance_m: self.bystander_distance_m,
             env: self.environments[cell.environment_index].air(),
+            room: self.rooms[cell.room_index],
             seed: self.trial_seed(trial_index),
             max_voice_duration_s: self.max_voice_duration_s,
         }
@@ -344,9 +395,10 @@ impl CampaignSpec {
     /// Human-readable cell label used in summaries and archives.
     pub fn cell_label(&self, cell: &CellSpec) -> String {
         format!(
-            "{} | {} | {} | cmd {} | {} m",
+            "{} | {} | {} | {} | cmd {} | {} m",
             self.devices[cell.device_index].name(),
             self.deliveries[cell.delivery_index].label,
+            room_token(self.rooms[cell.room_index]),
             self.environments[cell.environment_index].token(),
             self.command_index(cell),
             self.distances_m[cell.distance_index],
@@ -354,20 +406,28 @@ impl CampaignSpec {
     }
 
     /// Label of the curve a cell belongs to: the delivery label alone when
-    /// the other non-distance axes are singletons, the full combination
-    /// otherwise.
+    /// the other non-distance axes are singletons, joined with the room
+    /// when only the room axis is swept, the full combination otherwise.
     pub fn curve_label(&self, cell: &CellSpec) -> String {
         let delivery = &self.deliveries[cell.delivery_index].label;
+        let room = room_token(self.rooms[cell.room_index]);
         if self.devices.len() == 1
             && self.environments.len() == 1
             && self.command_indices.len() == 1
         {
-            delivery.clone()
+            if self.rooms.len() == 1 {
+                delivery.clone()
+            } else if self.deliveries.len() == 1 {
+                room.to_string()
+            } else {
+                format!("{delivery} | {room}")
+            }
         } else {
             format!(
-                "{} | {} | {} | cmd {}",
+                "{} | {} | {} | {} | cmd {}",
                 self.devices[cell.device_index].name(),
                 delivery,
+                room,
                 self.environments[cell.environment_index].token(),
                 self.command_index(cell),
             )
@@ -385,6 +445,8 @@ pub struct CellSpec {
     pub device_index: usize,
     /// Index into [`CampaignSpec::deliveries`].
     pub delivery_index: usize,
+    /// Index into [`CampaignSpec::rooms`].
+    pub room_index: usize,
     /// Index into [`CampaignSpec::environments`].
     pub environment_index: usize,
     /// Position in [`CampaignSpec::command_indices`] (not the corpus index).
@@ -405,6 +467,7 @@ mod tests {
                 DeliverySpec::array("array 16", 16, 120.0, 40_000.0),
                 DeliverySpec::legitimate("talker", 65.0),
             ],
+            rooms: vec![None, Some(RoomPreset::Office)],
             environments: vec![EnvironmentPreset::MeetingRoom, EnvironmentPreset::Outdoor],
             command_indices: vec![0, 2],
             distances_m: vec![1.0, 3.0, 6.0],
@@ -417,7 +480,7 @@ mod tests {
     #[test]
     fn cardinality_is_the_axis_product() {
         let spec = sweep_spec();
-        assert_eq!(spec.num_cells(), 2 * 3 * 2 * 2 * 3);
+        assert_eq!(spec.num_cells(), 2 * 3 * 2 * 2 * 2 * 3);
         assert_eq!(spec.num_trials(), spec.num_cells() * 4);
         let cells = spec.cells();
         assert_eq!(cells.len(), spec.num_cells());
@@ -432,6 +495,12 @@ mod tests {
         assert_eq!(cells[3].distance_index, 0);
         assert_eq!(cells[3].command_position, 1);
         assert_eq!(cells.last().unwrap().device_index, 1);
+        // The room axis sits between deliveries and environments.
+        let cells_per_room = 2 * 2 * 3;
+        assert_eq!(cells[cells_per_room - 1].room_index, 0);
+        assert_eq!(cells[cells_per_room].room_index, 1);
+        assert_eq!(cells[cells_per_room].delivery_index, 0);
+        assert_eq!(cells[2 * cells_per_room].delivery_index, 1);
         // The closed-form index agrees with the expansion order for every
         // cell (the two encodings of the ordering contract cannot drift).
         for cell in &cells {
@@ -439,6 +508,7 @@ mod tests {
                 spec.cell_index_of(
                     cell.device_index,
                     cell.delivery_index,
+                    cell.room_index,
                     cell.environment_index,
                     cell.command_position,
                     cell.distance_index,
@@ -446,8 +516,9 @@ mod tests {
                 Some(cell.cell_index)
             );
         }
-        assert_eq!(spec.cell_index_of(2, 0, 0, 0, 0), None);
-        assert_eq!(spec.cell_index_of(0, 0, 0, 0, 3), None);
+        assert_eq!(spec.cell_index_of(2, 0, 0, 0, 0, 0), None);
+        assert_eq!(spec.cell_index_of(0, 0, 2, 0, 0, 0), None);
+        assert_eq!(spec.cell_index_of(0, 0, 0, 0, 0, 3), None);
         // A single-cell spec expands to one cell.
         assert_eq!(CampaignSpec::new("one").cells().len(), 1);
     }
@@ -462,6 +533,8 @@ mod tests {
         assert_eq!(scenario.distance_m, 6.0);
         assert_eq!(scenario.seed, 103);
         assert_eq!(scenario.env, EnvironmentPreset::Outdoor.air());
+        assert_eq!(scenario.room, Some(RoomPreset::Office));
+        assert_eq!(spec.scenario(&cells[0], 0).room, None);
         assert_eq!(spec.command_index(cell), 2);
         assert!(matches!(scenario.delivery, Delivery::Legitimate { .. }));
         // Trial seeds are shared across cells (common random numbers).
@@ -501,6 +574,32 @@ mod tests {
             ..sweep_spec()
         };
         assert!(nan_noise.validate().is_err());
+        let no_rooms = CampaignSpec {
+            rooms: vec![],
+            ..sweep_spec()
+        };
+        assert!(no_rooms.validate().is_err());
+        // An 8 m office cannot host a 7 m throw: caught at validation.
+        let oversize = CampaignSpec {
+            rooms: vec![Some(RoomPreset::Office)],
+            distances_m: vec![2.0, 7.0],
+            ..sweep_spec()
+        };
+        let err = oversize.validate().unwrap_err();
+        assert!(err.to_string().contains("office"), "{err}");
+    }
+
+    #[test]
+    fn room_tokens_round_trip() {
+        assert_eq!(room_token(None), "free_field");
+        assert_eq!(room_from_token("free_field"), Some(None));
+        for preset in RoomPreset::ALL {
+            assert_eq!(
+                room_from_token(room_token(Some(preset))),
+                Some(Some(preset))
+            );
+        }
+        assert_eq!(room_from_token("submarine"), None);
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! one-off `run_trial` calls into reproducible campaigns:
 //!
 //! * [`grid`] — the parameter-grid DSL: a [`CampaignSpec`] declares axes
-//!   (device, delivery, environment, command, distance) and expands into
-//!   the concrete [`ivc_core::Scenario`] cross product.
+//!   (device, delivery, room, environment, command, distance) and expands
+//!   into the concrete [`ivc_core::Scenario`] cross product.
 //! * [`executor`] — a bounded `std::thread` worker pool with
 //!   deterministic per-trial seeding: the same spec produces the
 //!   **byte-identical** archived report at any worker count.
@@ -47,7 +47,9 @@ pub mod report;
 pub use aggregate::{CellReport, CellStats, PsychometricCurve};
 pub use error::{ExperimentError, Result};
 pub use executor::{default_workers, run_campaign, TrialRecord};
-pub use grid::{CampaignSpec, CellSpec, DeliverySpec, EnvironmentPreset};
+pub use grid::{
+    room_from_token, room_token, CampaignSpec, CellSpec, DeliverySpec, EnvironmentPreset,
+};
 pub use report::CampaignReport;
 
 /// The commonly used items, in one import.
@@ -55,6 +57,8 @@ pub mod prelude {
     pub use crate::aggregate::{CellReport, CellStats, PsychometricCurve};
     pub use crate::error::{ExperimentError, Result};
     pub use crate::executor::{default_workers, run_campaign, TrialRecord};
-    pub use crate::grid::{CampaignSpec, CellSpec, DeliverySpec, EnvironmentPreset};
+    pub use crate::grid::{
+        room_from_token, room_token, CampaignSpec, CellSpec, DeliverySpec, EnvironmentPreset,
+    };
     pub use crate::report::CampaignReport;
 }

@@ -1,5 +1,6 @@
-//! Built-in campaign specs: the paper sweeps (`a1`, `a2`, `b3`), a defense
-//! false-accept sweep, and the tiny CI smoke campaign.
+//! Built-in campaign specs: the paper sweeps (`a1`–`a4`, `b3`), a defense
+//! false-accept sweep, the room × distance sweep, and the tiny CI smoke
+//! campaign.
 //!
 //! Every preset takes `quick` — `true` trims the grids and truncates the
 //! commands the way the repro harness's `Fidelity::Quick` does, `false`
@@ -7,6 +8,7 @@
 
 use crate::grid::{CampaignSpec, DeliverySpec, EnvironmentPreset};
 use ivc_acoustics::microphone::DevicePreset;
+use ivc_room::RoomPreset;
 
 fn voice_cap_s(quick: bool) -> f64 {
     if quick {
@@ -62,6 +64,84 @@ pub fn a2(quick: bool) -> CampaignSpec {
         distances_m: distances,
         max_voice_duration_s: voice_cap_s(quick),
         ..CampaignSpec::new("a2-accuracy-vs-distance")
+    }
+}
+
+/// Element counts shared by the `a3`/`a4` element sweeps.
+fn element_counts(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1, 4, 8]
+    } else {
+        vec![1, 2, 4, 8, 16, 32, 61]
+    }
+}
+
+/// E-A3 — word accuracy vs number of array elements at long range
+/// (7 W per element).
+pub fn a3(quick: bool) -> CampaignSpec {
+    CampaignSpec {
+        deliveries: element_counts(quick)
+            .into_iter()
+            .map(|n| {
+                let power = 7.0 * n as f64;
+                DeliverySpec::array(format!("{n} elements, {power} W"), n, power, 40_000.0)
+            })
+            .collect(),
+        distances_m: vec![if quick { 4.0 } else { 7.6 }],
+        max_voice_duration_s: voice_cap_s(quick),
+        ..CampaignSpec::new("a3-accuracy-vs-elements")
+    }
+}
+
+/// E-A4 — leakage audibility vs number of elements at equal total power
+/// (30 W split across the array, bystander at 1 m).
+pub fn a4(quick: bool) -> CampaignSpec {
+    CampaignSpec {
+        deliveries: element_counts(quick)
+            .into_iter()
+            .map(|n| DeliverySpec::array(format!("{n} elements, 30 W total"), n, 30.0, 40_000.0))
+            .collect(),
+        max_voice_duration_s: voice_cap_s(quick),
+        ..CampaignSpec::new("a4-leakage-vs-elements")
+    }
+}
+
+/// Room × distance sweep: the same array attack in every room preset,
+/// from the free-field-equivalent `Anechoic` baseline to the occluded
+/// `ThroughDoorway` layout.
+pub fn rooms(quick: bool) -> CampaignSpec {
+    let room_axis: Vec<Option<RoomPreset>> = if quick {
+        vec![
+            Some(RoomPreset::Anechoic),
+            Some(RoomPreset::Office),
+            Some(RoomPreset::ConferenceRoom),
+            Some(RoomPreset::ThroughDoorway),
+        ]
+    } else {
+        vec![
+            Some(RoomPreset::Anechoic),
+            Some(RoomPreset::Office),
+            Some(RoomPreset::ConferenceRoom),
+            Some(RoomPreset::Corridor),
+            Some(RoomPreset::ThroughDoorway),
+        ]
+    };
+    CampaignSpec {
+        deliveries: vec![DeliverySpec::array(
+            "array (12 elements, 100 W)",
+            12,
+            100.0,
+            40_000.0,
+        )],
+        rooms: room_axis,
+        distances_m: if quick {
+            vec![1.0, 2.0, 4.0]
+        } else {
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        },
+        trials_per_cell: if quick { 1 } else { 3 },
+        max_voice_duration_s: voice_cap_s(quick),
+        ..CampaignSpec::new("rooms-vs-distance")
     }
 }
 
@@ -142,7 +222,7 @@ pub fn smoke() -> CampaignSpec {
 }
 
 /// Preset names accepted by [`by_name`], for help text.
-pub const PRESET_NAMES: [&str; 5] = ["smoke", "a1", "a2", "b3", "defense"];
+pub const PRESET_NAMES: [&str; 8] = ["smoke", "a1", "a2", "a3", "a4", "b3", "defense", "rooms"];
 
 /// Looks a preset up by name; `b3` expands to its two case campaigns.
 pub fn by_name(name: &str, quick: bool) -> Option<Vec<CampaignSpec>> {
@@ -150,8 +230,11 @@ pub fn by_name(name: &str, quick: bool) -> Option<Vec<CampaignSpec>> {
         "smoke" => Some(vec![smoke()]),
         "a1" => Some(vec![a1(quick)]),
         "a2" => Some(vec![a2(quick)]),
+        "a3" => Some(vec![a3(quick)]),
+        "a4" => Some(vec![a4(quick)]),
         "b3" => Some(b3(quick)),
         "defense" => Some(vec![defense(quick)]),
+        "rooms" => Some(vec![rooms(quick)]),
         _ => None,
     }
 }
@@ -177,6 +260,16 @@ mod tests {
         assert_eq!(a1(false).num_cells(), 7);
         assert_eq!(a2(true).num_cells(), 9);
         assert_eq!(a2(false).num_cells(), 27);
+        assert_eq!(a3(true).num_cells(), 3);
+        assert_eq!(a3(false).num_cells(), 7);
+        assert_eq!(a4(true).num_cells(), 3);
+        assert_eq!(rooms(true).num_cells(), 4 * 3);
+        assert_eq!(rooms(false).num_cells(), 5 * 6);
+        // The a3/a4 sweeps pin the element-sweep scenarios of the bespoke
+        // loops they replaced: one trial at seed 1 per cell.
+        assert_eq!(a3(true).trials_per_cell, 1);
+        assert_eq!(a3(true).base_seed, 1);
+        assert_eq!(a4(true).distances_m, vec![2.0]);
         assert_eq!(b3(true).len(), 2);
         assert_eq!(b3(true)[0].num_trials(), 5);
         assert_eq!(b3(false)[0].num_trials(), 50);

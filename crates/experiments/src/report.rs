@@ -9,7 +9,9 @@
 use crate::aggregate::{CellReport, CellStats, PsychometricCurve};
 use crate::error::{ExperimentError, Result};
 use crate::executor::TrialRecord;
-use crate::grid::{CampaignSpec, CellSpec, DeliverySpec, EnvironmentPreset};
+use crate::grid::{
+    room_from_token, room_token, CampaignSpec, CellSpec, DeliverySpec, EnvironmentPreset,
+};
 use ivc_acoustics::microphone::DevicePreset;
 use ivc_core::json::{u64_to_json, JsonValue};
 use ivc_core::results::{fmt, Table};
@@ -17,7 +19,10 @@ use ivc_core::scenario::Delivery;
 
 /// Format tag written into every archive, so readers can reject files from
 /// a different schema generation.
-pub const REPORT_FORMAT: &str = "ivc-campaign-report-v1";
+///
+/// v2 added the room axis (spec `rooms`, per-cell `room_index`, per-curve
+/// `room_index`) and the A-weighted bystander SPL to trials and stats.
+pub const REPORT_FORMAT: &str = "ivc-campaign-report-v2";
 
 /// A finished campaign: spec, per-cell results, curves.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,10 +37,12 @@ pub struct CampaignReport {
 
 impl CampaignReport {
     /// The cell at the given axis coordinates, if present.
+    #[allow(clippy::too_many_arguments)]
     pub fn find_cell(
         &self,
         device_index: usize,
         delivery_index: usize,
+        room_index: usize,
         environment_index: usize,
         command_position: usize,
         distance_index: usize,
@@ -44,6 +51,7 @@ impl CampaignReport {
         let index = self.spec.cell_index_of(
             device_index,
             delivery_index,
+            room_index,
             environment_index,
             command_position,
             distance_index,
@@ -246,6 +254,15 @@ fn spec_to_json(spec: &CampaignSpec) -> JsonValue {
             ),
         ),
         (
+            "rooms",
+            JsonValue::Array(
+                spec.rooms
+                    .iter()
+                    .map(|&r| JsonValue::string(room_token(r)))
+                    .collect(),
+            ),
+        ),
+        (
             "environments",
             JsonValue::Array(
                 spec.environments
@@ -303,6 +320,14 @@ fn spec_from_json(value: &JsonValue) -> Result<CampaignSpec> {
             })
         })
         .collect::<Result<Vec<_>>>()?;
+    let rooms = req_array(value, "rooms")?
+        .iter()
+        .map(|v| {
+            let token = as_str(v, "rooms[]")?;
+            room_from_token(token)
+                .ok_or_else(|| ExperimentError::decode(format!("unknown room '{token}'")))
+        })
+        .collect::<Result<Vec<_>>>()?;
     let environments = req_array(value, "environments")?
         .iter()
         .map(|v| {
@@ -320,6 +345,7 @@ fn spec_from_json(value: &JsonValue) -> Result<CampaignSpec> {
         name: req_str(value, "name")?.to_string(),
         devices,
         deliveries,
+        rooms,
         environments,
         command_indices,
         distances_m,
@@ -341,6 +367,7 @@ fn cell_spec_to_json(cell: &CellSpec) -> JsonValue {
             "delivery_index",
             JsonValue::number(cell.delivery_index as f64),
         ),
+        ("room_index", JsonValue::number(cell.room_index as f64)),
         (
             "environment_index",
             JsonValue::number(cell.environment_index as f64),
@@ -361,6 +388,7 @@ fn cell_spec_from_json(value: &JsonValue) -> Result<CellSpec> {
         cell_index: req_usize(value, "cell_index")?,
         device_index: req_usize(value, "device_index")?,
         delivery_index: req_usize(value, "delivery_index")?,
+        room_index: req_usize(value, "room_index")?,
         environment_index: req_usize(value, "environment_index")?,
         command_position: req_usize(value, "command_position")?,
         distance_index: req_usize(value, "distance_index")?,
@@ -381,6 +409,10 @@ fn stats_to_json(stats: &CellStats) -> JsonValue {
         (
             "mean_bystander_spl_db",
             opt_number(stats.mean_bystander_spl_db),
+        ),
+        (
+            "mean_bystander_spl_dba",
+            opt_number(stats.mean_bystander_spl_dba),
         ),
         (
             "mean_bystander_voice_spl_db",
@@ -406,6 +438,7 @@ fn stats_from_json(value: &JsonValue) -> Result<CellStats> {
         success_ci_high: req_f64(value, "success_ci_high")?,
         mean_word_accuracy: req_f64(value, "mean_word_accuracy")?,
         mean_bystander_spl_db: opt_f64(value, "mean_bystander_spl_db")?,
+        mean_bystander_spl_dba: opt_f64(value, "mean_bystander_spl_dba")?,
         mean_bystander_voice_spl_db: opt_f64(value, "mean_bystander_voice_spl_db")?,
         leak_audible_fraction: opt_f64(value, "leak_audible_fraction")?,
         mean_power_shortfall_w: req_f64(value, "mean_power_shortfall_w")?,
@@ -424,6 +457,7 @@ fn trial_to_json(trial: &TrialRecord) -> JsonValue {
             JsonValue::string_array(&trial.recognized_words),
         ),
         ("bystander_spl_db", opt_number(trial.bystander_spl_db)),
+        ("bystander_spl_dba", opt_number(trial.bystander_spl_dba)),
         (
             "bystander_voice_spl_db",
             opt_number(trial.bystander_voice_spl_db),
@@ -465,6 +499,7 @@ fn trial_from_json(value: &JsonValue) -> Result<TrialRecord> {
             .map(|v| Ok(as_str(v, "recognized_words[]")?.to_string()))
             .collect::<Result<Vec<_>>>()?,
         bystander_spl_db: opt_f64(value, "bystander_spl_db")?,
+        bystander_spl_dba: opt_f64(value, "bystander_spl_dba")?,
         bystander_voice_spl_db: opt_f64(value, "bystander_voice_spl_db")?,
         leak_audible,
         power_shortfall_w: req_f64(value, "power_shortfall_w")?,
@@ -503,6 +538,7 @@ fn curve_to_json(curve: &PsychometricCurve) -> JsonValue {
             "delivery_index",
             JsonValue::number(curve.delivery_index as f64),
         ),
+        ("room_index", JsonValue::number(curve.room_index as f64)),
         (
             "environment_index",
             JsonValue::number(curve.environment_index as f64),
@@ -530,6 +566,7 @@ fn curve_from_json(value: &JsonValue) -> Result<PsychometricCurve> {
         label: req_str(value, "label")?.to_string(),
         device_index: req_usize(value, "device_index")?,
         delivery_index: req_usize(value, "delivery_index")?,
+        room_index: req_usize(value, "room_index")?,
         environment_index: req_usize(value, "environment_index")?,
         command_position: req_usize(value, "command_position")?,
         distances_m: req_f64_array(value, "distances_m")?,
@@ -625,6 +662,7 @@ mod tests {
                 DeliverySpec::single_speaker("single 3 W", 3.0, 40_000.0),
                 DeliverySpec::array("array 61", 61, 400.0, 40_000.0),
             ],
+            rooms: vec![None, Some(ivc_room::RoomPreset::Corridor)],
             environments: vec![
                 EnvironmentPreset::MeetingRoom,
                 EnvironmentPreset::SummerHumid,
@@ -649,6 +687,7 @@ mod tests {
                     word_accuracy: 1.0 / (1.0 + cell.cell_index as f64),
                     recognized_words: vec!["ok".into(), "google".into()],
                     bystander_spl_db: attack.then_some(33.3 + trial as f64 * 0.1),
+                    bystander_spl_dba: attack.then_some(28.9),
                     bystander_voice_spl_db: attack.then_some(21.7),
                     leak_audible: attack.then_some(cell.cell_index % 2 == 0),
                     power_shortfall_w: if cell.cell_index % 5 == 0 { 12.5 } else { 0.0 },
@@ -677,15 +716,17 @@ mod tests {
     #[test]
     fn find_cell_addresses_the_grid() {
         let report = synthetic_report();
-        let cell = report.find_cell(1, 2, 0, 1, 2).unwrap();
+        let cell = report.find_cell(1, 2, 1, 0, 1, 2).unwrap();
         assert_eq!(cell.cell.device_index, 1);
         assert_eq!(cell.cell.delivery_index, 2);
+        assert_eq!(cell.cell.room_index, 1);
         assert_eq!(cell.cell.environment_index, 0);
         assert_eq!(cell.cell.command_position, 1);
         assert_eq!(cell.cell.distance_index, 2);
         assert_eq!(report.cells[cell.cell.cell_index].cell, cell.cell);
-        assert!(report.find_cell(2, 0, 0, 0, 0).is_none());
-        assert!(report.find_cell(0, 0, 0, 0, 99).is_none());
+        assert!(report.find_cell(2, 0, 0, 0, 0, 0).is_none());
+        assert!(report.find_cell(0, 0, 2, 0, 0, 0).is_none());
+        assert!(report.find_cell(0, 0, 0, 0, 0, 99).is_none());
     }
 
     #[test]

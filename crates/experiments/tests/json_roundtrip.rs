@@ -29,6 +29,7 @@ fn build_report(
         .collect();
     let spec = CampaignSpec {
         deliveries,
+        rooms: vec![None, Some(ivc_room::RoomPreset::Office)],
         environments: vec![EnvironmentPreset::MeetingRoom, EnvironmentPreset::Outdoor],
         distances_m: (0..n_distances).map(|i| 0.5 + i as f64 * 1.3).collect(),
         ambient_noise_spl_db: noise_db,
@@ -55,6 +56,7 @@ fn build_report(
                 word_accuracy: accuracy,
                 recognized_words: words,
                 bystander_spl_db: attack.then_some(spl),
+                bystander_spl_dba: attack.then_some(spl - 4.2),
                 bystander_voice_spl_db: attack.then_some(spl - 11.7),
                 leak_audible: attack.then_some(spl > 30.0),
                 power_shortfall_w: if pick % 4 == 0 { spl.abs() } else { 0.0 },

@@ -1,0 +1,82 @@
+//! Error type for the room-acoustics subsystem.
+
+use std::fmt;
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, RoomError>;
+
+/// Errors produced by the room models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoomError {
+    /// A geometric or material parameter was outside its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Description of the violation.
+        message: String,
+    },
+    /// An error bubbled up from the acoustics layer.
+    Acoustics(ivc_acoustics::AcousticsError),
+    /// An error bubbled up from the DSP layer.
+    Dsp(ivc_dsp::DspError),
+}
+
+impl fmt::Display for RoomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoomError::InvalidParameter { name, message } => {
+                write!(f, "invalid room parameter `{name}`: {message}")
+            }
+            RoomError::Acoustics(e) => write!(f, "acoustics error: {e}"),
+            RoomError::Dsp(e) => write!(f, "dsp error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RoomError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RoomError::Acoustics(e) => Some(e),
+            RoomError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ivc_acoustics::AcousticsError> for RoomError {
+    fn from(e: ivc_acoustics::AcousticsError) -> Self {
+        RoomError::Acoustics(e)
+    }
+}
+
+impl From<ivc_dsp::DspError> for RoomError {
+    fn from(e: ivc_dsp::DspError) -> Self {
+        RoomError::Dsp(e)
+    }
+}
+
+impl RoomError {
+    /// Helper to build an [`RoomError::InvalidParameter`].
+    pub fn invalid(name: &'static str, message: impl Into<String>) -> Self {
+        RoomError::InvalidParameter {
+            name,
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = RoomError::invalid("length_m", "must be positive");
+        assert!(e.to_string().contains("length_m"));
+        let e: RoomError = ivc_dsp::DspError::invalid_parameter("taps", "empty").into();
+        assert!(matches!(e, RoomError::Dsp(_)));
+        assert!(e.to_string().contains("taps"));
+        let e: RoomError = ivc_acoustics::AcousticsError::invalid("distance_m", "bad").into();
+        assert!(matches!(e, RoomError::Acoustics(_)));
+    }
+}

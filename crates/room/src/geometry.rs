@@ -1,0 +1,127 @@
+//! Minimal 3-D points and the 2-D segment-intersection test used by
+//! occlusion.
+
+/// A point in room coordinates (metres).  The room occupies
+/// `[0, L] × [0, W] × [0, H]` with `z` up.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point3 {
+    /// Along the room's length.
+    pub x: f64,
+    /// Across the room's width.
+    pub y: f64,
+    /// Height above the floor.
+    pub z: f64,
+}
+
+impl Point3 {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Point3 { x, y, z }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance_to(&self, other: &Point3) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+
+    /// The floor-plan projection `(x, y)`.
+    pub fn floor_plan(&self) -> (f64, f64) {
+        (self.x, self.y)
+    }
+}
+
+/// Sign of the turn `a → b → c` (positive = counter-clockwise).
+fn orientation(a: (f64, f64), b: (f64, f64), c: (f64, f64)) -> f64 {
+    (b.0 - a.0) * (c.1 - a.1) - (b.1 - a.1) * (c.0 - a.0)
+}
+
+fn within_bounding_box(p: (f64, f64), a: (f64, f64), b: (f64, f64)) -> bool {
+    p.0 >= a.0.min(b.0) && p.0 <= a.0.max(b.0) && p.1 >= a.1.min(b.1) && p.1 <= a.1.max(b.1)
+}
+
+/// `true` when the closed segments `a1–a2` and `b1–b2` intersect,
+/// including touching endpoints and collinear overlap (an acoustic path
+/// that grazes a wall edge is treated as occluded — the conservative
+/// choice for a shadow-zone model).
+pub fn segments_intersect(a1: (f64, f64), a2: (f64, f64), b1: (f64, f64), b2: (f64, f64)) -> bool {
+    let d1 = orientation(b1, b2, a1);
+    let d2 = orientation(b1, b2, a2);
+    let d3 = orientation(a1, a2, b1);
+    let d4 = orientation(a1, a2, b2);
+    if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+    {
+        return true;
+    }
+    (d1 == 0.0 && within_bounding_box(a1, b1, b2))
+        || (d2 == 0.0 && within_bounding_box(a2, b1, b2))
+        || (d3 == 0.0 && within_bounding_box(b1, a1, a2))
+        || (d4 == 0.0 && within_bounding_box(b2, a1, a2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_and_projection() {
+        let a = Point3::new(0.0, 0.0, 0.0);
+        let b = Point3::new(3.0, 4.0, 12.0);
+        assert!((a.distance_to(&b) - 13.0).abs() < 1e-12);
+        assert_eq!(b.floor_plan(), (3.0, 4.0));
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        assert!(segments_intersect(
+            (0.0, 0.0),
+            (2.0, 2.0),
+            (0.0, 2.0),
+            (2.0, 0.0)
+        ));
+        assert!(!segments_intersect(
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (0.0, 1.0),
+            (1.0, 1.0)
+        ));
+    }
+
+    #[test]
+    fn touching_and_collinear_cases_count_as_intersecting() {
+        // Endpoint on the other segment.
+        assert!(segments_intersect(
+            (0.0, 0.0),
+            (1.0, 1.0),
+            (1.0, 1.0),
+            (2.0, 0.0)
+        ));
+        // Collinear overlap.
+        assert!(segments_intersect(
+            (0.0, 0.0),
+            (2.0, 0.0),
+            (1.0, 0.0),
+            (3.0, 0.0)
+        ));
+        // Collinear but disjoint.
+        assert!(!segments_intersect(
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (2.0, 0.0),
+            (3.0, 0.0)
+        ));
+    }
+
+    #[test]
+    fn parallel_offset_segments_do_not_intersect() {
+        assert!(!segments_intersect(
+            (0.0, 0.0),
+            (5.0, 0.0),
+            (0.0, 0.1),
+            (5.0, 0.1)
+        ));
+    }
+}

@@ -1,0 +1,126 @@
+//! Line-segment occlusion: partitions drawn on the room's floor plan.
+//!
+//! An occluder is a vertical partition (a wall section, a closed door)
+//! represented by its floor-plan segment.  A propagation path is occluded
+//! when its straight source→receiver segment crosses the occluder's
+//! segment; every crossing multiplies the path's amplitude by the
+//! partition's frequency-dependent transmission coefficient.  Because
+//! transmission loss grows with frequency (mass law), a wall in the way
+//! attenuates a 40 kHz carrier by tens of dB more than it attenuates
+//! audible speech.
+//!
+//! Simplification: the crossing test uses the straight floor-plan segment
+//! of the *direct* path, and the resulting attenuation is applied to every
+//! tap of that path's impulse response (reflected paths through the same
+//! doorway share the doorway).  Diffraction around edges is not modelled —
+//! an un-occluded path through a doorway gap passes at full strength.
+
+use crate::geometry::{segments_intersect, Point3};
+use crate::material::{PartitionMaterial, NUM_ANCHORS};
+
+/// A vertical partition on the room's floor plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occluder {
+    /// Floor-plan start of the partition `(x, y)`, in metres.
+    pub start: (f64, f64),
+    /// Floor-plan end of the partition `(x, y)`, in metres.
+    pub end: (f64, f64),
+    /// What the partition is made of.
+    pub material: PartitionMaterial,
+}
+
+impl Occluder {
+    /// Creates an occluder.
+    pub fn new(start: (f64, f64), end: (f64, f64), material: PartitionMaterial) -> Self {
+        Occluder {
+            start,
+            end,
+            material,
+        }
+    }
+
+    /// `true` when the straight path `a → b` crosses this partition on the
+    /// floor plan.
+    pub fn blocks(&self, a: &Point3, b: &Point3) -> bool {
+        segments_intersect(a.floor_plan(), b.floor_plan(), self.start, self.end)
+    }
+}
+
+/// The occluders of `occluders` whose segments the path `a → b` crosses.
+pub fn crossed_occluders<'a>(
+    occluders: &'a [Occluder],
+    a: &Point3,
+    b: &Point3,
+) -> Vec<&'a Occluder> {
+    occluders.iter().filter(|o| o.blocks(a, b)).collect()
+}
+
+/// Combined amplitude transmission of a set of crossed partitions, per
+/// anchor frequency (the product of the individual coefficients — each
+/// crossed wall attenuates independently, so attenuation is monotone in
+/// the number of walls).
+pub fn occlusion_amplitude_at_anchors(crossed: &[&Occluder]) -> [f64; NUM_ANCHORS] {
+    let mut amplitude = [1.0; NUM_ANCHORS];
+    for occluder in crossed {
+        for (i, a) in amplitude.iter_mut().enumerate() {
+            *a *= occluder.material.transmission_amplitude_at_anchor(i);
+        }
+    }
+    amplitude
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wall(x: f64, y0: f64, y1: f64) -> Occluder {
+        Occluder::new((x, y0), (x, y1), PartitionMaterial::drywall_partition())
+    }
+
+    #[test]
+    fn doorway_gap_lets_the_path_through() {
+        // A wall at x = 2 with a doorway gap y ∈ (1.0, 1.9).
+        let occluders = vec![wall(2.0, 0.0, 1.0), wall(2.0, 1.9, 4.0)];
+        let source = Point3::new(1.0, 1.45, 1.2);
+        let through_door = Point3::new(5.0, 1.45, 1.2);
+        let behind_wall = Point3::new(5.0, 3.5, 1.2);
+        assert!(crossed_occluders(&occluders, &source, &through_door).is_empty());
+        assert_eq!(
+            crossed_occluders(&occluders, &source, &behind_wall).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn attenuation_is_monotone_in_wall_count() {
+        let walls = [
+            wall(2.0, 0.0, 4.0),
+            wall(3.0, 0.0, 4.0),
+            wall(4.0, 0.0, 4.0),
+        ];
+        let mut previous = [1.0; NUM_ANCHORS];
+        for count in 1..=3 {
+            let crossed: Vec<&Occluder> = walls[..count].iter().collect();
+            let amplitude = occlusion_amplitude_at_anchors(&crossed);
+            for i in 0..NUM_ANCHORS {
+                assert!(amplitude[i] < previous[i], "count {count}, anchor {i}");
+                assert!(amplitude[i] > 0.0);
+            }
+            previous = amplitude;
+        }
+    }
+
+    #[test]
+    fn ultrasound_is_attenuated_far_more_than_voice() {
+        let crossed = [wall(2.0, 0.0, 4.0)];
+        let refs: Vec<&Occluder> = crossed.iter().collect();
+        let amplitude = occlusion_amplitude_at_anchors(&refs);
+        // Anchor 3 = 1 kHz, anchor 9 = 32 kHz.
+        assert!(amplitude[9] < amplitude[3] / 10.0);
+    }
+
+    #[test]
+    fn no_occluders_is_the_identity() {
+        assert_eq!(occlusion_amplitude_at_anchors(&[]), [1.0; NUM_ANCHORS]);
+    }
+}

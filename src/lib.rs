@@ -13,6 +13,8 @@
 //! * [`attack`] — the single-speaker baseline and the long-range
 //!   multi-speaker ultrasonic injection.
 //! * [`defense`] — non-linearity-trace features, classifier, evaluation.
+//! * [`room`] — shoebox room acoustics: image-source reflections, RT60,
+//!   materials, line-segment occlusion, named room presets.
 //! * [`core`] — end-to-end scenarios, the trial pipeline and result tables.
 //! * [`experiments`] — the parallel campaign engine: parameter grids,
 //!   worker-pool execution, aggregate statistics, JSON report archival.
@@ -29,6 +31,7 @@ pub use ivc_core as core;
 pub use ivc_defense as defense;
 pub use ivc_dsp as dsp;
 pub use ivc_experiments as experiments;
+pub use ivc_room as room;
 pub use ivc_speech as speech;
 
 /// The most commonly used items across the workspace, in one import.
@@ -41,6 +44,7 @@ pub mod prelude {
     pub use ivc_experiments::{
         run_campaign, CampaignReport, CampaignSpec, DeliverySpec, EnvironmentPreset,
     };
+    pub use ivc_room::{propagate_in_room, RoomInstance, RoomPreset};
     pub use ivc_speech::prelude::*;
 
     // Every substrate prelude exports its own `Result` alias; pick the
@@ -61,5 +65,6 @@ mod tests {
         let _ = crate::defense::features::DefenseFeatures::DIMENSION;
         let _ = crate::core::Scenario::default_attack();
         let _ = crate::experiments::CampaignSpec::new("wired");
+        let _ = crate::room::RoomPreset::Office.room();
     }
 }

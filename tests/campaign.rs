@@ -2,6 +2,7 @@
 //! worker-count invariance of the archived bytes, and archive round-trips
 //! via the filesystem.
 
+use inaudible_voice_commands::experiments::presets;
 use inaudible_voice_commands::experiments::{
     run_campaign, CampaignReport, CampaignSpec, DeliverySpec,
 };
@@ -54,4 +55,34 @@ fn campaign_reports_are_worker_count_invariant_and_archive_losslessly() {
     std::fs::remove_file(&path).ok();
     assert_eq!(loaded, serial);
     assert_eq!(loaded.to_json_string(), serial_json);
+}
+
+#[test]
+fn rooms_campaign_is_worker_count_invariant() {
+    // The deterministic-output guarantee extends to the room axis: the
+    // `rooms` preset's archive bytes must not depend on scheduling.  The
+    // grid is the built-in preset with a trimmed distance axis and a
+    // shorter voice cap so the double run stays fast.
+    let spec = CampaignSpec {
+        distances_m: vec![1.0, 2.0],
+        max_voice_duration_s: 0.7,
+        ..presets::rooms(true)
+    };
+    let serial = run_campaign(&spec, 1).unwrap();
+    let parallel = run_campaign(&spec, 8).unwrap();
+    assert_eq!(
+        serial.to_json_string(),
+        parallel.to_json_string(),
+        "rooms archive bytes must not depend on the worker count"
+    );
+    // Every room appears in the archived cells, and the report records
+    // the room per cell.
+    assert_eq!(serial.cells.len(), spec.rooms.len() * 2);
+    for cell in &serial.cells {
+        assert!(cell.cell.room_index < spec.rooms.len());
+    }
+    let text = serial.to_json_string();
+    for token in ["anechoic", "office", "conference_room", "through_doorway"] {
+        assert!(text.contains(token), "archive missing room token {token}");
+    }
 }
