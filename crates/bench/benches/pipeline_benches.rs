@@ -1,9 +1,11 @@
 //! Criterion benches for the end-to-end trial pipeline (the unit of work
-//! behind every accuracy-vs-distance point in the reproduction).
+//! behind every accuracy-vs-distance point in the reproduction), including
+//! the staged-pipeline reuse criterion: a campaign cell's trials through
+//! one shared `PreparedCell` versus rebuilding everything per trial.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ivc_core::run_trial;
 use ivc_core::scenario::{Delivery, Scenario};
+use ivc_core::{run_trial, PrepareContext, PreparedCell};
 use ivc_speech::commands::corpus;
 use ivc_speech::recognizer::Recognizer;
 
@@ -36,8 +38,42 @@ fn bench_pipeline(c: &mut Criterion) {
     group.bench_function("trial_array_attack_8el_1s", |b| {
         b.iter(|| run_trial(command, &attack, &recognizer, None).unwrap())
     });
+
+    // The PreparedCell reuse criterion: a 4-trial campaign cell run by
+    // rebuilding the full pipeline per trial vs preparing once and
+    // perturbing/evaluating per seed.  The ratio of these two numbers is
+    // the campaign speed-up the staged refactor buys.
+    let seeds: Vec<u64> = (1..=4).collect();
+    group.bench_function("prepared_vs_rebuild/rebuild_4_trials", |b| {
+        b.iter(|| {
+            for &seed in &seeds {
+                run_trial(command, &attack.with_seed(seed), &recognizer, None).unwrap();
+            }
+        })
+    });
+    group.bench_function("prepared_vs_rebuild/prepared_4_trials", |b| {
+        b.iter(|| {
+            let ctx = PrepareContext::new().unwrap();
+            let prepared = PreparedCell::prepare(&ctx, command, &attack, &seeds).unwrap();
+            for &seed in &seeds {
+                prepared.run(seed, &recognizer, None).unwrap();
+            }
+        })
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
+fn bench_campaign(c: &mut Criterion) {
+    // Wall clock of a whole built-in campaign through the staged
+    // executor (quick a1: 3 cells x 1 trial on 4 workers).
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    let spec = ivc_experiments::presets::a1(true);
+    group.bench_function("a1_quick_4_workers", |b| {
+        b.iter(|| ivc_experiments::run_campaign(&spec, 4).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_campaign);
 criterion_main!(benches);

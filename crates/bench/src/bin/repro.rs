@@ -8,12 +8,12 @@
 //! cargo run --release -p ivc-bench --bin repro -- a2 d3      # a subset
 //! IVC_FULL=1 cargo run --release -p ivc-bench --bin repro -- all   # full-fidelity sweeps
 //!
-//! # Campaign presets (smoke, a1, a2, a3, a4, b3, defense, rooms) through
-//! # the engine:
+//! # Campaign presets (smoke, a1-a6, b1-b3, defense, rooms, d1-d6)
+//! # through the engine:
 //! cargo run --release -p ivc-bench --bin repro -- campaign smoke --workers 2
 //! cargo run --release -p ivc-bench --bin repro -- campaign rooms
 //!
-//! # Flags (apply to campaign-backed experiments a1-a4/b3/rooms too):
+//! # Flags (every experiment is campaign-backed and honours both):
 //! #   --workers N     worker threads (default: all cores)
 //! #   --archive DIR   write each campaign's JSON report into DIR
 //! ```
@@ -240,20 +240,56 @@ fn run_one(
             *archives_ok &= archive_all(std::slice::from_ref(&report), &options.archive);
             table.render()
         }
-        "a5" => tab_a5_range_per_device(fidelity)?.render(),
-        "a6" => fig_a6_carrier_frequency(fidelity)?.render(),
-        "b1" => tab_b1_range_vs_power(fidelity)?.render(),
-        "b2" => fig_b2_spectrogram_triplet(fidelity)?.render(),
+        "a5" => {
+            let (table, report) = tab_a5_range_per_device(fidelity, options.workers)?;
+            *archives_ok &= archive_all(std::slice::from_ref(&report), &options.archive);
+            table.render()
+        }
+        "a6" => {
+            let (table, report) = fig_a6_carrier_frequency(fidelity, options.workers)?;
+            *archives_ok &= archive_all(std::slice::from_ref(&report), &options.archive);
+            table.render()
+        }
+        "b1" => {
+            let (table, report) = tab_b1_range_vs_power(fidelity, options.workers)?;
+            *archives_ok &= archive_all(std::slice::from_ref(&report), &options.archive);
+            table.render()
+        }
+        "b2" => {
+            let (table, report) = fig_b2_spectrogram_triplet(fidelity, options.workers)?;
+            *archives_ok &= archive_all(std::slice::from_ref(&report), &options.archive);
+            table.render()
+        }
         "b3" => {
             let (table, reports) = tab_b3_success_rate(fidelity, options.workers)?;
             *archives_ok &= archive_all(&reports, &options.archive);
             table.render()
         }
-        "d1" | "d2" => fig_d1_d2_feature_separation(fidelity)?.render(),
-        "d3" => fig_d3_roc(fidelity)?.render(),
-        "d4" => tab_d4_detection_grid(fidelity)?.render(),
-        "d5" => fig_d5_noise_robustness(fidelity)?.render(),
-        "d6" => fig_d6_adaptive_attacker(fidelity)?.render(),
+        "d1" | "d2" => {
+            let (table, report) = fig_d1_d2_feature_separation(fidelity, options.workers)?;
+            *archives_ok &= archive_all(std::slice::from_ref(&report), &options.archive);
+            table.render()
+        }
+        "d3" => {
+            let (table, report) = fig_d3_roc(fidelity, options.workers)?;
+            *archives_ok &= archive_all(std::slice::from_ref(&report), &options.archive);
+            table.render()
+        }
+        "d4" => {
+            let (table, report) = tab_d4_detection_grid(fidelity, options.workers)?;
+            *archives_ok &= archive_all(std::slice::from_ref(&report), &options.archive);
+            table.render()
+        }
+        "d5" => {
+            let (table, reports) = fig_d5_noise_robustness(fidelity, options.workers)?;
+            *archives_ok &= archive_all(&reports, &options.archive);
+            table.render()
+        }
+        "d6" => {
+            let (table, report) = fig_d6_adaptive_attacker(fidelity, options.workers)?;
+            *archives_ok &= archive_all(std::slice::from_ref(&report), &options.archive);
+            table.render()
+        }
         other => format!("unknown experiment id: {other}\n"),
     })
 }

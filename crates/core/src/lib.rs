@@ -12,7 +12,12 @@
 //!
 //! * [`scenario`] — the description of one experimental setup (device,
 //!   distance, environment, ambient noise, how the command is delivered).
-//! * [`pipeline`] — runs a scenario end to end and reports whether the
+//! * [`stages`] — the staged trial pipeline (**Prepare → Perturb →
+//!   Evaluate**): the cell-invariant work is packaged once as an immutable
+//!   [`stages::PreparedCell`] and shared across all trials of a campaign
+//!   cell.
+//! * [`pipeline`] — the compose-all wrapper: [`pipeline::run_trial`] runs
+//!   the three stages for one `(scenario, seed)` and reports whether the
 //!   command was accepted, its word accuracy, the speaker-side leakage and
 //!   the defense verdict.
 //! * [`results`] — small table/series containers used by the reproduction
@@ -28,11 +33,13 @@ pub mod json;
 pub mod pipeline;
 pub mod results;
 pub mod scenario;
+pub mod stages;
 
 pub use json::JsonValue;
 pub use pipeline::{run_trial, TrialOutcome};
 pub use results::{Series, Table};
 pub use scenario::{Delivery, Scenario};
+pub use stages::{PrepareContext, PreparedCell};
 
 /// Convenience error alias: the pipeline surfaces whichever layer failed.
 pub type Error = Box<dyn std::error::Error + Send + Sync>;

@@ -1,24 +1,20 @@
 //! The end-to-end pipeline: one trial of one scenario.
+//!
+//! Since the staged refactor this module is a thin façade: the work lives
+//! in [`crate::stages`] (Prepare → Perturb → Evaluate), and [`run_trial`]
+//! composes the three stages for a single `(scenario, seed)`.  Campaigns
+//! bypass the wrapper and share one [`crate::stages::PreparedCell`] across
+//! all trials of a cell.
 
-use crate::scenario::{Delivery, Scenario};
+use crate::scenario::Scenario;
+use crate::stages::{PrepareContext, PreparedCell};
 use crate::Result;
-use ivc_acoustics::array::{ElementDrive, SpeakerArray};
-use ivc_acoustics::environment::AirEnvironment;
-use ivc_acoustics::noise::room_noise_pa;
-use ivc_acoustics::propagation::{propagate, propagate_from_aperture};
-use ivc_acoustics::speaker::UltrasonicSpeaker;
-use ivc_acoustics::spl::spl_db_to_pressure;
-use ivc_attack::baseband::BasebandConfig;
-use ivc_attack::leakage::{leakage_from_field, LeakageReport};
-use ivc_attack::multispeaker::{single_speaker_element_drives, MultiSpeakerAttack};
-use ivc_attack::single::SingleSpeakerAttack;
+use ivc_attack::leakage::LeakageReport;
 use ivc_defense::classifier::LogisticRegression;
 use ivc_defense::features::DefenseFeatures;
 use ivc_dsp::signal::Signal;
-use ivc_room::{propagate_in_room, RoomInstance};
 use ivc_speech::commands::VoiceCommand;
 use ivc_speech::recognizer::Recognizer;
-use ivc_speech::synthesis::{SpeakerProfile, Synthesizer};
 
 /// Everything measured in one trial.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,7 +46,8 @@ pub struct TrialOutcome {
     pub detection_probability: Option<f64>,
 }
 
-/// Runs one trial of `scenario` injecting (or speaking) `command`.
+/// Runs one trial of `scenario` injecting (or speaking) `command`:
+/// Prepare → Perturb → Evaluate composed for the scenario's own seed.
 ///
 /// `recognizer` must have the command corpus enrolled; `detector` is
 /// optional — when present, its probability output is included.
@@ -60,187 +57,15 @@ pub fn run_trial(
     recognizer: &Recognizer,
     detector: Option<&LogisticRegression>,
 ) -> Result<TrialOutcome> {
-    // 1. Render the voice command (the attacker's TTS voice, or the
-    //    legitimate talker's).
-    let synth = Synthesizer::new(48_000.0)?;
-    let profile = match scenario.delivery {
-        Delivery::Legitimate { .. } => SpeakerProfile::variant(scenario.seed as usize % 8),
-        _ => SpeakerProfile::canonical(),
-    };
-    let utterance = synth.render(command, &profile)?;
-    let voice = if utterance.signal.duration_s() > scenario.max_voice_duration_s {
-        utterance
-            .signal
-            .slice_seconds(0.0, scenario.max_voice_duration_s)
-    } else {
-        utterance.signal.clone()
-    };
-
-    // 2. Deliver it to the microphone port as a pressure waveform.  When
-    //    the scenario names a room, both the attack path to the target
-    //    microphone and the leak path to the bystander go through the
-    //    room's image-source model; otherwise the historical free-field
-    //    channel is used (the `Anechoic` preset reproduces it bit for
-    //    bit, pinned by a regression test below).
-    let room = match scenario.room {
-        None => None,
-        Some(preset) => {
-            Some(preset.instantiate(scenario.distance_m, scenario.bystander_distance_m)?)
-        }
-    };
-    let (mut pressure_at_port, leakage, power_shortfall_w) = match scenario.delivery {
-        Delivery::Legitimate { talker_spl_db } => {
-            let rms = voice.rms().max(1e-12);
-            let pressure_at_1m = voice.scaled(spl_db_to_pressure(talker_spl_db) / rms);
-            let at_port = propagate_to_target(&pressure_at_1m, 0.0, scenario, room.as_ref())?;
-            (at_port, None, 0.0)
-        }
-        Delivery::SingleSpeakerUltrasound {
-            power_w,
-            carrier_hz,
-        } => {
-            let attack =
-                SingleSpeakerAttack::build(&voice, carrier_hz, 0.9, &BasebandConfig::default())?;
-            let speaker = UltrasonicSpeaker::default();
-            let array = SpeakerArray::new(speaker.clone(), 1, 0.03)?;
-            let placed_w = power_w.min(speaker.max_power_w);
-            let drives = single_speaker_element_drives(&attack, placed_w)?;
-            let (at_port, leak) = deliver_attack(&array, &drives, scenario, room.as_ref())?;
-            (at_port, Some(leak), power_w - placed_w)
-        }
-        Delivery::ArrayUltrasound {
-            num_elements,
-            total_power_w,
-            carrier_hz,
-        } => {
-            let speaker = UltrasonicSpeaker::default();
-            let array = SpeakerArray::new(speaker.clone(), num_elements.max(1), 0.03)?;
-            let (drives, shortfall_w) = if num_elements <= 1 {
-                let attack = SingleSpeakerAttack::build(
-                    &voice,
-                    carrier_hz,
-                    0.9,
-                    &BasebandConfig::default(),
-                )?;
-                let placed_w = total_power_w.min(speaker.max_power_w);
-                (
-                    single_speaker_element_drives(&attack, placed_w)?,
-                    total_power_w - placed_w,
-                )
-            } else {
-                // `build_balanced` sizes the carrier element group against
-                // the budget, so big arrays keep their carrier-to-sideband
-                // balance instead of starving the carrier at one element's
-                // rating (the old E-A2 61-element anomaly).
-                let attack = MultiSpeakerAttack::build_balanced(
-                    &voice,
-                    carrier_hz,
-                    num_elements,
-                    total_power_w,
-                    0.3,
-                    speaker.max_power_w,
-                    &BasebandConfig::default(),
-                )?;
-                let allocation = attack.allocate_power(total_power_w, 0.3, speaker.max_power_w)?;
-                (allocation.drives, allocation.shortfall_w)
-            };
-            let (at_port, leak) = deliver_attack(&array, &drives, scenario, room.as_ref())?;
-            (at_port, Some(leak), shortfall_w)
-        }
-    };
-
-    // 3. Ambient noise and capture.
-    let noise = room_noise_pa(
-        scenario.ambient_noise_spl_db,
-        pressure_at_port.duration_s(),
-        pressure_at_port.sample_rate_hz(),
-        scenario.seed ^ 0xDEAD_BEEF,
-    )?;
-    pressure_at_port.mix(&noise)?;
-    let recording = scenario
-        .device
-        .microphone()
-        .capture(&pressure_at_port, scenario.seed)?;
-
-    // 4. Recognition and defense.  `evaluate` prepares and featurises the
-    // recording once and owns the acceptance rule, so the pipeline cannot
-    // drift from `Recognizer::command_accepted`.
-    let evaluation = recognizer.evaluate(&recording, command.id)?;
-    let word_accuracy = evaluation.word_accuracy;
-    let accepted = evaluation.accepted;
-    let recognized_words: Vec<String> = evaluation
-        .word_recognition
-        .into_iter()
-        .filter(|(_, ok)| *ok)
-        .map(|(word, _)| word)
-        .collect();
-    let defense_features = DefenseFeatures::extract(&recording)?;
-    let detection_probability = match detector {
-        Some(model) => Some(model.predict_probability(&defense_features.to_vector())?),
-        None => None,
-    };
-
-    Ok(TrialOutcome {
-        recording,
-        accepted,
-        word_accuracy,
-        recognized_words,
-        bystander_spl_db: leakage.as_ref().map(|leak| leak.audible_spl_db),
-        power_shortfall_w,
-        seed: scenario.seed,
-        leakage,
-        defense_features,
-        detection_probability,
-    })
-}
-
-/// Propagates a 1 m-referenced pressure waveform from a source of
-/// `aperture_m` to the target microphone: free field when the scenario has
-/// no room, through the room's image-source response otherwise.
-fn propagate_to_target(
-    source_at_1m: &Signal,
-    aperture_m: f64,
-    scenario: &Scenario,
-    room: Option<&RoomInstance>,
-) -> Result<Signal> {
-    match room {
-        None => Ok(propagate_from_aperture(
-            source_at_1m,
-            scenario.distance_m,
-            aperture_m,
-            &scenario.env,
-        )?),
-        Some(instance) => Ok(propagate_in_room(
-            source_at_1m,
-            &instance.target_rir(aperture_m)?,
-            &scenario.env,
-        )?),
-    }
-}
-
-/// Emits the drives once, then propagates to the target (aperture-aware,
-/// room-aware) and to the bystander (point source, room-aware) and
-/// analyses the leakage there.
-fn deliver_attack(
-    array: &SpeakerArray,
-    drives: &[ElementDrive],
-    scenario: &Scenario,
-    room: Option<&RoomInstance>,
-) -> Result<(Signal, LeakageReport)> {
-    let near = array.emitted_field_at_1m(drives)?;
-    let at_port = propagate_to_target(&near, array.aperture_m(), scenario, room)?;
-    let env: &AirEnvironment = &scenario.env;
-    let bystander_field = match room {
-        None => propagate(&near, scenario.bystander_distance_m, env)?,
-        Some(instance) => propagate_in_room(&near, &instance.bystander_rir()?, env)?,
-    };
-    let leak = leakage_from_field(&bystander_field, scenario.bystander_distance_m, 0.0)?;
-    Ok((at_port, leak))
+    let ctx = PrepareContext::new()?;
+    let prepared = PreparedCell::prepare(&ctx, command, scenario, &[scenario.seed])?;
+    prepared.run(scenario.seed, recognizer, detector)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::Delivery;
     use ivc_speech::commands::corpus;
 
     fn quick_scenario(delivery: Delivery) -> Scenario {

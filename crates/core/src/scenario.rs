@@ -82,6 +82,12 @@ pub struct Scenario {
     /// Optionally truncate the synthesised command to this many seconds to
     /// bound simulation cost (`f64::INFINITY` keeps the whole command).
     pub max_voice_duration_s: f64,
+    /// Adaptive-attacker shadow suppression in `[0, 1]`: the attack
+    /// baseband is pre-compensated against the detector's shadow feature
+    /// before modulation (`0.0`, the default, is the oblivious attacker
+    /// and leaves the waveform untouched; ignored for legitimate
+    /// deliveries).
+    pub shadow_suppression: f64,
 }
 
 impl Scenario {
@@ -102,6 +108,7 @@ impl Scenario {
             room: None,
             seed: 1,
             max_voice_duration_s: f64::INFINITY,
+            shadow_suppression: 0.0,
         }
     }
 

@@ -1,0 +1,509 @@
+//! The staged trial pipeline: **Prepare → Perturb → Evaluate**.
+//!
+//! A campaign runs N trials of one *cell* (a fixed scenario, varying only
+//! the trial seed).  Most of a trial's cost is invariant across those
+//! seeds: synthesis, attack construction and power allocation, the speaker
+//! array, the room's image-source response and the propagation to the
+//! device port and to the bystander.  This module factors the pipeline
+//! along that boundary:
+//!
+//! * **Prepare** ([`PreparedCell::prepare`]) — everything cell-invariant,
+//!   packaged as an immutable [`PreparedCell`]: the clean (noise-free)
+//!   pressure waveform at the device port per talker, the leakage report
+//!   and the power shortfall.  Prepared once per cell and shared by
+//!   reference across worker threads.
+//! * **Perturb** ([`PreparedCell::perturb`]) — the seed-dependent part:
+//!   ambient-noise draw, microphone capture and ADC.
+//! * **Evaluate** ([`PreparedCell::evaluate`]) — recognition, defense
+//!   feature extraction and the optional trained detector.
+//!
+//! [`crate::pipeline::run_trial`] survives as the compose-all wrapper; its
+//! outputs are bit-identical to the pre-staged monolith (pinned per
+//! delivery kind × room preset in `tests/staged_pipeline.rs`).
+//!
+//! Sharing contract: a `PreparedCell` is immutable after construction and
+//! holds no interior mutability, so `&PreparedCell` may be shared freely
+//! across threads; `perturb`/`evaluate` are pure functions of `(cell,
+//! seed)`, which is what keeps campaign archives byte-identical at any
+//! worker count.
+
+use crate::pipeline::TrialOutcome;
+use crate::scenario::{Delivery, Scenario};
+use crate::Result;
+use ivc_acoustics::array::{ElementDrive, SpeakerArray};
+use ivc_acoustics::environment::AirEnvironment;
+use ivc_acoustics::microphone::Microphone;
+use ivc_acoustics::noise::room_noise_pa;
+use ivc_acoustics::propagation::{propagate, propagate_from_aperture};
+use ivc_acoustics::speaker::UltrasonicSpeaker;
+use ivc_acoustics::spl::spl_db_to_pressure;
+use ivc_attack::baseband::BasebandConfig;
+use ivc_attack::leakage::{leakage_from_field, LeakageReport};
+use ivc_attack::multispeaker::{single_speaker_element_drives, MultiSpeakerAttack};
+use ivc_attack::single::SingleSpeakerAttack;
+use ivc_defense::classifier::LogisticRegression;
+use ivc_defense::countermeasures::precompensated_baseband;
+use ivc_defense::features::DefenseFeatures;
+use ivc_dsp::signal::Signal;
+use ivc_room::{propagate_in_room, RoomInstance};
+use ivc_speech::cache::{TalkerKey, UtteranceCache};
+use ivc_speech::commands::VoiceCommand;
+use ivc_speech::recognizer::Recognizer;
+use ivc_speech::synthesis::Synthesizer;
+
+/// Number of deterministic talker variants legitimate deliveries cycle
+/// through: trial seed `s` speaks with variant `s % 8`.
+pub const NUM_TALKER_VARIANTS: usize = 8;
+
+/// The talker variant a legitimate delivery uses at `seed` (the
+/// `seed % 8` semantics the defense dataset and campaigns rely on).
+pub fn talker_variant(seed: u64) -> usize {
+    seed as usize % NUM_TALKER_VARIANTS
+}
+
+/// Shared, cell-independent preparation state: the synthesiser, the
+/// baseband configuration and the utterance cache.
+///
+/// One context serves a whole campaign: utterances are rendered once per
+/// `(command, talker)` and shared across every cell that speaks them.
+#[derive(Debug)]
+pub struct PrepareContext {
+    synth: Synthesizer,
+    baseband: BasebandConfig,
+    utterances: UtteranceCache,
+}
+
+impl PrepareContext {
+    /// A fresh context with an empty utterance cache.
+    pub fn new() -> Result<Self> {
+        Ok(PrepareContext {
+            synth: Synthesizer::new(48_000.0)?,
+            baseband: BasebandConfig::default(),
+            utterances: UtteranceCache::new(),
+        })
+    }
+
+    /// Number of distinct `(command, talker)` utterances rendered so far.
+    pub fn cached_utterances(&self) -> usize {
+        self.utterances.len()
+    }
+
+    /// The (possibly truncated) voice waveform of `command` spoken by
+    /// `talker` — the cached render, clipped to the scenario's cap.
+    fn voice(&self, command: &VoiceCommand, talker: TalkerKey, cap_s: f64) -> Result<Signal> {
+        let utterance = self.utterances.rendered(&self.synth, command, talker)?;
+        Ok(if utterance.signal.duration_s() > cap_s {
+            utterance.signal.slice_seconds(0.0, cap_s)
+        } else {
+            utterance.signal.clone()
+        })
+    }
+}
+
+/// The clean (noise-free) pressure at the device port, per talker path.
+#[derive(Debug, Clone)]
+enum PreparedPaths {
+    /// Attack deliveries: the canonical TTS voice — one path.
+    Attack(Signal),
+    /// Legitimate deliveries: one path per prepared talker variant
+    /// (`(variant, clean pressure at port)`, sorted by variant).
+    Legitimate(Vec<(usize, Signal)>),
+}
+
+/// Stage 1 of the trial pipeline: everything invariant across the trials
+/// of one campaign cell, packaged immutably (see the module docs for the
+/// sharing contract).
+#[derive(Debug, Clone)]
+pub struct PreparedCell {
+    scenario: Scenario,
+    command: VoiceCommand,
+    microphone: Microphone,
+    paths: PreparedPaths,
+    /// Speaker-side leakage report (attack deliveries only).
+    pub leakage: Option<LeakageReport>,
+    /// Electrical budget the delivery could not place (see
+    /// [`TrialOutcome::power_shortfall_w`]).
+    pub power_shortfall_w: f64,
+}
+
+impl PreparedCell {
+    /// Runs the Prepare stage for one cell.
+    ///
+    /// `seeds` lists every trial seed the cell will run: legitimate
+    /// deliveries render one path per distinct `seed % 8` talker variant,
+    /// so the `seed`-selects-the-talker semantics are preserved exactly.
+    /// Attack deliveries always use the canonical TTS voice and prepare a
+    /// single path.  `scenario.seed` itself is *not* consulted — the seed
+    /// is a Perturb-stage input.
+    pub fn prepare(
+        ctx: &PrepareContext,
+        command: &VoiceCommand,
+        scenario: &Scenario,
+        seeds: &[u64],
+    ) -> Result<PreparedCell> {
+        if seeds.is_empty() {
+            return Err("PreparedCell::prepare needs at least one trial seed".into());
+        }
+        if !(0.0..=1.0).contains(&scenario.shadow_suppression) {
+            return Err("shadow_suppression must be within [0, 1]".into());
+        }
+        let room = match scenario.room {
+            None => None,
+            Some(preset) => {
+                Some(preset.instantiate(scenario.distance_m, scenario.bystander_distance_m)?)
+            }
+        };
+        let cap_s = scenario.max_voice_duration_s;
+        let (paths, leakage, power_shortfall_w) = match scenario.delivery {
+            Delivery::Legitimate { talker_spl_db } => {
+                let mut variants: Vec<usize> = seeds.iter().map(|&s| talker_variant(s)).collect();
+                variants.sort_unstable();
+                variants.dedup();
+                let mut prepared = Vec::with_capacity(variants.len());
+                for variant in variants {
+                    let voice = ctx.voice(command, TalkerKey::Variant(variant), cap_s)?;
+                    let rms = voice.rms().max(1e-12);
+                    let pressure_at_1m = voice.scaled(spl_db_to_pressure(talker_spl_db) / rms);
+                    let at_port =
+                        propagate_to_target(&pressure_at_1m, 0.0, scenario, room.as_ref())?;
+                    prepared.push((variant, at_port));
+                }
+                (PreparedPaths::Legitimate(prepared), None, 0.0)
+            }
+            Delivery::SingleSpeakerUltrasound {
+                power_w,
+                carrier_hz,
+            } => {
+                let voice = attack_voice(ctx, command, scenario, cap_s)?;
+                let attack = SingleSpeakerAttack::build(&voice, carrier_hz, 0.9, &ctx.baseband)?;
+                let speaker = UltrasonicSpeaker::default();
+                let array = SpeakerArray::new(speaker.clone(), 1, 0.03)?;
+                let placed_w = power_w.min(speaker.max_power_w);
+                let drives = single_speaker_element_drives(&attack, placed_w)?;
+                let (at_port, leak) = deliver_attack(&array, &drives, scenario, room.as_ref())?;
+                (
+                    PreparedPaths::Attack(at_port),
+                    Some(leak),
+                    power_w - placed_w,
+                )
+            }
+            Delivery::ArrayUltrasound {
+                num_elements,
+                total_power_w,
+                carrier_hz,
+            } => {
+                let voice = attack_voice(ctx, command, scenario, cap_s)?;
+                let speaker = UltrasonicSpeaker::default();
+                let array = SpeakerArray::new(speaker.clone(), num_elements.max(1), 0.03)?;
+                let (drives, shortfall_w) = if num_elements <= 1 {
+                    let attack =
+                        SingleSpeakerAttack::build(&voice, carrier_hz, 0.9, &ctx.baseband)?;
+                    let placed_w = total_power_w.min(speaker.max_power_w);
+                    (
+                        single_speaker_element_drives(&attack, placed_w)?,
+                        total_power_w - placed_w,
+                    )
+                } else {
+                    // `build_balanced` sizes the carrier element group
+                    // against the budget, so big arrays keep their
+                    // carrier-to-sideband balance instead of starving the
+                    // carrier at one element's rating (the old E-A2
+                    // 61-element anomaly).
+                    let attack = MultiSpeakerAttack::build_balanced(
+                        &voice,
+                        carrier_hz,
+                        num_elements,
+                        total_power_w,
+                        0.3,
+                        speaker.max_power_w,
+                        &ctx.baseband,
+                    )?;
+                    let allocation =
+                        attack.allocate_power(total_power_w, 0.3, speaker.max_power_w)?;
+                    (allocation.drives, allocation.shortfall_w)
+                };
+                let (at_port, leak) = deliver_attack(&array, &drives, scenario, room.as_ref())?;
+                (PreparedPaths::Attack(at_port), Some(leak), shortfall_w)
+            }
+        };
+        Ok(PreparedCell {
+            scenario: scenario.clone(),
+            command: command.clone(),
+            microphone: scenario.device.microphone(),
+            paths,
+            leakage,
+            power_shortfall_w,
+        })
+    }
+
+    /// The scenario this cell was prepared for (its `seed` field is the
+    /// template's and carries no per-trial meaning).
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The command this cell injects (or speaks).
+    pub fn command(&self) -> &VoiceCommand {
+        &self.command
+    }
+
+    /// Stage 2: the seed-dependent perturbation — ambient-noise draw,
+    /// microphone capture and ADC — returning the digital recording the
+    /// device's software receives for trial `seed`.
+    pub fn perturb(&self, seed: u64) -> Result<Signal> {
+        let clean = match &self.paths {
+            PreparedPaths::Attack(at_port) => at_port,
+            PreparedPaths::Legitimate(variants) => {
+                let wanted = talker_variant(seed);
+                &variants
+                    .iter()
+                    .find(|(variant, _)| *variant == wanted)
+                    .ok_or_else(|| {
+                        format!(
+                            "talker variant {wanted} (seed {seed}) was not prepared; \
+                             pass every trial seed to PreparedCell::prepare"
+                        )
+                    })?
+                    .1
+            }
+        };
+        let mut pressure_at_port = clean.clone();
+        let noise = room_noise_pa(
+            self.scenario.ambient_noise_spl_db,
+            pressure_at_port.duration_s(),
+            pressure_at_port.sample_rate_hz(),
+            seed ^ 0xDEAD_BEEF,
+        )?;
+        pressure_at_port.mix(&noise)?;
+        Ok(self.microphone.capture(&pressure_at_port, seed)?)
+    }
+
+    /// Stage 3: recognition, defense features and the optional trained
+    /// detector, assembled into the trial's outcome.
+    ///
+    /// `recognizer` must have the command corpus enrolled; `seed` is
+    /// echoed into [`TrialOutcome::seed`] so archives stay self-contained.
+    pub fn evaluate(
+        &self,
+        recording: Signal,
+        seed: u64,
+        recognizer: &Recognizer,
+        detector: Option<&LogisticRegression>,
+    ) -> Result<TrialOutcome> {
+        let evaluation = recognizer.evaluate(&recording, self.command.id)?;
+        let word_accuracy = evaluation.word_accuracy;
+        let accepted = evaluation.accepted;
+        let recognized_words: Vec<String> = evaluation
+            .word_recognition
+            .into_iter()
+            .filter(|(_, ok)| *ok)
+            .map(|(word, _)| word)
+            .collect();
+        let defense_features = DefenseFeatures::extract(&recording)?;
+        let detection_probability = match detector {
+            Some(model) => Some(model.predict_probability(&defense_features.to_vector())?),
+            None => None,
+        };
+        Ok(TrialOutcome {
+            recording,
+            accepted,
+            word_accuracy,
+            recognized_words,
+            bystander_spl_db: self.leakage.as_ref().map(|leak| leak.audible_spl_db),
+            power_shortfall_w: self.power_shortfall_w,
+            seed,
+            leakage: self.leakage.clone(),
+            defense_features,
+            detection_probability,
+        })
+    }
+
+    /// Perturb + Evaluate for one trial seed — the shape campaign workers
+    /// run after preparing (or being handed) the cell.
+    pub fn run(
+        &self,
+        seed: u64,
+        recognizer: &Recognizer,
+        detector: Option<&LogisticRegression>,
+    ) -> Result<TrialOutcome> {
+        let recording = self.perturb(seed)?;
+        self.evaluate(recording, seed, recognizer, detector)
+    }
+}
+
+/// The attacker's baseband voice: the canonical TTS render, truncated,
+/// with the adaptive attacker's shadow pre-compensation applied when the
+/// scenario asks for it.
+fn attack_voice(
+    ctx: &PrepareContext,
+    command: &VoiceCommand,
+    scenario: &Scenario,
+    cap_s: f64,
+) -> Result<Signal> {
+    let voice = ctx.voice(command, TalkerKey::Canonical, cap_s)?;
+    if scenario.shadow_suppression > 0.0 {
+        Ok(precompensated_baseband(
+            &voice,
+            scenario.shadow_suppression,
+        )?)
+    } else {
+        Ok(voice)
+    }
+}
+
+/// Propagates a 1 m-referenced pressure waveform from a source of
+/// `aperture_m` to the target microphone: free field when the scenario has
+/// no room, through the room's image-source response otherwise.
+fn propagate_to_target(
+    source_at_1m: &Signal,
+    aperture_m: f64,
+    scenario: &Scenario,
+    room: Option<&RoomInstance>,
+) -> Result<Signal> {
+    match room {
+        None => Ok(propagate_from_aperture(
+            source_at_1m,
+            scenario.distance_m,
+            aperture_m,
+            &scenario.env,
+        )?),
+        Some(instance) => Ok(propagate_in_room(
+            source_at_1m,
+            &instance.target_rir(aperture_m)?,
+            &scenario.env,
+        )?),
+    }
+}
+
+/// Emits the drives once, then propagates to the target (aperture-aware,
+/// room-aware) and to the bystander (point source, room-aware) and
+/// analyses the leakage there.
+fn deliver_attack(
+    array: &SpeakerArray,
+    drives: &[ElementDrive],
+    scenario: &Scenario,
+    room: Option<&RoomInstance>,
+) -> Result<(Signal, LeakageReport)> {
+    let near = array.emitted_field_at_1m(drives)?;
+    let at_port = propagate_to_target(&near, array.aperture_m(), scenario, room)?;
+    let env: &AirEnvironment = &scenario.env;
+    let bystander_field = match room {
+        None => propagate(&near, scenario.bystander_distance_m, env)?,
+        Some(instance) => propagate_in_room(&near, &instance.bystander_rir()?, env)?,
+    };
+    let leak = leakage_from_field(&bystander_field, scenario.bystander_distance_m, 0.0)?;
+    Ok((at_port, leak))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivc_speech::commands::corpus;
+
+    fn quick_scenario(delivery: Delivery) -> Scenario {
+        Scenario {
+            delivery,
+            max_voice_duration_s: 0.8,
+            ..Scenario::default_attack()
+        }
+    }
+
+    #[test]
+    fn prepared_cell_is_reusable_and_matches_the_composed_wrapper() {
+        let recognizer = Recognizer::with_default_corpus().unwrap();
+        let command = &corpus()[0];
+        let scenario = quick_scenario(Delivery::ArrayUltrasound {
+            num_elements: 6,
+            total_power_w: 60.0,
+            carrier_hz: 40_000.0,
+        });
+        let ctx = PrepareContext::new().unwrap();
+        let prepared = PreparedCell::prepare(&ctx, command, &scenario, &[1, 2]).unwrap();
+        // The same prepared cell serves multiple seeds; each equals the
+        // one-shot wrapper for that seed, bit for bit.
+        for seed in [1u64, 2] {
+            let staged = prepared.run(seed, &recognizer, None).unwrap();
+            let monolithic =
+                crate::pipeline::run_trial(command, &scenario.with_seed(seed), &recognizer, None)
+                    .unwrap();
+            assert_eq!(staged, monolithic);
+            assert_eq!(staged.seed, seed);
+        }
+        // Different seeds draw different noise: recordings differ.
+        let a = prepared.perturb(1).unwrap();
+        let b = prepared.perturb(2).unwrap();
+        assert_ne!(a.samples(), b.samples());
+    }
+
+    #[test]
+    fn legitimate_variants_follow_the_seed_modulo_contract() {
+        let recognizer = Recognizer::with_default_corpus().unwrap();
+        let command = &corpus()[0];
+        let scenario = quick_scenario(Delivery::Legitimate {
+            talker_spl_db: 68.0,
+        });
+        let ctx = PrepareContext::new().unwrap();
+        // Seeds 3 and 11 share variant 3: one rendered path serves both.
+        let prepared = PreparedCell::prepare(&ctx, command, &scenario, &[3, 11]).unwrap();
+        let a = prepared.run(3, &recognizer, None).unwrap();
+        let b = prepared
+            .run(3 + NUM_TALKER_VARIANTS as u64, &recognizer, None)
+            .unwrap();
+        // Same talker, different noise draw.
+        assert_eq!(a.seed, 3);
+        assert_ne!(a.recording.samples(), b.recording.samples());
+        // A seed whose variant was not prepared is a loud error, not a
+        // silent wrong-talker trial.
+        assert!(prepared.perturb(4).is_err());
+        // The utterance cache rendered exactly one (command, variant).
+        assert_eq!(ctx.cached_utterances(), 1);
+    }
+
+    #[test]
+    fn prepare_rejects_bad_inputs() {
+        let command = &corpus()[0];
+        let ctx = PrepareContext::new().unwrap();
+        let scenario = quick_scenario(Delivery::Legitimate {
+            talker_spl_db: 68.0,
+        });
+        assert!(PreparedCell::prepare(&ctx, command, &scenario, &[]).is_err());
+        let bad = Scenario {
+            shadow_suppression: 1.5,
+            ..quick_scenario(Delivery::SingleSpeakerUltrasound {
+                power_w: 10.0,
+                carrier_hz: 40_000.0,
+            })
+        };
+        assert!(PreparedCell::prepare(&ctx, command, &bad, &[1]).is_err());
+    }
+
+    #[test]
+    fn shadow_suppression_changes_the_attack_but_not_the_legit_path() {
+        let recognizer = Recognizer::with_default_corpus().unwrap();
+        let command = &corpus()[0];
+        let ctx = PrepareContext::new().unwrap();
+        let oblivious = quick_scenario(Delivery::ArrayUltrasound {
+            num_elements: 6,
+            total_power_w: 60.0,
+            carrier_hz: 40_000.0,
+        });
+        let adaptive = Scenario {
+            shadow_suppression: 1.0,
+            ..oblivious.clone()
+        };
+        let plain = PreparedCell::prepare(&ctx, command, &oblivious, &[1])
+            .unwrap()
+            .run(1, &recognizer, None)
+            .unwrap();
+        let suppressed = PreparedCell::prepare(&ctx, command, &adaptive, &[1])
+            .unwrap()
+            .run(1, &recognizer, None)
+            .unwrap();
+        assert_ne!(plain.recording.samples(), suppressed.recording.samples());
+        // Suppression shrinks the shadow feature the detector keys on.
+        assert!(
+            suppressed.defense_features.shadow_correlation
+                < plain.defense_features.shadow_correlation
+        );
+    }
+}

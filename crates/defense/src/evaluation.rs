@@ -70,6 +70,18 @@ impl ConfusionMatrix {
             (false, true) => self.false_negatives += 1,
         }
     }
+
+    /// Builds a confusion matrix from `(score, is_attack)` pairs at the
+    /// given decision threshold (scores at or above it are flagged as
+    /// attacks) — the archived-probability flavour of [`evaluate`], used
+    /// by campaign-backed detection tables.
+    pub fn from_scores(scored: &[(f64, bool)], threshold: f64) -> ConfusionMatrix {
+        let mut matrix = ConfusionMatrix::default();
+        for &(score, is_attack) in scored {
+            matrix.record(score >= threshold, is_attack);
+        }
+        matrix
+    }
 }
 
 /// Evaluates a trained model on labelled feature samples at threshold 0.5.
@@ -245,6 +257,20 @@ mod tests {
         assert!((m.true_positive_rate() - 2.0 / 3.0).abs() < 1e-12);
         assert!((m.false_positive_rate() - 0.5).abs() < 1e-12);
         assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_scores_thresholds_like_record() {
+        let scored = [(0.9, true), (0.5, true), (0.4, true), (0.2, false)];
+        let m = ConfusionMatrix::from_scores(&scored, 0.5);
+        assert_eq!(m.true_positives, 2);
+        assert_eq!(m.false_negatives, 1);
+        assert_eq!(m.true_negatives, 1);
+        assert_eq!(m.false_positives, 0);
+        // The boundary score counts as flagged.
+        let strict = ConfusionMatrix::from_scores(&scored, 0.91);
+        assert_eq!(strict.true_positives, 0);
+        assert_eq!(strict.false_negatives, 3);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! and success-vs-distance psychometric curves.
 
 use crate::executor::TrialRecord;
-use crate::grid::{CampaignSpec, CellSpec};
+use crate::grid::{CampaignSpec, CellCoords, CellSpec};
 
 /// Aggregates of one grid cell's trials.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +31,9 @@ pub struct CellStats {
     pub leak_audible_fraction: Option<f64>,
     /// Mean electrical budget the delivery could not place, in watt.
     pub mean_power_shortfall_w: f64,
+    /// Mean attack probability of the cell's trained detector (`None`
+    /// when the cell's detector-axis entry is `None`).
+    pub mean_detection_probability: Option<f64>,
 }
 
 /// One cell of a finished campaign: its grid coordinates, aggregate
@@ -54,16 +57,9 @@ pub struct CellReport {
 pub struct PsychometricCurve {
     /// Curve label (the delivery label, or the full axis combination).
     pub label: String,
-    /// Device-axis index of every point.
-    pub device_index: usize,
-    /// Delivery-axis index of every point.
-    pub delivery_index: usize,
-    /// Room-axis index of every point.
-    pub room_index: usize,
-    /// Environment-axis index of every point.
-    pub environment_index: usize,
-    /// Command-axis position of every point.
-    pub command_position: usize,
+    /// Axis coordinates shared by every point of the curve (its
+    /// `distance_index` is 0: the curve spans the whole distance axis).
+    pub coords: CellCoords,
     /// Distances of the points, in metres (the spec's distance axis).
     pub distances_m: Vec<f64>,
     /// Success rate at each distance.
@@ -173,6 +169,9 @@ pub fn aggregate_cells(
                         .map(|t| t.leak_audible.map(|a| if a { 1.0 } else { 0.0 })),
                 ),
                 mean_power_shortfall_w: mean(&shortfalls),
+                mean_detection_probability: mean_of_present(
+                    trials.iter().map(|t| t.detection_probability),
+                ),
             };
             CellReport {
                 cell: *cell,
@@ -195,11 +194,10 @@ pub fn psychometric_curves(spec: &CampaignSpec, cells: &[CellReport]) -> Vec<Psy
             let first = &chunk[0].cell;
             PsychometricCurve {
                 label: spec.curve_label(first),
-                device_index: first.device_index,
-                delivery_index: first.delivery_index,
-                room_index: first.room_index,
-                environment_index: first.environment_index,
-                command_position: first.command_position,
+                coords: CellCoords {
+                    distance_index: 0,
+                    ..first.coords
+                },
                 distances_m: spec.distances_m.clone(),
                 success_rates: chunk.iter().map(|c| c.stats.success_rate).collect(),
                 ci_low: chunk.iter().map(|c| c.stats.success_ci_low).collect(),
@@ -228,6 +226,9 @@ mod tests {
             bystander_voice_spl_db: Some(20.0),
             leak_audible: Some(cell_index % 2 == 0),
             power_shortfall_w: 0.0,
+            defense_features: vec![0.5; 4],
+            detection_probability: Some(0.1 * (1 + cell_index) as f64),
+            recording_band_summary_db: None,
         }
     }
 
@@ -275,7 +276,7 @@ mod tests {
                     cell.cell_index,
                     trial,
                     accepted,
-                    1.0 - 0.2 * cell.distance_index as f64,
+                    1.0 - 0.2 * cell.coords.distance_index as f64,
                 ));
             }
         }
@@ -290,6 +291,8 @@ mod tests {
         assert_eq!(reports[2].stats.mean_word_accuracy, 1.0);
         assert_eq!(reports[0].stats.leak_audible_fraction, Some(1.0));
         assert_eq!(reports[1].stats.leak_audible_fraction, Some(0.0));
+        // Detection probabilities aggregate like the other optional means.
+        assert_eq!(reports[0].stats.mean_detection_probability, Some(0.1));
 
         let curves = psychometric_curves(&spec, &reports);
         assert_eq!(curves.len(), 2);

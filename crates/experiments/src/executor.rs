@@ -2,26 +2,44 @@
 //! that fans the expanded grid's trials out and collects records in job
 //! order.
 //!
+//! Since the staged-pipeline refactor the pool runs the **Prepare →
+//! Perturb → Evaluate** stages explicitly: the first worker to reach a
+//! cell runs the Prepare stage once ([`ivc_core::PreparedCell`]) and every
+//! trial of that cell shares the immutable result by reference; when a
+//! cell's last trial finishes, its prepared state is dropped, so peak
+//! memory is bounded by the number of in-flight cells, not the grid size.
+//! Detector-axis entries are likewise trained once and shared.
+//!
 //! Determinism contract: the same spec produces the **byte-identical**
-//! archived report at any worker count.  Three design choices make that
+//! archived report at any worker count.  Four design choices make that
 //! hold:
 //!
 //! 1. every trial's seed is a pure function of the spec
 //!    ([`crate::grid::CampaignSpec::trial_seed`]) — never of scheduling;
-//! 2. workers pull job indices from a shared counter but write results
-//!    into the job's own slot, so collection order is job order, not
-//!    completion order; and
-//! 3. the pipeline itself is single-threaded and deterministic per trial.
+//! 2. workers pull job indices from a shared counter (handed out in a
+//!    banded order that spreads concurrent workers across distinct
+//!    cells) but write results into the trial's own cell-major
+//!    `(cell, trial)` slot, so collection order is fixed by the spec,
+//!    never by scheduling or the hand-out order;
+//! 3. a `PreparedCell` is immutable and `perturb`/`evaluate` are pure
+//!    functions of `(cell, seed)`, so sharing prepared state cannot leak
+//!    scheduling into results; and
+//! 4. detector training is a pure function of the detector spec.
 
 use crate::aggregate::{aggregate_cells, psychometric_curves};
 use crate::error::{ExperimentError, Result};
-use crate::grid::CampaignSpec;
+use crate::grid::{BandSummarySpec, CampaignSpec, DetectorSpec};
 use crate::report::CampaignReport;
-use ivc_core::run_trial;
-use ivc_speech::commands::{corpus, VoiceCommand};
+use ivc_core::{PrepareContext, PreparedCell};
+use ivc_defense::classifier::{LogisticRegression, TrainingConfig};
+use ivc_defense::dataset::Dataset;
+use ivc_dsp::signal::Signal;
+use ivc_dsp::stft::{spectrogram, StftConfig};
+use ivc_speech::commands::corpus;
 use ivc_speech::recognizer::Recognizer;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// What one trial contributed to its cell — the archived unit of raw data.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +67,15 @@ pub struct TrialRecord {
     /// Electrical budget the delivery could not place (see
     /// [`ivc_core::TrialOutcome::power_shortfall_w`]).
     pub power_shortfall_w: f64,
+    /// The defense feature vector of the recording (one value per
+    /// [`ivc_defense::features::DefenseFeatures`] dimension).
+    pub defense_features: Vec<f64>,
+    /// The cell's trained detector's attack probability for this
+    /// recording (`None` when the cell's detector-axis entry is `None`).
+    pub detection_probability: Option<f64>,
+    /// Band-energy summary of the recording in dB, when the spec's
+    /// [`CampaignSpec::recording_band_summary`] asks for one.
+    pub recording_band_summary_db: Option<Vec<f64>>,
 }
 
 /// A sensible default worker count: the machine's parallelism.
@@ -56,6 +83,59 @@ pub fn default_workers() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// A prepared cell shared by its trials, or the error its Prepare stage
+/// produced (reported identically by every trial of the cell).
+type SharedPrepared = std::result::Result<Arc<PreparedCell>, String>;
+
+/// Per-cell Prepare-stage state: the shared context plus the number of
+/// trials still to run.  When `remaining` hits zero the prepared state is
+/// dropped, bounding peak memory to the in-flight cells.
+struct CellSlot {
+    prepared: Option<SharedPrepared>,
+    remaining: usize,
+}
+
+/// A trained detector shared by its axis entry's cells (`Ok(None)` when
+/// the entry is `None`).
+type SharedDetector = std::result::Result<Option<Arc<LogisticRegression>>, String>;
+
+/// Trains the logistic-regression detector a detector-axis entry stands
+/// for.  Pure: the same spec always yields the same weights.
+pub fn train_detector_model(spec: &DetectorSpec) -> Result<LogisticRegression> {
+    let dataset = Dataset::generate(&spec.dataset_config())
+        .map_err(|e| ExperimentError::Setup(format!("detector corpus: {e}")))?;
+    let samples = dataset
+        .to_feature_samples()
+        .map_err(|e| ExperimentError::Setup(format!("detector features: {e}")))?;
+    LogisticRegression::train(&samples, &TrainingConfig::default())
+        .map_err(|e| ExperimentError::Setup(format!("detector training: {e}")))
+}
+
+/// Process-wide memo of trained detectors, keyed by the full spec.
+///
+/// Training is a pure function of the [`DetectorSpec`], so a model can be
+/// shared across campaigns: `repro all` runs d1/d3/d4/every d5 level/d6
+/// against the byte-identical "standard detector" and trains it exactly
+/// once per process instead of once per campaign.
+static DETECTOR_MEMO: std::sync::OnceLock<Mutex<HashMap<String, Arc<LogisticRegression>>>> =
+    std::sync::OnceLock::new();
+
+fn cached_detector_model(spec: &DetectorSpec) -> Result<Arc<LogisticRegression>> {
+    // `Debug` covers every field deterministically, so it is a sound
+    // memo key for a pure training function.
+    let key = format!("{spec:?}");
+    let memo = DETECTOR_MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = memo.lock().expect("detector memo poisoned").get(&key) {
+        return Ok(Arc::clone(hit));
+    }
+    // Train outside the lock: concurrent misses on different specs should
+    // not serialise; a duplicate train on the same spec keeps the first
+    // insertion (training is pure, so both are identical).
+    let model = Arc::new(train_detector_model(spec)?);
+    let mut entries = memo.lock().expect("detector memo poisoned");
+    Ok(Arc::clone(entries.entry(key).or_insert(model)))
 }
 
 /// Runs every trial of `spec` on a pool of `workers` threads and returns
@@ -72,10 +152,62 @@ pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> Result<CampaignRepor
     let trials_per_cell = spec.trials_per_cell;
     let num_jobs = spec.num_trials();
     let workers = workers.clamp(1, num_jobs);
+    // Every cell runs the same trial seeds (common random numbers), so the
+    // Prepare stage knows up front which talker variants it must render.
+    let trial_seeds: Vec<u64> = (0..trials_per_cell).map(|t| spec.trial_seed(t)).collect();
+    let ctx = PrepareContext::new()
+        .map_err(|e| ExperimentError::Setup(format!("prepare context: {e}")))?;
+
+    // Jobs are handed out in *banded* order: cells are grouped into bands
+    // of `workers`, and within a band the trial index varies slowest —
+    // so the first `workers` jobs hit `workers` *distinct* cells and
+    // every worker runs a Prepare stage concurrently instead of blocking
+    // on the same cell's slot.  Bands keep the memory bound: at most
+    // ~two bands of cells hold prepared state at once.  Results land in
+    // cell-major slots, so the job hand-out order never reaches the
+    // archive.
+    let mut job_order: Vec<(usize, usize)> = Vec::with_capacity(num_jobs);
+    for band_start in (0..cells.len()).step_by(workers.max(1)) {
+        let band_end = (band_start + workers).min(cells.len());
+        for trial in 0..trials_per_cell {
+            for cell in band_start..band_end {
+                job_order.push((cell, trial));
+            }
+        }
+    }
+    debug_assert_eq!(job_order.len(), num_jobs);
 
     let next_job = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<std::result::Result<TrialRecord, String>>>> =
         Mutex::new((0..num_jobs).map(|_| None).collect());
+    let cell_slots: Vec<Mutex<CellSlot>> = (0..cells.len())
+        .map(|_| {
+            Mutex::new(CellSlot {
+                prepared: None,
+                remaining: trials_per_cell,
+            })
+        })
+        .collect();
+    // Train the detector axis up front (entries in parallel, each memoised
+    // process-wide), so workers never block each other on a training run.
+    let detectors: Vec<SharedDetector> = std::thread::scope(|scope| {
+        let handles: Vec<_> = spec
+            .detectors
+            .iter()
+            .map(|entry| {
+                scope.spawn(move || match entry {
+                    None => Ok(None),
+                    Some(detector_spec) => cached_detector_model(detector_spec)
+                        .map(Some)
+                        .map_err(|e| e.to_string()),
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("detector trainer panicked"))
+            .collect()
+    });
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -84,15 +216,54 @@ pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> Result<CampaignRepor
                 if job >= num_jobs {
                     break;
                 }
-                let cell = &cells[job / trials_per_cell];
-                let trial_index = job % trials_per_cell;
-                let result = run_one_trial(spec, cell, trial_index, &commands, &recognizer);
-                slots.lock().expect("result mutex poisoned")[job] = Some(result);
+                let (cell_index, trial_index) = job_order[job];
+                let cell = &cells[cell_index];
+
+                let detector = detectors[cell.coords.detector_index].clone();
+
+                // Prepare: the first trial of a cell runs the stage, the
+                // rest share the immutable result.
+                let prepared = {
+                    let mut slot = cell_slots[cell.cell_index]
+                        .lock()
+                        .expect("cell slot poisoned");
+                    slot.prepared
+                        .get_or_insert_with(|| {
+                            let scenario = spec.scenario(cell, 0);
+                            let command = &commands[spec.command_index(cell)];
+                            PreparedCell::prepare(&ctx, command, &scenario, &trial_seeds)
+                                .map(Arc::new)
+                                .map_err(|e| e.to_string())
+                        })
+                        .clone()
+                };
+
+                let result = run_one_trial(
+                    spec,
+                    cell.cell_index,
+                    trial_index,
+                    prepared,
+                    detector,
+                    &recognizer,
+                );
+                slots.lock().expect("result mutex poisoned")
+                    [cell_index * trials_per_cell + trial_index] = Some(result);
+
+                // Perturb/Evaluate done: drop the prepared state with the
+                // cell's last trial.
+                let mut slot = cell_slots[cell.cell_index]
+                    .lock()
+                    .expect("cell slot poisoned");
+                slot.remaining -= 1;
+                if slot.remaining == 0 {
+                    slot.prepared = None;
+                }
             });
         }
     });
 
-    // Collect in job order so the first failure reported is deterministic.
+    // Collect in cell-major slot order so both the record order and the
+    // first failure reported are deterministic.
     let mut records = Vec::with_capacity(num_jobs);
     for (job, slot) in slots
         .into_inner()
@@ -121,18 +292,40 @@ pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> Result<CampaignRepor
     })
 }
 
+/// Band-energy summary of a recording (the archived E-B2 column).
+fn band_summary(
+    recording: &Signal,
+    spec: &BandSummarySpec,
+) -> std::result::Result<Vec<f64>, String> {
+    let sg = spectrogram(
+        recording.samples(),
+        recording.sample_rate_hz(),
+        &StftConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(sg.band_summary_db(spec.max_hz, spec.bands))
+}
+
 fn run_one_trial(
     spec: &CampaignSpec,
-    cell: &crate::grid::CellSpec,
+    cell_index: usize,
     trial_index: usize,
-    commands: &[VoiceCommand],
+    prepared: SharedPrepared,
+    detector: SharedDetector,
     recognizer: &Recognizer,
 ) -> std::result::Result<TrialRecord, String> {
-    let scenario = spec.scenario(cell, trial_index);
-    let command = &commands[spec.command_index(cell)];
-    let outcome = run_trial(command, &scenario, recognizer, None).map_err(|e| e.to_string())?;
+    let prepared = prepared?;
+    let detector = detector?;
+    let seed = spec.trial_seed(trial_index);
+    let outcome = prepared
+        .run(seed, recognizer, detector.as_deref())
+        .map_err(|e| e.to_string())?;
+    let recording_band_summary_db = match &spec.recording_band_summary {
+        None => None,
+        Some(band_spec) => Some(band_summary(&outcome.recording, band_spec)?),
+    };
     Ok(TrialRecord {
-        cell_index: cell.cell_index,
+        cell_index,
         trial_index,
         seed: outcome.seed,
         accepted: outcome.accepted,
@@ -143,6 +336,9 @@ fn run_one_trial(
         bystander_voice_spl_db: outcome.leakage.as_ref().map(|l| l.voice_band_spl_db),
         leak_audible: outcome.leakage.as_ref().map(|l| l.is_audible()),
         power_shortfall_w: outcome.power_shortfall_w,
+        defense_features: outcome.defense_features.to_vector(),
+        detection_probability: outcome.detection_probability,
+        recording_band_summary_db,
     })
 }
 
@@ -150,6 +346,7 @@ fn run_one_trial(
 mod tests {
     use super::*;
     use crate::grid::DeliverySpec;
+    use ivc_defense::features::DefenseFeatures;
 
     /// A deliberately tiny campaign: 2 deliveries × 2 distances, truncated
     /// commands, so the whole thing runs in seconds even in debug builds.
@@ -177,11 +374,15 @@ mod tests {
             let record = &cell_report.trials[0];
             assert_eq!(record.seed, spec.base_seed);
             // Attack cells carry leakage numbers, legitimate ones do not.
-            let is_attack = spec.deliveries[cell_report.cell.delivery_index]
+            let is_attack = spec.deliveries[cell_report.cell.coords.delivery_index]
                 .delivery
                 .is_attack();
             assert_eq!(record.bystander_spl_db.is_some(), is_attack);
             assert_eq!(record.leak_audible.is_some(), is_attack);
+            // No detector axis entry, no probabilities; features always.
+            assert_eq!(record.detection_probability, None);
+            assert_eq!(record.defense_features.len(), DefenseFeatures::DIMENSION);
+            assert_eq!(record.recording_band_summary_db, None);
         }
         // The close-range array injection should recognise at least some
         // words; the legitimate talker should dominate it at no distance.
@@ -200,6 +401,90 @@ mod tests {
             serial.to_json_string(),
             parallel.to_json_string(),
             "archived bytes must not depend on the worker count"
+        );
+    }
+
+    #[test]
+    fn shared_prepared_cells_match_per_trial_pipeline_runs() {
+        // Trials of one cell share a PreparedCell; each must still equal
+        // the standalone run_trial wrapper for its seed, bit for bit.
+        let spec = CampaignSpec {
+            deliveries: vec![DeliverySpec::legitimate("talker 68 dB", 68.0)],
+            distances_m: vec![1.5],
+            trials_per_cell: 3,
+            base_seed: 5,
+            max_voice_duration_s: 0.8,
+            ..CampaignSpec::new("shared")
+        };
+        let report = run_campaign(&spec, 2).unwrap();
+        let recognizer = Recognizer::with_default_corpus().unwrap();
+        let commands = corpus();
+        let cell = &spec.cells()[0];
+        for (t, record) in report.cells[0].trials.iter().enumerate() {
+            let scenario = spec.scenario(cell, t);
+            let outcome = ivc_core::run_trial(
+                &commands[spec.command_index(cell)],
+                &scenario,
+                &recognizer,
+                None,
+            )
+            .unwrap();
+            assert_eq!(record.seed, scenario.seed);
+            assert_eq!(record.accepted, outcome.accepted);
+            assert_eq!(record.word_accuracy, outcome.word_accuracy);
+            assert_eq!(
+                record.defense_features,
+                outcome.defense_features.to_vector()
+            );
+        }
+    }
+
+    #[test]
+    fn detector_axis_scores_every_trial_and_band_summary_is_recorded() {
+        let spec = CampaignSpec {
+            detectors: vec![Some(DetectorSpec {
+                // The smallest corpus that still trains (the classifier
+                // wants >= 4 samples): 3 legitimate variants + 1 attack.
+                distances_m: vec![1.5],
+                num_speaker_variants: 3,
+                command_indices: vec![0],
+                max_voice_duration_s: 0.8,
+                ..DetectorSpec::standard(true)
+            })],
+            deliveries: vec![
+                DeliverySpec::legitimate("talker 68 dB", 68.0),
+                DeliverySpec::array("6-element array, 60 W", 6, 60.0, 40_000.0),
+            ],
+            distances_m: vec![1.5],
+            max_voice_duration_s: 0.8,
+            recording_band_summary: Some(BandSummarySpec {
+                bands: 8,
+                max_hz: 8_000.0,
+            }),
+            ..CampaignSpec::new("detector")
+        };
+        let report = run_campaign(&spec, 2).unwrap();
+        for cell_report in &report.cells {
+            for record in &cell_report.trials {
+                let p = record
+                    .detection_probability
+                    .expect("trained detector scores every trial");
+                assert!((0.0..=1.0).contains(&p));
+                let bands = record
+                    .recording_band_summary_db
+                    .as_ref()
+                    .expect("band summary requested");
+                assert_eq!(bands.len(), 8);
+            }
+            assert!(cell_report.stats.mean_detection_probability.is_some());
+        }
+        // The attack recording should look more attack-like than the
+        // legitimate one to the trained detector.
+        let legit_p = report.cells[0].trials[0].detection_probability.unwrap();
+        let attack_p = report.cells[1].trials[0].detection_probability.unwrap();
+        assert!(
+            attack_p > legit_p,
+            "attack {attack_p} should outscore legit {legit_p}"
         );
     }
 

@@ -1,20 +1,22 @@
-//! The parameter-grid DSL: a [`CampaignSpec`] declares axes (device,
-//! delivery configuration, room, environment, command, distance) plus
-//! shared scalars, and expands into the full cross product of concrete
-//! [`Scenario`]s.
+//! The parameter-grid DSL: a [`CampaignSpec`] declares axes (detector,
+//! device, delivery configuration, carrier frequency, power, room,
+//! environment, command, distance) plus shared scalars, and expands into
+//! the full cross product of concrete [`Scenario`]s.
 //!
 //! Expansion order is part of the engine's contract: cells are enumerated
-//! devices → deliveries → rooms → environments → commands → distances
-//! (distance innermost), so success-vs-distance curves read off
-//! contiguous cell ranges, and the same spec always produces the same
-//! cell indices.  The room axis was inserted between deliveries and
-//! environments in report format v2; specs without a room axis default to
-//! the single free-field entry, which reproduces the v1 expansion order.
+//! detectors → devices → deliveries → carriers → powers → rooms →
+//! environments → commands → distances (distance innermost), so
+//! success-vs-distance curves read off contiguous cell ranges, and the
+//! same spec always produces the same cell indices.  The detector, carrier
+//! and power axes were added in report format v3 (the room axis in v2);
+//! specs that leave the new axes at their single-entry defaults reproduce
+//! the v2 expansion order.
 
 use crate::error::{ExperimentError, Result};
 use ivc_acoustics::environment::AirEnvironment;
 use ivc_acoustics::microphone::DevicePreset;
 use ivc_core::scenario::{Delivery, Scenario};
+use ivc_defense::dataset::DatasetConfig;
 use ivc_room::RoomPreset;
 use ivc_speech::commands::corpus;
 
@@ -105,6 +107,9 @@ pub struct DeliverySpec {
     pub label: String,
     /// The delivery configuration.
     pub delivery: Delivery,
+    /// Adaptive-attacker shadow suppression in `[0, 1]` applied to attack
+    /// deliveries (`0.0`, the default, is the oblivious attacker).
+    pub shadow_suppression: f64,
 }
 
 impl DeliverySpec {
@@ -113,6 +118,7 @@ impl DeliverySpec {
         DeliverySpec {
             label: label.into(),
             delivery: Delivery::Legitimate { talker_spl_db },
+            shadow_suppression: 0.0,
         }
     }
 
@@ -124,6 +130,7 @@ impl DeliverySpec {
                 power_w,
                 carrier_hz,
             },
+            shadow_suppression: 0.0,
         }
     }
 
@@ -141,8 +148,153 @@ impl DeliverySpec {
                 total_power_w,
                 carrier_hz,
             },
+            shadow_suppression: 0.0,
         }
     }
+
+    /// The same delivery with the adaptive attacker's shadow suppression
+    /// set (the E-D6 sweep builds its delivery axis with this).
+    pub fn with_shadow_suppression(mut self, suppression: f64) -> Self {
+        self.shadow_suppression = suppression;
+        self
+    }
+}
+
+/// One point on the detector-training axis: the labelled corpus the
+/// campaign trains a logistic-regression detector on before running
+/// trials.  Mirrors [`DatasetConfig`] so training is fully reproducible
+/// from the archived spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorSpec {
+    /// Label used in tables and archives.
+    pub label: String,
+    /// Device the training recordings are captured on.
+    pub device: DevicePreset,
+    /// Source–device distances the corpus covers, in metres.
+    pub distances_m: Vec<f64>,
+    /// Legitimate speaker variants per (command, distance).
+    pub num_speaker_variants: usize,
+    /// Corpus command indices the training set speaks.
+    pub command_indices: Vec<usize>,
+    /// Array elements of the training attacks.
+    pub attack_elements: usize,
+    /// Total electrical power of the training attacks, in watt.
+    pub attack_total_power_w: f64,
+    /// Carrier frequency of the training attacks, in Hz.
+    pub carrier_hz: f64,
+    /// Legitimate talker level (SPL at 1 m), in dB.
+    pub talker_spl_db: f64,
+    /// Ambient noise of the training recordings, in dB SPL.
+    pub ambient_noise_spl_db: f64,
+    /// Voice-duration cap of the training corpus, in seconds.
+    pub max_voice_duration_s: f64,
+    /// Master seed of the training corpus.
+    pub seed: u64,
+}
+
+impl DetectorSpec {
+    /// The standard detector of the paper's defense evaluation at the
+    /// given fidelity (`quick` trims distances/commands/variants the same
+    /// way the repro harness's quick mode always has).
+    pub fn standard(quick: bool) -> Self {
+        DetectorSpec {
+            label: "standard detector".to_string(),
+            device: DevicePreset::AndroidPhone,
+            distances_m: if quick {
+                vec![1.5, 3.0]
+            } else {
+                vec![1.0, 2.0, 3.0, 5.0]
+            },
+            num_speaker_variants: if quick { 2 } else { 4 },
+            command_indices: if quick { vec![0] } else { vec![0, 1, 2, 3] },
+            attack_elements: 8,
+            attack_total_power_w: 40.0,
+            carrier_hz: 40_000.0,
+            talker_spl_db: 65.0,
+            ambient_noise_spl_db: 40.0,
+            max_voice_duration_s: if quick { 1.1 } else { f64::INFINITY },
+            seed: 7,
+        }
+    }
+
+    /// The [`DatasetConfig`] this spec stands for.
+    pub fn dataset_config(&self) -> DatasetConfig {
+        DatasetConfig {
+            device: self.device,
+            distances_m: self.distances_m.clone(),
+            num_speaker_variants: self.num_speaker_variants,
+            command_indices: self.command_indices.clone(),
+            attack_elements: self.attack_elements,
+            attack_total_power_w: self.attack_total_power_w,
+            carrier_hz: self.carrier_hz,
+            talker_spl_db: self.talker_spl_db,
+            ambient_noise_spl_db: self.ambient_noise_spl_db,
+            max_voice_duration_s: self.max_voice_duration_s,
+            seed: self.seed,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.label.is_empty() {
+            return Err(ExperimentError::invalid(
+                "detectors",
+                "detector label must not be empty",
+            ));
+        }
+        if self.distances_m.is_empty() || self.command_indices.is_empty() {
+            return Err(ExperimentError::invalid(
+                "detectors",
+                "training needs at least one distance and one command",
+            ));
+        }
+        let corpus_len = corpus().len();
+        for &index in &self.command_indices {
+            if index >= corpus_len {
+                return Err(ExperimentError::invalid(
+                    "detectors",
+                    format!("training command index {index} outside the corpus"),
+                ));
+            }
+        }
+        if self.num_speaker_variants == 0 || self.attack_elements == 0 {
+            return Err(ExperimentError::invalid(
+                "detectors",
+                "need at least one speaker variant and one attack element",
+            ));
+        }
+        if !(self.attack_total_power_w > 0.0) || !(self.carrier_hz > 0.0) {
+            return Err(ExperimentError::invalid(
+                "detectors",
+                "attack power and carrier must be positive",
+            ));
+        }
+        if !(self.max_voice_duration_s > 0.0) {
+            return Err(ExperimentError::invalid(
+                "detectors",
+                "max_voice_duration_s must be positive",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Stable archive token of a detector-axis entry.
+pub fn detector_token(detector: Option<&DetectorSpec>) -> String {
+    match detector {
+        None => "no detector".to_string(),
+        Some(spec) => spec.label.clone(),
+    }
+}
+
+/// Per-trial band-energy capture: when set on a spec, every trial record
+/// carries a band-energy summary of its recording (the E-B2 spectrogram
+/// column, archived instead of the waveform itself).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandSummarySpec {
+    /// Number of equal-width bands.
+    pub bands: usize,
+    /// Upper edge of the summarised range, in Hz.
+    pub max_hz: f64,
 }
 
 /// A full campaign: the grid axes plus everything shared by all cells.
@@ -150,11 +302,23 @@ impl DeliverySpec {
 pub struct CampaignSpec {
     /// Campaign name (archived; also the default archive file stem).
     pub name: String,
+    /// Detector-training axis: `None` runs trials without a detector,
+    /// `Some(spec)` trains a logistic-regression detector on the described
+    /// corpus once and scores every trial of the entry's cells with it.
+    pub detectors: Vec<Option<DetectorSpec>>,
     /// Device axis.
     pub devices: Vec<DevicePreset>,
     /// Delivery-configuration axis (element counts, powers, carriers —
-    /// anything [`Delivery`] expresses).
+    /// anything [`Delivery`] expresses, plus shadow suppression).
     pub deliveries: Vec<DeliverySpec>,
+    /// Carrier-frequency axis: `None` keeps each delivery's own carrier,
+    /// `Some(hz)` overrides it for attack deliveries (legitimate
+    /// deliveries have no carrier and are unaffected).
+    pub carriers_hz: Vec<Option<f64>>,
+    /// Power axis: `None` keeps each delivery's own electrical power,
+    /// `Some(w)` overrides it (single-speaker `power_w`, array
+    /// `total_power_w`; legitimate deliveries are unaffected).
+    pub powers_w: Vec<Option<f64>>,
     /// Room axis: `None` is the free-field channel, `Some(preset)` runs
     /// the trial inside that room's image-source model.
     pub rooms: Vec<Option<RoomPreset>>,
@@ -176,6 +340,9 @@ pub struct CampaignSpec {
     pub base_seed: u64,
     /// Voice-duration cap per trial, `f64::INFINITY` for whole commands.
     pub max_voice_duration_s: f64,
+    /// When set, each trial record carries a band-energy summary of its
+    /// recording (see [`BandSummarySpec`]).
+    pub recording_band_summary: Option<BandSummarySpec>,
 }
 
 impl CampaignSpec {
@@ -185,6 +352,7 @@ impl CampaignSpec {
     pub fn new(name: impl Into<String>) -> Self {
         CampaignSpec {
             name: name.into(),
+            detectors: vec![None],
             devices: vec![DevicePreset::AndroidPhone],
             deliveries: vec![DeliverySpec::array(
                 "8-element array, 40 W",
@@ -192,6 +360,8 @@ impl CampaignSpec {
                 40.0,
                 40_000.0,
             )],
+            carriers_hz: vec![None],
+            powers_w: vec![None],
             rooms: vec![None],
             environments: vec![EnvironmentPreset::MeetingRoom],
             command_indices: vec![0],
@@ -201,6 +371,7 @@ impl CampaignSpec {
             trials_per_cell: 1,
             base_seed: 1,
             max_voice_duration_s: f64::INFINITY,
+            recording_band_summary: None,
         }
     }
 
@@ -209,11 +380,67 @@ impl CampaignSpec {
         if self.name.is_empty() {
             return Err(ExperimentError::invalid("name", "must not be empty"));
         }
+        if self.detectors.is_empty() {
+            return Err(ExperimentError::invalid("detectors", "axis is empty"));
+        }
+        for detector in self.detectors.iter().flatten() {
+            detector.validate()?;
+        }
         if self.devices.is_empty() {
             return Err(ExperimentError::invalid("devices", "axis is empty"));
         }
         if self.deliveries.is_empty() {
             return Err(ExperimentError::invalid("deliveries", "axis is empty"));
+        }
+        for delivery in &self.deliveries {
+            if !(0.0..=1.0).contains(&delivery.shadow_suppression) {
+                return Err(ExperimentError::invalid(
+                    "deliveries",
+                    format!(
+                        "'{}': shadow_suppression must be within [0, 1]",
+                        delivery.label
+                    ),
+                ));
+            }
+        }
+        let any_attack = self.deliveries.iter().any(|d| d.delivery.is_attack());
+        if self.carriers_hz.is_empty() {
+            return Err(ExperimentError::invalid("carriers_hz", "axis is empty"));
+        }
+        for &carrier in self.carriers_hz.iter() {
+            if let Some(hz) = carrier {
+                if !(hz > 0.0) || !hz.is_finite() {
+                    return Err(ExperimentError::invalid(
+                        "carriers_hz",
+                        format!("{hz} must be positive and finite"),
+                    ));
+                }
+                if !any_attack {
+                    return Err(ExperimentError::invalid(
+                        "carriers_hz",
+                        "carrier overrides need at least one attack delivery",
+                    ));
+                }
+            }
+        }
+        if self.powers_w.is_empty() {
+            return Err(ExperimentError::invalid("powers_w", "axis is empty"));
+        }
+        for &power in self.powers_w.iter() {
+            if let Some(w) = power {
+                if !(w > 0.0) || !w.is_finite() {
+                    return Err(ExperimentError::invalid(
+                        "powers_w",
+                        format!("{w} must be positive and finite"),
+                    ));
+                }
+                if !any_attack {
+                    return Err(ExperimentError::invalid(
+                        "powers_w",
+                        "power overrides need at least one attack delivery",
+                    ));
+                }
+            }
         }
         if self.rooms.is_empty() {
             return Err(ExperimentError::invalid("rooms", "axis is empty"));
@@ -282,13 +509,30 @@ impl CampaignSpec {
                 "must be positive (use f64::INFINITY for whole commands)",
             ));
         }
+        if let Some(summary) = self.recording_band_summary {
+            if summary.bands == 0 {
+                return Err(ExperimentError::invalid(
+                    "recording_band_summary",
+                    "needs at least one band",
+                ));
+            }
+            if !(summary.max_hz > 0.0) || !summary.max_hz.is_finite() {
+                return Err(ExperimentError::invalid(
+                    "recording_band_summary",
+                    "max_hz must be positive and finite",
+                ));
+            }
+        }
         Ok(())
     }
 
     /// Number of grid cells (the axis cross product).
     pub fn num_cells(&self) -> usize {
-        self.devices.len()
+        self.detectors.len()
+            * self.devices.len()
             * self.deliveries.len()
+            * self.carriers_hz.len()
+            * self.powers_w.len()
             * self.rooms.len()
             * self.environments.len()
             * self.command_indices.len()
@@ -300,27 +544,39 @@ impl CampaignSpec {
         self.num_cells() * self.trials_per_cell
     }
 
-    /// Expands the grid into cells, in the documented order (devices →
-    /// deliveries → rooms → environments → commands → distances).
+    /// Expands the grid into cells, in the documented order (detectors →
+    /// devices → deliveries → carriers → powers → rooms → environments →
+    /// commands → distances).
     pub fn cells(&self) -> Vec<CellSpec> {
         let mut cells = Vec::with_capacity(self.num_cells());
         let mut cell_index = 0;
-        for device_index in 0..self.devices.len() {
-            for delivery_index in 0..self.deliveries.len() {
-                for room_index in 0..self.rooms.len() {
-                    for environment_index in 0..self.environments.len() {
-                        for command_position in 0..self.command_indices.len() {
-                            for distance_index in 0..self.distances_m.len() {
-                                cells.push(CellSpec {
-                                    cell_index,
-                                    device_index,
-                                    delivery_index,
-                                    room_index,
-                                    environment_index,
-                                    command_position,
-                                    distance_index,
-                                });
-                                cell_index += 1;
+        for detector_index in 0..self.detectors.len() {
+            for device_index in 0..self.devices.len() {
+                for delivery_index in 0..self.deliveries.len() {
+                    for carrier_index in 0..self.carriers_hz.len() {
+                        for power_index in 0..self.powers_w.len() {
+                            for room_index in 0..self.rooms.len() {
+                                for environment_index in 0..self.environments.len() {
+                                    for command_position in 0..self.command_indices.len() {
+                                        for distance_index in 0..self.distances_m.len() {
+                                            cells.push(CellSpec {
+                                                cell_index,
+                                                coords: CellCoords {
+                                                    detector_index,
+                                                    device_index,
+                                                    delivery_index,
+                                                    carrier_index,
+                                                    power_index,
+                                                    room_index,
+                                                    environment_index,
+                                                    command_position,
+                                                    distance_index,
+                                                },
+                                            });
+                                            cell_index += 1;
+                                        }
+                                    }
+                                }
                             }
                         }
                     }
@@ -334,35 +590,29 @@ impl CampaignSpec {
     /// the [`CampaignSpec::cells`] expansion order, kept next to it so the
     /// ordering contract has exactly one owner.  `None` when any
     /// coordinate is outside its axis.
-    #[allow(clippy::too_many_arguments)]
-    pub fn cell_index_of(
-        &self,
-        device_index: usize,
-        delivery_index: usize,
-        room_index: usize,
-        environment_index: usize,
-        command_position: usize,
-        distance_index: usize,
-    ) -> Option<usize> {
-        if device_index >= self.devices.len()
-            || delivery_index >= self.deliveries.len()
-            || room_index >= self.rooms.len()
-            || environment_index >= self.environments.len()
-            || command_position >= self.command_indices.len()
-            || distance_index >= self.distances_m.len()
+    pub fn cell_index_of(&self, coords: &CellCoords) -> Option<usize> {
+        if coords.detector_index >= self.detectors.len()
+            || coords.device_index >= self.devices.len()
+            || coords.delivery_index >= self.deliveries.len()
+            || coords.carrier_index >= self.carriers_hz.len()
+            || coords.power_index >= self.powers_w.len()
+            || coords.room_index >= self.rooms.len()
+            || coords.environment_index >= self.environments.len()
+            || coords.command_position >= self.command_indices.len()
+            || coords.distance_index >= self.distances_m.len()
         {
             return None;
         }
-        Some(
-            ((((device_index * self.deliveries.len() + delivery_index) * self.rooms.len()
-                + room_index)
-                * self.environments.len()
-                + environment_index)
-                * self.command_indices.len()
-                + command_position)
-                * self.distances_m.len()
-                + distance_index,
-        )
+        let mut index = coords.detector_index;
+        index = index * self.devices.len() + coords.device_index;
+        index = index * self.deliveries.len() + coords.delivery_index;
+        index = index * self.carriers_hz.len() + coords.carrier_index;
+        index = index * self.powers_w.len() + coords.power_index;
+        index = index * self.rooms.len() + coords.room_index;
+        index = index * self.environments.len() + coords.environment_index;
+        index = index * self.command_indices.len() + coords.command_position;
+        index = index * self.distances_m.len() + coords.distance_index;
+        Some(index)
     }
 
     /// The seed trial `trial_index` uses in **every** cell (common random
@@ -372,79 +622,150 @@ impl CampaignSpec {
         self.base_seed.wrapping_add(trial_index as u64)
     }
 
+    /// The delivery a cell runs, with the carrier- and power-axis
+    /// overrides applied (legitimate deliveries pass through untouched).
+    pub fn resolved_delivery(&self, cell: &CellSpec) -> Delivery {
+        let mut delivery = self.deliveries[cell.coords.delivery_index].delivery;
+        if let Some(hz) = self.carriers_hz[cell.coords.carrier_index] {
+            match &mut delivery {
+                Delivery::SingleSpeakerUltrasound { carrier_hz, .. }
+                | Delivery::ArrayUltrasound { carrier_hz, .. } => *carrier_hz = hz,
+                Delivery::Legitimate { .. } => {}
+            }
+        }
+        if let Some(w) = self.powers_w[cell.coords.power_index] {
+            match &mut delivery {
+                Delivery::SingleSpeakerUltrasound { power_w, .. } => *power_w = w,
+                Delivery::ArrayUltrasound { total_power_w, .. } => *total_power_w = w,
+                Delivery::Legitimate { .. } => {}
+            }
+        }
+        delivery
+    }
+
     /// The concrete scenario of one trial of one cell.
     pub fn scenario(&self, cell: &CellSpec, trial_index: usize) -> Scenario {
         Scenario {
-            device: self.devices[cell.device_index],
-            distance_m: self.distances_m[cell.distance_index],
-            delivery: self.deliveries[cell.delivery_index].delivery,
+            device: self.devices[cell.coords.device_index],
+            distance_m: self.distances_m[cell.coords.distance_index],
+            delivery: self.resolved_delivery(cell),
             ambient_noise_spl_db: self.ambient_noise_spl_db,
             bystander_distance_m: self.bystander_distance_m,
-            env: self.environments[cell.environment_index].air(),
-            room: self.rooms[cell.room_index],
+            env: self.environments[cell.coords.environment_index].air(),
+            room: self.rooms[cell.coords.room_index],
             seed: self.trial_seed(trial_index),
             max_voice_duration_s: self.max_voice_duration_s,
+            shadow_suppression: self.deliveries[cell.coords.delivery_index].shadow_suppression,
         }
     }
 
     /// Corpus index of the command a cell injects.
     pub fn command_index(&self, cell: &CellSpec) -> usize {
-        self.command_indices[cell.command_position]
+        self.command_indices[cell.coords.command_position]
+    }
+
+    /// The delivery label of a cell with any swept carrier/power override
+    /// appended — the "delivery point" the cell stands for.
+    pub fn delivery_point_label(&self, cell: &CellSpec) -> String {
+        let mut label = self.deliveries[cell.coords.delivery_index].label.clone();
+        if self.carriers_hz.len() > 1 {
+            if let Some(hz) = self.carriers_hz[cell.coords.carrier_index] {
+                label.push_str(&format!(" @ {} kHz", hz / 1_000.0));
+            }
+        }
+        if self.powers_w.len() > 1 {
+            if let Some(w) = self.powers_w[cell.coords.power_index] {
+                label.push_str(&format!(" @ {w} W"));
+            }
+        }
+        label
     }
 
     /// Human-readable cell label used in summaries and archives.
     pub fn cell_label(&self, cell: &CellSpec) -> String {
-        format!(
+        let mut label = format!(
             "{} | {} | {} | {} | cmd {} | {} m",
-            self.devices[cell.device_index].name(),
-            self.deliveries[cell.delivery_index].label,
-            room_token(self.rooms[cell.room_index]),
-            self.environments[cell.environment_index].token(),
+            self.devices[cell.coords.device_index].name(),
+            self.delivery_point_label(cell),
+            room_token(self.rooms[cell.coords.room_index]),
+            self.environments[cell.coords.environment_index].token(),
             self.command_index(cell),
-            self.distances_m[cell.distance_index],
-        )
+            self.distances_m[cell.coords.distance_index],
+        );
+        if self.detectors.len() > 1 {
+            label.push_str(&format!(
+                " | {}",
+                detector_token(self.detectors[cell.coords.detector_index].as_ref())
+            ));
+        }
+        label
     }
 
-    /// Label of the curve a cell belongs to: the delivery label alone when
-    /// the other non-distance axes are singletons, joined with the room
-    /// when only the room axis is swept, the full combination otherwise.
+    /// Label of the curve a cell belongs to: the delivery-point label alone
+    /// when the other non-distance axes are singletons, joined with the
+    /// room when only the room axis is swept, the full combination
+    /// otherwise.
     pub fn curve_label(&self, cell: &CellSpec) -> String {
-        let delivery = &self.deliveries[cell.delivery_index].label;
-        let room = room_token(self.rooms[cell.room_index]);
-        if self.devices.len() == 1
+        let delivery = self.delivery_point_label(cell);
+        let room = room_token(self.rooms[cell.coords.room_index]);
+        if self.detectors.len() == 1
+            && self.devices.len() == 1
             && self.environments.len() == 1
             && self.command_indices.len() == 1
         {
             if self.rooms.len() == 1 {
-                delivery.clone()
-            } else if self.deliveries.len() == 1 {
+                delivery
+            } else if self.deliveries.len() == 1
+                && self.carriers_hz.len() == 1
+                && self.powers_w.len() == 1
+            {
                 room.to_string()
             } else {
                 format!("{delivery} | {room}")
             }
         } else {
-            format!(
+            let mut label = format!(
                 "{} | {} | {} | {} | cmd {}",
-                self.devices[cell.device_index].name(),
+                self.devices[cell.coords.device_index].name(),
                 delivery,
                 room,
-                self.environments[cell.environment_index].token(),
+                self.environments[cell.coords.environment_index].token(),
                 self.command_index(cell),
-            )
+            );
+            if self.detectors.len() > 1 {
+                label.push_str(&format!(
+                    " | {}",
+                    detector_token(self.detectors[cell.coords.detector_index].as_ref())
+                ));
+            }
+            label
         }
     }
 }
 
-/// One cell of the expanded grid: indices into the spec's axes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CellSpec {
-    /// Position in the expansion order (also the index into
-    /// `CampaignReport::cells`).
-    pub cell_index: usize,
+/// Axis coordinates of one grid cell, in expansion order.  `Default` is
+/// the origin — spell out only the axes you mean to address:
+///
+/// ```
+/// # use ivc_experiments::CellCoords;
+/// let coords = CellCoords {
+///     delivery_index: 2,
+///     distance_index: 1,
+///     ..CellCoords::default()
+/// };
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CellCoords {
+    /// Index into [`CampaignSpec::detectors`].
+    pub detector_index: usize,
     /// Index into [`CampaignSpec::devices`].
     pub device_index: usize,
     /// Index into [`CampaignSpec::deliveries`].
     pub delivery_index: usize,
+    /// Index into [`CampaignSpec::carriers_hz`].
+    pub carrier_index: usize,
+    /// Index into [`CampaignSpec::powers_w`].
+    pub power_index: usize,
     /// Index into [`CampaignSpec::rooms`].
     pub room_index: usize,
     /// Index into [`CampaignSpec::environments`].
@@ -453,6 +774,17 @@ pub struct CellSpec {
     pub command_position: usize,
     /// Index into [`CampaignSpec::distances_m`].
     pub distance_index: usize,
+}
+
+/// One cell of the expanded grid: its position in the expansion order and
+/// its axis coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellSpec {
+    /// Position in the expansion order (also the index into
+    /// `CampaignReport::cells`).
+    pub cell_index: usize,
+    /// The cell's axis coordinates.
+    pub coords: CellCoords,
 }
 
 #[cfg(test)]
@@ -488,39 +820,108 @@ mod tests {
         for (i, cell) in cells.iter().enumerate() {
             assert_eq!(cell.cell_index, i);
         }
-        // Distance is the innermost axis; devices the outermost.
-        assert_eq!(cells[0].distance_index, 0);
-        assert_eq!(cells[1].distance_index, 1);
-        assert_eq!(cells[2].distance_index, 2);
-        assert_eq!(cells[3].distance_index, 0);
-        assert_eq!(cells[3].command_position, 1);
-        assert_eq!(cells.last().unwrap().device_index, 1);
-        // The room axis sits between deliveries and environments.
+        // Distance is the innermost axis; devices the outermost non-default
+        // axis of this spec.
+        assert_eq!(cells[0].coords.distance_index, 0);
+        assert_eq!(cells[1].coords.distance_index, 1);
+        assert_eq!(cells[2].coords.distance_index, 2);
+        assert_eq!(cells[3].coords.distance_index, 0);
+        assert_eq!(cells[3].coords.command_position, 1);
+        assert_eq!(cells.last().unwrap().coords.device_index, 1);
+        // The room axis sits between powers and environments.
         let cells_per_room = 2 * 2 * 3;
-        assert_eq!(cells[cells_per_room - 1].room_index, 0);
-        assert_eq!(cells[cells_per_room].room_index, 1);
-        assert_eq!(cells[cells_per_room].delivery_index, 0);
-        assert_eq!(cells[2 * cells_per_room].delivery_index, 1);
+        assert_eq!(cells[cells_per_room - 1].coords.room_index, 0);
+        assert_eq!(cells[cells_per_room].coords.room_index, 1);
+        assert_eq!(cells[cells_per_room].coords.delivery_index, 0);
+        assert_eq!(cells[2 * cells_per_room].coords.delivery_index, 1);
         // The closed-form index agrees with the expansion order for every
         // cell (the two encodings of the ordering contract cannot drift).
         for cell in &cells {
-            assert_eq!(
-                spec.cell_index_of(
-                    cell.device_index,
-                    cell.delivery_index,
-                    cell.room_index,
-                    cell.environment_index,
-                    cell.command_position,
-                    cell.distance_index,
-                ),
-                Some(cell.cell_index)
-            );
+            assert_eq!(spec.cell_index_of(&cell.coords), Some(cell.cell_index));
         }
-        assert_eq!(spec.cell_index_of(2, 0, 0, 0, 0, 0), None);
-        assert_eq!(spec.cell_index_of(0, 0, 2, 0, 0, 0), None);
-        assert_eq!(spec.cell_index_of(0, 0, 0, 0, 0, 3), None);
+        for bad in [
+            CellCoords {
+                device_index: 2,
+                ..CellCoords::default()
+            },
+            CellCoords {
+                room_index: 2,
+                ..CellCoords::default()
+            },
+            CellCoords {
+                distance_index: 3,
+                ..CellCoords::default()
+            },
+            CellCoords {
+                detector_index: 1,
+                ..CellCoords::default()
+            },
+            CellCoords {
+                carrier_index: 1,
+                ..CellCoords::default()
+            },
+            CellCoords {
+                power_index: 1,
+                ..CellCoords::default()
+            },
+        ] {
+            assert_eq!(spec.cell_index_of(&bad), None);
+        }
         // A single-cell spec expands to one cell.
         assert_eq!(CampaignSpec::new("one").cells().len(), 1);
+    }
+
+    #[test]
+    fn new_axes_expand_between_deliveries_and_rooms() {
+        let spec = CampaignSpec {
+            detectors: vec![None, Some(DetectorSpec::standard(true))],
+            deliveries: vec![
+                DeliverySpec::single_speaker("single 10 W", 10.0, 40_000.0),
+                DeliverySpec::legitimate("talker", 65.0),
+            ],
+            carriers_hz: vec![Some(30_000.0), Some(40_000.0), Some(60_000.0)],
+            powers_w: vec![None, Some(20.0)],
+            distances_m: vec![1.0, 2.0],
+            ..CampaignSpec::new("axes")
+        };
+        assert_eq!(spec.num_cells(), 2 * 2 * 3 * 2 * 2);
+        let cells = spec.cells();
+        // Powers vary faster than carriers, carriers faster than
+        // deliveries, detectors outermost.
+        assert_eq!(cells[0].coords.power_index, 0);
+        assert_eq!(cells[2].coords.power_index, 1);
+        assert_eq!(cells[4].coords.carrier_index, 1);
+        assert_eq!(cells[12].coords.delivery_index, 1);
+        assert_eq!(cells[24].coords.detector_index, 1);
+        for cell in &cells {
+            assert_eq!(spec.cell_index_of(&cell.coords), Some(cell.cell_index));
+        }
+        // Overrides resolve into the scenario's delivery for attacks and
+        // leave the legitimate delivery untouched.
+        let attack_cell = &cells[2]; // delivery 0, carrier 0, power 1
+        assert_eq!(
+            spec.resolved_delivery(attack_cell),
+            Delivery::SingleSpeakerUltrasound {
+                power_w: 20.0,
+                carrier_hz: 30_000.0,
+            }
+        );
+        let legit_cell = cells.iter().find(|c| c.coords.delivery_index == 1).unwrap();
+        assert_eq!(
+            spec.resolved_delivery(legit_cell),
+            Delivery::Legitimate {
+                talker_spl_db: 65.0
+            }
+        );
+        // Swept overrides surface in the labels.
+        let label = spec.cell_label(attack_cell);
+        assert!(
+            label.contains("30 kHz") && label.contains("20 W"),
+            "{label}"
+        );
+        assert!(label.contains("no detector"), "{label}");
+        let trained = spec.cell_label(&cells[24]);
+        assert!(trained.contains("standard detector"), "{trained}");
     }
 
     #[test]
@@ -534,6 +935,7 @@ mod tests {
         assert_eq!(scenario.seed, 103);
         assert_eq!(scenario.env, EnvironmentPreset::Outdoor.air());
         assert_eq!(scenario.room, Some(RoomPreset::Office));
+        assert_eq!(scenario.shadow_suppression, 0.0);
         assert_eq!(spec.scenario(&cells[0], 0).room, None);
         assert_eq!(spec.command_index(cell), 2);
         assert!(matches!(scenario.delivery, Delivery::Legitimate { .. }));
@@ -544,6 +946,15 @@ mod tests {
         );
         let label = spec.cell_label(cell);
         assert!(label.contains("talker") && label.contains("6 m"), "{label}");
+        // Suppression set on a delivery spec reaches the scenario.
+        let d6_spec = CampaignSpec {
+            deliveries: vec![
+                DeliverySpec::array("array", 8, 60.0, 40_000.0).with_shadow_suppression(0.5)
+            ],
+            ..CampaignSpec::new("d6")
+        };
+        let d6_cells = d6_spec.cells();
+        assert_eq!(d6_spec.scenario(&d6_cells[0], 0).shadow_suppression, 0.5);
     }
 
     #[test]
@@ -587,6 +998,48 @@ mod tests {
         };
         let err = oversize.validate().unwrap_err();
         assert!(err.to_string().contains("office"), "{err}");
+        // New-axis validation: bad carrier/power values, overrides without
+        // any attack delivery, out-of-range suppression, bad detector and
+        // band-summary configs.
+        let bad_carrier = CampaignSpec {
+            carriers_hz: vec![Some(-1.0)],
+            ..sweep_spec()
+        };
+        assert!(bad_carrier.validate().is_err());
+        let bad_power = CampaignSpec {
+            powers_w: vec![Some(f64::NAN)],
+            ..sweep_spec()
+        };
+        assert!(bad_power.validate().is_err());
+        let legit_only_override = CampaignSpec {
+            deliveries: vec![DeliverySpec::legitimate("talker", 65.0)],
+            carriers_hz: vec![Some(40_000.0)],
+            ..sweep_spec()
+        };
+        assert!(legit_only_override.validate().is_err());
+        let bad_suppression = CampaignSpec {
+            deliveries: vec![
+                DeliverySpec::array("array", 8, 60.0, 40_000.0).with_shadow_suppression(1.5)
+            ],
+            ..sweep_spec()
+        };
+        assert!(bad_suppression.validate().is_err());
+        let bad_detector = CampaignSpec {
+            detectors: vec![Some(DetectorSpec {
+                distances_m: vec![],
+                ..DetectorSpec::standard(true)
+            })],
+            ..sweep_spec()
+        };
+        assert!(bad_detector.validate().is_err());
+        let bad_summary = CampaignSpec {
+            recording_band_summary: Some(BandSummarySpec {
+                bands: 0,
+                max_hz: 8_000.0,
+            }),
+            ..sweep_spec()
+        };
+        assert!(bad_summary.validate().is_err());
     }
 
     #[test]
@@ -611,5 +1064,21 @@ mod tests {
             assert!((-50.0..=60.0).contains(&air.temperature_c));
         }
         assert_eq!(EnvironmentPreset::from_token("underwater"), None);
+    }
+
+    #[test]
+    fn detector_spec_mirrors_its_dataset_config() {
+        let spec = DetectorSpec::standard(true);
+        let config = spec.dataset_config();
+        assert_eq!(config.distances_m, spec.distances_m);
+        assert_eq!(config.num_speaker_variants, spec.num_speaker_variants);
+        assert_eq!(config.command_indices, spec.command_indices);
+        assert_eq!(config.seed, spec.seed);
+        assert_eq!(detector_token(Some(&spec)), "standard detector");
+        assert_eq!(detector_token(None), "no detector");
+        // Full fidelity covers more of the corpus than quick.
+        let full = DetectorSpec::standard(false);
+        assert!(full.distances_m.len() > spec.distances_m.len());
+        assert!(full.command_indices.len() > spec.command_indices.len());
     }
 }

@@ -5,18 +5,22 @@
 //! one-off `run_trial` calls into reproducible campaigns:
 //!
 //! * [`grid`] — the parameter-grid DSL: a [`CampaignSpec`] declares axes
-//!   (device, delivery, room, environment, command, distance) and expands
-//!   into the concrete [`ivc_core::Scenario`] cross product.
-//! * [`executor`] — a bounded `std::thread` worker pool with
-//!   deterministic per-trial seeding: the same spec produces the
-//!   **byte-identical** archived report at any worker count.
+//!   (detector training, device, delivery, carrier frequency, power,
+//!   room, environment, command, distance) and expands into the concrete
+//!   [`ivc_core::Scenario`] cross product.
+//! * [`executor`] — a bounded `std::thread` worker pool running the
+//!   staged pipeline (one shared [`ivc_core::PreparedCell`] per cell, one
+//!   trained detector per axis entry) with deterministic per-trial
+//!   seeding: the same spec produces the **byte-identical** archived
+//!   report at any worker count.
 //! * [`aggregate`] — per-cell success rates with Wilson confidence
-//!   intervals, mean word accuracy and bystander SPL, and
-//!   success-vs-distance psychometric curves.
+//!   intervals, mean word accuracy, bystander SPL and detector
+//!   probability, and success-vs-distance psychometric curves.
 //! * [`report`] — the archivable [`CampaignReport`] with its JSON
 //!   encoding (via the dependency-free [`ivc_core::json`] layer).
-//! * [`presets`] — built-in campaigns: the paper sweeps (`a1`, `a2`,
-//!   `b3`), a defense acceptance sweep, and the CI smoke grid.
+//! * [`presets`] — built-in campaigns: every paper sweep (`a1`–`a6`,
+//!   `b1`–`b3`, `d1`–`d6`), a defense acceptance sweep, the room sweep,
+//!   and the CI smoke grid.
 //!
 //! ```no_run
 //! use ivc_experiments::prelude::*;
@@ -46,9 +50,10 @@ pub mod report;
 
 pub use aggregate::{CellReport, CellStats, PsychometricCurve};
 pub use error::{ExperimentError, Result};
-pub use executor::{default_workers, run_campaign, TrialRecord};
+pub use executor::{default_workers, run_campaign, train_detector_model, TrialRecord};
 pub use grid::{
-    room_from_token, room_token, CampaignSpec, CellSpec, DeliverySpec, EnvironmentPreset,
+    detector_token, room_from_token, room_token, BandSummarySpec, CampaignSpec, CellCoords,
+    CellSpec, DeliverySpec, DetectorSpec, EnvironmentPreset,
 };
 pub use report::CampaignReport;
 
@@ -56,9 +61,10 @@ pub use report::CampaignReport;
 pub mod prelude {
     pub use crate::aggregate::{CellReport, CellStats, PsychometricCurve};
     pub use crate::error::{ExperimentError, Result};
-    pub use crate::executor::{default_workers, run_campaign, TrialRecord};
+    pub use crate::executor::{default_workers, run_campaign, train_detector_model, TrialRecord};
     pub use crate::grid::{
-        room_from_token, room_token, CampaignSpec, CellSpec, DeliverySpec, EnvironmentPreset,
+        detector_token, room_from_token, room_token, BandSummarySpec, CampaignSpec, CellCoords,
+        CellSpec, DeliverySpec, DetectorSpec, EnvironmentPreset,
     };
     pub use crate::report::CampaignReport;
 }

@@ -1,12 +1,12 @@
-//! Built-in campaign specs: the paper sweeps (`a1`–`a4`, `b3`), a defense
-//! false-accept sweep, the room × distance sweep, and the tiny CI smoke
-//! campaign.
+//! Built-in campaign specs: the paper sweeps (`a1`–`a6`, `b1`–`b3`, the
+//! `d`-series defense evaluation), a defense false-accept sweep, the room
+//! × distance sweep, and the tiny CI smoke campaign.
 //!
 //! Every preset takes `quick` — `true` trims the grids and truncates the
 //! commands the way the repro harness's `Fidelity::Quick` does, `false`
 //! runs the full paper grids.
 
-use crate::grid::{CampaignSpec, DeliverySpec, EnvironmentPreset};
+use crate::grid::{BandSummarySpec, CampaignSpec, DeliverySpec, DetectorSpec, EnvironmentPreset};
 use ivc_acoustics::microphone::DevicePreset;
 use ivc_room::RoomPreset;
 
@@ -103,6 +103,92 @@ pub fn a4(quick: bool) -> CampaignSpec {
             .collect(),
         max_voice_duration_s: voice_cap_s(quick),
         ..CampaignSpec::new("a4-leakage-vs-elements")
+    }
+}
+
+/// E-A5 — attack range per device at a fixed array configuration
+/// (16 elements, 120 W): a device × distance grid whose per-device curves
+/// yield the range at the 0.6-accuracy threshold.
+pub fn a5(quick: bool) -> CampaignSpec {
+    CampaignSpec {
+        devices: vec![DevicePreset::AndroidPhone, DevicePreset::AmazonEcho],
+        deliveries: vec![DeliverySpec::array(
+            "array (16 elements, 120 W)",
+            16,
+            120.0,
+            40_000.0,
+        )],
+        distances_m: if quick {
+            vec![1.0, 2.0, 4.0, 6.0]
+        } else {
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]
+        },
+        max_voice_duration_s: voice_cap_s(quick),
+        ..CampaignSpec::new("a5-range-per-device")
+    }
+}
+
+/// E-A6 — demodulated quality vs carrier frequency: the carrier-frequency
+/// axis over a fixed 10 W single speaker at 1.5 m.
+pub fn a6(quick: bool) -> CampaignSpec {
+    let carriers: &[f64] = if quick {
+        &[30_000.0, 40_000.0, 60_000.0]
+    } else {
+        &[
+            28_000.0, 32_000.0, 36_000.0, 40_000.0, 48_000.0, 56_000.0, 64_000.0,
+        ]
+    };
+    CampaignSpec {
+        deliveries: vec![DeliverySpec::single_speaker(
+            "single speaker, 10 W",
+            10.0,
+            40_000.0,
+        )],
+        carriers_hz: carriers.iter().map(|&hz| Some(hz)).collect(),
+        distances_m: vec![1.5],
+        max_voice_duration_s: voice_cap_s(quick),
+        ..CampaignSpec::new("a6-carrier-frequency")
+    }
+}
+
+/// E-B1 — Song–Mittal Table 1: attack range vs speaker input power — the
+/// power axis × devices × a fine distance grid (30 kHz carrier).
+pub fn b1(quick: bool) -> CampaignSpec {
+    let powers = [9.2, 11.8, 14.8, 18.7, 23.7];
+    CampaignSpec {
+        devices: vec![DevicePreset::AndroidPhone, DevicePreset::AmazonEcho],
+        deliveries: vec![DeliverySpec::single_speaker(
+            "single speaker",
+            18.7,
+            30_000.0,
+        )],
+        powers_w: powers.iter().map(|&w| Some(w)).collect(),
+        distances_m: if quick {
+            vec![0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0]
+        } else {
+            (1..=45).map(|i| i as f64 * 0.1).collect()
+        },
+        max_voice_duration_s: voice_cap_s(quick),
+        ..CampaignSpec::new("b1-range-vs-power")
+    }
+}
+
+/// E-B2 — the recording leg of the spectrogram triplet: one cell whose
+/// trial archives the recording's band-energy summary (the normal-voice
+/// and attack-drive legs are signal analysis, not trials).
+pub fn b2(quick: bool) -> CampaignSpec {
+    CampaignSpec {
+        deliveries: vec![DeliverySpec::single_speaker(
+            "single speaker, 18.7 W",
+            18.7,
+            30_000.0,
+        )],
+        recording_band_summary: Some(BandSummarySpec {
+            bands: 8,
+            max_hz: 8_000.0,
+        }),
+        max_voice_duration_s: voice_cap_s(quick),
+        ..CampaignSpec::new("b2-spectrogram-recording")
     }
 }
 
@@ -207,6 +293,111 @@ pub fn defense(quick: bool) -> CampaignSpec {
     }
 }
 
+/// The shared shape of the d-series evaluation grids: a legitimate talker
+/// and the standard 8-element attack, scored by the trained detector.
+fn d_series_base(name: &str, quick: bool) -> CampaignSpec {
+    CampaignSpec {
+        detectors: vec![Some(DetectorSpec::standard(quick))],
+        deliveries: vec![
+            DeliverySpec::legitimate("legitimate talker, 65 dB", 65.0),
+            DeliverySpec::array("array (8 elements, 40 W)", 8, 40.0, 40_000.0),
+        ],
+        trials_per_cell: if quick { 2 } else { 4 },
+        base_seed: 100,
+        max_voice_duration_s: voice_cap_s(quick),
+        ..CampaignSpec::new(name)
+    }
+}
+
+/// E-D1/E-D2 — defense feature separation: legitimate vs attack trials
+/// whose archived feature vectors (and detector probabilities) feed the
+/// per-class feature-mean table.
+pub fn d1(quick: bool) -> CampaignSpec {
+    CampaignSpec {
+        distances_m: if quick {
+            vec![1.5, 3.0]
+        } else {
+            vec![1.0, 2.0, 3.0, 5.0]
+        },
+        command_indices: if quick { vec![0] } else { vec![0, 1, 2, 3] },
+        ..d_series_base("d1-feature-separation", quick)
+    }
+}
+
+/// E-D3 — the detector's ROC corpus: the d1 grid with more repeated
+/// trials, so the per-trial `(probability, label)` pairs trace a curve.
+pub fn d3(quick: bool) -> CampaignSpec {
+    CampaignSpec {
+        distances_m: if quick {
+            vec![1.5, 3.0]
+        } else {
+            vec![1.0, 2.0, 3.0, 5.0]
+        },
+        command_indices: if quick { vec![0] } else { vec![0, 1, 2, 3] },
+        trials_per_cell: if quick { 3 } else { 6 },
+        ..d_series_base("d3-roc", quick)
+    }
+}
+
+/// E-D4 — detection accuracy per device and distance.
+pub fn d4(quick: bool) -> CampaignSpec {
+    CampaignSpec {
+        devices: vec![DevicePreset::AndroidPhone, DevicePreset::AmazonEcho],
+        distances_m: if quick {
+            vec![2.0]
+        } else {
+            vec![1.0, 3.0, 5.0]
+        },
+        command_indices: if quick { vec![1] } else { vec![1, 2, 4] },
+        ..d_series_base("d4-detection-grid", quick)
+    }
+}
+
+/// E-D5 — detection robustness vs ambient noise: one spec per noise
+/// level (the ambient level is a campaign scalar, like `b3`'s cases).
+pub fn d5(quick: bool) -> Vec<CampaignSpec> {
+    let levels: &[f64] = if quick {
+        &[40.0, 60.0]
+    } else {
+        &[35.0, 45.0, 55.0, 65.0]
+    };
+    levels
+        .iter()
+        .map(|&spl| CampaignSpec {
+            ambient_noise_spl_db: spl,
+            distances_m: vec![2.0],
+            ..d_series_base(&format!("d5-noise-{spl:.0}db"), quick)
+        })
+        .collect()
+}
+
+/// E-D6 — the adaptive attacker: a shadow-suppression sweep of the attack
+/// delivery, scored by the trained detector.
+pub fn d6(quick: bool) -> CampaignSpec {
+    let suppressions: &[f64] = if quick {
+        &[0.0, 0.5, 1.0]
+    } else {
+        &[0.0, 0.25, 0.5, 0.75, 1.0]
+    };
+    CampaignSpec {
+        detectors: vec![Some(DetectorSpec::standard(quick))],
+        deliveries: suppressions
+            .iter()
+            .map(|&alpha| {
+                DeliverySpec::array(
+                    format!("array (8 elements, 60 W), suppression {alpha}"),
+                    8,
+                    60.0,
+                    40_000.0,
+                )
+                .with_shadow_suppression(alpha)
+            })
+            .collect(),
+        max_voice_duration_s: voice_cap_s(quick),
+        ..CampaignSpec::new("d6-adaptive-attacker")
+    }
+}
+
 /// The CI smoke campaign: a 2 x 2 grid, one trial per cell, truncated
 /// commands — seconds of wall clock, exercising the whole engine.
 pub fn smoke() -> CampaignSpec {
@@ -222,9 +413,14 @@ pub fn smoke() -> CampaignSpec {
 }
 
 /// Preset names accepted by [`by_name`], for help text.
-pub const PRESET_NAMES: [&str; 8] = ["smoke", "a1", "a2", "a3", "a4", "b3", "defense", "rooms"];
+pub const PRESET_NAMES: [&str; 17] = [
+    "smoke", "a1", "a2", "a3", "a4", "a5", "a6", "b1", "b2", "b3", "defense", "rooms", "d1", "d3",
+    "d4", "d5", "d6",
+];
 
-/// Looks a preset up by name; `b3` expands to its two case campaigns.
+/// Looks a preset up by name; `b3` and `d5` expand to their per-case
+/// campaigns, and `d2` is an alias of `d1` (one corpus feeds both the
+/// E-D1 and E-D2 tables).
 pub fn by_name(name: &str, quick: bool) -> Option<Vec<CampaignSpec>> {
     match name {
         "smoke" => Some(vec![smoke()]),
@@ -232,9 +428,18 @@ pub fn by_name(name: &str, quick: bool) -> Option<Vec<CampaignSpec>> {
         "a2" => Some(vec![a2(quick)]),
         "a3" => Some(vec![a3(quick)]),
         "a4" => Some(vec![a4(quick)]),
+        "a5" => Some(vec![a5(quick)]),
+        "a6" => Some(vec![a6(quick)]),
+        "b1" => Some(vec![b1(quick)]),
+        "b2" => Some(vec![b2(quick)]),
         "b3" => Some(b3(quick)),
         "defense" => Some(vec![defense(quick)]),
         "rooms" => Some(vec![rooms(quick)]),
+        "d1" | "d2" => Some(vec![d1(quick)]),
+        "d3" => Some(vec![d3(quick)]),
+        "d4" => Some(vec![d4(quick)]),
+        "d5" => Some(d5(quick)),
+        "d6" => Some(vec![d6(quick)]),
         _ => None,
     }
 }
@@ -263,6 +468,13 @@ mod tests {
         assert_eq!(a3(true).num_cells(), 3);
         assert_eq!(a3(false).num_cells(), 7);
         assert_eq!(a4(true).num_cells(), 3);
+        assert_eq!(a5(true).num_cells(), 2 * 4);
+        assert_eq!(a5(false).num_cells(), 2 * 9);
+        assert_eq!(a6(true).num_cells(), 3);
+        assert_eq!(a6(false).num_cells(), 7);
+        assert_eq!(b1(true).num_cells(), 2 * 5 * 8);
+        assert_eq!(b1(false).num_cells(), 2 * 5 * 45);
+        assert_eq!(b2(true).num_cells(), 1);
         assert_eq!(rooms(true).num_cells(), 4 * 3);
         assert_eq!(rooms(false).num_cells(), 5 * 6);
         // The a3/a4 sweeps pin the element-sweep scenarios of the bespoke
@@ -273,6 +485,32 @@ mod tests {
         assert_eq!(b3(true).len(), 2);
         assert_eq!(b3(true)[0].num_trials(), 5);
         assert_eq!(b3(false)[0].num_trials(), 50);
+        // The migrated element/carrier/power sweeps pin the scenarios of
+        // the bespoke loops they replaced: one trial at seed 1 per cell.
+        for spec in [a5(true), a6(true), b1(true), b2(true)] {
+            assert_eq!(spec.trials_per_cell, 1, "{}", spec.name);
+            assert_eq!(spec.base_seed, 1, "{}", spec.name);
+        }
+        // The d-series runs with a trained detector on every cell; d6
+        // sweeps the adaptive attacker's suppression across deliveries.
+        for spec in [d1(true), d3(true), d4(true), d6(true)] {
+            assert!(spec.detectors[0].is_some(), "{}", spec.name);
+        }
+        assert_eq!(d4(true).devices.len(), 2);
+        assert_eq!(d5(true).len(), 2);
+        assert_eq!(d5(false).len(), 4);
+        assert_eq!(d5(true)[1].ambient_noise_spl_db, 60.0);
+        let d6_spec = d6(true);
+        assert_eq!(d6_spec.deliveries.len(), 3);
+        assert_eq!(d6_spec.deliveries[0].shadow_suppression, 0.0);
+        assert_eq!(d6_spec.deliveries[2].shadow_suppression, 1.0);
+        assert_eq!(
+            b2(true).recording_band_summary,
+            Some(BandSummarySpec {
+                bands: 8,
+                max_hz: 8_000.0
+            })
+        );
         let smoke = smoke();
         assert_eq!(smoke.num_cells(), 4);
         assert_eq!(smoke.trials_per_cell, 1);

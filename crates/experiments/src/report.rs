@@ -10,7 +10,8 @@ use crate::aggregate::{CellReport, CellStats, PsychometricCurve};
 use crate::error::{ExperimentError, Result};
 use crate::executor::TrialRecord;
 use crate::grid::{
-    room_from_token, room_token, CampaignSpec, CellSpec, DeliverySpec, EnvironmentPreset,
+    room_from_token, room_token, BandSummarySpec, CampaignSpec, CellCoords, CellSpec, DeliverySpec,
+    DetectorSpec, EnvironmentPreset,
 };
 use ivc_acoustics::microphone::DevicePreset;
 use ivc_core::json::{u64_to_json, JsonValue};
@@ -20,9 +21,13 @@ use ivc_core::scenario::Delivery;
 /// Format tag written into every archive, so readers can reject files from
 /// a different schema generation.
 ///
-/// v2 added the room axis (spec `rooms`, per-cell `room_index`, per-curve
-/// `room_index`) and the A-weighted bystander SPL to trials and stats.
-pub const REPORT_FORMAT: &str = "ivc-campaign-report-v2";
+/// v3 added the detector-training, carrier-frequency and power axes (spec
+/// `detectors`/`carriers_hz`/`powers_w`, the matching cell/curve indices),
+/// per-delivery shadow suppression, per-trial defense features, detector
+/// probabilities and optional recording band summaries, and the per-cell
+/// mean detection probability.  v2 added the room axis and the A-weighted
+/// bystander SPL.
+pub const REPORT_FORMAT: &str = "ivc-campaign-report-v3";
 
 /// A finished campaign: spec, per-cell results, curves.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,25 +42,9 @@ pub struct CampaignReport {
 
 impl CampaignReport {
     /// The cell at the given axis coordinates, if present.
-    #[allow(clippy::too_many_arguments)]
-    pub fn find_cell(
-        &self,
-        device_index: usize,
-        delivery_index: usize,
-        room_index: usize,
-        environment_index: usize,
-        command_position: usize,
-        distance_index: usize,
-    ) -> Option<&CellReport> {
+    pub fn find_cell(&self, coords: &CellCoords) -> Option<&CellReport> {
         // Cells are stored in expansion order; the spec owns the mapping.
-        let index = self.spec.cell_index_of(
-            device_index,
-            delivery_index,
-            room_index,
-            environment_index,
-            command_position,
-            distance_index,
-        )?;
+        let index = self.spec.cell_index_of(coords)?;
         self.cells.get(index)
     }
 
@@ -227,9 +216,91 @@ fn delivery_from_json(value: &JsonValue) -> Result<Delivery> {
     }
 }
 
+fn detector_to_json(detector: &DetectorSpec) -> JsonValue {
+    obj(vec![
+        ("label", JsonValue::string(&detector.label)),
+        ("device", JsonValue::string(device_token(detector.device))),
+        (
+            "distances_m",
+            JsonValue::number_array(&detector.distances_m),
+        ),
+        (
+            "num_speaker_variants",
+            JsonValue::number(detector.num_speaker_variants as f64),
+        ),
+        (
+            "command_indices",
+            JsonValue::Array(
+                detector
+                    .command_indices
+                    .iter()
+                    .map(|&i| JsonValue::number(i as f64))
+                    .collect(),
+            ),
+        ),
+        (
+            "attack_elements",
+            JsonValue::number(detector.attack_elements as f64),
+        ),
+        (
+            "attack_total_power_w",
+            JsonValue::number(detector.attack_total_power_w),
+        ),
+        ("carrier_hz", JsonValue::number(detector.carrier_hz)),
+        ("talker_spl_db", JsonValue::number(detector.talker_spl_db)),
+        (
+            "ambient_noise_spl_db",
+            JsonValue::number(detector.ambient_noise_spl_db),
+        ),
+        (
+            // INFINITY (no cap) has no JSON number; archived as null.
+            "max_voice_duration_s",
+            JsonValue::number(detector.max_voice_duration_s),
+        ),
+        ("seed", u64_to_json(detector.seed)),
+    ])
+}
+
+fn detector_from_json(value: &JsonValue) -> Result<DetectorSpec> {
+    let device_token_str = req_str(value, "device")?;
+    Ok(DetectorSpec {
+        label: req_str(value, "label")?.to_string(),
+        device: device_from_token(device_token_str).ok_or_else(|| {
+            ExperimentError::decode(format!("unknown device '{device_token_str}'"))
+        })?,
+        distances_m: req_f64_array(value, "distances_m")?,
+        num_speaker_variants: req_usize(value, "num_speaker_variants")?,
+        command_indices: req_array(value, "command_indices")?
+            .iter()
+            .map(|v| as_usize(v, "command_indices[]"))
+            .collect::<Result<Vec<_>>>()?,
+        attack_elements: req_usize(value, "attack_elements")?,
+        attack_total_power_w: req_f64(value, "attack_total_power_w")?,
+        carrier_hz: req_f64(value, "carrier_hz")?,
+        talker_spl_db: req_f64(value, "talker_spl_db")?,
+        ambient_noise_spl_db: req_f64(value, "ambient_noise_spl_db")?,
+        max_voice_duration_s: opt_f64(value, "max_voice_duration_s")?.unwrap_or(f64::INFINITY),
+        seed: req(value, "seed")?
+            .as_u64()
+            .ok_or_else(|| ExperimentError::decode("detector seed is not a u64".to_string()))?,
+    })
+}
+
 fn spec_to_json(spec: &CampaignSpec) -> JsonValue {
     obj(vec![
         ("name", JsonValue::string(&spec.name)),
+        (
+            "detectors",
+            JsonValue::Array(
+                spec.detectors
+                    .iter()
+                    .map(|d| match d {
+                        None => JsonValue::Null,
+                        Some(detector) => detector_to_json(detector),
+                    })
+                    .collect(),
+            ),
+        ),
         (
             "devices",
             JsonValue::Array(
@@ -248,10 +319,22 @@ fn spec_to_json(spec: &CampaignSpec) -> JsonValue {
                         obj(vec![
                             ("label", JsonValue::string(&d.label)),
                             ("delivery", delivery_to_json(&d.delivery)),
+                            (
+                                "shadow_suppression",
+                                JsonValue::number(d.shadow_suppression),
+                            ),
                         ])
                     })
                     .collect(),
             ),
+        ),
+        (
+            "carriers_hz",
+            JsonValue::Array(spec.carriers_hz.iter().map(|&c| opt_number(c)).collect()),
+        ),
+        (
+            "powers_w",
+            JsonValue::Array(spec.powers_w.iter().map(|&p| opt_number(p)).collect()),
         ),
         (
             "rooms",
@@ -299,10 +382,27 @@ fn spec_to_json(spec: &CampaignSpec) -> JsonValue {
             "max_voice_duration_s",
             JsonValue::number(spec.max_voice_duration_s),
         ),
+        (
+            "recording_band_summary",
+            match spec.recording_band_summary {
+                None => JsonValue::Null,
+                Some(summary) => obj(vec![
+                    ("bands", JsonValue::number(summary.bands as f64)),
+                    ("max_hz", JsonValue::number(summary.max_hz)),
+                ]),
+            },
+        ),
     ])
 }
 
 fn spec_from_json(value: &JsonValue) -> Result<CampaignSpec> {
+    let detectors = req_array(value, "detectors")?
+        .iter()
+        .map(|v| match v {
+            JsonValue::Null => Ok(None),
+            other => detector_from_json(other).map(Some),
+        })
+        .collect::<Result<Vec<_>>>()?;
     let devices = req_array(value, "devices")?
         .iter()
         .map(|v| {
@@ -317,8 +417,17 @@ fn spec_from_json(value: &JsonValue) -> Result<CampaignSpec> {
             Ok(DeliverySpec {
                 label: req_str(v, "label")?.to_string(),
                 delivery: delivery_from_json(req(v, "delivery")?)?,
+                shadow_suppression: req_f64(v, "shadow_suppression")?,
             })
         })
+        .collect::<Result<Vec<_>>>()?;
+    let carriers_hz = req_array(value, "carriers_hz")?
+        .iter()
+        .map(|v| opt_number_value(v, "carriers_hz[]"))
+        .collect::<Result<Vec<_>>>()?;
+    let powers_w = req_array(value, "powers_w")?
+        .iter()
+        .map(|v| opt_number_value(v, "powers_w[]"))
         .collect::<Result<Vec<_>>>()?;
     let rooms = req_array(value, "rooms")?
         .iter()
@@ -341,10 +450,20 @@ fn spec_from_json(value: &JsonValue) -> Result<CampaignSpec> {
         .map(|v| as_usize(v, "command_indices[]"))
         .collect::<Result<Vec<_>>>()?;
     let distances_m = req_f64_array(value, "distances_m")?;
+    let recording_band_summary = match req(value, "recording_band_summary")? {
+        JsonValue::Null => None,
+        summary => Some(BandSummarySpec {
+            bands: req_usize(summary, "bands")?,
+            max_hz: req_f64(summary, "max_hz")?,
+        }),
+    };
     Ok(CampaignSpec {
         name: req_str(value, "name")?.to_string(),
+        detectors,
         devices,
         deliveries,
+        carriers_hz,
+        powers_w,
         rooms,
         environments,
         command_indices,
@@ -356,42 +475,69 @@ fn spec_from_json(value: &JsonValue) -> Result<CampaignSpec> {
             .as_u64()
             .ok_or_else(|| ExperimentError::decode("base_seed is not a u64".to_string()))?,
         max_voice_duration_s: opt_f64(value, "max_voice_duration_s")?.unwrap_or(f64::INFINITY),
+        recording_band_summary,
+    })
+}
+
+fn coords_members(coords: &CellCoords) -> Vec<(&'static str, JsonValue)> {
+    vec![
+        (
+            "detector_index",
+            JsonValue::number(coords.detector_index as f64),
+        ),
+        (
+            "device_index",
+            JsonValue::number(coords.device_index as f64),
+        ),
+        (
+            "delivery_index",
+            JsonValue::number(coords.delivery_index as f64),
+        ),
+        (
+            "carrier_index",
+            JsonValue::number(coords.carrier_index as f64),
+        ),
+        ("power_index", JsonValue::number(coords.power_index as f64)),
+        ("room_index", JsonValue::number(coords.room_index as f64)),
+        (
+            "environment_index",
+            JsonValue::number(coords.environment_index as f64),
+        ),
+        (
+            "command_position",
+            JsonValue::number(coords.command_position as f64),
+        ),
+        (
+            "distance_index",
+            JsonValue::number(coords.distance_index as f64),
+        ),
+    ]
+}
+
+fn coords_from_json(value: &JsonValue) -> Result<CellCoords> {
+    Ok(CellCoords {
+        detector_index: req_usize(value, "detector_index")?,
+        device_index: req_usize(value, "device_index")?,
+        delivery_index: req_usize(value, "delivery_index")?,
+        carrier_index: req_usize(value, "carrier_index")?,
+        power_index: req_usize(value, "power_index")?,
+        room_index: req_usize(value, "room_index")?,
+        environment_index: req_usize(value, "environment_index")?,
+        command_position: req_usize(value, "command_position")?,
+        distance_index: req_usize(value, "distance_index")?,
     })
 }
 
 fn cell_spec_to_json(cell: &CellSpec) -> JsonValue {
-    obj(vec![
-        ("cell_index", JsonValue::number(cell.cell_index as f64)),
-        ("device_index", JsonValue::number(cell.device_index as f64)),
-        (
-            "delivery_index",
-            JsonValue::number(cell.delivery_index as f64),
-        ),
-        ("room_index", JsonValue::number(cell.room_index as f64)),
-        (
-            "environment_index",
-            JsonValue::number(cell.environment_index as f64),
-        ),
-        (
-            "command_position",
-            JsonValue::number(cell.command_position as f64),
-        ),
-        (
-            "distance_index",
-            JsonValue::number(cell.distance_index as f64),
-        ),
-    ])
+    let mut members = vec![("cell_index", JsonValue::number(cell.cell_index as f64))];
+    members.extend(coords_members(&cell.coords));
+    obj(members)
 }
 
 fn cell_spec_from_json(value: &JsonValue) -> Result<CellSpec> {
     Ok(CellSpec {
         cell_index: req_usize(value, "cell_index")?,
-        device_index: req_usize(value, "device_index")?,
-        delivery_index: req_usize(value, "delivery_index")?,
-        room_index: req_usize(value, "room_index")?,
-        environment_index: req_usize(value, "environment_index")?,
-        command_position: req_usize(value, "command_position")?,
-        distance_index: req_usize(value, "distance_index")?,
+        coords: coords_from_json(value)?,
     })
 }
 
@@ -426,6 +572,10 @@ fn stats_to_json(stats: &CellStats) -> JsonValue {
             "mean_power_shortfall_w",
             JsonValue::number(stats.mean_power_shortfall_w),
         ),
+        (
+            "mean_detection_probability",
+            opt_number(stats.mean_detection_probability),
+        ),
     ])
 }
 
@@ -442,6 +592,7 @@ fn stats_from_json(value: &JsonValue) -> Result<CellStats> {
         mean_bystander_voice_spl_db: opt_f64(value, "mean_bystander_voice_spl_db")?,
         leak_audible_fraction: opt_f64(value, "leak_audible_fraction")?,
         mean_power_shortfall_w: req_f64(value, "mean_power_shortfall_w")?,
+        mean_detection_probability: opt_f64(value, "mean_detection_probability")?,
     })
 }
 
@@ -473,6 +624,21 @@ fn trial_to_json(trial: &TrialRecord) -> JsonValue {
             "power_shortfall_w",
             JsonValue::number(trial.power_shortfall_w),
         ),
+        (
+            "defense_features",
+            JsonValue::number_array(&trial.defense_features),
+        ),
+        (
+            "detection_probability",
+            opt_number(trial.detection_probability),
+        ),
+        (
+            "recording_band_summary_db",
+            match &trial.recording_band_summary_db {
+                None => JsonValue::Null,
+                Some(bands) => JsonValue::number_array(bands),
+            },
+        ),
     ])
 }
 
@@ -485,6 +651,10 @@ fn trial_from_json(value: &JsonValue) -> Result<TrialRecord> {
                 "leak_audible is neither bool nor null".to_string(),
             ))
         }
+    };
+    let recording_band_summary_db = match req(value, "recording_band_summary_db")? {
+        JsonValue::Null => None,
+        _ => Some(req_f64_array(value, "recording_band_summary_db")?),
     };
     Ok(TrialRecord {
         cell_index: req_usize(value, "cell_index")?,
@@ -503,6 +673,9 @@ fn trial_from_json(value: &JsonValue) -> Result<TrialRecord> {
         bystander_voice_spl_db: opt_f64(value, "bystander_voice_spl_db")?,
         leak_audible,
         power_shortfall_w: req_f64(value, "power_shortfall_w")?,
+        defense_features: req_f64_array(value, "defense_features")?,
+        detection_probability: opt_f64(value, "detection_probability")?,
+        recording_band_summary_db,
     })
 }
 
@@ -531,22 +704,9 @@ fn cell_report_from_json(value: &JsonValue) -> Result<CellReport> {
 }
 
 fn curve_to_json(curve: &PsychometricCurve) -> JsonValue {
-    obj(vec![
-        ("label", JsonValue::string(&curve.label)),
-        ("device_index", JsonValue::number(curve.device_index as f64)),
-        (
-            "delivery_index",
-            JsonValue::number(curve.delivery_index as f64),
-        ),
-        ("room_index", JsonValue::number(curve.room_index as f64)),
-        (
-            "environment_index",
-            JsonValue::number(curve.environment_index as f64),
-        ),
-        (
-            "command_position",
-            JsonValue::number(curve.command_position as f64),
-        ),
+    let mut members = vec![("label", JsonValue::string(&curve.label))];
+    members.extend(coords_members(&curve.coords));
+    members.extend(vec![
         ("distances_m", JsonValue::number_array(&curve.distances_m)),
         (
             "success_rates",
@@ -558,17 +718,14 @@ fn curve_to_json(curve: &PsychometricCurve) -> JsonValue {
             "mean_word_accuracy",
             JsonValue::number_array(&curve.mean_word_accuracy),
         ),
-    ])
+    ]);
+    obj(members)
 }
 
 fn curve_from_json(value: &JsonValue) -> Result<PsychometricCurve> {
     Ok(PsychometricCurve {
         label: req_str(value, "label")?.to_string(),
-        device_index: req_usize(value, "device_index")?,
-        delivery_index: req_usize(value, "delivery_index")?,
-        room_index: req_usize(value, "room_index")?,
-        environment_index: req_usize(value, "environment_index")?,
-        command_position: req_usize(value, "command_position")?,
+        coords: coords_from_json(value)?,
         distances_m: req_f64_array(value, "distances_m")?,
         success_rates: req_f64_array(value, "success_rates")?,
         ci_low: req_f64_array(value, "ci_low")?,
@@ -616,6 +773,15 @@ fn opt_f64(value: &JsonValue, key: &str) -> Result<Option<f64>> {
     }
 }
 
+fn opt_number_value(value: &JsonValue, context: &str) -> Result<Option<f64>> {
+    match value {
+        JsonValue::Null => Ok(None),
+        v => Ok(Some(v.as_f64().ok_or_else(|| {
+            ExperimentError::decode(format!("'{context}' is neither number nor null"))
+        })?)),
+    }
+}
+
 fn req_usize(value: &JsonValue, key: &str) -> Result<usize> {
     req(value, key)?
         .as_usize()
@@ -656,12 +822,15 @@ mod tests {
 
     fn synthetic_report() -> CampaignReport {
         let spec = CampaignSpec {
+            detectors: vec![None, Some(DetectorSpec::standard(true))],
             devices: vec![DevicePreset::AndroidPhone, DevicePreset::AmazonEcho],
             deliveries: vec![
                 DeliverySpec::legitimate("talker", 65.0),
                 DeliverySpec::single_speaker("single 3 W", 3.0, 40_000.0),
-                DeliverySpec::array("array 61", 61, 400.0, 40_000.0),
+                DeliverySpec::array("array 61", 61, 400.0, 40_000.0).with_shadow_suppression(0.25),
             ],
+            carriers_hz: vec![None, Some(30_000.0)],
+            powers_w: vec![None, Some(23.7)],
             rooms: vec![None, Some(ivc_room::RoomPreset::Corridor)],
             environments: vec![
                 EnvironmentPreset::MeetingRoom,
@@ -672,13 +841,20 @@ mod tests {
             trials_per_cell: 2,
             base_seed: u64::MAX - 5,
             max_voice_duration_s: f64::INFINITY,
+            recording_band_summary: Some(BandSummarySpec {
+                bands: 4,
+                max_hz: 8_000.0,
+            }),
             ..CampaignSpec::new("synthetic")
         };
         let cells = spec.cells();
         let mut records = Vec::new();
         for cell in &cells {
             for trial in 0..spec.trials_per_cell {
-                let attack = spec.deliveries[cell.delivery_index].delivery.is_attack();
+                let attack = spec.deliveries[cell.coords.delivery_index]
+                    .delivery
+                    .is_attack();
+                let detector = spec.detectors[cell.coords.detector_index].is_some();
                 records.push(TrialRecord {
                     cell_index: cell.cell_index,
                     trial_index: trial,
@@ -691,6 +867,9 @@ mod tests {
                     bystander_voice_spl_db: attack.then_some(21.7),
                     leak_audible: attack.then_some(cell.cell_index % 2 == 0),
                     power_shortfall_w: if cell.cell_index % 5 == 0 { 12.5 } else { 0.0 },
+                    defense_features: vec![0.25, -1.5, 3.25, 0.0],
+                    detection_probability: detector.then_some(if attack { 0.875 } else { 0.125 }),
+                    recording_band_summary_db: Some(vec![-10.0, -20.5, -30.25, -41.0]),
                 });
             }
         }
@@ -716,17 +895,32 @@ mod tests {
     #[test]
     fn find_cell_addresses_the_grid() {
         let report = synthetic_report();
-        let cell = report.find_cell(1, 2, 1, 0, 1, 2).unwrap();
-        assert_eq!(cell.cell.device_index, 1);
-        assert_eq!(cell.cell.delivery_index, 2);
-        assert_eq!(cell.cell.room_index, 1);
-        assert_eq!(cell.cell.environment_index, 0);
-        assert_eq!(cell.cell.command_position, 1);
-        assert_eq!(cell.cell.distance_index, 2);
+        let coords = CellCoords {
+            detector_index: 1,
+            device_index: 1,
+            delivery_index: 2,
+            carrier_index: 1,
+            power_index: 0,
+            room_index: 1,
+            environment_index: 0,
+            command_position: 1,
+            distance_index: 2,
+        };
+        let cell = report.find_cell(&coords).unwrap();
+        assert_eq!(cell.cell.coords, coords);
         assert_eq!(report.cells[cell.cell.cell_index].cell, cell.cell);
-        assert!(report.find_cell(2, 0, 0, 0, 0, 0).is_none());
-        assert!(report.find_cell(0, 0, 2, 0, 0, 0).is_none());
-        assert!(report.find_cell(0, 0, 0, 0, 0, 99).is_none());
+        assert!(report
+            .find_cell(&CellCoords {
+                device_index: 2,
+                ..CellCoords::default()
+            })
+            .is_none());
+        assert!(report
+            .find_cell(&CellCoords {
+                distance_index: 99,
+                ..CellCoords::default()
+            })
+            .is_none());
     }
 
     #[test]
@@ -743,7 +937,7 @@ mod tests {
     fn wrong_format_and_malformed_documents_are_rejected() {
         assert!(CampaignReport::from_json_str("{}").is_err());
         assert!(CampaignReport::from_json_str("not json").is_err());
-        let wrong_format = "{\"format\": \"something-else\"}";
+        let wrong_format = "{\"format\": \"ivc-campaign-report-v2\"}";
         let err = CampaignReport::from_json_str(wrong_format).unwrap_err();
         assert!(err.to_string().contains("unsupported format"));
         // A valid report with one member clobbered decodes to an error, not
@@ -761,5 +955,24 @@ mod tests {
         assert!(text.contains("\"max_voice_duration_s\": null"));
         let parsed = CampaignReport::from_json_str(&text).unwrap();
         assert_eq!(parsed.spec.max_voice_duration_s, f64::INFINITY);
+    }
+
+    #[test]
+    fn v3_members_are_archived() {
+        let text = synthetic_report().to_json_string();
+        for member in [
+            "\"detectors\"",
+            "\"carriers_hz\"",
+            "\"powers_w\"",
+            "\"shadow_suppression\"",
+            "\"defense_features\"",
+            "\"detection_probability\"",
+            "\"recording_band_summary\"",
+            "\"mean_detection_probability\"",
+            "\"standard detector\"",
+        ] {
+            assert!(text.contains(member), "archive missing {member}");
+        }
+        assert!(text.contains(REPORT_FORMAT));
     }
 }

@@ -44,7 +44,9 @@ fn build_report(
         for trial in 0..trials_per_cell {
             let accuracy = accuracies[pick % accuracies.len()];
             let spl = spls[pick % spls.len()];
-            let attack = spec.deliveries[cell.delivery_index].delivery.is_attack();
+            let attack = spec.deliveries[cell.coords.delivery_index]
+                .delivery
+                .is_attack();
             let words: Vec<String> = (0..word_picks[pick % word_picks.len()] % WORDS.len())
                 .map(|w| WORDS[w].to_string())
                 .collect();
@@ -60,6 +62,10 @@ fn build_report(
                 bystander_voice_spl_db: attack.then_some(spl - 11.7),
                 leak_audible: attack.then_some(spl > 30.0),
                 power_shortfall_w: if pick % 4 == 0 { spl.abs() } else { 0.0 },
+                defense_features: accuracies.iter().take(4).copied().collect(),
+                detection_probability: (pick % 3 == 0).then_some(accuracy),
+                recording_band_summary_db: (pick % 5 == 0)
+                    .then(|| spls.iter().take(3).copied().collect()),
             });
             pick += 1;
         }

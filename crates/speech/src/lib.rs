@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod commands;
 pub mod dtw;
 pub mod error;
@@ -35,6 +36,7 @@ pub mod recognizer;
 pub mod synthesis;
 pub mod vad;
 
+pub use cache::{TalkerKey, UtteranceCache};
 pub use commands::{CommandId, VoiceCommand};
 pub use error::{Result, SpeechError};
 pub use recognizer::{RecognitionOutcome, Recognizer, RecognizerConfig};

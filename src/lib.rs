@@ -38,11 +38,12 @@ pub use ivc_speech as speech;
 pub mod prelude {
     pub use ivc_acoustics::prelude::*;
     pub use ivc_attack::prelude::*;
-    pub use ivc_core::{run_trial, Delivery, Scenario, TrialOutcome};
+    pub use ivc_core::{run_trial, Delivery, PrepareContext, PreparedCell, Scenario, TrialOutcome};
     pub use ivc_defense::prelude::*;
     pub use ivc_dsp::prelude::*;
     pub use ivc_experiments::{
-        run_campaign, CampaignReport, CampaignSpec, DeliverySpec, EnvironmentPreset,
+        run_campaign, CampaignReport, CampaignSpec, CellCoords, DeliverySpec, DetectorSpec,
+        EnvironmentPreset,
     };
     pub use ivc_room::{propagate_in_room, RoomInstance, RoomPreset};
     pub use ivc_speech::prelude::*;

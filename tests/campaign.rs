@@ -4,7 +4,7 @@
 
 use inaudible_voice_commands::experiments::presets;
 use inaudible_voice_commands::experiments::{
-    run_campaign, CampaignReport, CampaignSpec, DeliverySpec,
+    run_campaign, CampaignReport, CampaignSpec, DeliverySpec, DetectorSpec,
 };
 
 /// A minimal grid that still exercises attack trials end to end.
@@ -79,10 +79,63 @@ fn rooms_campaign_is_worker_count_invariant() {
     // the room per cell.
     assert_eq!(serial.cells.len(), spec.rooms.len() * 2);
     for cell in &serial.cells {
-        assert!(cell.cell.room_index < spec.rooms.len());
+        assert!(cell.cell.coords.room_index < spec.rooms.len());
     }
     let text = serial.to_json_string();
     for token in ["anechoic", "office", "conference_room", "through_doorway"] {
         assert!(text.contains(token), "archive missing room token {token}");
+    }
+}
+
+#[test]
+fn shared_contexts_and_new_axes_are_worker_count_invariant() {
+    // The staged executor shares PreparedCells across a cell's trials,
+    // talker-variant renders across legitimate trials, and one trained
+    // detector across an axis entry's cells.  None of that sharing may
+    // leak scheduling into the archive: the bytes must match at any
+    // worker count, with every v3 axis in play at once.
+    let spec = CampaignSpec {
+        detectors: vec![
+            None,
+            Some(DetectorSpec {
+                distances_m: vec![1.5],
+                num_speaker_variants: 3,
+                command_indices: vec![0],
+                max_voice_duration_s: 0.7,
+                ..DetectorSpec::standard(true)
+            }),
+        ],
+        deliveries: vec![
+            DeliverySpec::legitimate("talker 68 dB", 68.0),
+            DeliverySpec::single_speaker("single speaker", 18.7, 40_000.0)
+                .with_shadow_suppression(0.5),
+        ],
+        carriers_hz: vec![Some(30_000.0)],
+        powers_w: vec![None, Some(10.0)],
+        distances_m: vec![1.5],
+        trials_per_cell: 3,
+        base_seed: 6, // variants 6, 7, 0 across the three trials
+        max_voice_duration_s: 0.7,
+        ..CampaignSpec::new("integration-v3-axes")
+    };
+    let serial = run_campaign(&spec, 1).unwrap();
+    let parallel = run_campaign(&spec, 8).unwrap();
+    assert_eq!(
+        serial.to_json_string(),
+        parallel.to_json_string(),
+        "v3-axis archive bytes must not depend on the worker count"
+    );
+    // The detector half of the grid carries probabilities, the plain half
+    // does not; both halves agree on everything else (the detector only
+    // *observes* trials).
+    let half = serial.cells.len() / 2;
+    for (plain, scored) in serial.cells.iter().zip(serial.cells[half..].iter()) {
+        for (p, s) in plain.trials.iter().zip(scored.trials.iter()) {
+            assert_eq!(p.detection_probability, None);
+            assert!(s.detection_probability.is_some());
+            assert_eq!(p.accepted, s.accepted);
+            assert_eq!(p.word_accuracy, s.word_accuracy);
+            assert_eq!(p.defense_features, s.defense_features);
+        }
     }
 }

@@ -159,7 +159,7 @@ fn rooms_reshape_the_attack_and_the_doorway_hides_the_leak() {
     // the ultrasonic voice path (the beam goes through the gap, the leak
     // through the drywall).
     use inaudible_voice_commands::experiments::{
-        default_workers, run_campaign, CampaignSpec, DeliverySpec,
+        default_workers, run_campaign, CampaignSpec, CellCoords, DeliverySpec,
     };
     use inaudible_voice_commands::room::RoomPreset;
 
@@ -184,7 +184,7 @@ fn rooms_reshape_the_attack_and_the_doorway_hides_the_leak() {
         report
             .curves
             .iter()
-            .find(|c| c.room_index == room_index)
+            .find(|c| c.coords.room_index == room_index)
             .expect("one curve per room")
     };
     let anechoic = curve(0);
@@ -208,8 +208,19 @@ fn rooms_reshape_the_attack_and_the_doorway_hides_the_leak() {
 
     // (2) The doorway layout: compare at 3 m.  The leak drops by tens of
     // dB; the voice path loses at most one word of accuracy.
-    let anechoic_cell = report.find_cell(0, 0, 0, 0, 0, 1).unwrap();
-    let doorway_cell = report.find_cell(0, 0, 2, 0, 0, 1).unwrap();
+    let anechoic_cell = report
+        .find_cell(&CellCoords {
+            distance_index: 1,
+            ..CellCoords::default()
+        })
+        .unwrap();
+    let doorway_cell = report
+        .find_cell(&CellCoords {
+            room_index: 2,
+            distance_index: 1,
+            ..CellCoords::default()
+        })
+        .unwrap();
     let leak_drop_db = anechoic_cell.stats.mean_bystander_spl_db.unwrap()
         - doorway_cell.stats.mean_bystander_spl_db.unwrap();
     let accuracy_drop =
