@@ -1,5 +1,6 @@
 //! Reproduction driver: prints the rows/series of every paper table and
-//! figure, and runs campaign presets through the parallel engine.
+//! figure, and runs campaign presets through the parallel engine —
+//! in-process, or sharded across forked worker processes.
 //!
 //! Usage:
 //!
@@ -11,22 +12,55 @@
 //! # Campaign presets (smoke, a1-a6, b1-b3, defense, rooms, d1-d6)
 //! # through the engine:
 //! cargo run --release -p ivc-bench --bin repro -- campaign smoke --workers 2
-//! cargo run --release -p ivc-bench --bin repro -- campaign rooms
+//! cargo run --release -p ivc-bench --bin repro -- campaign a6 --shards 4 --workers 2
 //!
-//! # Flags (every experiment is campaign-backed and honours both):
-//! #   --workers N     worker threads (default: all cores)
+//! # The same shard contract as standalone steps (file transfer is the
+//! # only coupling, so the three can run on different machines):
+//! cargo run --release -p ivc-bench --bin repro -- shard-plan a6 --shards 4 --out-dir jobs/
+//! cargo run --release -p ivc-bench --bin repro -- shard-worker --job jobs/a6-carrier-frequency.shard-0-of-4.job.json --out parts/part0.json
+//! cargo run --release -p ivc-bench --bin repro -- shard-merge --out a6.json parts/*.json
+//!
+//! # Flags:
+//! #   --workers N     worker threads (default: all cores; per process when sharded)
+//! #   --shards N      fork N shard-worker processes per campaign (campaign mode)
 //! #   --archive DIR   write each campaign's JSON report into DIR
 //! ```
 
 use ivc_bench::*;
-use ivc_experiments::{default_workers, CampaignReport};
+use ivc_experiments::shard::{
+    merge_shards, run_shard, shard_job_file_name, ShardArchive, ShardJob, ShardPlan,
+};
+use ivc_experiments::{default_workers, presets, CampaignReport};
 use std::path::{Path, PathBuf};
 
+/// What the invocation asked the driver to do.
+enum Mode {
+    /// Render paper experiments (the default; empty or `all` = everything).
+    Experiments(Vec<String>),
+    /// Run campaign presets through the engine.
+    Campaign(Vec<String>),
+    /// Write shard job files for presets (`--shards`, `--out-dir`).
+    ShardPlanFiles(Vec<String>),
+    /// Execute one shard job file (`--job`, `--out`).
+    ShardWorker,
+    /// Merge partial archives into a final report (`--out`, inputs).
+    ShardMerge(Vec<PathBuf>),
+}
+
 struct Options {
-    workers: usize,
+    workers: Option<usize>,
     archive: Option<PathBuf>,
-    campaign_presets: Vec<String>,
-    experiments: Vec<String>,
+    shards: Option<usize>,
+    job: Option<PathBuf>,
+    out: Option<PathBuf>,
+    out_dir: Option<PathBuf>,
+}
+
+impl Options {
+    /// `--workers`, defaulting to the machine's parallelism.
+    fn worker_threads(&self) -> usize {
+        self.workers.unwrap_or_else(default_workers)
+    }
 }
 
 /// The next token as a flag's value, rejecting another flag in that slot
@@ -42,58 +76,179 @@ fn flag_value<'a, I: Iterator<Item = &'a String>>(
     }
 }
 
-fn parse_args(args: &[String]) -> Result<Options, String> {
+fn parse_args(args: &[String]) -> Result<(Mode, Options), String> {
     let mut options = Options {
-        workers: default_workers(),
+        workers: None,
         archive: None,
-        campaign_presets: Vec::new(),
-        experiments: Vec::new(),
+        shards: None,
+        job: None,
+        out: None,
+        out_dir: None,
     };
-    let mut campaign_mode = false;
+    let mut subcommand: Option<String> = None;
+    let mut positionals: Vec<String> = Vec::new();
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--workers" => {
                 let value = flag_value(&mut iter, "--workers", "a number")?;
-                options.workers = value
+                let workers = value
                     .parse::<usize>()
-                    .map_err(|_| format!("invalid --workers value '{value}'"))?
-                    .max(1);
+                    .map_err(|_| format!("invalid --workers value '{value}'"))?;
+                if workers == 0 {
+                    return Err("invalid --workers value '0' (need at least 1)".to_string());
+                }
+                options.workers = Some(workers);
+            }
+            "--shards" => {
+                let value = flag_value(&mut iter, "--shards", "a number")?;
+                let shards = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid --shards value '{value}'"))?;
+                if shards == 0 {
+                    return Err("invalid --shards value '0' (need at least 1)".to_string());
+                }
+                options.shards = Some(shards);
             }
             "--archive" => {
                 let value = flag_value(&mut iter, "--archive", "a directory")?;
                 options.archive = Some(PathBuf::from(value));
             }
-            "campaign" if !campaign_mode => {
-                // `campaign` is a subcommand, not a modifier: mixing it
-                // with experiment ids would silently drop them.
-                if !options.experiments.is_empty() {
+            "--job" => {
+                let value = flag_value(&mut iter, "--job", "a shard job file")?;
+                options.job = Some(PathBuf::from(value));
+            }
+            "--out" => {
+                let value = flag_value(&mut iter, "--out", "an output file")?;
+                options.out = Some(PathBuf::from(value));
+            }
+            "--out-dir" => {
+                let value = flag_value(&mut iter, "--out-dir", "an output directory")?;
+                options.out_dir = Some(PathBuf::from(value));
+            }
+            name @ ("campaign" | "shard-plan" | "shard-worker" | "shard-merge")
+                if subcommand.is_none() =>
+            {
+                // A subcommand after positionals would silently demote
+                // them (or itself) to experiment ids: refuse up front.
+                if !positionals.is_empty() {
                     return Err(format!(
-                        "'campaign' cannot be combined with experiment ids ({})",
-                        options.experiments.join(", ")
+                        "'{name}' cannot be combined with experiment ids ({})",
+                        positionals.join(", ")
                     ));
                 }
-                campaign_mode = true;
+                subcommand = Some(name.to_string());
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag '{other}'"));
             }
-            other => {
-                if campaign_mode {
-                    options.campaign_presets.push(other.to_string());
-                } else {
-                    options.experiments.push(other.to_string());
-                }
-            }
+            other => positionals.push(other.to_string()),
         }
     }
-    if campaign_mode && options.campaign_presets.is_empty() {
-        return Err(format!(
-            "campaign needs a preset name (available: {})",
-            ivc_experiments::presets::PRESET_NAMES.join(", ")
-        ));
+    // Each flag belongs to specific subcommands; a misplaced flag is an
+    // error, never silently ignored.
+    let reject_flag = |set: bool, flag: &str, wants: &str| -> Result<(), String> {
+        if set {
+            return Err(format!("{flag} applies to {wants} only"));
+        }
+        Ok(())
+    };
+    let subcommand = subcommand.as_deref();
+    if matches!(subcommand, Some("shard-plan" | "shard-merge")) {
+        reject_flag(
+            options.workers.is_some(),
+            "--workers",
+            "experiment runs and the campaign and shard-worker subcommands",
+        )?;
     }
-    Ok(options)
+    if !matches!(subcommand, Some("campaign" | "shard-plan")) {
+        reject_flag(
+            options.shards.is_some(),
+            "--shards",
+            "the campaign and shard-plan subcommands",
+        )?;
+    }
+    if !matches!(subcommand, None | Some("campaign")) {
+        reject_flag(
+            options.archive.is_some(),
+            "--archive",
+            "experiment runs and the campaign subcommand",
+        )?;
+    }
+    if !matches!(subcommand, Some("shard-worker")) {
+        reject_flag(
+            options.job.is_some(),
+            "--job",
+            "the shard-worker subcommand",
+        )?;
+    }
+    if !matches!(subcommand, Some("shard-worker" | "shard-merge")) {
+        reject_flag(
+            options.out.is_some(),
+            "--out",
+            "the shard-worker and shard-merge subcommands",
+        )?;
+    }
+    if !matches!(subcommand, Some("shard-plan")) {
+        reject_flag(
+            options.out_dir.is_some(),
+            "--out-dir",
+            "the shard-plan subcommand",
+        )?;
+    }
+    let mode = match subcommand {
+        None => Mode::Experiments(positionals),
+        Some("campaign") => {
+            if positionals.is_empty() {
+                return Err(format!(
+                    "campaign needs a preset name (available: {})",
+                    presets::PRESET_NAMES.join(", ")
+                ));
+            }
+            Mode::Campaign(positionals)
+        }
+        Some("shard-plan") => {
+            if positionals.is_empty() {
+                return Err(format!(
+                    "shard-plan needs a preset name (available: {})",
+                    presets::PRESET_NAMES.join(", ")
+                ));
+            }
+            if options.shards.is_none() {
+                return Err("shard-plan needs --shards N".to_string());
+            }
+            if options.out_dir.is_none() {
+                return Err("shard-plan needs --out-dir DIR".to_string());
+            }
+            Mode::ShardPlanFiles(positionals)
+        }
+        Some("shard-worker") => {
+            if !positionals.is_empty() {
+                return Err(format!(
+                    "shard-worker takes no positional arguments (got '{}')",
+                    positionals.join(" ")
+                ));
+            }
+            if options.job.is_none() {
+                return Err("shard-worker needs --job FILE".to_string());
+            }
+            if options.out.is_none() {
+                return Err("shard-worker needs --out FILE".to_string());
+            }
+            Mode::ShardWorker
+        }
+        Some("shard-merge") => {
+            if options.out.is_none() {
+                return Err("shard-merge needs --out FILE".to_string());
+            }
+            if positionals.is_empty() {
+                return Err("shard-merge needs at least one partial archive".to_string());
+            }
+            Mode::ShardMerge(positionals.into_iter().map(PathBuf::from).collect())
+        }
+        Some(_) => unreachable!(),
+    };
+    Ok((mode, options))
 }
 
 fn archive_report(report: &CampaignReport, dir: &Path) -> ivc_core::Result<PathBuf> {
@@ -124,79 +279,254 @@ fn archive_all(reports: &[CampaignReport], archive: &Option<PathBuf>) -> bool {
     ok
 }
 
+/// Prints a campaign report's summary table and per-curve attack ranges —
+/// shared by the in-process and sharded campaign paths, so the two differ
+/// in nothing but how the trials were executed.
+fn print_reports(reports: &[CampaignReport]) {
+    for report in reports {
+        println!("{}", report.summary_table().render());
+        for curve in &report.curves {
+            println!(
+                "range at >= 0.8 success [{}]: {} m",
+                curve.label,
+                curve
+                    .range_at_success_rate(0.8)
+                    .map(|d| format!("{d:.1}"))
+                    .unwrap_or_else(|| "-".into())
+            );
+        }
+        println!();
+    }
+}
+
+/// A one-line error followed by a non-zero exit: every runtime failure
+/// path of the driver funnels through here (exit 2 is reserved for
+/// argument parsing).
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("{message}");
+    std::process::exit(1);
+}
+
+fn run_campaigns(presets_named: &[String], fidelity: Fidelity, options: &Options, workers: usize) {
+    for preset in presets_named {
+        let reports = match options.shards {
+            None => run_campaign_preset(preset, fidelity, workers),
+            Some(num_shards) => {
+                let exe = std::env::current_exe()
+                    .map_err(|e| format!("locating the shard-worker binary: {e}").into());
+                exe.and_then(|exe| {
+                    let scratch = std::env::temp_dir()
+                        .join(format!("ivc-shards-{}-{preset}", std::process::id()));
+                    let result = run_campaign_preset_sharded(
+                        preset, fidelity, num_shards, workers, &exe, &scratch,
+                    );
+                    // Clean up on success only: a failed run's job files
+                    // and partials are the evidence the error points at.
+                    match result {
+                        Ok(reports) => {
+                            let _ = std::fs::remove_dir_all(&scratch);
+                            Ok(reports)
+                        }
+                        Err(e) => Err(format!(
+                            "{e} (job files and partials kept in {})",
+                            scratch.display()
+                        )
+                        .into()),
+                    }
+                })
+            }
+        };
+        match reports {
+            Ok(reports) => {
+                print_reports(&reports);
+                if !archive_all(&reports, &options.archive) {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => fail(format_args!("campaign {preset} failed: {e}")),
+        }
+    }
+}
+
+fn run_shard_plan(presets_named: &[String], fidelity: Fidelity, options: &Options) {
+    let num_shards = options.shards.expect("checked at parse time");
+    let out_dir = options.out_dir.as_ref().expect("checked at parse time");
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        fail(format_args!("creating {}: {e}", out_dir.display()));
+    }
+    for preset in presets_named {
+        let specs = match presets::by_name(preset, fidelity.quick()) {
+            Some(specs) => specs,
+            None => fail(format_args!(
+                "unknown campaign preset '{preset}' (available: {})",
+                presets::PRESET_NAMES.join(", ")
+            )),
+        };
+        for spec in &specs {
+            let plan = match ShardPlan::partition(spec, num_shards) {
+                Ok(plan) => plan,
+                Err(e) => fail(format_args!("planning {}: {e}", spec.name)),
+            };
+            for job in plan.jobs() {
+                let path = out_dir.join(shard_job_file_name(&spec.name, &job.shard));
+                if let Err(e) = job.save(&path) {
+                    fail(e);
+                }
+                println!(
+                    "wrote {} ({} jobs: slots [{}, {}))",
+                    path.display(),
+                    job.shard.num_jobs(),
+                    job.shard.start_job,
+                    job.shard.end_job,
+                );
+            }
+        }
+    }
+}
+
+/// Creates the parent directory of an output file up front, so a typo'd
+/// path fails before the work runs, not after minutes of computation.
+fn ensure_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                fail(format_args!("creating {}: {e}", parent.display()));
+            }
+        }
+    }
+}
+
+fn run_shard_worker(options: &Options) {
+    let job_path = options.job.as_ref().expect("checked at parse time");
+    let out_path = options.out.as_ref().expect("checked at parse time");
+    ensure_parent_dir(out_path);
+    let job = match ShardJob::load(job_path) {
+        Ok(job) => job,
+        Err(e) => fail(e),
+    };
+    let archive = match run_shard(&job, options.worker_threads()) {
+        Ok(archive) => archive,
+        Err(e) => fail(format_args!("running shard {}: {e}", job.shard.shard_index)),
+    };
+    if let Err(e) = archive.save(out_path) {
+        fail(e);
+    }
+    println!(
+        "shard {}/{} of '{}': {} trial(s) -> {}",
+        job.shard.shard_index,
+        job.shard.num_shards,
+        job.spec.name,
+        job.shard.num_jobs(),
+        out_path.display(),
+    );
+}
+
+fn run_shard_merge(partial_paths: &[PathBuf], options: &Options) {
+    let out_path = options.out.as_ref().expect("checked at parse time");
+    ensure_parent_dir(out_path);
+    let mut partials = Vec::with_capacity(partial_paths.len());
+    for path in partial_paths {
+        match ShardArchive::load(path) {
+            Ok(partial) => partials.push(partial),
+            Err(e) => fail(e),
+        }
+    }
+    let report = match merge_shards(&partials) {
+        Ok(report) => report,
+        Err(e) => fail(e),
+    };
+    if let Err(e) = report.save(out_path) {
+        fail(e);
+    }
+    println!(
+        "merged {} shard(s) of '{}' ({} trials) -> {}",
+        partials.len(),
+        report.spec.name,
+        report.spec.num_trials(),
+        out_path.display(),
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let options = match parse_args(&args) {
-        Ok(options) => options,
+    let (mode, options) = match parse_args(&args) {
+        Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("{message}");
             std::process::exit(2);
         }
     };
     let fidelity = Fidelity::from_env();
-    println!(
-        "fidelity: {fidelity:?} (set IVC_FULL=1 for full sweeps); workers: {}\n",
-        options.workers
-    );
 
-    // Campaign mode: run the named presets and print their summaries.
-    if !options.campaign_presets.is_empty() {
-        for preset in &options.campaign_presets {
-            match run_campaign_preset(preset, fidelity, options.workers) {
-                Ok(reports) => {
-                    for report in &reports {
-                        println!("{}", report.summary_table().render());
-                        for curve in &report.curves {
-                            println!(
-                                "range at >= 0.8 success [{}]: {} m",
-                                curve.label,
-                                curve
-                                    .range_at_success_rate(0.8)
-                                    .map(|d| format!("{d:.1}"))
-                                    .unwrap_or_else(|| "-".into())
-                            );
-                        }
-                        println!();
-                    }
-                    if !archive_all(&reports, &options.archive) {
-                        std::process::exit(1);
+    match mode {
+        Mode::ShardWorker => {
+            // Workers are quiet children of a sharded campaign: no banner,
+            // their stdout is the one summary line.
+            run_shard_worker(&options);
+        }
+        Mode::ShardMerge(partials) => {
+            run_shard_merge(&partials, &options);
+        }
+        Mode::ShardPlanFiles(presets_named) => {
+            println!(
+                "fidelity: {fidelity:?} (set IVC_FULL=1 for full sweeps); shards: {}\n",
+                options.shards.unwrap_or(1)
+            );
+            run_shard_plan(&presets_named, fidelity, &options);
+        }
+        Mode::Campaign(presets_named) => {
+            // When sharding without an explicit --workers, split the
+            // machine across the concurrent worker processes instead of
+            // giving each one every core (num_shards x all-cores threads
+            // would thrash, not speed up).
+            let workers = match options.shards {
+                Some(num_shards) => options
+                    .workers
+                    .unwrap_or_else(|| (default_workers() / num_shards).max(1)),
+                None => options.worker_threads(),
+            };
+            println!(
+                "fidelity: {fidelity:?} (set IVC_FULL=1 for full sweeps); workers: {workers}{}\n",
+                options
+                    .shards
+                    .map(|n| format!("; shards: {n}"))
+                    .unwrap_or_default(),
+            );
+            run_campaigns(&presets_named, fidelity, &options, workers);
+        }
+        Mode::Experiments(experiments) => {
+            println!(
+                "fidelity: {fidelity:?} (set IVC_FULL=1 for full sweeps); workers: {}\n",
+                options.worker_threads()
+            );
+            let selected: Vec<String> =
+                if experiments.is_empty() || experiments.iter().any(|a| a == "all") {
+                    vec![
+                        "a1", "a2", "a3", "a4", "a5", "a6", "b1", "b2", "b3", "rooms", "d1", "d3",
+                        "d4", "d5", "d6",
+                    ]
+                    .into_iter()
+                    .map(String::from)
+                    .collect()
+                } else {
+                    experiments
+                };
+            let mut archives_ok = true;
+            let mut experiments_ok = true;
+            for experiment in &selected {
+                let result = run_one(experiment, fidelity, &options, &mut archives_ok);
+                match result {
+                    Ok(output) => println!("{output}"),
+                    Err(e) => {
+                        eprintln!("experiment {experiment} failed: {e}");
+                        experiments_ok = false;
                     }
                 }
-                Err(e) => {
-                    eprintln!("campaign {preset} failed: {e}");
-                    std::process::exit(1);
-                }
+            }
+            if !archives_ok || !experiments_ok {
+                std::process::exit(1);
             }
         }
-        return;
-    }
-
-    let selected: Vec<String> =
-        if options.experiments.is_empty() || options.experiments.iter().any(|a| a == "all") {
-            vec![
-                "a1", "a2", "a3", "a4", "a5", "a6", "b1", "b2", "b3", "rooms", "d1", "d3", "d4",
-                "d5", "d6",
-            ]
-            .into_iter()
-            .map(String::from)
-            .collect()
-        } else {
-            options.experiments.clone()
-        };
-    let mut archives_ok = true;
-    let mut experiments_ok = true;
-    for experiment in &selected {
-        let result = run_one(experiment, fidelity, &options, &mut archives_ok);
-        match result {
-            Ok(output) => println!("{output}"),
-            Err(e) => {
-                eprintln!("experiment {experiment} failed: {e}");
-                experiments_ok = false;
-            }
-        }
-    }
-    if !archives_ok || !experiments_ok {
-        std::process::exit(1);
     }
 }
 
@@ -208,12 +538,13 @@ fn run_one(
 ) -> ivc_core::Result<String> {
     Ok(match name {
         "a1" => {
-            let (table, report) = fig_a1_leakage_vs_power(fidelity, options.workers)?;
+            let (table, report) = fig_a1_leakage_vs_power(fidelity, options.worker_threads())?;
             *archives_ok &= archive_all(std::slice::from_ref(&report), &options.archive);
             table.render()
         }
         "a2" => {
-            let (table, series, report) = fig_a2_accuracy_vs_distance(fidelity, options.workers)?;
+            let (table, series, report) =
+                fig_a2_accuracy_vs_distance(fidelity, options.worker_threads())?;
             *archives_ok &= archive_all(std::slice::from_ref(&report), &options.archive);
             let mut out = table.render();
             for s in series {
@@ -226,70 +557,70 @@ fn run_one(
             out
         }
         "a3" => {
-            let (table, report) = fig_a3_accuracy_vs_speakers(fidelity, options.workers)?;
+            let (table, report) = fig_a3_accuracy_vs_speakers(fidelity, options.worker_threads())?;
             *archives_ok &= archive_all(std::slice::from_ref(&report), &options.archive);
             table.render()
         }
         "a4" => {
-            let (table, report) = fig_a4_leakage_vs_speakers(fidelity, options.workers)?;
+            let (table, report) = fig_a4_leakage_vs_speakers(fidelity, options.worker_threads())?;
             *archives_ok &= archive_all(std::slice::from_ref(&report), &options.archive);
             table.render()
         }
         "rooms" => {
-            let (table, report) = fig_rooms_sweep(fidelity, options.workers)?;
+            let (table, report) = fig_rooms_sweep(fidelity, options.worker_threads())?;
             *archives_ok &= archive_all(std::slice::from_ref(&report), &options.archive);
             table.render()
         }
         "a5" => {
-            let (table, report) = tab_a5_range_per_device(fidelity, options.workers)?;
+            let (table, report) = tab_a5_range_per_device(fidelity, options.worker_threads())?;
             *archives_ok &= archive_all(std::slice::from_ref(&report), &options.archive);
             table.render()
         }
         "a6" => {
-            let (table, report) = fig_a6_carrier_frequency(fidelity, options.workers)?;
+            let (table, report) = fig_a6_carrier_frequency(fidelity, options.worker_threads())?;
             *archives_ok &= archive_all(std::slice::from_ref(&report), &options.archive);
             table.render()
         }
         "b1" => {
-            let (table, report) = tab_b1_range_vs_power(fidelity, options.workers)?;
+            let (table, report) = tab_b1_range_vs_power(fidelity, options.worker_threads())?;
             *archives_ok &= archive_all(std::slice::from_ref(&report), &options.archive);
             table.render()
         }
         "b2" => {
-            let (table, report) = fig_b2_spectrogram_triplet(fidelity, options.workers)?;
+            let (table, report) = fig_b2_spectrogram_triplet(fidelity, options.worker_threads())?;
             *archives_ok &= archive_all(std::slice::from_ref(&report), &options.archive);
             table.render()
         }
         "b3" => {
-            let (table, reports) = tab_b3_success_rate(fidelity, options.workers)?;
+            let (table, reports) = tab_b3_success_rate(fidelity, options.worker_threads())?;
             *archives_ok &= archive_all(&reports, &options.archive);
             table.render()
         }
         "d1" | "d2" => {
-            let (table, report) = fig_d1_d2_feature_separation(fidelity, options.workers)?;
+            let (table, report) = fig_d1_d2_feature_separation(fidelity, options.worker_threads())?;
             *archives_ok &= archive_all(std::slice::from_ref(&report), &options.archive);
             table.render()
         }
         "d3" => {
-            let (table, report) = fig_d3_roc(fidelity, options.workers)?;
+            let (table, report) = fig_d3_roc(fidelity, options.worker_threads())?;
             *archives_ok &= archive_all(std::slice::from_ref(&report), &options.archive);
             table.render()
         }
         "d4" => {
-            let (table, report) = tab_d4_detection_grid(fidelity, options.workers)?;
+            let (table, report) = tab_d4_detection_grid(fidelity, options.worker_threads())?;
             *archives_ok &= archive_all(std::slice::from_ref(&report), &options.archive);
             table.render()
         }
         "d5" => {
-            let (table, reports) = fig_d5_noise_robustness(fidelity, options.workers)?;
+            let (table, reports) = fig_d5_noise_robustness(fidelity, options.worker_threads())?;
             *archives_ok &= archive_all(&reports, &options.archive);
             table.render()
         }
         "d6" => {
-            let (table, report) = fig_d6_adaptive_attacker(fidelity, options.workers)?;
+            let (table, report) = fig_d6_adaptive_attacker(fidelity, options.worker_threads())?;
             *archives_ok &= archive_all(std::slice::from_ref(&report), &options.archive);
             table.render()
         }
-        other => format!("unknown experiment id: {other}\n"),
+        other => return Err(format!("unknown experiment id '{other}'").into()),
     })
 }

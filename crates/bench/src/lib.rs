@@ -21,7 +21,13 @@ use ivc_core::scenario::Delivery;
 use ivc_core::Result;
 use ivc_defense::evaluation::{ConfusionMatrix, RocCurve};
 use ivc_defense::features::DefenseFeatures;
-use ivc_experiments::{presets, run_campaign, CampaignReport, CellCoords, TrialRecord};
+use ivc_experiments::shard::{
+    merge_shards, shard_archive_file_name, shard_job_file_name, ShardArchive, ShardPlan,
+};
+use ivc_experiments::{
+    presets, run_campaign, CampaignReport, CampaignSpec, CellCoords, TrialRecord,
+};
+use std::path::Path;
 
 /// How exhaustive the sweeps should be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -523,6 +529,105 @@ pub fn run_campaign_preset(
         reports.push(run_campaign(spec, workers)?);
     }
     Ok(reports)
+}
+
+/// Runs one campaign spec as `num_shards` forked worker processes of
+/// `worker_exe` (normally the `repro` binary itself, re-entered through
+/// its `shard-worker` subcommand), then merges the partial archives into
+/// a report **byte-identical** to the in-process [`run_campaign`] run.
+///
+/// Job files and partial archives pass through `scratch_dir` using the
+/// same file contract the `shard-plan` / `shard-worker` / `shard-merge`
+/// subcommands expose for multi-machine runs — this is that contract,
+/// driven across local processes.  `scratch_dir` is created if missing
+/// and left in place for the caller to inspect or delete.
+pub fn run_campaign_spec_sharded(
+    spec: &CampaignSpec,
+    num_shards: usize,
+    workers: usize,
+    worker_exe: &Path,
+    scratch_dir: &Path,
+) -> Result<CampaignReport> {
+    let plan = ShardPlan::partition(spec, num_shards)?;
+    std::fs::create_dir_all(scratch_dir)?;
+    let mut children = Vec::with_capacity(num_shards);
+    for job in plan.jobs() {
+        let job_path = scratch_dir.join(shard_job_file_name(&spec.name, &job.shard));
+        let out_path = scratch_dir.join(shard_archive_file_name(&spec.name, &job.shard));
+        let spawned = job.save(&job_path).map_err(Into::into).and_then(|()| {
+            std::process::Command::new(worker_exe)
+                .arg("shard-worker")
+                .arg("--job")
+                .arg(&job_path)
+                .arg("--out")
+                .arg(&out_path)
+                .arg("--workers")
+                .arg(workers.to_string())
+                .spawn()
+                .map_err(|e| {
+                    ivc_core::Error::from(format!(
+                        "spawning shard worker {}: {e}",
+                        job.shard.shard_index
+                    ))
+                })
+        });
+        match spawned {
+            Ok(child) => children.push((job.shard.shard_index, out_path, child)),
+            Err(e) => {
+                // Never leave already-spawned workers orphaned, burning
+                // CPU and writing into a scratch dir the caller may
+                // delete: reap them before reporting the failure.
+                for (_, _, mut child) in children {
+                    child.kill().ok();
+                    child.wait().ok();
+                }
+                return Err(e);
+            }
+        }
+    }
+    // Wait for every worker before reporting, so a failure message never
+    // races with surviving children still writing partials.
+    let mut partials = Vec::with_capacity(num_shards);
+    let mut failures: Vec<String> = Vec::new();
+    for (shard_index, out_path, mut child) in children {
+        match child.wait() {
+            Err(e) => failures.push(format!("waiting for shard {shard_index}: {e}")),
+            Ok(status) if !status.success() => {
+                failures.push(format!("shard {shard_index} worker exited with {status}"))
+            }
+            Ok(_) => match ShardArchive::load(&out_path) {
+                Ok(partial) => partials.push(partial),
+                Err(e) => failures.push(format!("loading shard {shard_index} partial: {e}")),
+            },
+        }
+    }
+    if !failures.is_empty() {
+        return Err(failures.join("; ").into());
+    }
+    Ok(merge_shards(&partials)?)
+}
+
+/// The sharded flavour of [`run_campaign_preset`]: each of the preset's
+/// specs runs as `num_shards` forked `worker_exe` processes (scratch
+/// files are per-spec, so one directory serves the whole preset).
+pub fn run_campaign_preset_sharded(
+    name: &str,
+    fidelity: Fidelity,
+    num_shards: usize,
+    workers: usize,
+    worker_exe: &Path,
+    scratch_dir: &Path,
+) -> Result<Vec<CampaignReport>> {
+    let specs = presets::by_name(name, fidelity.quick()).ok_or_else(|| {
+        format!(
+            "unknown campaign preset '{name}' (available: {})",
+            presets::PRESET_NAMES.join(", ")
+        )
+    })?;
+    specs
+        .iter()
+        .map(|spec| run_campaign_spec_sharded(spec, num_shards, workers, worker_exe, scratch_dir))
+        .collect()
 }
 
 /// Trial records of a report paired with their attack/legitimate label

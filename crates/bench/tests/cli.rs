@@ -1,0 +1,283 @@
+//! CLI-level tests of the `repro` binary: every bad input must exit
+//! non-zero with a one-line error — never a panic — and the shard
+//! subcommands must hold the file-based contract end to end.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("running the repro binary")
+}
+
+/// Stderr of a failed run, asserted to be a single non-empty line (the
+/// "one-line error" contract) that never looks like a panic.
+fn one_line_error(output: &Output, context: &str) -> String {
+    assert!(
+        !output.status.success(),
+        "{context}: expected a non-zero exit, got {:?}",
+        output.status
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr).into_owned();
+    assert!(
+        !stderr.contains("panicked"),
+        "{context}: the driver panicked:\n{stderr}"
+    );
+    let lines: Vec<&str> = stderr.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert_eq!(
+        lines.len(),
+        1,
+        "{context}: expected exactly one error line, got:\n{stderr}"
+    );
+    lines[0].to_string()
+}
+
+#[test]
+fn unknown_campaign_preset_is_a_one_line_error() {
+    let output = repro(&["campaign", "nonexistent-preset"]);
+    let line = one_line_error(&output, "unknown preset");
+    assert!(
+        line.contains("unknown campaign preset 'nonexistent-preset'"),
+        "{line}"
+    );
+    assert!(
+        line.contains("smoke"),
+        "error should list the presets: {line}"
+    );
+}
+
+#[test]
+fn unknown_experiment_id_is_a_one_line_error() {
+    let output = repro(&["not-an-experiment"]);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("unknown experiment id 'not-an-experiment'"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn malformed_flag_values_are_one_line_errors() {
+    for (args, needle) in [
+        (
+            &["campaign", "smoke", "--workers", "three"][..],
+            "invalid --workers value 'three'",
+        ),
+        (
+            &["campaign", "smoke", "--shards", "2.5"][..],
+            "invalid --shards value '2.5'",
+        ),
+        (
+            &["campaign", "smoke", "--shards", "0"][..],
+            "invalid --shards value '0'",
+        ),
+        (
+            &["campaign", "smoke", "--workers"][..],
+            "--workers needs a number",
+        ),
+        (
+            &["campaign", "smoke", "--workers", "0"][..],
+            "invalid --workers value '0'",
+        ),
+        (
+            &["campaign", "smoke", "--archive", "--workers", "2"][..],
+            "--archive needs a directory",
+        ),
+        (
+            &["campaign", "smoke", "--frobnicate"][..],
+            "unknown flag '--frobnicate'",
+        ),
+        (&["campaign"][..], "campaign needs a preset name"),
+        (
+            &["a1", "campaign", "smoke"][..],
+            "'campaign' cannot be combined with experiment ids (a1)",
+        ),
+        (&["a1", "--shards", "2"][..], "--shards applies to"),
+        (
+            &["campaign", "smoke", "--out", "x.json"][..],
+            "--out applies to",
+        ),
+        (
+            &["shard-merge", "--out", "x.json", "--archive", "d", "p.json"][..],
+            "--archive applies to",
+        ),
+        (
+            &["shard-merge", "--out", "x.json", "--workers", "8", "p.json"][..],
+            "--workers applies to",
+        ),
+        (
+            &[
+                "shard-plan",
+                "smoke",
+                "--shards",
+                "2",
+                "--out-dir",
+                "d",
+                "--workers",
+                "2",
+            ][..],
+            "--workers applies to",
+        ),
+        (&["shard-plan", "smoke"][..], "shard-plan needs --shards"),
+        (
+            &["shard-plan", "smoke", "--shards", "2"][..],
+            "shard-plan needs --out-dir",
+        ),
+        (&["shard-worker"][..], "shard-worker needs --job"),
+        (
+            &["shard-worker", "--job", "x.json"][..],
+            "shard-worker needs --out",
+        ),
+        (
+            &["shard-merge", "--out", "x.json"][..],
+            "at least one partial",
+        ),
+        (&["shard-merge", "a.json"][..], "shard-merge needs --out"),
+    ] {
+        let output = repro(args);
+        let line = one_line_error(&output, &args.join(" "));
+        assert!(
+            line.contains(needle),
+            "`repro {}`: expected '{needle}' in '{line}'",
+            args.join(" ")
+        );
+    }
+}
+
+#[test]
+fn unreadable_shard_job_file_is_a_one_line_error() {
+    let missing =
+        std::env::temp_dir().join(format!("ivc-cli-missing-{}.job.json", std::process::id()));
+    let missing_str = missing.to_string_lossy().into_owned();
+    let output = repro(&["shard-worker", "--job", &missing_str, "--out", "out.json"]);
+    let line = one_line_error(&output, "missing job file");
+    assert!(
+        line.contains("reading") && line.contains(&missing_str),
+        "{line}"
+    );
+
+    // A file that exists but is not a job file fails with a decode error,
+    // not a panic.
+    let garbage =
+        std::env::temp_dir().join(format!("ivc-cli-garbage-{}.job.json", std::process::id()));
+    std::fs::write(&garbage, "not json at all").unwrap();
+    let garbage_str = garbage.to_string_lossy().into_owned();
+    let output = repro(&["shard-worker", "--job", &garbage_str, "--out", "out.json"]);
+    std::fs::remove_file(&garbage).ok();
+    let line = one_line_error(&output, "garbage job file");
+    assert!(line.contains("decode"), "{line}");
+}
+
+#[test]
+fn shard_merge_rejects_unreadable_partials() {
+    let missing =
+        std::env::temp_dir().join(format!("ivc-cli-missing-{}.part.json", std::process::id()));
+    let out = std::env::temp_dir().join(format!("ivc-cli-merge-{}.json", std::process::id()));
+    let output = repro(&[
+        "shard-merge",
+        "--out",
+        &out.to_string_lossy(),
+        &missing.to_string_lossy(),
+    ]);
+    let line = one_line_error(&output, "missing partial");
+    assert!(line.contains("reading"), "{line}");
+}
+
+/// The acceptance path end to end, through real processes and real files:
+/// `campaign smoke` in-process == `campaign smoke --shards 2` (forked
+/// workers) == shard-plan → 2x shard-worker → shard-merge.  All three
+/// archives must be byte-identical.
+#[test]
+fn sharded_smoke_campaign_reproduces_the_in_process_bytes() {
+    let scratch = std::env::temp_dir().join(format!("ivc-cli-e2e-{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+    std::fs::create_dir_all(&scratch).unwrap();
+    let dir = |name: &str| -> PathBuf { scratch.join(name) };
+
+    // 1. In-process baseline.
+    let output = repro(&[
+        "campaign",
+        "smoke",
+        "--workers",
+        "2",
+        "--archive",
+        &dir("in-process").to_string_lossy(),
+    ]);
+    assert!(output.status.success(), "in-process run failed: {output:?}");
+    let baseline = std::fs::read_to_string(dir("in-process").join("smoke.json")).unwrap();
+
+    // 2. Forked shard workers behind the same subcommand.
+    let output = repro(&[
+        "campaign",
+        "smoke",
+        "--shards",
+        "2",
+        "--workers",
+        "2",
+        "--archive",
+        &dir("sharded").to_string_lossy(),
+    ]);
+    assert!(output.status.success(), "sharded run failed: {output:?}");
+    let sharded = std::fs::read_to_string(dir("sharded").join("smoke.json")).unwrap();
+    assert_eq!(sharded, baseline, "--shards 2 changed the archive bytes");
+
+    // 3. The standalone file-based path: plan, run each worker, merge.
+    let jobs_dir = dir("jobs");
+    let output = repro(&[
+        "shard-plan",
+        "smoke",
+        "--shards",
+        "2",
+        "--out-dir",
+        &jobs_dir.to_string_lossy(),
+    ]);
+    assert!(output.status.success(), "shard-plan failed: {output:?}");
+    let mut partials = Vec::new();
+    for index in 0..2 {
+        let job = jobs_dir.join(format!("smoke.shard-{index}-of-2.job.json"));
+        assert!(job.exists(), "shard-plan did not write {}", job.display());
+        let part = dir(&format!("part-{index}.json"));
+        let output = repro(&[
+            "shard-worker",
+            "--job",
+            &job.to_string_lossy(),
+            "--out",
+            &part.to_string_lossy(),
+        ]);
+        assert!(
+            output.status.success(),
+            "shard-worker {index} failed: {output:?}"
+        );
+        partials.push(part);
+    }
+    let merged_path = dir("merged.json");
+    let mut args: Vec<String> = vec![
+        "shard-merge".to_string(),
+        "--out".to_string(),
+        merged_path.to_string_lossy().into_owned(),
+    ];
+    args.extend(partials.iter().map(|p| p.to_string_lossy().into_owned()));
+    let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let output = repro(&arg_refs);
+    assert!(output.status.success(), "shard-merge failed: {output:?}");
+    let merged = std::fs::read_to_string(&merged_path).unwrap();
+    assert_eq!(
+        merged, baseline,
+        "the file-based shard path changed the archive bytes"
+    );
+
+    // Mismatched coverage through the binary: merging the same partial
+    // twice is an overlap — one-line error, non-zero exit, no output file.
+    let overlap_out = dir("overlap.json");
+    let overlap_out_str = overlap_out.to_string_lossy().into_owned();
+    let part0 = partials[0].to_string_lossy().into_owned();
+    let output = repro(&["shard-merge", "--out", &overlap_out_str, &part0, &part0]);
+    let line = one_line_error(&output, "overlapping partials");
+    assert!(line.contains("overlap"), "{line}");
+    assert!(!overlap_out.exists(), "failed merge must not write output");
+
+    std::fs::remove_dir_all(&scratch).ok();
+}

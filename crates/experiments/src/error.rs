@@ -29,6 +29,9 @@ pub enum ExperimentError {
     Decode(String),
     /// Reading or writing an archive file failed.
     Io(String),
+    /// Merging shard archives failed (spec mismatch, gaps, overlaps or
+    /// records that disagree with their slots).
+    Merge(String),
 }
 
 impl ExperimentError {
@@ -63,6 +66,7 @@ impl fmt::Display for ExperimentError {
             ),
             ExperimentError::Decode(reason) => write!(f, "report decode error: {reason}"),
             ExperimentError::Io(reason) => write!(f, "archive I/O error: {reason}"),
+            ExperimentError::Merge(reason) => write!(f, "shard merge error: {reason}"),
         }
     }
 }

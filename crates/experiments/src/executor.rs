@@ -145,18 +145,70 @@ fn cached_detector_model(spec: &DetectorSpec) -> Result<Arc<LogisticRegression>>
 /// byte-identical across worker counts (see the module docs).
 pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> Result<CampaignReport> {
     spec.validate()?;
+    let records = execute_jobs(spec, 0, spec.num_trials(), workers)?;
+    let cells = spec.cells();
+    let cell_reports = aggregate_cells(spec, &cells, &records);
+    let curves = psychometric_curves(spec, &cell_reports);
+    Ok(CampaignReport {
+        spec: spec.clone(),
+        cells: cell_reports,
+        curves,
+    })
+}
+
+/// The trials one cell contributes to a job range: boundary cells of a
+/// shard may cover only a sub-range of their trials.
+struct CellJobs {
+    cell_index: usize,
+    trial_start: usize,
+    trial_end: usize,
+}
+
+/// Runs the contiguous cell-major job range `[start_job, end_job)` of
+/// `spec` on a pool of `workers` threads and returns the trial records in
+/// slot order.
+///
+/// This is the shared core of [`run_campaign`] (the full range) and
+/// [`crate::shard::run_shard`] (one shard's slice): every property that
+/// makes the full run deterministic — spec-derived seeds, slot-addressed
+/// collection, immutable shared [`PreparedCell`]s, pure detector training
+/// — holds per range, so splitting a campaign into ranges and
+/// concatenating the records reproduces the single-run records exactly.
+/// The caller is responsible for having validated `spec`.
+pub(crate) fn execute_jobs(
+    spec: &CampaignSpec,
+    start_job: usize,
+    end_job: usize,
+    workers: usize,
+) -> Result<Vec<TrialRecord>> {
+    let trials_per_cell = spec.trials_per_cell;
+    debug_assert!(start_job <= end_job && end_job <= spec.num_trials());
+    let num_jobs = end_job - start_job;
+    if num_jobs == 0 {
+        return Ok(Vec::new());
+    }
     let recognizer = Recognizer::with_default_corpus()
         .map_err(|e| ExperimentError::Setup(format!("recogniser: {e}")))?;
     let commands = corpus();
     let cells = spec.cells();
-    let trials_per_cell = spec.trials_per_cell;
-    let num_jobs = spec.num_trials();
     let workers = workers.clamp(1, num_jobs);
-    // Every cell runs the same trial seeds (common random numbers), so the
-    // Prepare stage knows up front which talker variants it must render.
-    let trial_seeds: Vec<u64> = (0..trials_per_cell).map(|t| spec.trial_seed(t)).collect();
     let ctx = PrepareContext::new()
         .map_err(|e| ExperimentError::Setup(format!("prepare context: {e}")))?;
+
+    // A contiguous job range covers a contiguous run of cells; the first
+    // and last cell may contribute only a sub-range of their trials.
+    let first_cell = start_job / trials_per_cell;
+    let last_cell = (end_job - 1) / trials_per_cell;
+    let cell_jobs: Vec<CellJobs> = (first_cell..=last_cell)
+        .map(|cell_index| {
+            let cell_start = cell_index * trials_per_cell;
+            CellJobs {
+                cell_index,
+                trial_start: start_job.saturating_sub(cell_start),
+                trial_end: (end_job - cell_start).min(trials_per_cell),
+            }
+        })
+        .collect();
 
     // Jobs are handed out in *banded* order: cells are grouped into bands
     // of `workers`, and within a band the trial index varies slowest —
@@ -167,11 +219,14 @@ pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> Result<CampaignRepor
     // cell-major slots, so the job hand-out order never reaches the
     // archive.
     let mut job_order: Vec<(usize, usize)> = Vec::with_capacity(num_jobs);
-    for band_start in (0..cells.len()).step_by(workers.max(1)) {
-        let band_end = (band_start + workers).min(cells.len());
-        for trial in 0..trials_per_cell {
-            for cell in band_start..band_end {
-                job_order.push((cell, trial));
+    for band_start in (0..cell_jobs.len()).step_by(workers.max(1)) {
+        let band_end = (band_start + workers).min(cell_jobs.len());
+        for trial_offset in 0..trials_per_cell {
+            for (position, jobs) in cell_jobs.iter().enumerate().take(band_end).skip(band_start) {
+                let trial = jobs.trial_start + trial_offset;
+                if trial < jobs.trial_end {
+                    job_order.push((position, trial));
+                }
             }
         }
     }
@@ -180,32 +235,47 @@ pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> Result<CampaignRepor
     let next_job = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<std::result::Result<TrialRecord, String>>>> =
         Mutex::new((0..num_jobs).map(|_| None).collect());
-    let cell_slots: Vec<Mutex<CellSlot>> = (0..cells.len())
-        .map(|_| {
+    let cell_slots: Vec<Mutex<CellSlot>> = cell_jobs
+        .iter()
+        .map(|jobs| {
             Mutex::new(CellSlot {
                 prepared: None,
-                remaining: trials_per_cell,
+                remaining: jobs.trial_end - jobs.trial_start,
             })
         })
         .collect();
-    // Train the detector axis up front (entries in parallel, each memoised
-    // process-wide), so workers never block each other on a training run.
-    let detectors: Vec<SharedDetector> = std::thread::scope(|scope| {
-        let handles: Vec<_> = spec
-            .detectors
+    // Train the detector entries this range touches up front (in
+    // parallel, each memoised process-wide), so workers never block each
+    // other on a training run.  Entries no cell of the range uses are not
+    // trained: a shard only pays for the models it scores with.
+    let mut touched_detectors: Vec<usize> = cell_jobs
+        .iter()
+        .map(|jobs| cells[jobs.cell_index].coords.detector_index)
+        .collect();
+    touched_detectors.sort_unstable();
+    touched_detectors.dedup();
+    let detectors: HashMap<usize, SharedDetector> = std::thread::scope(|scope| {
+        let handles: Vec<_> = touched_detectors
             .iter()
-            .map(|entry| {
-                scope.spawn(move || match entry {
+            .map(|&detector_index| {
+                let entry = &spec.detectors[detector_index];
+                let handle = scope.spawn(move || match entry {
                     None => Ok(None),
                     Some(detector_spec) => cached_detector_model(detector_spec)
                         .map(Some)
                         .map_err(|e| e.to_string()),
-                })
+                });
+                (detector_index, handle)
             })
             .collect();
         handles
             .into_iter()
-            .map(|handle| handle.join().expect("detector trainer panicked"))
+            .map(|(detector_index, handle)| {
+                (
+                    detector_index,
+                    handle.join().expect("detector trainer panicked"),
+                )
+            })
             .collect()
     });
 
@@ -216,21 +286,26 @@ pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> Result<CampaignRepor
                 if job >= num_jobs {
                     break;
                 }
-                let (cell_index, trial_index) = job_order[job];
-                let cell = &cells[cell_index];
+                let (position, trial_index) = job_order[job];
+                let jobs = &cell_jobs[position];
+                let cell = &cells[jobs.cell_index];
 
-                let detector = detectors[cell.coords.detector_index].clone();
+                let detector = detectors[&cell.coords.detector_index].clone();
 
                 // Prepare: the first trial of a cell runs the stage, the
-                // rest share the immutable result.
+                // rest share the immutable result.  Only the variants of
+                // the range's own trials are rendered: each trial is a
+                // pure function of `(cell, seed)`, so preparing fewer
+                // variants cannot change any record.
                 let prepared = {
-                    let mut slot = cell_slots[cell.cell_index]
-                        .lock()
-                        .expect("cell slot poisoned");
+                    let mut slot = cell_slots[position].lock().expect("cell slot poisoned");
                     slot.prepared
                         .get_or_insert_with(|| {
                             let scenario = spec.scenario(cell, 0);
                             let command = &commands[spec.command_index(cell)];
+                            let trial_seeds: Vec<u64> = (jobs.trial_start..jobs.trial_end)
+                                .map(|t| spec.trial_seed(t))
+                                .collect();
                             PreparedCell::prepare(&ctx, command, &scenario, &trial_seeds)
                                 .map(Arc::new)
                                 .map_err(|e| e.to_string())
@@ -240,20 +315,18 @@ pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> Result<CampaignRepor
 
                 let result = run_one_trial(
                     spec,
-                    cell.cell_index,
+                    jobs.cell_index,
                     trial_index,
                     prepared,
                     detector,
                     &recognizer,
                 );
                 slots.lock().expect("result mutex poisoned")
-                    [cell_index * trials_per_cell + trial_index] = Some(result);
+                    [jobs.cell_index * trials_per_cell + trial_index - start_job] = Some(result);
 
                 // Perturb/Evaluate done: drop the prepared state with the
                 // cell's last trial.
-                let mut slot = cell_slots[cell.cell_index]
-                    .lock()
-                    .expect("cell slot poisoned");
+                let mut slot = cell_slots[position].lock().expect("cell slot poisoned");
                 slot.remaining -= 1;
                 if slot.remaining == 0 {
                     slot.prepared = None;
@@ -265,12 +338,13 @@ pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> Result<CampaignRepor
     // Collect in cell-major slot order so both the record order and the
     // first failure reported are deterministic.
     let mut records = Vec::with_capacity(num_jobs);
-    for (job, slot) in slots
+    for (offset, slot) in slots
         .into_inner()
         .expect("result mutex poisoned")
         .into_iter()
         .enumerate()
     {
+        let job = start_job + offset;
         match slot.expect("worker pool left a job unfinished") {
             Ok(record) => records.push(record),
             Err(message) => {
@@ -282,14 +356,7 @@ pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> Result<CampaignRepor
             }
         }
     }
-
-    let cell_reports = aggregate_cells(spec, &cells, &records);
-    let curves = psychometric_curves(spec, &cell_reports);
-    Ok(CampaignReport {
-        spec: spec.clone(),
-        cells: cell_reports,
-        curves,
-    })
+    Ok(records)
 }
 
 /// Band-energy summary of a recording (the archived E-B2 column).

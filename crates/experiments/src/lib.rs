@@ -18,6 +18,11 @@
 //!   probability, and success-vs-distance psychometric curves.
 //! * [`report`] — the archivable [`CampaignReport`] with its JSON
 //!   encoding (via the dependency-free [`ivc_core::json`] layer).
+//! * [`shard`] — multi-process/multi-machine scaling: a [`ShardPlan`]
+//!   partitions the job space into contiguous `(cell, trial)` ranges,
+//!   [`run_shard`] executes one range anywhere from the pure spec, and
+//!   [`merge_shards`] reassembles a report **byte-identical** to the
+//!   single-process run.
 //! * [`presets`] — built-in campaigns: every paper sweep (`a1`–`a6`,
 //!   `b1`–`b3`, `d1`–`d6`), a defense acceptance sweep, the room sweep,
 //!   and the CI smoke grid.
@@ -47,6 +52,7 @@ pub mod executor;
 pub mod grid;
 pub mod presets;
 pub mod report;
+pub mod shard;
 
 pub use aggregate::{CellReport, CellStats, PsychometricCurve};
 pub use error::{ExperimentError, Result};
@@ -56,6 +62,7 @@ pub use grid::{
     CellSpec, DeliverySpec, DetectorSpec, EnvironmentPreset,
 };
 pub use report::CampaignReport;
+pub use shard::{merge_shards, run_shard, ShardArchive, ShardJob, ShardPlan, ShardRange};
 
 /// The commonly used items, in one import.
 pub mod prelude {
@@ -67,4 +74,7 @@ pub mod prelude {
         CellSpec, DeliverySpec, DetectorSpec, EnvironmentPreset,
     };
     pub use crate::report::CampaignReport;
+    pub use crate::shard::{
+        merge_shards, run_shard, ShardArchive, ShardJob, ShardPlan, ShardRange,
+    };
 }

@@ -146,7 +146,7 @@ impl CampaignReport {
 
 // --- encoding -------------------------------------------------------------
 
-fn obj(members: Vec<(&str, JsonValue)>) -> JsonValue {
+pub(crate) fn obj(members: Vec<(&str, JsonValue)>) -> JsonValue {
     JsonValue::Object(
         members
             .into_iter()
@@ -286,7 +286,7 @@ fn detector_from_json(value: &JsonValue) -> Result<DetectorSpec> {
     })
 }
 
-fn spec_to_json(spec: &CampaignSpec) -> JsonValue {
+pub(crate) fn spec_to_json(spec: &CampaignSpec) -> JsonValue {
     obj(vec![
         ("name", JsonValue::string(&spec.name)),
         (
@@ -395,7 +395,7 @@ fn spec_to_json(spec: &CampaignSpec) -> JsonValue {
     ])
 }
 
-fn spec_from_json(value: &JsonValue) -> Result<CampaignSpec> {
+pub(crate) fn spec_from_json(value: &JsonValue) -> Result<CampaignSpec> {
     let detectors = req_array(value, "detectors")?
         .iter()
         .map(|v| match v {
@@ -596,7 +596,7 @@ fn stats_from_json(value: &JsonValue) -> Result<CellStats> {
     })
 }
 
-fn trial_to_json(trial: &TrialRecord) -> JsonValue {
+pub(crate) fn trial_to_json(trial: &TrialRecord) -> JsonValue {
     obj(vec![
         ("cell_index", JsonValue::number(trial.cell_index as f64)),
         ("trial_index", JsonValue::number(trial.trial_index as f64)),
@@ -642,7 +642,7 @@ fn trial_to_json(trial: &TrialRecord) -> JsonValue {
     ])
 }
 
-fn trial_from_json(value: &JsonValue) -> Result<TrialRecord> {
+pub(crate) fn trial_from_json(value: &JsonValue) -> Result<TrialRecord> {
     let leak_audible = match req(value, "leak_audible")? {
         JsonValue::Null => None,
         JsonValue::Bool(b) => Some(*b),
@@ -736,13 +736,13 @@ fn curve_from_json(value: &JsonValue) -> Result<PsychometricCurve> {
 
 // --- decoding helpers -----------------------------------------------------
 
-fn req<'a>(value: &'a JsonValue, key: &str) -> Result<&'a JsonValue> {
+pub(crate) fn req<'a>(value: &'a JsonValue, key: &str) -> Result<&'a JsonValue> {
     value
         .get(key)
         .ok_or_else(|| ExperimentError::decode(format!("missing member '{key}'")))
 }
 
-fn req_str<'a>(value: &'a JsonValue, key: &str) -> Result<&'a str> {
+pub(crate) fn req_str<'a>(value: &'a JsonValue, key: &str) -> Result<&'a str> {
     as_str(req(value, key)?, key)
 }
 
@@ -782,7 +782,7 @@ fn opt_number_value(value: &JsonValue, context: &str) -> Result<Option<f64>> {
     }
 }
 
-fn req_usize(value: &JsonValue, key: &str) -> Result<usize> {
+pub(crate) fn req_usize(value: &JsonValue, key: &str) -> Result<usize> {
     req(value, key)?
         .as_usize()
         .ok_or_else(|| ExperimentError::decode(format!("'{key}' is not a whole number")))

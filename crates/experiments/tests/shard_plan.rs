@@ -1,0 +1,71 @@
+//! Property tests of the shard planner: for fuzzed spec shapes and shard
+//! counts, the union of all shards' `(cell, trial)` jobs covers every job
+//! of the campaign exactly once — no gaps, no overlaps, order-stable —
+//! and the split is never more than one job uneven.
+
+use ivc_experiments::{CampaignSpec, DeliverySpec, ShardPlan};
+use proptest::prelude::*;
+
+/// A structurally valid spec with the given axis sizes (never executed —
+/// the planner only reads the job-space shape).
+fn spec_shape(n_deliveries: usize, n_distances: usize, trials_per_cell: usize) -> CampaignSpec {
+    CampaignSpec {
+        deliveries: (0..n_deliveries)
+            .map(|i| DeliverySpec::array(format!("array {i}"), 4 + i, 40.0, 40_000.0))
+            .collect(),
+        distances_m: (0..n_distances).map(|i| 1.0 + i as f64 * 0.5).collect(),
+        trials_per_cell,
+        ..CampaignSpec::new("fuzzed-plan")
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn plans_cover_every_job_exactly_once(
+        n_deliveries in 1usize..6,
+        n_distances in 1usize..6,
+        trials_per_cell in 1usize..5,
+        num_shards in 1usize..40,
+    ) {
+        let spec = spec_shape(n_deliveries, n_distances, trials_per_cell);
+        let plan = ShardPlan::partition(&spec, num_shards)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(plan.shards.len(), num_shards);
+
+        // Shards are self-describing, contiguous and in order.
+        let mut expected_start = 0;
+        for (i, shard) in plan.shards.iter().enumerate() {
+            prop_assert_eq!(shard.shard_index, i);
+            prop_assert_eq!(shard.num_shards, num_shards);
+            prop_assert_eq!(shard.start_job, expected_start);
+            prop_assert!(shard.end_job >= shard.start_job);
+            expected_start = shard.end_job;
+        }
+        prop_assert_eq!(expected_start, spec.num_trials());
+
+        // The union of the shards' jobs is the full job space, in the
+        // cell-major order the archive stores records in: every job
+        // exactly once, no gaps, no overlaps.
+        let all_jobs: Vec<(usize, usize)> = plan
+            .shards
+            .iter()
+            .flat_map(|shard| shard.jobs(spec.trials_per_cell))
+            .collect();
+        let expected: Vec<(usize, usize)> = (0..spec.num_cells())
+            .flat_map(|cell| (0..spec.trials_per_cell).map(move |trial| (cell, trial)))
+            .collect();
+        prop_assert_eq!(all_jobs, expected);
+
+        // Near-even split: shard sizes differ by at most one job, and the
+        // larger shards lead (so early workers never idle last).
+        let sizes: Vec<usize> = plan.shards.iter().map(|s| s.num_jobs()).collect();
+        let max = *sizes.iter().max().expect("at least one shard");
+        let min = *sizes.iter().min().expect("at least one shard");
+        prop_assert!(max - min <= 1, "uneven split: {:?}", sizes);
+        let mut sorted_desc = sizes.clone();
+        sorted_desc.sort_unstable_by(|a, b| b.cmp(a));
+        prop_assert_eq!(sizes, sorted_desc);
+    }
+}

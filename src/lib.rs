@@ -17,7 +17,8 @@
 //!   materials, line-segment occlusion, named room presets.
 //! * [`core`] — end-to-end scenarios, the trial pipeline and result tables.
 //! * [`experiments`] — the parallel campaign engine: parameter grids,
-//!   worker-pool execution, aggregate statistics, JSON report archival.
+//!   worker-pool execution, shard-parallel multi-process execution with
+//!   byte-identical merge, aggregate statistics, JSON report archival.
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system inventory
 //! and `EXPERIMENTS.md` for the reproduced tables and figures.
@@ -42,8 +43,9 @@ pub mod prelude {
     pub use ivc_defense::prelude::*;
     pub use ivc_dsp::prelude::*;
     pub use ivc_experiments::{
-        run_campaign, CampaignReport, CampaignSpec, CellCoords, DeliverySpec, DetectorSpec,
-        EnvironmentPreset,
+        merge_shards, run_campaign, run_shard, CampaignReport, CampaignSpec, CellCoords,
+        DeliverySpec, DetectorSpec, EnvironmentPreset, ShardArchive, ShardJob, ShardPlan,
+        ShardRange,
     };
     pub use ivc_room::{propagate_in_room, RoomInstance, RoomPreset};
     pub use ivc_speech::prelude::*;
