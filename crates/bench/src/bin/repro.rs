@@ -20,13 +20,21 @@
 //! cargo run --release -p ivc-bench --bin repro -- shard-worker --job jobs/a6-carrier-frequency.shard-0-of-4.job.json --out parts/part0.json
 //! cargo run --release -p ivc-bench --bin repro -- shard-merge --out a6.json parts/*.json
 //!
+//! # Supervised sharding: retries, straggler re-issue, checkpoint/resume.
+//! cargo run --release -p ivc-bench --bin repro -- orchestrate smoke --shards 2 --workers 2
+//! cargo run --release -p ivc-bench --bin repro -- orchestrate smoke --shards 2 --resume DIR
+//!
 //! # Flags:
-//! #   --workers N     worker threads (default: all cores; per process when sharded)
-//! #   --shards N      fork N shard-worker processes per campaign (campaign mode)
-//! #   --archive DIR   write each campaign's JSON report into DIR
+//! #   --workers N             worker threads (default: all cores; per process when sharded)
+//! #   --shards N              fork N shard-worker processes per campaign
+//! #   --archive DIR           write each campaign's JSON report into DIR
+//! #   --max-retries N         extra attempts per failed shard (orchestrate; default 2)
+//! #   --straggler-timeout S   re-issue attempts running longer than S seconds (orchestrate)
+//! #   --resume DIR            resume from the checkpoints in DIR (orchestrate)
 //! ```
 
 use ivc_bench::*;
+use ivc_experiments::orchestrate::{OrchestratorConfig, ENV_FAULT_SHARD, ENV_SHARD_ATTEMPT};
 use ivc_experiments::shard::{
     merge_shards, run_shard, shard_job_file_name, ShardArchive, ShardJob, ShardPlan,
 };
@@ -45,6 +53,10 @@ enum Mode {
     ShardWorker,
     /// Merge partial archives into a final report (`--out`, inputs).
     ShardMerge(Vec<PathBuf>),
+    /// Run campaign presets under the supervising orchestrator
+    /// (`--shards`, optional `--max-retries`/`--straggler-timeout`/
+    /// `--resume`).
+    Orchestrate(Vec<String>),
 }
 
 struct Options {
@@ -54,6 +66,9 @@ struct Options {
     job: Option<PathBuf>,
     out: Option<PathBuf>,
     out_dir: Option<PathBuf>,
+    max_retries: Option<usize>,
+    straggler_timeout: Option<f64>,
+    resume: Option<PathBuf>,
 }
 
 impl Options {
@@ -84,6 +99,9 @@ fn parse_args(args: &[String]) -> Result<(Mode, Options), String> {
         job: None,
         out: None,
         out_dir: None,
+        max_retries: None,
+        straggler_timeout: None,
+        resume: None,
     };
     let mut subcommand: Option<String> = None;
     let mut positionals: Vec<String> = Vec::new();
@@ -126,7 +144,30 @@ fn parse_args(args: &[String]) -> Result<(Mode, Options), String> {
                 let value = flag_value(&mut iter, "--out-dir", "an output directory")?;
                 options.out_dir = Some(PathBuf::from(value));
             }
-            name @ ("campaign" | "shard-plan" | "shard-worker" | "shard-merge")
+            "--max-retries" => {
+                let value = flag_value(&mut iter, "--max-retries", "a number")?;
+                let retries = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid --max-retries value '{value}'"))?;
+                options.max_retries = Some(retries);
+            }
+            "--straggler-timeout" => {
+                let value = flag_value(&mut iter, "--straggler-timeout", "seconds")?;
+                let seconds = value
+                    .parse::<f64>()
+                    .map_err(|_| format!("invalid --straggler-timeout value '{value}'"))?;
+                if !(seconds > 0.0) || !seconds.is_finite() {
+                    return Err(format!(
+                        "invalid --straggler-timeout value '{value}' (need positive seconds)"
+                    ));
+                }
+                options.straggler_timeout = Some(seconds);
+            }
+            "--resume" => {
+                let value = flag_value(&mut iter, "--resume", "a checkpoint directory")?;
+                options.resume = Some(PathBuf::from(value));
+            }
+            name @ ("campaign" | "shard-plan" | "shard-worker" | "shard-merge" | "orchestrate")
                 if subcommand.is_none() =>
             {
                 // A subcommand after positionals would silently demote
@@ -161,18 +202,35 @@ fn parse_args(args: &[String]) -> Result<(Mode, Options), String> {
             "experiment runs and the campaign and shard-worker subcommands",
         )?;
     }
-    if !matches!(subcommand, Some("campaign" | "shard-plan")) {
+    if !matches!(subcommand, Some("campaign" | "shard-plan" | "orchestrate")) {
         reject_flag(
             options.shards.is_some(),
             "--shards",
-            "the campaign and shard-plan subcommands",
+            "the campaign, shard-plan and orchestrate subcommands",
         )?;
     }
-    if !matches!(subcommand, None | Some("campaign")) {
+    if !matches!(subcommand, None | Some("campaign" | "orchestrate")) {
         reject_flag(
             options.archive.is_some(),
             "--archive",
-            "experiment runs and the campaign subcommand",
+            "experiment runs and the campaign and orchestrate subcommands",
+        )?;
+    }
+    if !matches!(subcommand, Some("orchestrate")) {
+        reject_flag(
+            options.max_retries.is_some(),
+            "--max-retries",
+            "the orchestrate subcommand",
+        )?;
+        reject_flag(
+            options.straggler_timeout.is_some(),
+            "--straggler-timeout",
+            "the orchestrate subcommand",
+        )?;
+        reject_flag(
+            options.resume.is_some(),
+            "--resume",
+            "the orchestrate subcommand",
         )?;
     }
     if !matches!(subcommand, Some("shard-worker")) {
@@ -246,6 +304,18 @@ fn parse_args(args: &[String]) -> Result<(Mode, Options), String> {
             }
             Mode::ShardMerge(positionals.into_iter().map(PathBuf::from).collect())
         }
+        Some("orchestrate") => {
+            if positionals.is_empty() {
+                return Err(format!(
+                    "orchestrate needs a preset name (available: {})",
+                    presets::PRESET_NAMES.join(", ")
+                ));
+            }
+            if options.shards.is_none() {
+                return Err("orchestrate needs --shards N".to_string());
+            }
+            Mode::Orchestrate(positionals)
+        }
         Some(_) => unreachable!(),
     };
     Ok((mode, options))
@@ -315,8 +385,9 @@ fn run_campaigns(presets_named: &[String], fidelity: Fidelity, options: &Options
                 let exe = std::env::current_exe()
                     .map_err(|e| format!("locating the shard-worker binary: {e}").into());
                 exe.and_then(|exe| {
-                    let scratch = std::env::temp_dir()
-                        .join(format!("ivc-shards-{}-{preset}", std::process::id()));
+                    // Unique per run: pids recycle, and a failed earlier
+                    // run legitimately leaves its directory behind.
+                    let scratch = unique_scratch_dir(&format!("shards-{preset}"));
                     let result = run_campaign_preset_sharded(
                         preset, fidelity, num_shards, workers, &exe, &scratch,
                     );
@@ -327,11 +398,12 @@ fn run_campaigns(presets_named: &[String], fidelity: Fidelity, options: &Options
                             let _ = std::fs::remove_dir_all(&scratch);
                             Ok(reports)
                         }
-                        Err(e) => Err(format!(
+                        Err(e) if scratch.exists() => Err(format!(
                             "{e} (job files and partials kept in {})",
                             scratch.display()
                         )
                         .into()),
+                        Err(e) => Err(e),
                     }
                 })
             }
@@ -346,6 +418,63 @@ fn run_campaigns(presets_named: &[String], fidelity: Fidelity, options: &Options
             Err(e) => fail(format_args!("campaign {preset} failed: {e}")),
         }
     }
+}
+
+/// Runs campaign presets under the supervising orchestrator.  Without
+/// `--resume` the checkpoints go to a fresh unique scratch directory,
+/// removed on success and kept on failure (the failure message names it,
+/// so an interrupted run can be resumed); with `--resume DIR` the run
+/// picks up the surviving checkpoints in DIR first.
+fn run_orchestrate(
+    presets_named: &[String],
+    fidelity: Fidelity,
+    options: &Options,
+    workers: usize,
+) {
+    let num_shards = options.shards.expect("checked at parse time");
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => fail(format_args!("locating the shard-worker binary: {e}")),
+    };
+    let scratch = options
+        .resume
+        .clone()
+        .unwrap_or_else(|| unique_scratch_dir("orchestrate"));
+    let config = OrchestratorConfig {
+        max_retries: options.max_retries.unwrap_or(2),
+        straggler_timeout: options
+            .straggler_timeout
+            .map(std::time::Duration::from_secs_f64),
+        ..OrchestratorConfig::new(num_shards)
+    };
+    let mut stderr = std::io::stderr();
+    for preset in presets_named {
+        let reports = run_campaign_preset_orchestrated(
+            preset,
+            fidelity,
+            &config,
+            workers,
+            &exe,
+            &scratch,
+            &mut stderr,
+        );
+        match reports {
+            Ok(reports) => {
+                print_reports(&reports);
+                if !archive_all(&reports, &options.archive) {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) if scratch.exists() => fail(format_args!(
+                "campaign {preset} failed: {e} (checkpoints kept in {}; pick up where it \
+                 stopped with --resume {})",
+                scratch.display(),
+                scratch.display()
+            )),
+            Err(e) => fail(format_args!("campaign {preset} failed: {e}")),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
 }
 
 fn run_shard_plan(presets_named: &[String], fidelity: Fidelity, options: &Options) {
@@ -404,6 +533,22 @@ fn run_shard_worker(options: &Options) {
         Ok(job) => job,
         Err(e) => fail(e),
     };
+    // CI fault injection: `IVC_FAULT_SHARD=<i>` makes the *first* attempt
+    // at shard i exit non-zero (the orchestrator stamps the attempt index
+    // into IVC_SHARD_ATTEMPT; absent means attempt 0), so the retry path
+    // is exercised by a real worker-process failure.
+    if let Ok(value) = std::env::var(ENV_FAULT_SHARD) {
+        let attempt = std::env::var(ENV_SHARD_ATTEMPT)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(0);
+        if value.parse::<usize>().ok() == Some(job.shard.shard_index) && attempt == 0 {
+            fail(format_args!(
+                "injected fault: failing first attempt at shard {} ({ENV_FAULT_SHARD}={value})",
+                job.shard.shard_index
+            ));
+        }
+    }
     let archive = match run_shard(&job, options.worker_threads()) {
         Ok(archive) => archive,
         Err(e) => fail(format_args!("running shard {}: {e}", job.shard.shard_index)),
@@ -493,6 +638,18 @@ fn main() {
                     .unwrap_or_default(),
             );
             run_campaigns(&presets_named, fidelity, &options, workers);
+        }
+        Mode::Orchestrate(presets_named) => {
+            let num_shards = options.shards.expect("checked at parse time");
+            // Same core-splitting default as sharded campaign mode.
+            let workers = options
+                .workers
+                .unwrap_or_else(|| (default_workers() / num_shards).max(1));
+            println!(
+                "fidelity: {fidelity:?} (set IVC_FULL=1 for full sweeps); workers: {workers}; \
+                 shards: {num_shards} (orchestrated)\n"
+            );
+            run_orchestrate(&presets_named, fidelity, &options, workers);
         }
         Mode::Experiments(experiments) => {
             println!(

@@ -21,13 +21,14 @@ use ivc_core::scenario::Delivery;
 use ivc_core::Result;
 use ivc_defense::evaluation::{ConfusionMatrix, RocCurve};
 use ivc_defense::features::DefenseFeatures;
+use ivc_experiments::orchestrate::{orchestrate, OrchestratorConfig, ProcessLauncher};
 use ivc_experiments::shard::{
     merge_shards, shard_archive_file_name, shard_job_file_name, ShardArchive, ShardPlan,
 };
 use ivc_experiments::{
     presets, run_campaign, CampaignReport, CampaignSpec, CellCoords, TrialRecord,
 };
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// How exhaustive the sweeps should be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -548,6 +549,18 @@ pub fn run_campaign_spec_sharded(
     worker_exe: &Path,
     scratch_dir: &Path,
 ) -> Result<CampaignReport> {
+    // The library-level `ShardPlan::partition` tolerates more shards than
+    // jobs (empty tails merge as no-ops), but at the driver level that
+    // silently forks workers with nothing to do — reject it with one line.
+    let num_jobs = spec.num_trials();
+    if num_shards > num_jobs {
+        return Err(format!(
+            "campaign '{}' has {num_jobs} trial(s) but {num_shards} shards were requested — \
+             every shard must own at least one trial (use --shards <= {num_jobs})",
+            spec.name
+        )
+        .into());
+    }
     let plan = ShardPlan::partition(spec, num_shards)?;
     std::fs::create_dir_all(scratch_dir)?;
     let mut children = Vec::with_capacity(num_shards);
@@ -627,6 +640,72 @@ pub fn run_campaign_preset_sharded(
     specs
         .iter()
         .map(|spec| run_campaign_spec_sharded(spec, num_shards, workers, worker_exe, scratch_dir))
+        .collect()
+}
+
+/// A per-invocation unique scratch-directory path under the system temp
+/// dir (the path is returned, not created).  The pid alone is not unique
+/// enough — a failed run keeps its directory behind for inspection and
+/// pids recycle — so the name also carries a timestamp and a
+/// process-wide counter.
+pub fn unique_scratch_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    std::env::temp_dir().join(format!(
+        "ivc-{tag}-{}-{stamp}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Runs one campaign spec under the supervising orchestrator: `repro
+/// shard-worker` child processes launched from `worker_exe` (`workers`
+/// threads each), failed shards retried, stragglers re-issued, finished
+/// partials checkpointed into `scratch_dir` and surviving checkpoints
+/// resumed — see [`ivc_experiments::orchestrate`].  The report is
+/// byte-identical to the in-process [`run_campaign`] run.
+pub fn run_campaign_spec_orchestrated(
+    spec: &CampaignSpec,
+    config: &OrchestratorConfig,
+    workers: usize,
+    worker_exe: &Path,
+    scratch_dir: &Path,
+    status: &mut dyn std::io::Write,
+) -> Result<CampaignReport> {
+    let mut launcher = ProcessLauncher::new(worker_exe, workers);
+    let run = orchestrate(spec, config, scratch_dir, &mut launcher, status)?;
+    Ok(run.report)
+}
+
+/// The orchestrated flavour of [`run_campaign_preset`]: each of the
+/// preset's specs runs under [`run_campaign_spec_orchestrated`] (shard
+/// file names carry the spec name, so one scratch directory serves the
+/// whole preset — and resuming a multi-spec preset re-runs only the
+/// shards whose checkpoints are missing).
+pub fn run_campaign_preset_orchestrated(
+    name: &str,
+    fidelity: Fidelity,
+    config: &OrchestratorConfig,
+    workers: usize,
+    worker_exe: &Path,
+    scratch_dir: &Path,
+    status: &mut dyn std::io::Write,
+) -> Result<Vec<CampaignReport>> {
+    let specs = presets::by_name(name, fidelity.quick()).ok_or_else(|| {
+        format!(
+            "unknown campaign preset '{name}' (available: {})",
+            presets::PRESET_NAMES.join(", ")
+        )
+    })?;
+    specs
+        .iter()
+        .map(|spec| {
+            run_campaign_spec_orchestrated(spec, config, workers, worker_exe, scratch_dir, status)
+        })
         .collect()
 }
 

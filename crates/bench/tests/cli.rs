@@ -136,6 +136,57 @@ fn malformed_flag_values_are_one_line_errors() {
             "at least one partial",
         ),
         (&["shard-merge", "a.json"][..], "shard-merge needs --out"),
+        (&["orchestrate"][..], "orchestrate needs a preset name"),
+        (&["orchestrate", "smoke"][..], "orchestrate needs --shards"),
+        (
+            &["campaign", "smoke", "--max-retries", "2"][..],
+            "--max-retries applies to",
+        ),
+        (
+            &["campaign", "smoke", "--straggler-timeout", "5"][..],
+            "--straggler-timeout applies to",
+        ),
+        (
+            &["campaign", "smoke", "--resume", "ckpt"][..],
+            "--resume applies to",
+        ),
+        (
+            &[
+                "orchestrate",
+                "smoke",
+                "--shards",
+                "2",
+                "--max-retries",
+                "many",
+            ][..],
+            "invalid --max-retries value 'many'",
+        ),
+        (
+            &[
+                "orchestrate",
+                "smoke",
+                "--shards",
+                "2",
+                "--straggler-timeout",
+                "soon",
+            ][..],
+            "invalid --straggler-timeout value 'soon'",
+        ),
+        (
+            &[
+                "orchestrate",
+                "smoke",
+                "--shards",
+                "2",
+                "--straggler-timeout",
+                "0",
+            ][..],
+            "invalid --straggler-timeout value '0'",
+        ),
+        (
+            &["orchestrate", "smoke", "--shards", "2", "--resume"][..],
+            "--resume needs a checkpoint directory",
+        ),
     ] {
         let output = repro(args);
         let line = one_line_error(&output, &args.join(" "));
@@ -143,6 +194,21 @@ fn malformed_flag_values_are_one_line_errors() {
             line.contains(needle),
             "`repro {}`: expected '{needle}' in '{line}'",
             args.join(" ")
+        );
+    }
+}
+
+/// More shards than trials cannot be satisfied — every shard must own at
+/// least one trial.  Both executing subcommands refuse with a one-line
+/// error before running anything (smoke has 4 trials).
+#[test]
+fn oversharded_runs_are_refused_with_one_line_errors() {
+    for subcommand in ["campaign", "orchestrate"] {
+        let output = repro(&[subcommand, "smoke", "--shards", "64"]);
+        let line = one_line_error(&output, &format!("{subcommand} oversharded"));
+        assert!(
+            line.contains("every shard must own at least one trial"),
+            "`repro {subcommand} smoke --shards 64`: {line}"
         );
     }
 }

@@ -1,0 +1,288 @@
+//! Process-level tests of `repro orchestrate`: real forked shard
+//! workers, real failures.  Whatever the orchestrator survives — an
+//! injected worker fault, a SIGKILLed worker, a SIGKILLed orchestrator
+//! resumed from its checkpoints — the archive must stay byte-identical
+//! to the in-process `campaign smoke` run.
+
+use ivc_experiments::orchestrate::{ENV_FAULT_SHARD, ENV_SHARD_ATTEMPT};
+use ivc_experiments::shard::{shard_job_file_name, ShardArchive, ShardPlan};
+use ivc_experiments::{presets, run_campaign, CampaignSpec, DeliverySpec};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+fn repro_cmd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+/// A per-test scratch directory under the system temp dir.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ivc-orch-cli-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The in-process smoke archive every orchestrated run must reproduce,
+/// computed once and shared by all tests in this binary.
+fn smoke_baseline() -> &'static str {
+    static BASELINE: OnceLock<String> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        run_campaign(&presets::smoke(), 2)
+            .expect("in-process smoke baseline")
+            .to_json_string()
+    })
+}
+
+fn read_archive(dir: &Path) -> String {
+    std::fs::read_to_string(dir.join("smoke.json"))
+        .unwrap_or_else(|e| panic!("reading {}/smoke.json: {e}", dir.display()))
+}
+
+/// An injected first-attempt worker failure (the CI fault-injection
+/// knob) is retried by the orchestrator and leaves no trace in the
+/// bytes.
+#[test]
+fn fault_injected_worker_failure_is_retried_to_identical_bytes() {
+    let scratch = scratch_dir("fault");
+    let archive = scratch.join("archive");
+    let output = repro_cmd()
+        .args(["orchestrate", "smoke", "--shards", "2", "--workers", "2"])
+        .args(["--archive", &archive.to_string_lossy()])
+        .env(ENV_FAULT_SHARD, "1")
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "faulted orchestrate run failed:\n{stderr}"
+    );
+    // Worker stderr interleaves with orchestrator status lines at
+    // format-arg boundaries, so match only a single literal segment.
+    assert!(
+        stderr.contains("injected fault: failing first attempt at shard"),
+        "the worker fault did not fire:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("retry 1/"),
+        "the orchestrator did not report the retry:\n{stderr}"
+    );
+    assert_eq!(
+        read_archive(&archive),
+        smoke_baseline(),
+        "the retried run changed the archive bytes"
+    );
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
+/// Scans `/proc` for a live `shard-worker` process whose command line
+/// mentions `marker`, returning its pid.
+fn find_worker_pid(marker: &str) -> Option<u32> {
+    let entries = std::fs::read_dir("/proc").ok()?;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Ok(pid) = name.to_string_lossy().parse::<u32>() else {
+            continue;
+        };
+        let Ok(cmdline) = std::fs::read(format!("/proc/{pid}/cmdline")) else {
+            continue;
+        };
+        let cmdline = String::from_utf8_lossy(&cmdline).replace('\0', " ");
+        if cmdline.contains("shard-worker") && cmdline.contains(marker) {
+            return Some(pid);
+        }
+    }
+    None
+}
+
+/// SIGKILLing a real child worker mid-shard: the orchestrator retries
+/// the shard and the final archive is still byte-identical.
+#[test]
+fn killed_worker_is_retried_to_identical_bytes() {
+    let scratch = scratch_dir("kill-worker");
+    let ckpt = scratch.join("ckpt");
+    let archive = scratch.join("archive");
+    let ckpt_str = ckpt.to_string_lossy().into_owned();
+    let mut child = repro_cmd()
+        .args(["orchestrate", "smoke", "--shards", "2", "--workers", "1"])
+        .args(["--resume", &ckpt_str])
+        .args(["--archive", &archive.to_string_lossy()])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    // Hunt for a worker and SIGKILL it.  If the campaign outruns us the
+    // kill is skipped and this degrades to a plain byte-identity check.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut killed = false;
+    while Instant::now() < deadline {
+        if child.try_wait().unwrap().is_some() {
+            break;
+        }
+        if let Some(pid) = find_worker_pid(&ckpt_str) {
+            let status = Command::new("kill")
+                .args(["-9", &pid.to_string()])
+                .status()
+                .unwrap();
+            killed = status.success();
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let output = child.wait_with_output().unwrap();
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "orchestrate run failed (worker killed: {killed}):\n{stderr}"
+    );
+    if killed {
+        assert!(
+            stderr.contains("retry 1/"),
+            "the killed worker was not retried:\n{stderr}"
+        );
+    }
+    assert_eq!(
+        read_archive(&archive),
+        smoke_baseline(),
+        "the run with a killed worker changed the archive bytes (killed: {killed})"
+    );
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
+/// SIGKILLing the *orchestrator* mid-campaign, then resuming from its
+/// checkpoint directory: the resumed run reuses surviving checkpoints
+/// and the archive is byte-identical.
+#[test]
+fn killed_orchestrator_resumes_to_identical_bytes() {
+    let scratch = scratch_dir("kill-orch");
+    let ckpt = scratch.join("ckpt");
+    let archive = scratch.join("archive");
+    let ckpt_str = ckpt.to_string_lossy().into_owned();
+    // 4 shards x 1 worker staggers completions so a kill between the
+    // first and last checkpoint is likely (but not required: if the run
+    // finishes first, the resume below simply re-runs nothing and the
+    // byte-identity assertion still stands).
+    let mut child = repro_cmd()
+        .args(["orchestrate", "smoke", "--shards", "4", "--workers", "1"])
+        .args(["--resume", &ckpt_str])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut finished_early = false;
+    let mut checkpoints_at_kill = 0;
+    loop {
+        if child.try_wait().unwrap().is_some() {
+            finished_early = true;
+            break;
+        }
+        checkpoints_at_kill = count_checkpoints(&ckpt);
+        if checkpoints_at_kill > 0 || Instant::now() >= deadline {
+            child.kill().unwrap();
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.wait().unwrap();
+
+    let output = repro_cmd()
+        .args(["orchestrate", "smoke", "--shards", "4", "--workers", "1"])
+        .args(["--resume", &ckpt_str])
+        .args(["--archive", &archive.to_string_lossy()])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "resumed run failed:\n{stderr}");
+    if !finished_early && checkpoints_at_kill > 0 {
+        assert!(
+            stderr.contains("resumed from checkpoint"),
+            "{checkpoints_at_kill} checkpoint(s) survived the kill but none resumed:\n{stderr}"
+        );
+    }
+    assert_eq!(
+        read_archive(&archive),
+        smoke_baseline(),
+        "kill + resume changed the archive bytes (finished early: {finished_early})"
+    );
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
+/// Canonical checkpoints in `dir` (attempt files in flight do not count).
+fn count_checkpoints(dir: &Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    entries
+        .flatten()
+        .filter(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            name.ends_with(".part.json") && !name.contains(".attempt-")
+        })
+        .count()
+}
+
+/// The `IVC_FAULT_SHARD` knob itself, against a bare `shard-worker`
+/// process: attempt 0 of the faulted shard dies with a one-line error
+/// and no output file; any later attempt (the orchestrator stamps
+/// `IVC_SHARD_ATTEMPT`) runs through.
+#[test]
+fn fault_knob_fails_only_the_first_attempt_of_its_shard() {
+    let spec = CampaignSpec {
+        deliveries: vec![DeliverySpec::array(
+            "4-element array, 60 W",
+            4,
+            60.0,
+            40_000.0,
+        )],
+        distances_m: vec![1.0],
+        trials_per_cell: 1,
+        base_seed: 11,
+        max_voice_duration_s: 0.7,
+        ..CampaignSpec::new("fault-knob")
+    };
+    let scratch = scratch_dir("fault-knob");
+    let plan = ShardPlan::partition(&spec, 1).unwrap();
+    let job = &plan.jobs()[0];
+    let job_path = scratch.join(shard_job_file_name(&spec.name, &job.shard));
+    job.save(&job_path).unwrap();
+    let out_path = scratch.join("part.json");
+
+    let output = repro_cmd()
+        .args(["shard-worker", "--job", &job_path.to_string_lossy()])
+        .args(["--out", &out_path.to_string_lossy()])
+        .env(ENV_FAULT_SHARD, "0")
+        .output()
+        .unwrap();
+    assert!(!output.status.success(), "attempt 0 must fail: {output:?}");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("injected fault: failing first attempt at shard 0"),
+        "{stderr}"
+    );
+    assert_eq!(
+        stderr.lines().filter(|l| !l.trim().is_empty()).count(),
+        1,
+        "the injected fault must be a one-line error:\n{stderr}"
+    );
+    assert!(!out_path.exists(), "a failed attempt must not write output");
+
+    let output = repro_cmd()
+        .args(["shard-worker", "--job", &job_path.to_string_lossy()])
+        .args(["--out", &out_path.to_string_lossy()])
+        .env(ENV_FAULT_SHARD, "0")
+        .env(ENV_SHARD_ATTEMPT, "1")
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "attempt 1 must run through the fault knob: {output:?}"
+    );
+    let partial = ShardArchive::load(&out_path).unwrap();
+    assert_eq!(partial.records.len(), job.shard.num_jobs());
+    std::fs::remove_dir_all(&scratch).ok();
+}

@@ -32,6 +32,9 @@ pub enum ExperimentError {
     /// Merging shard archives failed (spec mismatch, gaps, overlaps or
     /// records that disagree with their slots).
     Merge(String),
+    /// The shard orchestrator failed (a shard exhausted its retry budget,
+    /// a worker could not be spawned, or supervision broke down).
+    Orchestrate(String),
 }
 
 impl ExperimentError {
@@ -67,6 +70,7 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Decode(reason) => write!(f, "report decode error: {reason}"),
             ExperimentError::Io(reason) => write!(f, "archive I/O error: {reason}"),
             ExperimentError::Merge(reason) => write!(f, "shard merge error: {reason}"),
+            ExperimentError::Orchestrate(reason) => write!(f, "orchestrator error: {reason}"),
         }
     }
 }

@@ -23,6 +23,11 @@
 //!   [`run_shard`] executes one range anywhere from the pure spec, and
 //!   [`merge_shards`] reassembles a report **byte-identical** to the
 //!   single-process run.
+//! * [`orchestrate`] — the self-driving control plane over [`shard`]:
+//!   [`orchestrate::orchestrate`] supervises a fleet of shard workers
+//!   with bounded retries, straggler re-issue (first completed result
+//!   wins), per-shard checkpoints and crash resume — the final report is
+//!   still byte-identical to the in-process run.
 //! * [`presets`] — built-in campaigns: every paper sweep (`a1`–`a6`,
 //!   `b1`–`b3`, `d1`–`d6`), a defense acceptance sweep, the room sweep,
 //!   and the CI smoke grid.
@@ -50,6 +55,7 @@ pub mod aggregate;
 pub mod error;
 pub mod executor;
 pub mod grid;
+pub mod orchestrate;
 pub mod presets;
 pub mod report;
 pub mod shard;
@@ -60,6 +66,10 @@ pub use executor::{default_workers, run_campaign, train_detector_model, TrialRec
 pub use grid::{
     detector_token, room_from_token, room_token, BandSummarySpec, CampaignSpec, CellCoords,
     CellSpec, DeliverySpec, DetectorSpec, EnvironmentPreset,
+};
+pub use orchestrate::{
+    orchestrate, OrchestratorConfig, OrchestratorRun, OrchestratorStats, ProcessLauncher,
+    ShardLauncher, ThreadLauncher,
 };
 pub use report::CampaignReport;
 pub use shard::{merge_shards, run_shard, ShardArchive, ShardJob, ShardPlan, ShardRange};
@@ -72,6 +82,10 @@ pub mod prelude {
     pub use crate::grid::{
         detector_token, room_from_token, room_token, BandSummarySpec, CampaignSpec, CellCoords,
         CellSpec, DeliverySpec, DetectorSpec, EnvironmentPreset,
+    };
+    pub use crate::orchestrate::{
+        orchestrate, OrchestratorConfig, OrchestratorRun, OrchestratorStats, ProcessLauncher,
+        ShardLauncher, ThreadLauncher,
     };
     pub use crate::report::CampaignReport;
     pub use crate::shard::{

@@ -249,6 +249,67 @@ impl ShardArchive {
             .map_err(|e| ExperimentError::Io(format!("reading {}: {e}", path.display())))?;
         ShardArchive::from_json_str(&text)
     }
+
+    /// Checks that this partial is exactly the finished form of `job`:
+    /// same spec, the very slot range the plan assigned, and a full,
+    /// slot-consistent record set.  This is the orchestrator's
+    /// checkpoint-acceptance test — a partial that validates here is by
+    /// construction a partial [`merge_shards`] will accept, so resuming
+    /// from surviving checkpoints can never assemble an archive the merge
+    /// would have rejected.
+    pub fn validate_for(&self, job: &ShardJob) -> Result<()> {
+        validate_partial(self, &job.spec)?;
+        if self.shard != job.shard {
+            return Err(ExperimentError::Merge(format!(
+                "partial covers jobs [{}, {}) of a {}-shard plan, expected [{}, {}) of {}",
+                self.shard.start_job,
+                self.shard.end_job,
+                self.shard.num_shards,
+                job.shard.start_job,
+                job.shard.end_job,
+                job.shard.num_shards
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Validates one partial against the campaign it claims to belong to:
+/// spec equality, a well-formed range, exactly one record per slot, and
+/// every record agreeing with its slot's `(cell, trial)` coordinates.
+/// Shared by [`merge_shards`] and [`ShardArchive::validate_for`] so the
+/// merge contract and the resume contract cannot drift apart.
+pub fn validate_partial(shard: &ShardArchive, spec: &CampaignSpec) -> Result<()> {
+    if shard.spec != *spec {
+        return Err(ExperimentError::Merge(format!(
+            "shard {} was produced by a different spec ('{}' vs '{}')",
+            shard.shard.shard_index, shard.spec.name, spec.name
+        )));
+    }
+    let num_jobs = spec.num_trials();
+    let trials_per_cell = spec.trials_per_cell;
+    validate_range(&shard.shard, num_jobs)?;
+    let range = &shard.shard;
+    if shard.records.len() != range.num_jobs() {
+        return Err(ExperimentError::Merge(format!(
+            "shard {} carries {} records for {} jobs",
+            range.shard_index,
+            shard.records.len(),
+            range.num_jobs()
+        )));
+    }
+    for (offset, record) in shard.records.iter().enumerate() {
+        let slot = range.start_job + offset;
+        let (cell_index, trial_index) = (slot / trials_per_cell, slot % trials_per_cell);
+        if record.cell_index != cell_index || record.trial_index != trial_index {
+            return Err(ExperimentError::Merge(format!(
+                "shard {}: record at slot {slot} claims (cell {}, trial {}), expected \
+                 (cell {cell_index}, trial {trial_index})",
+                range.shard_index, record.cell_index, record.trial_index
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Runs one shard in-process on `workers` threads: the banded executor
@@ -277,7 +338,6 @@ pub fn merge_shards(shards: &[ShardArchive]) -> Result<CampaignReport> {
         .ok_or_else(|| ExperimentError::Merge("no shard archives to merge".to_string()))?;
     let spec = &first.spec;
     spec.validate()?;
-    let trials_per_cell = spec.trials_per_cell;
     let num_jobs = spec.num_trials();
 
     let mut ordered: Vec<&ShardArchive> = shards.iter().collect();
@@ -286,13 +346,7 @@ pub fn merge_shards(shards: &[ShardArchive]) -> Result<CampaignReport> {
     let mut records: Vec<TrialRecord> = Vec::with_capacity(num_jobs);
     let mut expected_start = 0;
     for shard in ordered {
-        if shard.spec != *spec {
-            return Err(ExperimentError::Merge(format!(
-                "shard {} was produced by a different spec ('{}' vs '{}')",
-                shard.shard.shard_index, shard.spec.name, spec.name
-            )));
-        }
-        validate_range(&shard.shard, num_jobs)?;
+        validate_partial(shard, spec)?;
         let range = &shard.shard;
         if range.start_job < expected_start {
             return Err(ExperimentError::Merge(format!(
@@ -305,25 +359,6 @@ pub fn merge_shards(shards: &[ShardArchive]) -> Result<CampaignReport> {
                 "gap in shard coverage: jobs [{}, {}) are missing",
                 expected_start, range.start_job
             )));
-        }
-        if shard.records.len() != range.num_jobs() {
-            return Err(ExperimentError::Merge(format!(
-                "shard {} carries {} records for {} jobs",
-                range.shard_index,
-                shard.records.len(),
-                range.num_jobs()
-            )));
-        }
-        for (offset, record) in shard.records.iter().enumerate() {
-            let slot = range.start_job + offset;
-            let (cell_index, trial_index) = (slot / trials_per_cell, slot % trials_per_cell);
-            if record.cell_index != cell_index || record.trial_index != trial_index {
-                return Err(ExperimentError::Merge(format!(
-                    "shard {}: record at slot {slot} claims (cell {}, trial {}), expected \
-                     (cell {cell_index}, trial {trial_index})",
-                    range.shard_index, record.cell_index, record.trial_index
-                )));
-            }
         }
         records.extend(shard.records.iter().cloned());
         expected_start = range.end_job;

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Regenerates the machine-readable bench snapshot from the harness's
+# stable `BENCH <group>/<name> min=… mean=… max=… ns/iter (N samples)`
+# lines, covering the pipeline, campaign and room groups.  The snapshot
+# is committed (BENCH_pr6.json) so perf movement shows up as a
+# reviewable diff, and CI regenerates it on every push and uploads the
+# fresh copy as an artifact for side-by-side comparison.
+#
+# Usage: scripts/bench-snapshot.sh [OUT_FILE]    (default: BENCH_pr6.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_pr6.json}"
+
+lines="$(cargo bench -p ivc-bench --bench pipeline_benches --bench room_benches \
+  | tee /dev/stderr | grep '^BENCH ' || true)"
+if [ -z "$lines" ]; then
+  echo "error: no BENCH lines captured — did the harness output format change?" >&2
+  exit 1
+fi
+
+printf '%s\n' "$lines" | awk -v out="$out" '
+{
+    # $2 is "<group>/<name>"; the name itself may contain further slashes.
+    split($2, id, "/")
+    group = id[1]
+    name = substr($2, length(group) + 2)
+    min = $3;  sub(/^min=/, "", min)
+    mean = $4; sub(/^mean=/, "", mean)
+    max = $5;  sub(/^max=/, "", max)
+    samples = $7; sub(/^\(/, "", samples)
+    entries[NR] = sprintf("    {\"group\": \"%s\", \"name\": \"%s\", \"min_ns\": %s, \"mean_ns\": %s, \"max_ns\": %s, \"samples\": %s}", group, name, min, mean, max, samples)
+}
+END {
+    print "{" > out
+    print "  \"format\": \"ivc-bench-snapshot-v1\"," > out
+    print "  \"benches\": [" > out
+    for (i = 1; i <= NR; i++) {
+        print entries[i] (i < NR ? "," : "") > out
+    }
+    print "  ]" > out
+    print "}" > out
+}'
+echo "wrote $out" >&2

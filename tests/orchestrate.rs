@@ -1,0 +1,100 @@
+//! Orchestrator integration tests at the library level: supervising a
+//! campaign through [`orchestrate`] with in-process thread workers must
+//! reproduce the plain [`run_campaign`] archive byte for byte — on a
+//! healthy run, and on a resume from surviving checkpoints.
+
+use inaudible_voice_commands::experiments::orchestrate::{
+    orchestrate, OrchestratorConfig, ThreadLauncher,
+};
+use inaudible_voice_commands::experiments::shard::{run_shard, shard_archive_file_name, ShardPlan};
+use inaudible_voice_commands::experiments::{run_campaign, CampaignSpec, DeliverySpec};
+
+/// 2 cells x 2 trials: small enough to supervise quickly, large enough
+/// that 2 shards each own a whole cell.
+fn tiny_spec() -> CampaignSpec {
+    CampaignSpec {
+        deliveries: vec![
+            DeliverySpec::legitimate("talker 68 dB", 68.0),
+            DeliverySpec::array("6-element array, 60 W", 6, 60.0, 40_000.0),
+        ],
+        distances_m: vec![1.0],
+        trials_per_cell: 2,
+        base_seed: 7,
+        max_voice_duration_s: 0.7,
+        ..CampaignSpec::new("orchestrated-tiny")
+    }
+}
+
+fn test_scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ivc-orch-lib-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn thread_orchestration_reproduces_the_in_process_bytes() {
+    let spec = tiny_spec();
+    let baseline = run_campaign(&spec, 2).unwrap().to_json_string();
+    let scratch = test_scratch("healthy");
+    let mut launcher = ThreadLauncher::new(2);
+    let mut status = Vec::new();
+    let run = orchestrate(
+        &spec,
+        &OrchestratorConfig::new(2),
+        &scratch,
+        &mut launcher,
+        &mut status,
+    )
+    .unwrap();
+    assert_eq!(
+        run.report.to_json_string(),
+        baseline,
+        "supervision changed the archive bytes"
+    );
+    assert_eq!(run.stats.launched, 2);
+    assert_eq!(run.stats.resumed, 0);
+    assert_eq!(run.stats.retries, 0);
+    // The interim stream reported every cell with its Wilson interval.
+    let text = String::from_utf8(status).unwrap();
+    assert!(text.contains("cell 1/2 complete"), "{text}");
+    assert!(text.contains("cell 2/2 complete"), "{text}");
+    assert!(text.contains("[95% CI"), "{text}");
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
+#[test]
+fn resume_reuses_surviving_checkpoints_and_reproduces_the_bytes() {
+    let spec = tiny_spec();
+    let baseline = run_campaign(&spec, 2).unwrap().to_json_string();
+    let scratch = test_scratch("resume");
+    std::fs::create_dir_all(&scratch).unwrap();
+    // Pre-seed shard 0's checkpoint exactly as a killed previous
+    // orchestrator would have left it: the canonical partial on disk.
+    let plan = ShardPlan::partition(&spec, 2).unwrap();
+    let job = &plan.jobs()[0];
+    run_shard(job, 2)
+        .unwrap()
+        .save(&scratch.join(shard_archive_file_name(&spec.name, &job.shard)))
+        .unwrap();
+
+    let mut launcher = ThreadLauncher::new(2);
+    let mut status = Vec::new();
+    let run = orchestrate(
+        &spec,
+        &OrchestratorConfig::new(2),
+        &scratch,
+        &mut launcher,
+        &mut status,
+    )
+    .unwrap();
+    assert_eq!(run.stats.resumed, 1, "the checkpoint was not resumed");
+    assert_eq!(run.stats.launched, 1, "only the missing shard should run");
+    assert_eq!(
+        run.report.to_json_string(),
+        baseline,
+        "resume changed the archive bytes"
+    );
+    let text = String::from_utf8(status).unwrap();
+    assert!(text.contains("resumed from checkpoint"), "{text}");
+    std::fs::remove_dir_all(&scratch).ok();
+}
