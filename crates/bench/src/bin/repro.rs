@@ -24,6 +24,9 @@
 //! cargo run --release -p ivc-bench --bin repro -- orchestrate smoke --shards 2 --workers 2
 //! cargo run --release -p ivc-bench --bin repro -- orchestrate smoke --shards 2 --resume DIR
 //!
+//! # Per-stage time attribution for a preset (telemetry-instrumented run):
+//! cargo run --release -p ivc-bench --bin repro -- profile a1
+//!
 //! # Flags:
 //! #   --workers N             worker threads (default: all cores; per process when sharded)
 //! #   --shards N              fork N shard-worker processes per campaign
@@ -31,9 +34,12 @@
 //! #   --max-retries N         extra attempts per failed shard (orchestrate; default 2)
 //! #   --straggler-timeout S   re-issue attempts running longer than S seconds (orchestrate)
 //! #   --resume DIR            resume from the checkpoints in DIR (orchestrate)
+//! #   --metrics FILE          write span/counter metrics JSON (ivc-metrics-v1)
+//! #   --trace FILE            write a Chrome trace-event JSON (chrome://tracing / Perfetto)
 //! ```
 
 use ivc_bench::*;
+use ivc_core::telemetry;
 use ivc_experiments::orchestrate::{OrchestratorConfig, ENV_FAULT_SHARD, ENV_SHARD_ATTEMPT};
 use ivc_experiments::shard::{
     merge_shards, run_shard, shard_job_file_name, ShardArchive, ShardJob, ShardPlan,
@@ -57,6 +63,10 @@ enum Mode {
     /// (`--shards`, optional `--max-retries`/`--straggler-timeout`/
     /// `--resume`).
     Orchestrate(Vec<String>),
+    /// Profile campaign presets: run with telemetry enabled and print
+    /// the per-stage time-attribution table (default `--workers 1`, so
+    /// stage totals track wall clock).
+    Profile(Vec<String>),
 }
 
 struct Options {
@@ -69,6 +79,8 @@ struct Options {
     max_retries: Option<usize>,
     straggler_timeout: Option<f64>,
     resume: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+    trace: Option<PathBuf>,
 }
 
 impl Options {
@@ -102,6 +114,8 @@ fn parse_args(args: &[String]) -> Result<(Mode, Options), String> {
         max_retries: None,
         straggler_timeout: None,
         resume: None,
+        metrics: None,
+        trace: None,
     };
     let mut subcommand: Option<String> = None;
     let mut positionals: Vec<String> = Vec::new();
@@ -167,7 +181,16 @@ fn parse_args(args: &[String]) -> Result<(Mode, Options), String> {
                 let value = flag_value(&mut iter, "--resume", "a checkpoint directory")?;
                 options.resume = Some(PathBuf::from(value));
             }
-            name @ ("campaign" | "shard-plan" | "shard-worker" | "shard-merge" | "orchestrate")
+            "--metrics" => {
+                let value = flag_value(&mut iter, "--metrics", "an output file")?;
+                options.metrics = Some(PathBuf::from(value));
+            }
+            "--trace" => {
+                let value = flag_value(&mut iter, "--trace", "an output file")?;
+                options.trace = Some(PathBuf::from(value));
+            }
+            name @ ("campaign" | "shard-plan" | "shard-worker" | "shard-merge" | "orchestrate"
+            | "profile")
                 if subcommand.is_none() =>
             {
                 // A subcommand after positionals would silently demote
@@ -231,6 +254,21 @@ fn parse_args(args: &[String]) -> Result<(Mode, Options), String> {
             options.resume.is_some(),
             "--resume",
             "the orchestrate subcommand",
+        )?;
+    }
+    if matches!(
+        subcommand,
+        Some("shard-plan" | "shard-worker" | "shard-merge")
+    ) {
+        reject_flag(
+            options.metrics.is_some(),
+            "--metrics",
+            "experiment runs and the campaign, orchestrate and profile subcommands",
+        )?;
+        reject_flag(
+            options.trace.is_some(),
+            "--trace",
+            "experiment runs and the campaign, orchestrate and profile subcommands",
         )?;
     }
     if !matches!(subcommand, Some("shard-worker")) {
@@ -315,6 +353,15 @@ fn parse_args(args: &[String]) -> Result<(Mode, Options), String> {
                 return Err("orchestrate needs --shards N".to_string());
             }
             Mode::Orchestrate(positionals)
+        }
+        Some("profile") => {
+            if positionals.is_empty() {
+                return Err(format!(
+                    "profile needs a preset name (available: {})",
+                    presets::PRESET_NAMES.join(", ")
+                ));
+            }
+            Mode::Profile(positionals)
         }
         Some(_) => unreachable!(),
     };
@@ -474,7 +521,33 @@ fn run_orchestrate(
             Err(e) => fail(format_args!("campaign {preset} failed: {e}")),
         }
     }
+    // The structured run manifests are part of the run's record: copy
+    // them into the archive directory (when one was asked for) before
+    // the scratch directory disappears.
+    if let Some(dir) = &options.archive {
+        if let Err(e) = copy_manifests(&scratch, dir) {
+            fail(format_args!("archiving run manifests: {e}"));
+        }
+    }
     let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// Copies every `<spec>.manifest.jsonl` run manifest from the scratch
+/// directory into the archive directory, so the structured event record
+/// of an orchestrated run survives scratch cleanup.
+fn copy_manifests(scratch: &Path, dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for entry in std::fs::read_dir(scratch)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.ends_with(".manifest.jsonl") {
+            let to = dir.join(name);
+            std::fs::copy(entry.path(), &to)?;
+            println!("archived {}", to.display());
+        }
+    }
+    Ok(())
 }
 
 fn run_shard_plan(presets_named: &[String], fidelity: Fidelity, options: &Options) {
@@ -603,6 +676,23 @@ fn main() {
     };
     let fidelity = Fidelity::from_env();
 
+    // Telemetry export: fail on an unwritable destination before the run,
+    // then collect for the whole invocation and write at the end.  The
+    // profile subcommand manages its own per-preset collection instead.
+    let telemetry_on = options.metrics.is_some() || options.trace.is_some();
+    if let Some(path) = &options.metrics {
+        ensure_parent_dir(path);
+    }
+    if let Some(path) = &options.trace {
+        ensure_parent_dir(path);
+    }
+    let is_profile = matches!(mode, Mode::Profile(_));
+    if telemetry_on && !is_profile {
+        telemetry::reset();
+        telemetry::set_enabled(true);
+    }
+    let run_start = std::time::Instant::now();
+
     match mode {
         Mode::ShardWorker => {
             // Workers are quiet children of a sharded campaign: no banner,
@@ -651,6 +741,30 @@ fn main() {
             );
             run_orchestrate(&presets_named, fidelity, &options, workers);
         }
+        Mode::Profile(presets_named) => {
+            // One worker by default: stages then run back-to-back, so
+            // their totals track wall clock instead of overlapping.
+            let workers = options.workers.unwrap_or(1);
+            println!(
+                "fidelity: {fidelity:?} (set IVC_FULL=1 for full sweeps); workers: {workers} \
+                 (profiling)\n"
+            );
+            for preset in &presets_named {
+                match profile_campaign_preset(preset, fidelity, workers) {
+                    Ok(profile) => {
+                        println!("{}", profile.table.render());
+                        println!(
+                            "stages account for {:.2} s of {:.2} s wall ({:.1}%)\n",
+                            profile.stage_total_s,
+                            profile.wall_s,
+                            100.0 * profile.stage_total_s / profile.wall_s.max(f64::EPSILON),
+                        );
+                        write_telemetry_files(&options, &profile.snapshot, profile.wall_s);
+                    }
+                    Err(e) => fail(format_args!("profile {preset} failed: {e}")),
+                }
+            }
+        }
         Mode::Experiments(experiments) => {
             println!(
                 "fidelity: {fidelity:?} (set IVC_FULL=1 for full sweeps); workers: {}\n",
@@ -684,6 +798,29 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    if telemetry_on && !is_profile {
+        telemetry::set_enabled(false);
+        let snapshot = telemetry::snapshot();
+        write_telemetry_files(&options, &snapshot, run_start.elapsed().as_secs_f64());
+    }
+}
+
+/// Writes the `--metrics` / `--trace` documents from a snapshot — shared
+/// by the whole-invocation path and the per-preset profile subcommand.
+fn write_telemetry_files(options: &Options, snapshot: &telemetry::Snapshot, wall_s: f64) {
+    if let Some(path) = &options.metrics {
+        if let Err(e) = write_metrics_file(path, snapshot, wall_s) {
+            fail(e);
+        }
+        println!("metrics written to {}", path.display());
+    }
+    if let Some(path) = &options.trace {
+        if let Err(e) = write_trace_file(path, snapshot) {
+            fail(e);
+        }
+        println!("trace written to {}", path.display());
     }
 }
 

@@ -18,6 +18,7 @@
 
 use ivc_core::results::{fmt, Series, Table};
 use ivc_core::scenario::Delivery;
+use ivc_core::telemetry;
 use ivc_core::Result;
 use ivc_defense::evaluation::{ConfusionMatrix, RocCurve};
 use ivc_defense::features::DefenseFeatures;
@@ -707,6 +708,142 @@ pub fn run_campaign_preset_orchestrated(
             run_campaign_spec_orchestrated(spec, config, workers, worker_exe, scratch_dir, status)
         })
         .collect()
+}
+
+/// A profiled campaign run: the per-stage time-attribution table plus
+/// the raw telemetry snapshot it was built from (for `--metrics` /
+/// `--trace` export alongside the table).
+pub struct ProfileReport {
+    /// Per-stage attribution: span counts, total seconds, mean
+    /// milliseconds and share of wall clock, with pipeline sub-steps
+    /// indented under their stage.
+    pub table: Table,
+    /// Seconds covered by the non-overlapping top-level spans (setup,
+    /// detector training, the three stages, band summary, aggregation
+    /// and cell-lock waits).  With one worker this should track the
+    /// wall clock closely; the gap is unattributed engine overhead.
+    pub stage_total_s: f64,
+    /// Wall-clock seconds of the profiled run.
+    pub wall_s: f64,
+    /// The telemetry snapshot the table was rendered from.
+    pub snapshot: telemetry::Snapshot,
+}
+
+/// The top-level attribution rows, in pipeline order, each with the
+/// sub-step spans nested inside it.  Top-level spans never overlap each
+/// other, so their totals sum to attributable engine time; sub-steps
+/// are informational (they nest inside their parent's total).
+const PROFILE_ROWS: &[(&str, &[&str])] = &[
+    ("campaign.setup", &[]),
+    ("campaign.detector_train", &[]),
+    ("executor.cell_wait", &[]),
+    (
+        telemetry::SPAN_STAGE_PREPARE,
+        &[
+            "prepare.utterance_render",
+            "prepare.attack_build",
+            "prepare.rir_build",
+            "prepare.convolution",
+        ],
+    ),
+    (
+        telemetry::SPAN_STAGE_PERTURB,
+        &["perturb.ambient_noise", "perturb.mic_capture"],
+    ),
+    (
+        telemetry::SPAN_STAGE_EVALUATE,
+        &[
+            "evaluate.recognition",
+            "evaluate.defense_features",
+            "evaluate.detector",
+        ],
+    ),
+    ("executor.band_summary", &[]),
+    ("campaign.aggregate", &[]),
+];
+
+/// Profiles a campaign preset: runs it with telemetry enabled and
+/// returns the per-stage time-attribution table.  The preset's reports
+/// are computed and discarded — the profile is the product.  Call with
+/// `workers = 1` for attribution that tracks wall clock (parallel
+/// workers overlap stage time, so stage totals then exceed wall).
+///
+/// Resets the process-global telemetry collector, so the snapshot
+/// covers exactly this run; the collector is left disabled.
+pub fn profile_campaign_preset(
+    name: &str,
+    fidelity: Fidelity,
+    workers: usize,
+) -> Result<ProfileReport> {
+    telemetry::reset();
+    telemetry::set_enabled(true);
+    let start = std::time::Instant::now();
+    let outcome = run_campaign_preset(name, fidelity, workers);
+    let wall_s = start.elapsed().as_secs_f64();
+    telemetry::set_enabled(false);
+    let snapshot = telemetry::snapshot();
+    outcome?;
+
+    let mut table = Table::new(
+        format!("Stage attribution — preset '{name}' ({workers} worker(s))"),
+        &["Stage", "Spans", "Total (s)", "Mean (ms)", "% wall"],
+    );
+    let mut stage_total_s = 0.0;
+    let mut row = |label: String, name: &str| {
+        if let Some(stat) = snapshot.span(name) {
+            let total_s = stat.total_ns as f64 / 1e9;
+            let mean_ms = if stat.count == 0 {
+                0.0
+            } else {
+                stat.total_ns as f64 / stat.count as f64 / 1e6
+            };
+            let pct = if wall_s > 0.0 {
+                100.0 * total_s / wall_s
+            } else {
+                0.0
+            };
+            table.push_row(vec![
+                label,
+                stat.count.to_string(),
+                fmt(total_s, 3),
+                fmt(mean_ms, 3),
+                fmt(pct, 1),
+            ]);
+            return total_s;
+        }
+        0.0
+    };
+    for (top, subs) in PROFILE_ROWS {
+        stage_total_s += row((*top).to_string(), top);
+        for sub in *subs {
+            row(format!("  {sub}"), sub);
+        }
+    }
+    Ok(ProfileReport {
+        table,
+        stage_total_s,
+        wall_s,
+        snapshot,
+    })
+}
+
+/// Writes a telemetry snapshot as a pretty-printed `ivc-metrics-v1`
+/// JSON document (see [`ivc_core::telemetry::Snapshot::metrics_json`]).
+pub fn write_metrics_file(path: &Path, snapshot: &telemetry::Snapshot, wall_s: f64) -> Result<()> {
+    let mut text = snapshot.metrics_json(wall_s).to_json_string_pretty();
+    text.push('\n');
+    std::fs::write(path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    Ok(())
+}
+
+/// Writes a telemetry snapshot as a Chrome trace-event JSON document
+/// loadable in `chrome://tracing` / Perfetto (see
+/// [`ivc_core::telemetry::Snapshot::trace_json`]).
+pub fn write_trace_file(path: &Path, snapshot: &telemetry::Snapshot) -> Result<()> {
+    let mut text = snapshot.trace_json().to_json_string_pretty();
+    text.push('\n');
+    std::fs::write(path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    Ok(())
 }
 
 /// Trial records of a report paired with their attack/legitimate label

@@ -187,6 +187,47 @@ fn malformed_flag_values_are_one_line_errors() {
             &["orchestrate", "smoke", "--shards", "2", "--resume"][..],
             "--resume needs a checkpoint directory",
         ),
+        (&["profile"][..], "profile needs a preset name"),
+        (
+            &["campaign", "smoke", "--metrics"][..],
+            "--metrics needs an output file",
+        ),
+        (
+            &["campaign", "smoke", "--trace"][..],
+            "--trace needs an output file",
+        ),
+        (
+            &[
+                "shard-merge",
+                "--out",
+                "x.json",
+                "--metrics",
+                "m.json",
+                "p.json",
+            ][..],
+            "--metrics applies to",
+        ),
+        (
+            &[
+                "shard-plan",
+                "smoke",
+                "--shards",
+                "2",
+                "--out-dir",
+                "d",
+                "--trace",
+                "t.json",
+            ][..],
+            "--trace applies to",
+        ),
+        (
+            &["profile", "smoke", "--shards", "2"][..],
+            "--shards applies to",
+        ),
+        (
+            &["profile", "smoke", "--archive", "d"][..],
+            "--archive applies to",
+        ),
     ] {
         let output = repro(args);
         let line = one_line_error(&output, &args.join(" "));
@@ -250,6 +291,182 @@ fn shard_merge_rejects_unreadable_partials() {
     ]);
     let line = one_line_error(&output, "missing partial");
     assert!(line.contains("reading"), "{line}");
+}
+
+/// An unknown preset through `profile` is the same one-line runtime
+/// error the other preset-taking subcommands give.
+#[test]
+fn unknown_profile_preset_is_a_one_line_error() {
+    let output = repro(&["profile", "nonexistent-preset"]);
+    let line = one_line_error(&output, "unknown profile preset");
+    assert!(
+        line.contains("unknown campaign preset 'nonexistent-preset'"),
+        "{line}"
+    );
+}
+
+/// Telemetry is observation, never participation: the smoke archive must
+/// be byte-identical with `--metrics`/`--trace` on or off, at any worker
+/// count and across forked shard workers — while the metrics document
+/// parses as `ivc-metrics-v1` with non-zero span counts for all three
+/// pipeline stages and the trace document holds Chrome trace events.
+#[test]
+fn telemetry_export_leaves_the_archive_bytes_identical() {
+    use ivc_core::json::JsonValue;
+    let scratch = std::env::temp_dir().join(format!("ivc-cli-telemetry-{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+    std::fs::create_dir_all(&scratch).unwrap();
+    let dir = |name: &str| -> PathBuf { scratch.join(name) };
+    let run = |args: &[&str], context: &str| {
+        let output = repro(args);
+        assert!(output.status.success(), "{context} failed: {output:?}");
+    };
+
+    run(
+        &[
+            "campaign",
+            "smoke",
+            "--workers",
+            "1",
+            "--archive",
+            &dir("base").to_string_lossy(),
+        ],
+        "baseline",
+    );
+    let baseline = std::fs::read_to_string(dir("base").join("smoke.json")).unwrap();
+
+    let metrics_1 = dir("m1.json");
+    run(
+        &[
+            "campaign",
+            "smoke",
+            "--workers",
+            "1",
+            "--metrics",
+            &metrics_1.to_string_lossy(),
+            "--archive",
+            &dir("w1").to_string_lossy(),
+        ],
+        "workers 1 + metrics",
+    );
+    let metrics_8 = dir("m8.json");
+    let trace_8 = dir("t8.json");
+    run(
+        &[
+            "campaign",
+            "smoke",
+            "--workers",
+            "8",
+            "--metrics",
+            &metrics_8.to_string_lossy(),
+            "--trace",
+            &trace_8.to_string_lossy(),
+            "--archive",
+            &dir("w8").to_string_lossy(),
+        ],
+        "workers 8 + metrics + trace",
+    );
+    let metrics_sharded = dir("ms.json");
+    run(
+        &[
+            "campaign",
+            "smoke",
+            "--shards",
+            "2",
+            "--workers",
+            "2",
+            "--metrics",
+            &metrics_sharded.to_string_lossy(),
+            "--archive",
+            &dir("sharded").to_string_lossy(),
+        ],
+        "shards 2 + metrics",
+    );
+    for flavour in ["w1", "w8", "sharded"] {
+        let archived = std::fs::read_to_string(dir(flavour).join("smoke.json")).unwrap();
+        assert_eq!(
+            archived, baseline,
+            "telemetry changed the archive bytes ({flavour})"
+        );
+    }
+
+    // The in-process metrics documents carry all three pipeline stages.
+    for path in [&metrics_1, &metrics_8] {
+        let doc = JsonValue::parse(&std::fs::read_to_string(path).unwrap())
+            .unwrap_or_else(|e| panic!("parsing {}: {e}", path.display()));
+        assert_eq!(
+            doc.get("format").and_then(JsonValue::as_str),
+            Some("ivc-metrics-v1")
+        );
+        let spans = doc.get("spans").and_then(JsonValue::as_array).unwrap();
+        for stage in ["stage.prepare", "stage.perturb", "stage.evaluate"] {
+            let count = spans
+                .iter()
+                .find(|s| s.get("name").and_then(JsonValue::as_str) == Some(stage))
+                .and_then(|s| s.get("count"))
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0);
+            assert!(count > 0, "{}: no {stage} spans", path.display());
+        }
+    }
+    // The sharded parent still produces a well-formed document (the
+    // stage spans live in the worker processes).
+    let doc = JsonValue::parse(&std::fs::read_to_string(&metrics_sharded).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("format").and_then(JsonValue::as_str),
+        Some("ivc-metrics-v1")
+    );
+
+    // The trace document is loadable Chrome trace-event JSON.
+    let trace = JsonValue::parse(&std::fs::read_to_string(&trace_8).unwrap()).unwrap();
+    let events = trace
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "trace has no events");
+    for event in events {
+        assert_eq!(event.get("ph").and_then(JsonValue::as_str), Some("X"));
+        assert!(event.get("name").and_then(JsonValue::as_str).is_some());
+        assert!(event.get("ts").and_then(JsonValue::as_f64).is_some());
+        assert!(event.get("dur").and_then(JsonValue::as_f64).is_some());
+    }
+
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
+/// `repro profile` prints the per-stage attribution table, and with one
+/// worker the top-level stage totals track the run's wall clock.
+#[test]
+fn profile_prints_stage_attribution_covering_the_wall_clock() {
+    let metrics = std::env::temp_dir().join(format!("ivc-cli-profile-{}.json", std::process::id()));
+    let output = repro(&["profile", "smoke", "--metrics", &metrics.to_string_lossy()]);
+    assert!(output.status.success(), "profile failed: {output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for needle in [
+        "Stage attribution",
+        "stage.prepare",
+        "stage.perturb",
+        "stage.evaluate",
+        "stages account for",
+    ] {
+        assert!(stdout.contains(needle), "missing '{needle}':\n{stdout}");
+    }
+    // "stages account for X s of Y s wall (Z%)" — the attribution must
+    // cover most of the wall clock (the acceptance bar is 90%; leave
+    // headroom for noisy CI machines).
+    let percent: f64 = stdout
+        .split("wall (")
+        .nth(1)
+        .and_then(|rest| rest.split('%').next())
+        .and_then(|p| p.parse().ok())
+        .unwrap_or_else(|| panic!("no coverage footer in:\n{stdout}"));
+    assert!(
+        percent >= 80.0,
+        "stage attribution covers only {percent}% of wall clock:\n{stdout}"
+    );
+    // --metrics composes with profile.
+    assert!(metrics.exists(), "profile did not write --metrics");
+    std::fs::remove_file(&metrics).ok();
 }
 
 /// The acceptance path end to end, through real processes and real files:

@@ -4,7 +4,8 @@
 //! resumed from its checkpoints — the archive must stay byte-identical
 //! to the in-process `campaign smoke` run.
 
-use ivc_experiments::orchestrate::{ENV_FAULT_SHARD, ENV_SHARD_ATTEMPT};
+use ivc_core::json::JsonValue;
+use ivc_experiments::orchestrate::{ENV_FAULT_SHARD, ENV_SHARD_ATTEMPT, MANIFEST_FORMAT};
 use ivc_experiments::shard::{shard_job_file_name, ShardArchive, ShardPlan};
 use ivc_experiments::{presets, run_campaign, CampaignSpec, DeliverySpec};
 use std::path::{Path, PathBuf};
@@ -73,6 +74,36 @@ fn fault_injected_worker_failure_is_retried_to_identical_bytes() {
         smoke_baseline(),
         "the retried run changed the archive bytes"
     );
+    // The structured run manifest travels with the archive, and records
+    // the retry as a machine-readable event.
+    let manifest_path = archive.join("smoke.manifest.jsonl");
+    let manifest = std::fs::read_to_string(&manifest_path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", manifest_path.display()));
+    let events: Vec<JsonValue> = manifest
+        .lines()
+        .map(|line| JsonValue::parse(line).unwrap_or_else(|e| panic!("bad manifest line: {e}")))
+        .collect();
+    assert_eq!(
+        events
+            .first()
+            .and_then(|e| e.get("kind"))
+            .and_then(JsonValue::as_str),
+        Some("run_start"),
+        "manifest must open with run_start"
+    );
+    assert_eq!(
+        events
+            .first()
+            .and_then(|e| e.get("format"))
+            .and_then(JsonValue::as_str),
+        Some(MANIFEST_FORMAT),
+    );
+    let retry = events
+        .iter()
+        .find(|e| e.get("kind").and_then(JsonValue::as_str) == Some("shard_retry"))
+        .expect("manifest must record the injected fault's retry");
+    assert_eq!(retry.get("shard").and_then(JsonValue::as_u64), Some(1));
+    assert_eq!(retry.get("retry").and_then(JsonValue::as_u64), Some(1));
     std::fs::remove_dir_all(&scratch).ok();
 }
 

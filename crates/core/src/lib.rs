@@ -25,6 +25,9 @@
 //! * [`json`] — a dependency-free JSON value model, writer and parser used
 //!   to archive experiment reports (the vendored `serde` stand-in has no
 //!   data model, so archival gets its own deterministic layer).
+//! * [`telemetry`] — process-wide spans, counters and duration histograms
+//!   instrumenting the stages and everything above them; overhead-free
+//!   when disabled and never part of archived bytes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +37,7 @@ pub mod pipeline;
 pub mod results;
 pub mod scenario;
 pub mod stages;
+pub mod telemetry;
 
 pub use json::JsonValue;
 pub use pipeline::{run_trial, TrialOutcome};

@@ -29,6 +29,7 @@
 
 use crate::pipeline::TrialOutcome;
 use crate::scenario::{Delivery, Scenario};
+use crate::telemetry;
 use crate::Result;
 use ivc_acoustics::array::{ElementDrive, SpeakerArray};
 use ivc_acoustics::environment::AirEnvironment;
@@ -91,6 +92,7 @@ impl PrepareContext {
     /// The (possibly truncated) voice waveform of `command` spoken by
     /// `talker` — the cached render, clipped to the scenario's cap.
     fn voice(&self, command: &VoiceCommand, talker: TalkerKey, cap_s: f64) -> Result<Signal> {
+        let _span = telemetry::span("prepare.utterance_render");
         let utterance = self.utterances.rendered(&self.synth, command, talker)?;
         Ok(if utterance.signal.duration_s() > cap_s {
             utterance.signal.slice_seconds(0.0, cap_s)
@@ -147,9 +149,11 @@ impl PreparedCell {
         if !(0.0..=1.0).contains(&scenario.shadow_suppression) {
             return Err("shadow_suppression must be within [0, 1]".into());
         }
+        let _stage = telemetry::span(telemetry::SPAN_STAGE_PREPARE);
         let room = match scenario.room {
             None => None,
             Some(preset) => {
+                let _span = telemetry::span("prepare.rir_build");
                 Some(preset.instantiate(scenario.distance_m, scenario.bystander_distance_m)?)
             }
         };
@@ -175,11 +179,13 @@ impl PreparedCell {
                 carrier_hz,
             } => {
                 let voice = attack_voice(ctx, command, scenario, cap_s)?;
+                let build_span = telemetry::span("prepare.attack_build");
                 let attack = SingleSpeakerAttack::build(&voice, carrier_hz, 0.9, &ctx.baseband)?;
                 let speaker = UltrasonicSpeaker::default();
                 let array = SpeakerArray::new(speaker.clone(), 1, 0.03)?;
                 let placed_w = power_w.min(speaker.max_power_w);
                 let drives = single_speaker_element_drives(&attack, placed_w)?;
+                drop(build_span);
                 let (at_port, leak) = deliver_attack(&array, &drives, scenario, room.as_ref())?;
                 (
                     PreparedPaths::Attack(at_port),
@@ -193,6 +199,7 @@ impl PreparedCell {
                 carrier_hz,
             } => {
                 let voice = attack_voice(ctx, command, scenario, cap_s)?;
+                let build_span = telemetry::span("prepare.attack_build");
                 let speaker = UltrasonicSpeaker::default();
                 let array = SpeakerArray::new(speaker.clone(), num_elements.max(1), 0.03)?;
                 let (drives, shortfall_w) = if num_elements <= 1 {
@@ -222,6 +229,7 @@ impl PreparedCell {
                         attack.allocate_power(total_power_w, 0.3, speaker.max_power_w)?;
                     (allocation.drives, allocation.shortfall_w)
                 };
+                drop(build_span);
                 let (at_port, leak) = deliver_attack(&array, &drives, scenario, room.as_ref())?;
                 (PreparedPaths::Attack(at_port), Some(leak), shortfall_w)
             }
@@ -251,6 +259,7 @@ impl PreparedCell {
     /// microphone capture and ADC — returning the digital recording the
     /// device's software receives for trial `seed`.
     pub fn perturb(&self, seed: u64) -> Result<Signal> {
+        let _stage = telemetry::span(telemetry::SPAN_STAGE_PERTURB);
         let clean = match &self.paths {
             PreparedPaths::Attack(at_port) => at_port,
             PreparedPaths::Legitimate(variants) => {
@@ -268,13 +277,17 @@ impl PreparedCell {
             }
         };
         let mut pressure_at_port = clean.clone();
-        let noise = room_noise_pa(
-            self.scenario.ambient_noise_spl_db,
-            pressure_at_port.duration_s(),
-            pressure_at_port.sample_rate_hz(),
-            seed ^ 0xDEAD_BEEF,
-        )?;
-        pressure_at_port.mix(&noise)?;
+        {
+            let _span = telemetry::span("perturb.ambient_noise");
+            let noise = room_noise_pa(
+                self.scenario.ambient_noise_spl_db,
+                pressure_at_port.duration_s(),
+                pressure_at_port.sample_rate_hz(),
+                seed ^ 0xDEAD_BEEF,
+            )?;
+            pressure_at_port.mix(&noise)?;
+        }
+        let _span = telemetry::span("perturb.mic_capture");
         Ok(self.microphone.capture(&pressure_at_port, seed)?)
     }
 
@@ -290,7 +303,10 @@ impl PreparedCell {
         recognizer: &Recognizer,
         detector: Option<&LogisticRegression>,
     ) -> Result<TrialOutcome> {
+        let _stage = telemetry::span(telemetry::SPAN_STAGE_EVALUATE);
+        let recognition_span = telemetry::span("evaluate.recognition");
         let evaluation = recognizer.evaluate(&recording, self.command.id)?;
+        drop(recognition_span);
         let word_accuracy = evaluation.word_accuracy;
         let accepted = evaluation.accepted;
         let recognized_words: Vec<String> = evaluation
@@ -299,9 +315,14 @@ impl PreparedCell {
             .filter(|(_, ok)| *ok)
             .map(|(word, _)| word)
             .collect();
+        let features_span = telemetry::span("evaluate.defense_features");
         let defense_features = DefenseFeatures::extract(&recording)?;
+        drop(features_span);
         let detection_probability = match detector {
-            Some(model) => Some(model.predict_probability(&defense_features.to_vector())?),
+            Some(model) => {
+                let _span = telemetry::span("evaluate.detector");
+                Some(model.predict_probability(&defense_features.to_vector())?)
+            }
             None => None,
         };
         Ok(TrialOutcome {
@@ -360,6 +381,7 @@ fn propagate_to_target(
     scenario: &Scenario,
     room: Option<&RoomInstance>,
 ) -> Result<Signal> {
+    let _span = telemetry::span("prepare.convolution");
     match room {
         None => Ok(propagate_from_aperture(
             source_at_1m,
@@ -387,9 +409,12 @@ fn deliver_attack(
     let near = array.emitted_field_at_1m(drives)?;
     let at_port = propagate_to_target(&near, array.aperture_m(), scenario, room)?;
     let env: &AirEnvironment = &scenario.env;
-    let bystander_field = match room {
-        None => propagate(&near, scenario.bystander_distance_m, env)?,
-        Some(instance) => propagate_in_room(&near, &instance.bystander_rir()?, env)?,
+    let bystander_field = {
+        let _span = telemetry::span("prepare.convolution");
+        match room {
+            None => propagate(&near, scenario.bystander_distance_m, env)?,
+            Some(instance) => propagate_in_room(&near, &instance.bystander_rir()?, env)?,
+        }
     };
     let leak = leakage_from_field(&bystander_field, scenario.bystander_distance_m, 0.0)?;
     Ok((at_port, leak))

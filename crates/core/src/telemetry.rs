@@ -1,0 +1,573 @@
+//! Process-wide instrumentation: spans, counters and log-scale duration
+//! histograms for the trial pipeline and everything built on top of it.
+//!
+//! The collector is a single process-global singleton guarded by one
+//! atomic `enabled` flag. **When disabled — the default — instrumentation
+//! is overhead-free**: every entry point performs one relaxed atomic load
+//! and returns without allocating, locking or reading the clock. Spans on
+//! the disabled path are inert zero-sized guards.
+//!
+//! When enabled (via [`set_enabled`]), the collector records:
+//!
+//! * **spans** — named monotonic timings aggregated per name into count /
+//!   total / min / max plus a log₂-nanosecond histogram (40 buckets cover
+//!   1 ns … ~9 minutes), and
+//! * **trace events** — the individual span intervals, exportable as a
+//!   Chrome trace-event JSON file loadable in `chrome://tracing` or
+//!   [Perfetto](https://ui.perfetto.dev) (capped; the cap is reported as
+//!   a dropped-event count, never an error), and
+//! * **counters** — named monotonically increasing totals.
+//!
+//! Telemetry never touches experiment outputs: wall-clock data lives only
+//! in the metrics / trace exports produced from [`snapshot`], never in
+//! archived reports, so every byte-identity guarantee holds with
+//! telemetry on.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::{u64_to_json, JsonValue};
+
+/// Format tag written into the `--metrics` summary document.
+pub const METRICS_FORMAT: &str = "ivc-metrics-v1";
+
+/// Span covering one whole Prepare stage (cell-invariant work).
+pub const SPAN_STAGE_PREPARE: &str = "stage.prepare";
+/// Span covering one whole Perturb stage (per-trial randomness).
+pub const SPAN_STAGE_PERTURB: &str = "stage.perturb";
+/// Span covering one whole Evaluate stage (recognition + defense).
+pub const SPAN_STAGE_EVALUATE: &str = "stage.evaluate";
+
+/// Number of log₂-ns histogram buckets: bucket `i` holds durations with
+/// `floor(log2(ns)) == i`, so bucket 39 starts at 2³⁹ ns ≈ 9.2 minutes.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// Cap on buffered trace events; beyond it events are counted as dropped
+/// rather than stored, bounding memory on long campaigns.
+const MAX_TRACE_EVENTS: usize = 262_144;
+
+/// Aggregated statistics for one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStat {
+    /// How many spans closed under this name.
+    pub count: u64,
+    /// Sum of all span durations, in nanoseconds.
+    pub total_ns: u64,
+    /// Shortest observed duration, in nanoseconds.
+    pub min_ns: u64,
+    /// Longest observed duration, in nanoseconds.
+    pub max_ns: u64,
+    /// Log₂-nanosecond histogram of durations (see [`bucket_index`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl SpanStat {
+    fn new() -> SpanStat {
+        SpanStat {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns += ns;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.buckets[bucket_index(ns)] += 1;
+    }
+
+    /// Mean duration in nanoseconds (0 when no spans were recorded).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Histogram bucket for a duration: `floor(log2(ns))`, clamped so that
+/// sub-nanosecond readings land in bucket 0 and everything above ~9
+/// minutes lands in the last bucket.
+pub fn bucket_index(ns: u64) -> usize {
+    let bits = 63 - ns.max(1).leading_zeros() as usize;
+    bits.min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// One closed span interval, kept for trace export.
+#[derive(Debug, Clone)]
+struct TraceEvent {
+    name: &'static str,
+    tid: u64,
+    start_ns: u64,
+    dur_ns: u64,
+}
+
+/// Everything the collector accumulates while enabled.
+struct Inner {
+    /// Time origin for trace timestamps; reset with the collector.
+    epoch: Instant,
+    /// Per-name aggregates, small enough for a linear scan.
+    spans: Vec<(&'static str, SpanStat)>,
+    /// Named counters.
+    counters: Vec<(&'static str, u64)>,
+    /// Individual intervals for trace export, capped.
+    events: Vec<TraceEvent>,
+    /// Events discarded once `events` hit [`MAX_TRACE_EVENTS`].
+    dropped_events: u64,
+}
+
+impl Inner {
+    fn new() -> Inner {
+        Inner {
+            epoch: Instant::now(),
+            spans: Vec::new(),
+            counters: Vec::new(),
+            events: Vec::new(),
+            dropped_events: 0,
+        }
+    }
+}
+
+struct Collector {
+    enabled: AtomicBool,
+    inner: Mutex<Inner>,
+}
+
+fn collector() -> &'static Collector {
+    static COLLECTOR: OnceLock<Collector> = OnceLock::new();
+    COLLECTOR.get_or_init(|| Collector {
+        enabled: AtomicBool::new(false),
+        inner: Mutex::new(Inner::new()),
+    })
+}
+
+/// Monotonic per-thread identifier for trace lanes (thread 1, 2, ...
+/// in order of first instrumentation touch).
+fn thread_lane() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static LANE: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    LANE.with(|lane| *lane)
+}
+
+/// Turn collection on or off. Disabling does not clear accumulated data;
+/// use [`reset`] for that.
+pub fn set_enabled(enabled: bool) {
+    collector().enabled.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the collector is currently recording.
+pub fn is_enabled() -> bool {
+    collector().enabled.load(Ordering::Relaxed)
+}
+
+/// Clear all accumulated spans, counters and trace events and restart the
+/// trace clock at zero.
+pub fn reset() {
+    let mut inner = collector().inner.lock().expect("telemetry poisoned");
+    *inner = Inner::new();
+}
+
+/// Start a span. Records its duration (and a trace interval) when the
+/// returned guard drops. On the disabled path this performs one relaxed
+/// atomic load and allocates nothing.
+#[must_use = "a span measures until it is dropped"]
+pub fn span(name: &'static str) -> Span {
+    if !is_enabled() {
+        return Span { active: None };
+    }
+    Span {
+        active: Some(ActiveSpan {
+            name,
+            start: Instant::now(),
+        }),
+    }
+}
+
+/// Add `n` to the named counter. A single relaxed load and no work when
+/// disabled.
+pub fn add_count(name: &'static str, n: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let mut inner = collector().inner.lock().expect("telemetry poisoned");
+    match inner.counters.iter_mut().find(|(k, _)| *k == name) {
+        Some((_, v)) => *v += n,
+        None => inner.counters.push((name, n)),
+    }
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    start: Instant,
+}
+
+/// Guard returned by [`span`]; measures from creation to drop.
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let end = Instant::now();
+        let dur_ns = end.duration_since(active.start).as_nanos() as u64;
+        let tid = thread_lane();
+        let mut inner = collector().inner.lock().expect("telemetry poisoned");
+        let start_ns = active.start.duration_since(inner.epoch).as_nanos() as u64;
+        match inner.spans.iter_mut().find(|(k, _)| *k == active.name) {
+            Some((_, stat)) => stat.record(dur_ns),
+            None => {
+                let mut stat = SpanStat::new();
+                stat.record(dur_ns);
+                inner.spans.push((active.name, stat));
+            }
+        }
+        if inner.events.len() < MAX_TRACE_EVENTS {
+            inner.events.push(TraceEvent {
+                name: active.name,
+                tid,
+                start_ns,
+                dur_ns,
+            });
+        } else {
+            inner.dropped_events += 1;
+        }
+    }
+}
+
+/// A point-in-time copy of everything the collector has accumulated,
+/// with spans and counters sorted by name for deterministic export.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Per-name span aggregates, sorted by name.
+    pub spans: Vec<(String, SpanStat)>,
+    /// Named counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Trace intervals `(name, thread lane, start ns, duration ns)` in
+    /// completion order.
+    pub events: Vec<(String, u64, u64, u64)>,
+    /// Trace intervals discarded after the buffer cap was reached.
+    pub dropped_events: u64,
+}
+
+/// Copy out the collector's current contents.
+pub fn snapshot() -> Snapshot {
+    let inner = collector().inner.lock().expect("telemetry poisoned");
+    let mut spans: Vec<(String, SpanStat)> = inner
+        .spans
+        .iter()
+        .map(|(name, stat)| (name.to_string(), stat.clone()))
+        .collect();
+    spans.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut counters: Vec<(String, u64)> = inner
+        .counters
+        .iter()
+        .map(|(name, v)| (name.to_string(), *v))
+        .collect();
+    counters.sort_by(|a, b| a.0.cmp(&b.0));
+    let events = inner
+        .events
+        .iter()
+        .map(|e| (e.name.to_string(), e.tid, e.start_ns, e.dur_ns))
+        .collect();
+    Snapshot {
+        spans,
+        counters,
+        events,
+        dropped_events: inner.dropped_events,
+    }
+}
+
+impl Snapshot {
+    /// Look up one span aggregate by name.
+    pub fn span(&self, name: &str) -> Option<&SpanStat> {
+        self.spans
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, stat)| stat)
+    }
+
+    /// Look up one counter by name (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// The `ivc-metrics-v1` summary document: per-span aggregates with
+    /// histograms, counters, and the measured wall clock.
+    pub fn metrics_json(&self, wall_s: f64) -> JsonValue {
+        let spans = self
+            .spans
+            .iter()
+            .map(|(name, stat)| {
+                let first = stat.buckets.iter().position(|&b| b != 0).unwrap_or(0);
+                let last = stat
+                    .buckets
+                    .iter()
+                    .rposition(|&b| b != 0)
+                    .unwrap_or_else(|| first.saturating_sub(1));
+                let buckets: Vec<JsonValue> = stat.buckets[first..=last.max(first)]
+                    .iter()
+                    .map(|&b| u64_to_json(b))
+                    .collect();
+                JsonValue::Object(vec![
+                    ("name".to_string(), JsonValue::string(name.clone())),
+                    ("count".to_string(), u64_to_json(stat.count)),
+                    ("total_ns".to_string(), u64_to_json(stat.total_ns)),
+                    ("mean_ns".to_string(), u64_to_json(stat.mean_ns())),
+                    ("min_ns".to_string(), u64_to_json(stat.min_ns)),
+                    ("max_ns".to_string(), u64_to_json(stat.max_ns)),
+                    (
+                        "histogram_log2_ns_offset".to_string(),
+                        u64_to_json(first as u64),
+                    ),
+                    ("histogram_log2_ns".to_string(), JsonValue::Array(buckets)),
+                ])
+            })
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, v)| {
+                JsonValue::Object(vec![
+                    ("name".to_string(), JsonValue::string(name.clone())),
+                    ("value".to_string(), u64_to_json(*v)),
+                ])
+            })
+            .collect();
+        JsonValue::Object(vec![
+            ("format".to_string(), JsonValue::string(METRICS_FORMAT)),
+            ("wall_s".to_string(), JsonValue::number(wall_s)),
+            ("spans".to_string(), JsonValue::Array(spans)),
+            ("counters".to_string(), JsonValue::Array(counters)),
+            (
+                "dropped_trace_events".to_string(),
+                u64_to_json(self.dropped_events),
+            ),
+        ])
+    }
+
+    /// A Chrome trace-event document (the `{"traceEvents": [...]}` shape
+    /// understood by `chrome://tracing` and Perfetto): one complete
+    /// (`"ph": "X"`) event per recorded span interval, timestamps and
+    /// durations in microseconds.
+    pub fn trace_json(&self) -> JsonValue {
+        let events = self
+            .events
+            .iter()
+            .map(|(name, tid, start_ns, dur_ns)| {
+                JsonValue::Object(vec![
+                    ("name".to_string(), JsonValue::string(name.clone())),
+                    ("cat".to_string(), JsonValue::string("ivc")),
+                    ("ph".to_string(), JsonValue::string("X")),
+                    ("pid".to_string(), u64_to_json(1)),
+                    ("tid".to_string(), u64_to_json(*tid)),
+                    ("ts".to_string(), JsonValue::number(*start_ns as f64 / 1e3)),
+                    ("dur".to_string(), JsonValue::number(*dur_ns as f64 / 1e3)),
+                ])
+            })
+            .collect();
+        JsonValue::Object(vec![
+            ("traceEvents".to_string(), JsonValue::Array(events)),
+            ("displayTimeUnit".to_string(), JsonValue::string("ms")),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The collector is process-global; tests that enable it must not
+    /// interleave, and stage/executor tests running concurrently may add
+    /// their own span names — so these tests use `test.`-prefixed names
+    /// and assert only on those.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn bucket_index_is_floor_log2_clamped() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_and_stats_accumulate() {
+        let mut stat = SpanStat::new();
+        for ns in [1, 2, 3, 1024, 1_000_000] {
+            stat.record(ns);
+        }
+        assert_eq!(stat.count, 5);
+        assert_eq!(stat.total_ns, 1 + 2 + 3 + 1024 + 1_000_000);
+        assert_eq!(stat.min_ns, 1);
+        assert_eq!(stat.max_ns, 1_000_000);
+        assert_eq!(stat.buckets[0], 1); // 1 ns
+        assert_eq!(stat.buckets[1], 2); // 2 and 3 ns
+        assert_eq!(stat.buckets[10], 1); // 1024 ns
+        assert_eq!(stat.buckets[19], 1); // 1e6 ns in [2^19, 2^20)
+        assert_eq!(stat.mean_ns(), stat.total_ns / 5);
+    }
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let _gate = lock();
+        set_enabled(false);
+        reset();
+        {
+            let _span = span("test.disabled");
+            add_count("test.disabled_counter", 3);
+        }
+        let snap = snapshot();
+        assert!(snap.span("test.disabled").is_none());
+        assert_eq!(snap.counter("test.disabled_counter"), 0);
+        assert!(snap.events.iter().all(|(name, ..)| name != "test.disabled"));
+    }
+
+    #[test]
+    fn enabled_collector_aggregates_spans_and_counters() {
+        let _gate = lock();
+        reset();
+        set_enabled(true);
+        for _ in 0..3 {
+            let _span = span("test.work");
+        }
+        add_count("test.items", 2);
+        add_count("test.items", 5);
+        set_enabled(false);
+        let snap = snapshot();
+        let stat = snap.span("test.work").expect("span recorded");
+        assert_eq!(stat.count, 3);
+        assert!(stat.min_ns <= stat.max_ns);
+        assert_eq!(stat.buckets.iter().sum::<u64>(), 3);
+        assert_eq!(snap.counter("test.items"), 7);
+        let test_events: Vec<_> = snap
+            .events
+            .iter()
+            .filter(|(name, ..)| name == "test.work")
+            .collect();
+        assert_eq!(test_events.len(), 3);
+    }
+
+    #[test]
+    fn metrics_json_round_trips_and_names_spans() {
+        let _gate = lock();
+        reset();
+        set_enabled(true);
+        {
+            let _span = span("test.metrics");
+        }
+        add_count("test.metrics_counter", 4);
+        set_enabled(false);
+        let doc = snapshot().metrics_json(1.5);
+        let text = doc.to_json_string_pretty();
+        let parsed = JsonValue::parse(&text).expect("metrics JSON parses");
+        assert_eq!(
+            parsed.get("format").and_then(JsonValue::as_str),
+            Some(METRICS_FORMAT)
+        );
+        assert_eq!(parsed.get("wall_s").and_then(JsonValue::as_f64), Some(1.5));
+        let spans = parsed
+            .get("spans")
+            .and_then(JsonValue::as_array)
+            .expect("spans array");
+        let entry = spans
+            .iter()
+            .find(|s| s.get("name").and_then(JsonValue::as_str) == Some("test.metrics"))
+            .expect("named span present");
+        assert_eq!(entry.get("count").and_then(JsonValue::as_u64), Some(1));
+        let hist = entry
+            .get("histogram_log2_ns")
+            .and_then(JsonValue::as_array)
+            .expect("histogram present");
+        assert_eq!(
+            hist.iter().filter_map(JsonValue::as_u64).sum::<u64>(),
+            1,
+            "histogram holds exactly the one recorded span"
+        );
+        let counters = parsed
+            .get("counters")
+            .and_then(JsonValue::as_array)
+            .expect("counters array");
+        assert!(counters
+            .iter()
+            .any(
+                |c| c.get("name").and_then(JsonValue::as_str) == Some("test.metrics_counter")
+                    && c.get("value").and_then(JsonValue::as_u64) == Some(4)
+            ));
+    }
+
+    #[test]
+    fn trace_json_matches_the_chrome_trace_shape() {
+        let _gate = lock();
+        reset();
+        set_enabled(true);
+        {
+            let _outer = span("test.trace_outer");
+            let _inner = span("test.trace_inner");
+        }
+        set_enabled(false);
+        let doc = snapshot().trace_json();
+        let parsed = JsonValue::parse(&doc.to_json_string()).expect("trace JSON parses");
+        assert_eq!(
+            parsed.get("displayTimeUnit").and_then(JsonValue::as_str),
+            Some("ms")
+        );
+        let events = parsed
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .expect("traceEvents array");
+        let ours: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.get("name")
+                    .and_then(JsonValue::as_str)
+                    .is_some_and(|n| n.starts_with("test.trace_"))
+            })
+            .collect();
+        assert_eq!(ours.len(), 2);
+        for event in ours {
+            assert_eq!(event.get("ph").and_then(JsonValue::as_str), Some("X"));
+            assert_eq!(event.get("cat").and_then(JsonValue::as_str), Some("ivc"));
+            assert_eq!(event.get("pid").and_then(JsonValue::as_u64), Some(1));
+            assert!(event.get("tid").and_then(JsonValue::as_u64).is_some());
+            assert!(event.get("ts").and_then(JsonValue::as_f64).is_some());
+            assert!(event
+                .get("dur")
+                .and_then(JsonValue::as_f64)
+                .is_some_and(|d| d >= 0.0));
+        }
+    }
+
+    #[test]
+    fn reset_clears_accumulated_data() {
+        let _gate = lock();
+        reset();
+        set_enabled(true);
+        {
+            let _span = span("test.reset");
+        }
+        add_count("test.reset_counter", 1);
+        reset();
+        set_enabled(false);
+        let snap = snapshot();
+        assert!(snap.span("test.reset").is_none());
+        assert_eq!(snap.counter("test.reset_counter"), 0);
+    }
+}

@@ -30,7 +30,7 @@ use crate::aggregate::{aggregate_cells, psychometric_curves};
 use crate::error::{ExperimentError, Result};
 use crate::grid::{BandSummarySpec, CampaignSpec, DetectorSpec};
 use crate::report::CampaignReport;
-use ivc_core::{PrepareContext, PreparedCell};
+use ivc_core::{telemetry, PrepareContext, PreparedCell};
 use ivc_defense::classifier::{LogisticRegression, TrainingConfig};
 use ivc_defense::dataset::Dataset;
 use ivc_dsp::signal::Signal;
@@ -146,6 +146,7 @@ fn cached_detector_model(spec: &DetectorSpec) -> Result<Arc<LogisticRegression>>
 pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> Result<CampaignReport> {
     spec.validate()?;
     let records = execute_jobs(spec, 0, spec.num_trials(), workers)?;
+    let _span = telemetry::span("campaign.aggregate");
     let cells = spec.cells();
     let cell_reports = aggregate_cells(spec, &cells, &records);
     let curves = psychometric_curves(spec, &cell_reports);
@@ -187,6 +188,7 @@ pub(crate) fn execute_jobs(
     if num_jobs == 0 {
         return Ok(Vec::new());
     }
+    let setup_span = telemetry::span("campaign.setup");
     let recognizer = Recognizer::with_default_corpus()
         .map_err(|e| ExperimentError::Setup(format!("recogniser: {e}")))?;
     let commands = corpus();
@@ -194,6 +196,7 @@ pub(crate) fn execute_jobs(
     let workers = workers.clamp(1, num_jobs);
     let ctx = PrepareContext::new()
         .map_err(|e| ExperimentError::Setup(format!("prepare context: {e}")))?;
+    drop(setup_span);
 
     // A contiguous job range covers a contiguous run of cells; the first
     // and last cell may contribute only a sub-range of their trials.
@@ -254,6 +257,7 @@ pub(crate) fn execute_jobs(
         .collect();
     touched_detectors.sort_unstable();
     touched_detectors.dedup();
+    let detector_span = telemetry::span("campaign.detector_train");
     let detectors: HashMap<usize, SharedDetector> = std::thread::scope(|scope| {
         let handles: Vec<_> = touched_detectors
             .iter()
@@ -278,6 +282,7 @@ pub(crate) fn execute_jobs(
             })
             .collect()
     });
+    drop(detector_span);
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -286,6 +291,7 @@ pub(crate) fn execute_jobs(
                 if job >= num_jobs {
                     break;
                 }
+                let _trial_span = telemetry::span("executor.trial");
                 let (position, trial_index) = job_order[job];
                 let jobs = &cell_jobs[position];
                 let cell = &cells[jobs.cell_index];
@@ -298,8 +304,12 @@ pub(crate) fn execute_jobs(
                 // pure function of `(cell, seed)`, so preparing fewer
                 // variants cannot change any record.
                 let prepared = {
+                    let wait_span = telemetry::span("executor.cell_wait");
                     let mut slot = cell_slots[position].lock().expect("cell slot poisoned");
-                    slot.prepared
+                    drop(wait_span);
+                    let freshly_prepared = slot.prepared.is_none();
+                    let shared = slot
+                        .prepared
                         .get_or_insert_with(|| {
                             let scenario = spec.scenario(cell, 0);
                             let command = &commands[spec.command_index(cell)];
@@ -310,7 +320,13 @@ pub(crate) fn execute_jobs(
                                 .map(Arc::new)
                                 .map_err(|e| e.to_string())
                         })
-                        .clone()
+                        .clone();
+                    if freshly_prepared {
+                        telemetry::add_count("executor.cells_prepared", 1);
+                    } else {
+                        telemetry::add_count("executor.trials_shared_prepare", 1);
+                    }
+                    shared
                 };
 
                 let result = run_one_trial(
@@ -330,6 +346,7 @@ pub(crate) fn execute_jobs(
                 slot.remaining -= 1;
                 if slot.remaining == 0 {
                     slot.prepared = None;
+                    telemetry::add_count("executor.cells_dropped", 1);
                 }
             });
         }
@@ -364,6 +381,7 @@ fn band_summary(
     recording: &Signal,
     spec: &BandSummarySpec,
 ) -> std::result::Result<Vec<f64>, String> {
+    let _span = telemetry::span("executor.band_summary");
     let sg = spectrogram(
         recording.samples(),
         recording.sample_rate_hz(),

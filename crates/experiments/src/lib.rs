@@ -68,8 +68,8 @@ pub use grid::{
     CellSpec, DeliverySpec, DetectorSpec, EnvironmentPreset,
 };
 pub use orchestrate::{
-    orchestrate, OrchestratorConfig, OrchestratorRun, OrchestratorStats, ProcessLauncher,
-    ShardLauncher, ThreadLauncher,
+    manifest_file_name, orchestrate, OrchestratorConfig, OrchestratorRun, OrchestratorStats,
+    ProcessLauncher, RunEvent, ShardLauncher, ThreadLauncher, MANIFEST_FORMAT,
 };
 pub use report::CampaignReport;
 pub use shard::{merge_shards, run_shard, ShardArchive, ShardJob, ShardPlan, ShardRange};
@@ -84,8 +84,8 @@ pub mod prelude {
         CellSpec, DeliverySpec, DetectorSpec, EnvironmentPreset,
     };
     pub use crate::orchestrate::{
-        orchestrate, OrchestratorConfig, OrchestratorRun, OrchestratorStats, ProcessLauncher,
-        ShardLauncher, ThreadLauncher,
+        manifest_file_name, orchestrate, OrchestratorConfig, OrchestratorRun, OrchestratorStats,
+        ProcessLauncher, RunEvent, ShardLauncher, ThreadLauncher, MANIFEST_FORMAT,
     };
     pub use crate::report::CampaignReport;
     pub use crate::shard::{

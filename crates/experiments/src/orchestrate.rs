@@ -24,9 +24,14 @@
 //!   ([`ShardArchive::validate_for`]), and re-runs only what is missing —
 //!   a killed orchestrator resumes instead of restarting.
 //! * **Interim aggregates** — as shards land, per-cell success rates with
-//!   95 % Wilson intervals are streamed for every newly-completed cell to
-//!   the status writer (stderr in the CLI) and to a status file next to
-//!   the checkpoints.
+//!   95 % Wilson intervals are streamed for every newly-completed cell.
+//!
+//! Every supervision event is a structured [`RunEvent`].  The single
+//! source of truth is the append-only JSONL **run manifest**
+//! (`<spec>.manifest.jsonl`, format [`MANIFEST_FORMAT`]) next to the
+//! checkpoints; the human-readable status stream (stderr in the CLI) is
+//! *derived* from the same events by [`RunEvent::render`], so the two can
+//! never drift apart.
 //!
 //! The final report is produced by [`crate::shard::merge_shards`] over
 //! the checkpointed partials, so it is **byte-identical** to the
@@ -41,7 +46,7 @@
 //! <spec>.shard-i-of-n.job.json                 shard job (input, rewritten on start)
 //! <spec>.shard-i-of-n.part.json                checkpoint: a complete, validated partial
 //! <spec>.shard-i-of-n.part.attempt-<nonce>-<k>.json  in-flight attempt output
-//! <spec>.status.log                            append-only status stream
+//! <spec>.manifest.jsonl                        append-only JSONL run manifest
 //! ```
 //!
 //! The canonical `*.part.json` name only ever holds a finished partial
@@ -56,6 +61,8 @@ use crate::shard::{
     merge_shards, run_shard, shard_archive_file_name, shard_job_file_name, ShardArchive, ShardJob,
     ShardPlan,
 };
+use ivc_core::json::{u64_to_json, JsonValue};
+use ivc_core::telemetry;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -325,26 +332,198 @@ pub struct OrchestratorRun {
     pub stats: OrchestratorStats,
 }
 
-/// The status stream: every supervision event goes to the caller's
-/// writer (stderr in the CLI) and is mirrored into an append-only
-/// `<spec>.status.log` next to the checkpoints.
-struct Status<'a> {
-    start: Instant,
-    stream: &'a mut dyn Write,
-    file: Option<std::fs::File>,
+/// Format tag of the per-run JSONL manifest (carried by the `run_start`
+/// event on the manifest's first line).
+pub const MANIFEST_FORMAT: &str = "ivc-run-manifest-v1";
+
+/// The run-manifest file name an orchestrated run of `spec_name` writes
+/// next to its checkpoints.
+pub fn manifest_file_name(spec_name: &str) -> String {
+    format!("{spec_name}.manifest.jsonl")
 }
 
-impl Status<'_> {
-    fn line(&mut self, message: &str) {
-        let line = format!(
-            "[orchestrate +{:8.2}s] {message}\n",
-            self.start.elapsed().as_secs_f64()
-        );
+/// One structured supervision event: what the orchestrator did, when
+/// (seconds since supervision started), with kind-specific fields.
+///
+/// Events are the single source of truth for run reporting: they are
+/// appended verbatim (as JSON lines) to the run manifest, and the
+/// human-readable status stream is derived from the same data by
+/// [`RunEvent::render`].
+#[derive(Debug, Clone)]
+pub struct RunEvent {
+    /// Seconds since the orchestrator started.
+    pub t_s: f64,
+    /// Event kind: `run_start`, `checkpoint_resumed`,
+    /// `checkpoint_quarantined`, `plan_summary`, `shard_issued`,
+    /// `shard_done`, `shard_failed`, `shard_retry`, `straggler_reissue`,
+    /// `duplicate_discarded`, `cell_complete`, `run_complete` or
+    /// `run_failed`.
+    pub kind: &'static str,
+    /// Kind-specific fields, in emit order.
+    pub fields: Vec<(&'static str, JsonValue)>,
+}
+
+impl RunEvent {
+    fn field(&self, name: &str) -> Option<&JsonValue> {
+        self.fields.iter().find(|(k, _)| *k == name).map(|(_, v)| v)
+    }
+
+    fn str_field(&self, name: &str) -> &str {
+        self.field(name).and_then(JsonValue::as_str).unwrap_or("?")
+    }
+
+    fn u64_field(&self, name: &str) -> u64 {
+        self.field(name).and_then(JsonValue::as_u64).unwrap_or(0)
+    }
+
+    fn f64_field(&self, name: &str) -> f64 {
+        self.field(name).and_then(JsonValue::as_f64).unwrap_or(0.0)
+    }
+
+    /// The event as one manifest object: `t_s` and `kind` first, then the
+    /// kind-specific fields.
+    pub fn to_json(&self) -> JsonValue {
+        let mut object = vec![
+            ("t_s".to_string(), JsonValue::number(self.t_s)),
+            ("kind".to_string(), JsonValue::string(self.kind)),
+        ];
+        object.extend(self.fields.iter().map(|(k, v)| (k.to_string(), v.clone())));
+        JsonValue::Object(object)
+    }
+
+    /// The human status line for this event, derived entirely from the
+    /// structured fields (no second formatting path to drift).
+    pub fn render(&self) -> String {
+        match self.kind {
+            "run_start" => format!(
+                "campaign '{}': supervising {} trial(s) in {} shard(s); manifest format {}",
+                self.str_field("spec"),
+                self.u64_field("trials"),
+                self.u64_field("shards"),
+                self.str_field("format")
+            ),
+            "checkpoint_resumed" => format!(
+                "shard {}/{}: resumed from checkpoint ({} trial(s))",
+                self.u64_field("shard"),
+                self.u64_field("num_shards"),
+                self.u64_field("trials")
+            ),
+            "checkpoint_quarantined" => format!(
+                "shard {}: checkpoint rejected ({}); {} and re-running",
+                self.u64_field("shard"),
+                self.str_field("error"),
+                match self.field("quarantine").and_then(JsonValue::as_str) {
+                    Some(path) => format!("quarantined as {path}"),
+                    None => "could not be quarantined".to_string(),
+                }
+            ),
+            "plan_summary" => format!(
+                "campaign '{}': {} trial(s) across {} shard(s); {} resumed, {} to run",
+                self.str_field("spec"),
+                self.u64_field("trials"),
+                self.u64_field("shards"),
+                self.u64_field("resumed"),
+                self.u64_field("to_run")
+            ),
+            "shard_issued" => format!(
+                "shard {} attempt {} issued ({} trial(s))",
+                self.u64_field("shard"),
+                self.u64_field("attempt"),
+                self.u64_field("trials")
+            ),
+            "shard_done" => format!(
+                "shard {}/{} done (attempt {}): {} trial(s) checkpointed [{}/{}]",
+                self.u64_field("shard"),
+                self.u64_field("total"),
+                self.u64_field("attempt"),
+                self.u64_field("trials"),
+                self.u64_field("done"),
+                self.u64_field("total")
+            ),
+            "shard_failed" => format!(
+                "shard {} attempt {} failed ({}); a duplicate attempt is still running",
+                self.u64_field("shard"),
+                self.u64_field("attempt"),
+                self.str_field("error")
+            ),
+            "shard_retry" => format!(
+                "shard {} attempt {} failed ({}); retry {}/{} in {:.1?}",
+                self.u64_field("shard"),
+                self.u64_field("attempt"),
+                self.str_field("error"),
+                self.u64_field("retry"),
+                self.u64_field("max_retries"),
+                Duration::from_secs_f64(self.f64_field("backoff_s"))
+            ),
+            "straggler_reissue" => format!(
+                "shard {} straggling past {:.1?}; re-issued as attempt {} (first completed \
+                 result wins)",
+                self.u64_field("shard"),
+                Duration::from_secs_f64(self.f64_field("timeout_s")),
+                self.u64_field("attempt")
+            ),
+            "duplicate_discarded" => format!(
+                "shard {} attempt {}: duplicate completion discarded",
+                self.u64_field("shard"),
+                self.u64_field("attempt")
+            ),
+            "cell_complete" => format!(
+                "cell {}/{} complete — {}: success {}/{} = {:.2} [95% CI {:.2}, {:.2}]",
+                self.u64_field("cell"),
+                self.u64_field("cells"),
+                self.str_field("label"),
+                self.u64_field("successes"),
+                self.u64_field("trials"),
+                self.f64_field("rate"),
+                self.f64_field("ci_low"),
+                self.f64_field("ci_high")
+            ),
+            "run_complete" => format!(
+                "campaign '{}' complete: {} shard(s) ({} resumed), {} attempt(s) launched, \
+                 {} retried, {} re-issued, {} duplicate result(s) discarded",
+                self.str_field("spec"),
+                self.u64_field("shards"),
+                self.u64_field("resumed"),
+                self.u64_field("launched"),
+                self.u64_field("retries"),
+                self.u64_field("reissues"),
+                self.u64_field("duplicates")
+            ),
+            "run_failed" => format!(
+                "shard {} failed {} time(s), retry budget of {} exhausted (last failure: {})",
+                self.u64_field("shard"),
+                self.u64_field("failures"),
+                self.u64_field("max_retries"),
+                self.str_field("error")
+            ),
+            other => other.to_string(),
+        }
+    }
+}
+
+/// The event sink: appends each event to the JSONL run manifest and
+/// writes its derived human rendering to the caller's stream (stderr in
+/// the CLI).
+struct EventLog<'a> {
+    start: Instant,
+    stream: &'a mut dyn Write,
+    manifest: Option<std::fs::File>,
+}
+
+impl EventLog<'_> {
+    fn emit(&mut self, kind: &'static str, fields: Vec<(&'static str, JsonValue)>) {
+        let event = RunEvent {
+            t_s: self.start.elapsed().as_secs_f64(),
+            kind,
+            fields,
+        };
+        if let Some(manifest) = &mut self.manifest {
+            let _ = manifest.write_all(event.to_json().to_json_string().as_bytes());
+            let _ = manifest.write_all(b"\n");
+        }
+        let line = format!("[orchestrate +{:8.2}s] {}\n", event.t_s, event.render());
         let _ = self.stream.write_all(line.as_bytes());
         let _ = self.stream.flush();
-        if let Some(file) = &mut self.file {
-            let _ = file.write_all(line.as_bytes());
-        }
     }
 }
 
@@ -404,17 +583,18 @@ pub fn orchestrate(
             ),
         ));
     }
+    let _run_span = telemetry::span("orchestrate.run");
     let plan = ShardPlan::partition(spec, config.num_shards)?;
     std::fs::create_dir_all(scratch_dir)
         .map_err(|e| ExperimentError::Io(format!("creating {}: {e}", scratch_dir.display())))?;
-    let status_path = scratch_dir.join(format!("{}.status.log", spec.name));
-    let mut status = Status {
+    let manifest_path = scratch_dir.join(manifest_file_name(&spec.name));
+    let mut status = EventLog {
         start: Instant::now(),
         stream: status_stream,
-        file: std::fs::OpenOptions::new()
+        manifest: std::fs::OpenOptions::new()
             .create(true)
             .append(true)
-            .open(&status_path)
+            .open(&manifest_path)
             .ok(),
     };
     let nonce = std::process::id();
@@ -422,6 +602,15 @@ pub fn orchestrate(
         shards: plan.shards.len(),
         ..OrchestratorStats::default()
     };
+    status.emit(
+        "run_start",
+        vec![
+            ("format", JsonValue::string(MANIFEST_FORMAT)),
+            ("spec", JsonValue::string(spec.name.clone())),
+            ("trials", u64_to_json(num_jobs as u64)),
+            ("shards", u64_to_json(plan.shards.len() as u64)),
+        ],
+    );
 
     // Write the job files and scan for checkpoints left by a previous
     // run: a valid one marks its shard Done, an invalid one is
@@ -449,18 +638,22 @@ pub fn orchestrate(
             });
             match loaded {
                 Ok(partial) => {
-                    status.line(&format!(
-                        "shard {}/{}: resumed from checkpoint ({} trial(s))",
-                        slot.job.shard.shard_index,
-                        slot.job.shard.num_shards,
-                        partial.records.len()
-                    ));
+                    status.emit(
+                        "checkpoint_resumed",
+                        vec![
+                            ("shard", u64_to_json(slot.job.shard.shard_index as u64)),
+                            ("num_shards", u64_to_json(slot.job.shard.num_shards as u64)),
+                            ("trials", u64_to_json(partial.records.len() as u64)),
+                        ],
+                    );
                     slot.partial = Some(partial);
                     slot.state = ShardState::Done;
                     stats.resumed += 1;
+                    telemetry::add_count("orchestrate.resumed", 1);
                 }
                 Err(e) => {
                     stats.invalid_checkpoints += 1;
+                    telemetry::add_count("orchestrate.checkpoints_quarantined", 1);
                     let quarantine = slot.checkpoint_path.with_file_name(format!(
                         "{}.invalid-{nonce}",
                         slot.checkpoint_path
@@ -469,15 +662,21 @@ pub fn orchestrate(
                             .unwrap_or_default()
                     ));
                     let moved = std::fs::rename(&slot.checkpoint_path, &quarantine).is_ok();
-                    status.line(&format!(
-                        "shard {}: checkpoint rejected ({e}); {} and re-running",
-                        slot.job.shard.shard_index,
-                        if moved {
-                            format!("quarantined as {}", quarantine.display())
-                        } else {
-                            "could not be quarantined".to_string()
-                        }
-                    ));
+                    status.emit(
+                        "checkpoint_quarantined",
+                        vec![
+                            ("shard", u64_to_json(slot.job.shard.shard_index as u64)),
+                            ("error", JsonValue::string(e.to_string())),
+                            (
+                                "quarantine",
+                                if moved {
+                                    JsonValue::string(quarantine.display().to_string())
+                                } else {
+                                    JsonValue::Null
+                                },
+                            ),
+                        ],
+                    );
                 }
             }
         }
@@ -486,11 +685,16 @@ pub fn orchestrate(
 
     let total = slots.len();
     let mut done = slots.iter().filter(|s| s.state == ShardState::Done).count();
-    status.line(&format!(
-        "campaign '{}': {num_jobs} trial(s) across {total} shard(s); {done} resumed, {} to run",
-        spec.name,
-        total - done
-    ));
+    status.emit(
+        "plan_summary",
+        vec![
+            ("spec", JsonValue::string(spec.name.clone())),
+            ("trials", u64_to_json(num_jobs as u64)),
+            ("shards", u64_to_json(total as u64)),
+            ("resumed", u64_to_json(done as u64)),
+            ("to_run", u64_to_json((total - done) as u64)),
+        ],
+    );
     let cells = spec.cells();
     let mut reported_cells = vec![false; cells.len()];
     report_completed_cells(spec, &cells, &slots, &mut reported_cells, &mut status);
@@ -521,11 +725,15 @@ pub fn orchestrate(
                         // A duplicate landing after its shard finished:
                         // determinism makes it identical, so discard it.
                         stats.duplicate_results += 1;
+                        telemetry::add_count("orchestrate.duplicates_discarded", 1);
                         let _ = std::fs::remove_file(&attempt.out_path);
-                        status.line(&format!(
-                            "shard {} attempt {}: duplicate completion discarded",
-                            attempt.shard_index, attempt.attempt
-                        ));
+                        status.emit(
+                            "duplicate_discarded",
+                            vec![
+                                ("shard", u64_to_json(attempt.shard_index as u64)),
+                                ("attempt", u64_to_json(attempt.attempt as u64)),
+                            ],
+                        );
                         continue;
                     }
                     let slot = &mut slots[attempt.shard_index];
@@ -546,14 +754,17 @@ pub fn orchestrate(
                             slot.partial = Some(partial);
                             slot.state = ShardState::Done;
                             done += 1;
-                            status.line(&format!(
-                                "shard {}/{} done (attempt {}): {} trial(s) checkpointed \
-                                 [{done}/{total}]",
-                                attempt.shard_index,
-                                total,
-                                attempt.attempt,
-                                slot.job.shard.num_jobs()
-                            ));
+                            telemetry::add_count("orchestrate.shards_done", 1);
+                            status.emit(
+                                "shard_done",
+                                vec![
+                                    ("shard", u64_to_json(attempt.shard_index as u64)),
+                                    ("attempt", u64_to_json(attempt.attempt as u64)),
+                                    ("trials", u64_to_json(slot.job.shard.num_jobs() as u64)),
+                                    ("done", u64_to_json(done as u64)),
+                                    ("total", u64_to_json(total as u64)),
+                                ],
+                            );
                             // First completed result wins: kill the
                             // duplicates, but drain one that finished in
                             // the same window.
@@ -567,10 +778,14 @@ pub fn orchestrate(
                                 dup.handle.kill();
                                 if let AttemptStatus::Exited(Ok(())) = dup.handle.poll() {
                                     stats.duplicate_results += 1;
-                                    status.line(&format!(
-                                        "shard {} attempt {}: duplicate completion discarded",
-                                        dup.shard_index, dup.attempt
-                                    ));
+                                    telemetry::add_count("orchestrate.duplicates_discarded", 1);
+                                    status.emit(
+                                        "duplicate_discarded",
+                                        vec![
+                                            ("shard", u64_to_json(dup.shard_index as u64)),
+                                            ("attempt", u64_to_json(dup.attempt as u64)),
+                                        ],
+                                    );
                                 }
                                 let _ = std::fs::remove_file(&dup.out_path);
                             }
@@ -603,33 +818,45 @@ pub fn orchestrate(
                     for a in &mut inflight {
                         a.handle.kill();
                     }
-                    let final_message = format!(
-                        "shard {} failed {} time(s), retry budget of {} exhausted (last \
-                         failure: {message})",
-                        attempt.shard_index, slot.failures, config.max_retries
-                    );
-                    status.line(&final_message);
+                    let event = RunEvent {
+                        t_s: 0.0,
+                        kind: "run_failed",
+                        fields: vec![
+                            ("shard", u64_to_json(attempt.shard_index as u64)),
+                            ("failures", u64_to_json(slot.failures as u64)),
+                            ("max_retries", u64_to_json(config.max_retries as u64)),
+                            ("error", JsonValue::string(message)),
+                        ],
+                    };
+                    let final_message = event.render();
+                    status.emit("run_failed", event.fields);
                     return Err(ExperimentError::Orchestrate(final_message));
                 }
                 if others {
-                    status.line(&format!(
-                        "shard {} attempt {} failed ({message}); a duplicate attempt is \
-                         still running",
-                        attempt.shard_index, attempt.attempt
-                    ));
+                    status.emit(
+                        "shard_failed",
+                        vec![
+                            ("shard", u64_to_json(attempt.shard_index as u64)),
+                            ("attempt", u64_to_json(attempt.attempt as u64)),
+                            ("error", JsonValue::string(message)),
+                        ],
+                    );
                 } else {
                     let exponent = (slot.failures - 1).min(6) as u32;
                     let backoff = config.retry_backoff.saturating_mul(1 << exponent);
                     slot.state = ShardState::Retrying;
                     slot.not_before = Instant::now() + backoff;
-                    status.line(&format!(
-                        "shard {} attempt {} failed ({message}); retry {}/{} in {:.1?}",
-                        attempt.shard_index,
-                        attempt.attempt,
-                        slot.failures,
-                        config.max_retries,
-                        backoff
-                    ));
+                    status.emit(
+                        "shard_retry",
+                        vec![
+                            ("shard", u64_to_json(attempt.shard_index as u64)),
+                            ("attempt", u64_to_json(attempt.attempt as u64)),
+                            ("error", JsonValue::string(message)),
+                            ("retry", u64_to_json(slot.failures as u64)),
+                            ("max_retries", u64_to_json(config.max_retries as u64)),
+                            ("backoff_s", JsonValue::number(backoff.as_secs_f64())),
+                        ],
+                    );
                 }
             }
         }
@@ -663,10 +890,16 @@ pub fn orchestrate(
                 slot.attempts_started += 1;
                 stats.launched += 1;
                 stats.reissues += 1;
-                status.line(&format!(
-                    "shard {shard_index} straggling past {timeout:.1?}; re-issued as attempt \
-                     {attempt} (first completed result wins)"
-                ));
+                telemetry::add_count("orchestrate.launched", 1);
+                telemetry::add_count("orchestrate.reissues", 1);
+                status.emit(
+                    "straggler_reissue",
+                    vec![
+                        ("shard", u64_to_json(shard_index as u64)),
+                        ("attempt", u64_to_json(attempt as u64)),
+                        ("timeout_s", JsonValue::number(timeout.as_secs_f64())),
+                    ],
+                );
                 inflight.push(Inflight {
                     shard_index,
                     attempt,
@@ -699,13 +932,19 @@ pub fn orchestrate(
             slot.attempts_started += 1;
             slot.state = ShardState::Issued;
             stats.launched += 1;
+            telemetry::add_count("orchestrate.launched", 1);
             if retry {
                 stats.retries += 1;
+                telemetry::add_count("orchestrate.retries", 1);
             }
-            status.line(&format!(
-                "shard {shard_index} attempt {attempt} issued ({} trial(s))",
-                slot.job.shard.num_jobs()
-            ));
+            status.emit(
+                "shard_issued",
+                vec![
+                    ("shard", u64_to_json(shard_index as u64)),
+                    ("attempt", u64_to_json(attempt as u64)),
+                    ("trials", u64_to_json(slot.job.shard.num_jobs() as u64)),
+                ],
+            );
             inflight.push(Inflight {
                 shard_index,
                 attempt,
@@ -726,17 +965,18 @@ pub fn orchestrate(
         .map(|s| s.partial.clone().expect("all shards done"))
         .collect();
     let report = merge_shards(&partials)?;
-    status.line(&format!(
-        "campaign '{}' complete: {} shard(s) ({} resumed), {} attempt(s) launched, {} \
-         retried, {} re-issued, {} duplicate result(s) discarded",
-        spec.name,
-        stats.shards,
-        stats.resumed,
-        stats.launched,
-        stats.retries,
-        stats.reissues,
-        stats.duplicate_results
-    ));
+    status.emit(
+        "run_complete",
+        vec![
+            ("spec", JsonValue::string(spec.name.clone())),
+            ("shards", u64_to_json(stats.shards as u64)),
+            ("resumed", u64_to_json(stats.resumed as u64)),
+            ("launched", u64_to_json(stats.launched as u64)),
+            ("retries", u64_to_json(stats.retries as u64)),
+            ("reissues", u64_to_json(stats.reissues as u64)),
+            ("duplicates", u64_to_json(stats.duplicate_results as u64)),
+        ],
+    );
     Ok(OrchestratorRun { report, stats })
 }
 
@@ -748,7 +988,7 @@ fn report_completed_cells(
     cells: &[crate::grid::CellSpec],
     slots: &[Slot],
     reported: &mut [bool],
-    status: &mut Status<'_>,
+    status: &mut EventLog<'_>,
 ) {
     let trials_per_cell = spec.trials_per_cell;
     for (cell_index, cell) in cells.iter().enumerate() {
@@ -782,18 +1022,24 @@ fn report_completed_cells(
             }
         }
         let (ci_low, ci_high) = wilson_interval(successes, trials);
-        status.line(&format!(
-            "cell {}/{} complete — {}: success {successes}/{trials} = {:.2} \
-             [95% CI {ci_low:.2}, {ci_high:.2}]",
-            cell_index + 1,
-            cells.len(),
-            spec.cell_label(cell),
-            if trials == 0 {
-                0.0
-            } else {
-                successes as f64 / trials as f64
-            }
-        ));
+        let rate = if trials == 0 {
+            0.0
+        } else {
+            successes as f64 / trials as f64
+        };
+        status.emit(
+            "cell_complete",
+            vec![
+                ("cell", u64_to_json(cell_index as u64 + 1)),
+                ("cells", u64_to_json(cells.len() as u64)),
+                ("label", JsonValue::string(spec.cell_label(cell))),
+                ("successes", u64_to_json(successes as u64)),
+                ("trials", u64_to_json(trials as u64)),
+                ("rate", JsonValue::number(rate)),
+                ("ci_low", JsonValue::number(ci_low)),
+                ("ci_high", JsonValue::number(ci_high)),
+            ],
+        );
         reported[cell_index] = true;
     }
 }
@@ -998,7 +1244,44 @@ mod tests {
         assert!(text.contains("cell 1/2 complete"), "{text}");
         assert!(text.contains("cell 2/2 complete"), "{text}");
         assert!(text.contains("95% CI"), "{text}");
-        assert!(scratch.join(format!("{}.status.log", spec.name)).exists());
+        // The run manifest holds the same events as structured JSONL:
+        // every line parses, the first carries the format tag, and the
+        // lifecycle kinds are all present.
+        let manifest =
+            std::fs::read_to_string(scratch.join(manifest_file_name(&spec.name))).unwrap();
+        let events: Vec<JsonValue> = manifest
+            .lines()
+            .map(|line| JsonValue::parse(line).expect("manifest line parses"))
+            .collect();
+        assert_eq!(
+            events[0].get("kind").and_then(JsonValue::as_str),
+            Some("run_start")
+        );
+        assert_eq!(
+            events[0].get("format").and_then(JsonValue::as_str),
+            Some(MANIFEST_FORMAT)
+        );
+        for kind in [
+            "plan_summary",
+            "shard_issued",
+            "shard_done",
+            "cell_complete",
+        ] {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.get("kind").and_then(JsonValue::as_str) == Some(kind)),
+                "manifest is missing a {kind} event"
+            );
+        }
+        assert_eq!(
+            events
+                .last()
+                .unwrap()
+                .get("kind")
+                .and_then(JsonValue::as_str),
+            Some("run_complete")
+        );
         std::fs::remove_dir_all(&scratch).ok();
     }
 
@@ -1017,6 +1300,16 @@ mod tests {
         assert!(launches.borrow().contains(&(1, 1)), "retry was launched");
         let text = String::from_utf8(status).unwrap();
         assert!(text.contains("retry 1/2"), "{text}");
+        // The manifest records the retry as a structured event.
+        let manifest =
+            std::fs::read_to_string(scratch.join(manifest_file_name(&spec.name))).unwrap();
+        let retry = manifest
+            .lines()
+            .map(|line| JsonValue::parse(line).unwrap())
+            .find(|e| e.get("kind").and_then(JsonValue::as_str) == Some("shard_retry"))
+            .expect("manifest records the retry");
+        assert_eq!(retry.get("shard").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(retry.get("retry").and_then(JsonValue::as_u64), Some(1));
         std::fs::remove_dir_all(&scratch).ok();
     }
 

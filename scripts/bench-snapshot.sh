@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
 # Regenerates the machine-readable bench snapshot from the harness's
 # stable `BENCH <group>/<name> min=… mean=… max=… ns/iter (N samples)`
-# lines, covering the pipeline, campaign and room groups.  The snapshot
-# is committed (BENCH_pr6.json) so perf movement shows up as a
-# reviewable diff, and CI regenerates it on every push and uploads the
-# fresh copy as an artifact for side-by-side comparison.
+# lines, covering the pipeline, campaign and room groups — plus the
+# per-stage time attribution of a telemetry-instrumented `repro profile
+# smoke` run.  The snapshot is committed (BENCH_pr7.json) so perf
+# movement shows up as a reviewable diff, and CI regenerates it on every
+# push and uploads the fresh copy as an artifact for side-by-side
+# comparison.
 #
-# Usage: scripts/bench-snapshot.sh [OUT_FILE]    (default: BENCH_pr6.json)
+# Usage: scripts/bench-snapshot.sh [OUT_FILE]    (default: BENCH_pr7.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr6.json}"
+out="${1:-BENCH_pr7.json}"
 
 lines="$(cargo bench -p ivc-bench --bench pipeline_benches --bench room_benches \
   | tee /dev/stderr | grep '^BENCH ' || true)"
@@ -40,4 +42,32 @@ END {
     print "  ]" > out
     print "}" > out
 }'
+
+# Fold in the stage attribution of a profiled smoke campaign: where the
+# pipeline's wall clock actually goes, span by span (ivc-metrics-v1 via
+# `repro profile --metrics`).
+metrics="$(mktemp)"
+trap 'rm -f "$metrics"' EXIT
+cargo run --release -p ivc-bench --bin repro -- profile smoke --metrics "$metrics" >&2
+python3 - "$out" "$metrics" <<'PY'
+import json, sys
+
+out_path, metrics_path = sys.argv[1], sys.argv[2]
+with open(out_path) as f:
+    doc = json.load(f)
+with open(metrics_path) as f:
+    metrics = json.load(f)
+doc["stage_attribution"] = {
+    "preset": "smoke",
+    "workers": 1,
+    "wall_s": metrics["wall_s"],
+    "spans": [
+        {k: s[k] for k in ("name", "count", "total_ns", "mean_ns")}
+        for s in metrics["spans"]
+    ],
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+PY
 echo "wrote $out" >&2

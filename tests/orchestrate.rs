@@ -3,8 +3,9 @@
 //! reproduce the plain [`run_campaign`] archive byte for byte — on a
 //! healthy run, and on a resume from surviving checkpoints.
 
+use inaudible_voice_commands::core::json::JsonValue;
 use inaudible_voice_commands::experiments::orchestrate::{
-    orchestrate, OrchestratorConfig, ThreadLauncher,
+    manifest_file_name, orchestrate, OrchestratorConfig, ThreadLauncher, MANIFEST_FORMAT,
 };
 use inaudible_voice_commands::experiments::shard::{run_shard, shard_archive_file_name, ShardPlan};
 use inaudible_voice_commands::experiments::{run_campaign, CampaignSpec, DeliverySpec};
@@ -59,6 +60,32 @@ fn thread_orchestration_reproduces_the_in_process_bytes() {
     assert!(text.contains("cell 1/2 complete"), "{text}");
     assert!(text.contains("cell 2/2 complete"), "{text}");
     assert!(text.contains("[95% CI"), "{text}");
+    // The structured manifest is the source those lines were rendered
+    // from: JSONL, opening with run_start, closing with run_complete.
+    let manifest = std::fs::read_to_string(scratch.join(manifest_file_name(&spec.name))).unwrap();
+    let events: Vec<JsonValue> = manifest
+        .lines()
+        .map(|line| JsonValue::parse(line).unwrap())
+        .collect();
+    fn kind(e: &JsonValue) -> Option<&str> {
+        e.get("kind").and_then(JsonValue::as_str)
+    }
+    assert_eq!(events.first().and_then(kind), Some("run_start"));
+    assert_eq!(
+        events
+            .first()
+            .and_then(|e| e.get("format"))
+            .and_then(JsonValue::as_str),
+        Some(MANIFEST_FORMAT)
+    );
+    assert_eq!(events.last().and_then(kind), Some("run_complete"));
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| kind(e) == Some("cell_complete"))
+            .count(),
+        2
+    );
     std::fs::remove_dir_all(&scratch).ok();
 }
 
