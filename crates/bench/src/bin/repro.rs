@@ -24,8 +24,13 @@
 //! cargo run --release -p ivc-bench --bin repro -- orchestrate smoke --shards 2 --workers 2
 //! cargo run --release -p ivc-bench --bin repro -- orchestrate smoke --shards 2 --resume DIR
 //!
-//! # Per-stage time attribution for a preset (telemetry-instrumented run):
+//! # Per-stage time attribution for a preset (telemetry-instrumented run;
+//! # with --shards the table covers the merged fleet of worker processes):
 //! cargo run --release -p ivc-bench --bin repro -- profile a1
+//! cargo run --release -p ivc-bench --bin repro -- profile smoke --shards 2
+//!
+//! # Compare two committed bench snapshots (exit 1 past the threshold):
+//! cargo run --release -p ivc-bench --bin repro -- bench-diff BENCH_pr7.json fresh.json
 //!
 //! # Flags:
 //! #   --workers N             worker threads (default: all cores; per process when sharded)
@@ -34,15 +39,18 @@
 //! #   --max-retries N         extra attempts per failed shard (orchestrate; default 2)
 //! #   --straggler-timeout S   re-issue attempts running longer than S seconds (orchestrate)
 //! #   --resume DIR            resume from the checkpoints in DIR (orchestrate)
-//! #   --metrics FILE          write span/counter metrics JSON (ivc-metrics-v1)
+//! #   --metrics FILE          write span/counter metrics JSON (ivc-metrics-v1;
+//! #                           fleet-merged across workers when sharded)
 //! #   --trace FILE            write a Chrome trace-event JSON (chrome://tracing / Perfetto)
+//! #   --max-regress PCT       bench-diff regression threshold in percent (default 25)
 //! ```
 
 use ivc_bench::*;
 use ivc_core::telemetry;
 use ivc_experiments::orchestrate::{OrchestratorConfig, ENV_FAULT_SHARD, ENV_SHARD_ATTEMPT};
 use ivc_experiments::shard::{
-    merge_shards, run_shard, shard_job_file_name, ShardArchive, ShardJob, ShardPlan,
+    merge_shards, metrics_sidecar_path, run_shard, shard_job_file_name, ShardArchive, ShardJob,
+    ShardPlan,
 };
 use ivc_experiments::{default_workers, presets, CampaignReport};
 use std::path::{Path, PathBuf};
@@ -65,8 +73,12 @@ enum Mode {
     Orchestrate(Vec<String>),
     /// Profile campaign presets: run with telemetry enabled and print
     /// the per-stage time-attribution table (default `--workers 1`, so
-    /// stage totals track wall clock).
+    /// stage totals track wall clock; with `--shards N` the table is the
+    /// merged fleet of forked worker processes).
     Profile(Vec<String>),
+    /// Compare two bench snapshots (`bench-diff OLD NEW`), exiting
+    /// non-zero when a bench entry's mean regressed past `--max-regress`.
+    BenchDiff(PathBuf, PathBuf),
 }
 
 struct Options {
@@ -81,6 +93,7 @@ struct Options {
     resume: Option<PathBuf>,
     metrics: Option<PathBuf>,
     trace: Option<PathBuf>,
+    max_regress: Option<f64>,
 }
 
 impl Options {
@@ -116,6 +129,7 @@ fn parse_args(args: &[String]) -> Result<(Mode, Options), String> {
         resume: None,
         metrics: None,
         trace: None,
+        max_regress: None,
     };
     let mut subcommand: Option<String> = None;
     let mut positionals: Vec<String> = Vec::new();
@@ -189,8 +203,20 @@ fn parse_args(args: &[String]) -> Result<(Mode, Options), String> {
                 let value = flag_value(&mut iter, "--trace", "an output file")?;
                 options.trace = Some(PathBuf::from(value));
             }
+            "--max-regress" => {
+                let value = flag_value(&mut iter, "--max-regress", "a percentage")?;
+                let pct = value
+                    .parse::<f64>()
+                    .map_err(|_| format!("invalid --max-regress value '{value}'"))?;
+                if !(pct > 0.0) || !pct.is_finite() {
+                    return Err(format!(
+                        "invalid --max-regress value '{value}' (need a positive percentage)"
+                    ));
+                }
+                options.max_regress = Some(pct);
+            }
             name @ ("campaign" | "shard-plan" | "shard-worker" | "shard-merge" | "orchestrate"
-            | "profile")
+            | "profile" | "bench-diff")
                 if subcommand.is_none() =>
             {
                 // A subcommand after positionals would silently demote
@@ -218,18 +244,31 @@ fn parse_args(args: &[String]) -> Result<(Mode, Options), String> {
         Ok(())
     };
     let subcommand = subcommand.as_deref();
-    if matches!(subcommand, Some("shard-plan" | "shard-merge")) {
+    if matches!(
+        subcommand,
+        Some("shard-plan" | "shard-merge" | "bench-diff")
+    ) {
         reject_flag(
             options.workers.is_some(),
             "--workers",
             "experiment runs and the campaign and shard-worker subcommands",
         )?;
     }
-    if !matches!(subcommand, Some("campaign" | "shard-plan" | "orchestrate")) {
+    if !matches!(
+        subcommand,
+        Some("campaign" | "shard-plan" | "orchestrate" | "profile")
+    ) {
         reject_flag(
             options.shards.is_some(),
             "--shards",
-            "the campaign, shard-plan and orchestrate subcommands",
+            "the campaign, shard-plan, orchestrate and profile subcommands",
+        )?;
+    }
+    if !matches!(subcommand, Some("bench-diff")) {
+        reject_flag(
+            options.max_regress.is_some(),
+            "--max-regress",
+            "the bench-diff subcommand",
         )?;
     }
     if !matches!(subcommand, None | Some("campaign" | "orchestrate")) {
@@ -258,7 +297,7 @@ fn parse_args(args: &[String]) -> Result<(Mode, Options), String> {
     }
     if matches!(
         subcommand,
-        Some("shard-plan" | "shard-worker" | "shard-merge")
+        Some("shard-plan" | "shard-worker" | "shard-merge" | "bench-diff")
     ) {
         reject_flag(
             options.metrics.is_some(),
@@ -363,6 +402,15 @@ fn parse_args(args: &[String]) -> Result<(Mode, Options), String> {
             }
             Mode::Profile(positionals)
         }
+        Some("bench-diff") => {
+            if positionals.len() != 2 {
+                return Err(
+                    "bench-diff needs exactly two snapshot files: bench-diff OLD NEW".to_string(),
+                );
+            }
+            let mut paths = positionals.into_iter().map(PathBuf::from);
+            Mode::BenchDiff(paths.next().expect("two"), paths.next().expect("two"))
+        }
         Some(_) => unreachable!(),
     };
     Ok((mode, options))
@@ -424,7 +472,13 @@ fn fail(message: impl std::fmt::Display) -> ! {
     std::process::exit(1);
 }
 
-fn run_campaigns(presets_named: &[String], fidelity: Fidelity, options: &Options, workers: usize) {
+fn run_campaigns(
+    presets_named: &[String],
+    fidelity: Fidelity,
+    options: &Options,
+    workers: usize,
+    worker_metrics: &mut Vec<telemetry::Snapshot>,
+) {
     for preset in presets_named {
         let reports = match options.shards {
             None => run_campaign_preset(preset, fidelity, workers),
@@ -437,7 +491,22 @@ fn run_campaigns(presets_named: &[String], fidelity: Fidelity, options: &Options
                     let scratch = unique_scratch_dir(&format!("shards-{preset}"));
                     let result = run_campaign_preset_sharded(
                         preset, fidelity, num_shards, workers, &exe, &scratch,
-                    );
+                    )
+                    .and_then(|reports| {
+                        // Collect the workers' telemetry sidecars before
+                        // the scratch directory disappears; a missing
+                        // sidecar is a hard error (an under-reported
+                        // fleet document would be worse than none).
+                        if options.metrics.is_some() {
+                            let specs = presets::by_name(preset, fidelity.quick())
+                                .expect("preset ran above");
+                            for spec in &specs {
+                                worker_metrics
+                                    .extend(collect_worker_metrics(spec, num_shards, &scratch)?);
+                            }
+                        }
+                        Ok(reports)
+                    });
                     // Clean up on success only: a failed run's job files
                     // and partials are the evidence the error points at.
                     match result {
@@ -477,6 +546,7 @@ fn run_orchestrate(
     fidelity: Fidelity,
     options: &Options,
     workers: usize,
+    worker_metrics: &mut Vec<telemetry::Snapshot>,
 ) {
     let num_shards = options.shards.expect("checked at parse time");
     let exe = match std::env::current_exe() {
@@ -519,6 +589,23 @@ fn run_orchestrate(
                 scratch.display()
             )),
             Err(e) => fail(format_args!("campaign {preset} failed: {e}")),
+        }
+    }
+    // Collect the workers' telemetry sidecars (renamed alongside their
+    // checkpoints by the orchestrator) before the scratch directory
+    // disappears; missing worker telemetry is a hard error.
+    if options.metrics.is_some() {
+        for preset in presets_named {
+            let specs = presets::by_name(preset, fidelity.quick()).expect("presets ran above");
+            for spec in &specs {
+                match collect_worker_metrics(spec, num_shards, &scratch) {
+                    Ok(snapshots) => worker_metrics.extend(snapshots),
+                    Err(e) => fail(format_args!(
+                        "{e} (checkpoints kept in {})",
+                        scratch.display()
+                    )),
+                }
+            }
         }
     }
     // The structured run manifests are part of the run's record: copy
@@ -622,11 +709,29 @@ fn run_shard_worker(options: &Options) {
             ));
         }
     }
-    let archive = match run_shard(&job, options.worker_threads()) {
+    // Workers always collect telemetry: the coordinator merges the
+    // sidecars into the fleet-wide metrics document, and without them a
+    // sharded `--metrics` run would silently report coordinator overhead
+    // only.  The sidecar is written after the archive, so a failed
+    // attempt leaves neither file behind.
+    telemetry::reset();
+    telemetry::set_enabled(true);
+    let start = std::time::Instant::now();
+    let outcome = run_shard(&job, options.worker_threads());
+    let wall_s = start.elapsed().as_secs_f64();
+    telemetry::set_enabled(false);
+    let archive = match outcome {
         Ok(archive) => archive,
         Err(e) => fail(format_args!("running shard {}: {e}", job.shard.shard_index)),
     };
     if let Err(e) = archive.save(out_path) {
+        fail(e);
+    }
+    let snapshot = telemetry::snapshot().with_source(&format!(
+        "shard-{}-of-{}",
+        job.shard.shard_index, job.shard.num_shards
+    ));
+    if let Err(e) = write_metrics_file(&metrics_sidecar_path(out_path), &snapshot, wall_s) {
         fail(e);
     }
     println!(
@@ -692,6 +797,9 @@ fn main() {
         telemetry::set_enabled(true);
     }
     let run_start = std::time::Instant::now();
+    // Worker sidecar snapshots collected by the sharded paths, merged
+    // into the fleet-wide `--metrics` document at the end of the run.
+    let mut worker_metrics: Vec<telemetry::Snapshot> = Vec::new();
 
     match mode {
         Mode::ShardWorker => {
@@ -727,7 +835,13 @@ fn main() {
                     .map(|n| format!("; shards: {n}"))
                     .unwrap_or_default(),
             );
-            run_campaigns(&presets_named, fidelity, &options, workers);
+            run_campaigns(
+                &presets_named,
+                fidelity,
+                &options,
+                workers,
+                &mut worker_metrics,
+            );
         }
         Mode::Orchestrate(presets_named) => {
             let num_shards = options.shards.expect("checked at parse time");
@@ -739,18 +853,57 @@ fn main() {
                 "fidelity: {fidelity:?} (set IVC_FULL=1 for full sweeps); workers: {workers}; \
                  shards: {num_shards} (orchestrated)\n"
             );
-            run_orchestrate(&presets_named, fidelity, &options, workers);
+            run_orchestrate(
+                &presets_named,
+                fidelity,
+                &options,
+                workers,
+                &mut worker_metrics,
+            );
         }
         Mode::Profile(presets_named) => {
             // One worker by default: stages then run back-to-back, so
             // their totals track wall clock instead of overlapping.
-            let workers = options.workers.unwrap_or(1);
+            // Sharded profiles split the cores like sharded campaigns.
+            let workers = match options.shards {
+                Some(num_shards) => options
+                    .workers
+                    .unwrap_or_else(|| (default_workers() / num_shards).max(1)),
+                None => options.workers.unwrap_or(1),
+            };
             println!(
-                "fidelity: {fidelity:?} (set IVC_FULL=1 for full sweeps); workers: {workers} \
-                 (profiling)\n"
+                "fidelity: {fidelity:?} (set IVC_FULL=1 for full sweeps); workers: {workers}{} \
+                 (profiling)\n",
+                options
+                    .shards
+                    .map(|n| format!("; shards: {n}"))
+                    .unwrap_or_default(),
             );
             for preset in &presets_named {
-                match profile_campaign_preset(preset, fidelity, workers) {
+                let result = match options.shards {
+                    None => profile_campaign_preset(preset, fidelity, workers),
+                    Some(num_shards) => std::env::current_exe()
+                        .map_err(|e| format!("locating the shard-worker binary: {e}").into())
+                        .and_then(|exe| {
+                            let scratch = unique_scratch_dir(&format!("profile-{preset}"));
+                            let result = profile_campaign_preset_sharded(
+                                preset, fidelity, num_shards, workers, &exe, &scratch,
+                            );
+                            match result {
+                                Ok(profile) => {
+                                    let _ = std::fs::remove_dir_all(&scratch);
+                                    Ok(profile)
+                                }
+                                Err(e) if scratch.exists() => Err(format!(
+                                    "{e} (job files and partials kept in {})",
+                                    scratch.display()
+                                )
+                                .into()),
+                                Err(e) => Err(e),
+                            }
+                        }),
+                };
+                match result {
                     Ok(profile) => {
                         println!("{}", profile.table.render());
                         println!(
@@ -763,6 +916,28 @@ fn main() {
                     }
                     Err(e) => fail(format_args!("profile {preset} failed: {e}")),
                 }
+            }
+        }
+        Mode::BenchDiff(old_path, new_path) => {
+            let threshold = options.max_regress.unwrap_or(25.0);
+            let read = |path: &Path| -> String {
+                std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| fail(format_args!("reading {}: {e}", path.display())))
+            };
+            let (old_text, new_text) = (read(&old_path), read(&new_path));
+            match bench_diff(&old_text, &new_text, threshold) {
+                Ok(report) => {
+                    println!("{}", report.table.render());
+                    if !report.regressions.is_empty() {
+                        fail(format_args!(
+                            "{} bench regression(s) past {threshold}%: {}",
+                            report.regressions.len(),
+                            report.regressions.join("; ")
+                        ));
+                    }
+                    println!("no bench regression past {threshold}%");
+                }
+                Err(e) => fail(e),
             }
         }
         Mode::Experiments(experiments) => {
@@ -802,8 +977,32 @@ fn main() {
 
     if telemetry_on && !is_profile {
         telemetry::set_enabled(false);
-        let snapshot = telemetry::snapshot();
-        write_telemetry_files(&options, &snapshot, run_start.elapsed().as_secs_f64());
+        let local = telemetry::snapshot();
+        let wall_s = run_start.elapsed().as_secs_f64();
+        // The metrics document is fleet-wide: the coordinator's snapshot
+        // merged with every worker sidecar.  The Chrome trace stays
+        // process-local by design (merging drops per-event detail), so it
+        // is written from the coordinator's own snapshot.
+        if let Some(path) = &options.metrics {
+            let fleet = if worker_metrics.is_empty() {
+                local.clone()
+            } else {
+                match merge_fleet_metrics(local.clone(), &worker_metrics) {
+                    Ok(fleet) => fleet,
+                    Err(e) => fail(e),
+                }
+            };
+            if let Err(e) = write_metrics_file(path, &fleet, wall_s) {
+                fail(e);
+            }
+            println!("metrics written to {}", path.display());
+        }
+        if let Some(path) = &options.trace {
+            if let Err(e) = write_trace_file(path, &local) {
+                fail(e);
+            }
+            println!("trace written to {}", path.display());
+        }
     }
 }
 

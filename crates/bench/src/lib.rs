@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use ivc_core::json::JsonValue;
 use ivc_core::results::{fmt, Series, Table};
 use ivc_core::scenario::Delivery;
 use ivc_core::telemetry;
@@ -24,7 +25,8 @@ use ivc_defense::evaluation::{ConfusionMatrix, RocCurve};
 use ivc_defense::features::DefenseFeatures;
 use ivc_experiments::orchestrate::{orchestrate, OrchestratorConfig, ProcessLauncher};
 use ivc_experiments::shard::{
-    merge_shards, shard_archive_file_name, shard_job_file_name, ShardArchive, ShardPlan,
+    merge_shards, metrics_sidecar_path, shard_archive_file_name, shard_job_file_name, ShardArchive,
+    ShardPlan,
 };
 use ivc_experiments::{
     presets, run_campaign, CampaignReport, CampaignSpec, CellCoords, TrialRecord,
@@ -710,6 +712,80 @@ pub fn run_campaign_preset_orchestrated(
         .collect()
 }
 
+/// Loads and parses the telemetry sidecars the workers of a sharded or
+/// orchestrated run left next to their canonical partial archives — one
+/// `ivc-metrics-v1` document per shard of `spec`'s `num_shards` plan.
+///
+/// A missing or unparseable sidecar is a **loud error**, never an
+/// under-reported fleet document: a silently dropped worker is exactly
+/// the failure mode fleet telemetry exists to prevent.
+pub fn collect_worker_metrics(
+    spec: &CampaignSpec,
+    num_shards: usize,
+    scratch_dir: &Path,
+) -> Result<Vec<telemetry::Snapshot>> {
+    let plan = ShardPlan::partition(spec, num_shards)?;
+    let mut snapshots = Vec::with_capacity(plan.shards.len());
+    for shard in &plan.shards {
+        let sidecar =
+            metrics_sidecar_path(&scratch_dir.join(shard_archive_file_name(&spec.name, shard)));
+        let text = std::fs::read_to_string(&sidecar).map_err(|e| {
+            format!(
+                "shard {} of campaign '{}' left no telemetry sidecar at {} ({e}); refusing to \
+                 emit under-reported fleet metrics",
+                shard.shard_index,
+                spec.name,
+                sidecar.display()
+            )
+        })?;
+        snapshots.push(
+            telemetry::Snapshot::parse_metrics(&text)
+                .map_err(|e| format!("parsing {}: {e}", sidecar.display()))?,
+        );
+    }
+    Ok(snapshots)
+}
+
+/// Total `stage.*` time of a snapshot, in nanoseconds.
+fn stage_time_ns(snapshot: &telemetry::Snapshot) -> u64 {
+    [
+        telemetry::SPAN_STAGE_PREPARE,
+        telemetry::SPAN_STAGE_PERTURB,
+        telemetry::SPAN_STAGE_EVALUATE,
+    ]
+    .iter()
+    .map(|name| snapshot.span(name).map(|s| s.total_ns).unwrap_or(0))
+    .sum()
+}
+
+/// Merges worker sidecar snapshots into the coordinator's local snapshot,
+/// producing the fleet-wide metrics document, and asserts the merge is
+/// honest: at least 95 % of the fleet's `stage.*` time must come from the
+/// workers (in a sharded run the coordinator executes no trials, so
+/// anything less means worker telemetry was dropped on the floor).
+pub fn merge_fleet_metrics(
+    local: telemetry::Snapshot,
+    workers: &[telemetry::Snapshot],
+) -> Result<telemetry::Snapshot> {
+    let worker_stage_ns: u64 = workers.iter().map(stage_time_ns).sum();
+    let mut fleet = local.with_source("coordinator");
+    for worker in workers {
+        fleet.merge(worker);
+    }
+    let fleet_stage_ns = stage_time_ns(&fleet);
+    if fleet_stage_ns > 0 && (worker_stage_ns as f64) < 0.95 * fleet_stage_ns as f64 {
+        return Err(format!(
+            "fleet metrics report only {:.1}% of stage time from workers (worker {:.3}s of \
+             fleet {:.3}s) — worker telemetry was lost in the merge",
+            100.0 * worker_stage_ns as f64 / fleet_stage_ns as f64,
+            worker_stage_ns as f64 / 1e9,
+            fleet_stage_ns as f64 / 1e9,
+        )
+        .into());
+    }
+    Ok(fleet)
+}
+
 /// A profiled campaign run: the per-stage time-attribution table plus
 /// the raw telemetry snapshot it was built from (for `--metrics` /
 /// `--trace` export alongside the table).
@@ -783,10 +859,73 @@ pub fn profile_campaign_preset(
     telemetry::set_enabled(false);
     let snapshot = telemetry::snapshot();
     outcome?;
+    Ok(attribution_report(
+        name,
+        &format!("{workers} worker(s)"),
+        snapshot,
+        wall_s,
+    ))
+}
 
+/// The multi-process flavour of [`profile_campaign_preset`]: the preset
+/// runs as `num_shards` forked `worker_exe` processes, each worker's
+/// telemetry sidecar is collected, and the attribution table is rendered
+/// from the merged **fleet** snapshot — so the table finally covers the
+/// work that actually happened in the workers, not just coordinator
+/// overhead.  Stage totals aggregate across concurrent processes, so
+/// their sum can exceed wall clock, exactly as with `workers > 1`.
+pub fn profile_campaign_preset_sharded(
+    name: &str,
+    fidelity: Fidelity,
+    num_shards: usize,
+    workers: usize,
+    worker_exe: &Path,
+    scratch_dir: &Path,
+) -> Result<ProfileReport> {
+    telemetry::reset();
+    telemetry::set_enabled(true);
+    let start = std::time::Instant::now();
+    let outcome =
+        run_campaign_preset_sharded(name, fidelity, num_shards, workers, worker_exe, scratch_dir);
+    let wall_s = start.elapsed().as_secs_f64();
+    telemetry::set_enabled(false);
+    let local = telemetry::snapshot();
+    outcome?;
+    let specs = presets::by_name(name, fidelity.quick()).expect("preset ran above");
+    let mut worker_snapshots = Vec::new();
+    for spec in &specs {
+        worker_snapshots.extend(collect_worker_metrics(spec, num_shards, scratch_dir)?);
+    }
+    let fleet = merge_fleet_metrics(local, &worker_snapshots)?;
+    Ok(attribution_report(
+        name,
+        &format!("{num_shards} shard(s) x {workers} worker(s)"),
+        fleet,
+        wall_s,
+    ))
+}
+
+/// Renders the per-stage attribution table from a (possibly fleet-merged)
+/// snapshot: span counts, totals, means, histogram-derived p50/p90/p99
+/// estimates and share of wall clock.
+fn attribution_report(
+    name: &str,
+    workers_label: &str,
+    snapshot: telemetry::Snapshot,
+    wall_s: f64,
+) -> ProfileReport {
     let mut table = Table::new(
-        format!("Stage attribution — preset '{name}' ({workers} worker(s))"),
-        &["Stage", "Spans", "Total (s)", "Mean (ms)", "% wall"],
+        format!("Stage attribution — preset '{name}' ({workers_label})"),
+        &[
+            "Stage",
+            "Spans",
+            "Total (s)",
+            "Mean (ms)",
+            "p50 (ms)",
+            "p90 (ms)",
+            "p99 (ms)",
+            "% wall",
+        ],
     );
     let mut stage_total_s = 0.0;
     let mut row = |label: String, name: &str| {
@@ -807,6 +946,9 @@ pub fn profile_campaign_preset(
                 stat.count.to_string(),
                 fmt(total_s, 3),
                 fmt(mean_ms, 3),
+                fmt(stat.p50_ns() as f64 / 1e6, 3),
+                fmt(stat.p90_ns() as f64 / 1e6, 3),
+                fmt(stat.p99_ns() as f64 / 1e6, 3),
                 fmt(pct, 1),
             ]);
             return total_s;
@@ -819,12 +961,12 @@ pub fn profile_campaign_preset(
             row(format!("  {sub}"), sub);
         }
     }
-    Ok(ProfileReport {
+    ProfileReport {
         table,
         stage_total_s,
         wall_s,
         snapshot,
-    })
+    }
 }
 
 /// Writes a telemetry snapshot as a pretty-printed `ivc-metrics-v1`
@@ -844,6 +986,165 @@ pub fn write_trace_file(path: &Path, snapshot: &telemetry::Snapshot) -> Result<(
     text.push('\n');
     std::fs::write(path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
     Ok(())
+}
+
+/// The format tag of the committed machine-readable bench snapshot
+/// (`BENCH_*.json`, regenerated by `scripts/bench-snapshot.sh`).
+pub const BENCH_SNAPSHOT_FORMAT: &str = "ivc-bench-snapshot-v1";
+
+/// The outcome of comparing two bench snapshots: a one-row-per-entry
+/// delta table plus the list of entries whose mean regressed past the
+/// threshold (the gate — empty means the diff passes).
+pub struct BenchDiffReport {
+    /// Per-entry mean deltas; bench entries first, then the per-stage
+    /// attribution deltas (annotate-only — stage means move with worker
+    /// counts and runner load, so they inform but never gate).
+    pub table: Table,
+    /// One line per bench entry over the regression threshold.
+    pub regressions: Vec<String>,
+}
+
+/// The comparable content of an `ivc-bench-snapshot-v1` document:
+/// `group/name → mean_ns` for the bench entries and `span → mean_ns`
+/// for the folded-in stage attribution.
+struct BenchSnapshot {
+    benches: Vec<(String, f64)>,
+    stages: Vec<(String, f64)>,
+}
+
+fn parse_bench_snapshot(text: &str, label: &str) -> Result<BenchSnapshot> {
+    let doc = JsonValue::parse(text).map_err(|e| format!("parsing {label}: {e}"))?;
+    if doc.get("format").and_then(JsonValue::as_str) != Some(BENCH_SNAPSHOT_FORMAT) {
+        return Err(format!("{label} is not an {BENCH_SNAPSHOT_FORMAT} document").into());
+    }
+    let mut benches = Vec::new();
+    for entry in doc
+        .get("benches")
+        .and_then(JsonValue::as_array)
+        .unwrap_or(&[])
+    {
+        let key = match (
+            entry.get("group").and_then(JsonValue::as_str),
+            entry.get("name").and_then(JsonValue::as_str),
+        ) {
+            (Some(group), Some(name)) => format!("{group}/{name}"),
+            _ => return Err(format!("{label} has a bench entry without group/name").into()),
+        };
+        let mean = entry
+            .get("mean_ns")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("{label} bench entry '{key}' is missing mean_ns"))?;
+        benches.push((key, mean));
+    }
+    let mut stages = Vec::new();
+    if let Some(spans) = doc
+        .get("stage_attribution")
+        .and_then(|s| s.get("spans"))
+        .and_then(JsonValue::as_array)
+    {
+        for span in spans {
+            let name = span
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("{label} has a stage-attribution span without a name"))?;
+            let mean = span
+                .get("mean_ns")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("{label} stage span '{name}' is missing mean_ns"))?;
+            stages.push((name.to_string(), mean));
+        }
+    }
+    Ok(BenchSnapshot { benches, stages })
+}
+
+/// The key union of two `(key, value)` lists: old order first, then
+/// new-only keys in their own order.
+fn key_union(old: &[(String, f64)], new: &[(String, f64)]) -> Vec<String> {
+    let mut keys: Vec<String> = old.iter().map(|(k, _)| k.clone()).collect();
+    for (k, _) in new {
+        if !keys.contains(k) {
+            keys.push(k.clone());
+        }
+    }
+    keys
+}
+
+/// Compares two `ivc-bench-snapshot-v1` documents entry by entry.  A
+/// bench entry whose mean grew by more than `max_regress_pct` percent is
+/// a **regression** (listed in [`BenchDiffReport::regressions`]); stage
+/// attribution deltas appear in the table for context but never gate.
+/// Entries present on only one side are reported as added/removed.
+pub fn bench_diff(old_text: &str, new_text: &str, max_regress_pct: f64) -> Result<BenchDiffReport> {
+    let old = parse_bench_snapshot(old_text, "OLD")?;
+    let new = parse_bench_snapshot(new_text, "NEW")?;
+    let mut table = Table::new(
+        format!("Bench diff — mean per entry (gate: > +{max_regress_pct:.0}% on bench entries)"),
+        &[
+            "Entry",
+            "Old mean (ms)",
+            "New mean (ms)",
+            "Delta (%)",
+            "Status",
+        ],
+    );
+    let mut regressions = Vec::new();
+    let mut push = |key: &str, old_mean: Option<f64>, new_mean: Option<f64>, gated: bool| {
+        let (delta, status) = match (old_mean, new_mean) {
+            (Some(o), Some(n)) if o > 0.0 => {
+                let pct = 100.0 * (n - o) / o;
+                let status = if !gated {
+                    "info"
+                } else if pct > max_regress_pct {
+                    regressions.push(format!(
+                        "{key}: mean {:.3} ms -> {:.3} ms (+{:.1}% > {:.0}%)",
+                        o / 1e6,
+                        n / 1e6,
+                        pct,
+                        max_regress_pct
+                    ));
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                (format!("{pct:+.1}"), status)
+            }
+            (Some(_), Some(_)) => ("-".into(), "info"),
+            (Some(_), None) => ("-".into(), "removed"),
+            (None, Some(_)) => ("-".into(), "added"),
+            (None, None) => ("-".into(), "-"),
+        };
+        table.push_row(vec![
+            key.to_string(),
+            old_mean
+                .map(|v| fmt(v / 1e6, 3))
+                .unwrap_or_else(|| "-".into()),
+            new_mean
+                .map(|v| fmt(v / 1e6, 3))
+                .unwrap_or_else(|| "-".into()),
+            delta,
+            status.to_string(),
+        ]);
+    };
+    let lookup =
+        |list: &[(String, f64)], key: &str| list.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
+    for key in key_union(&old.benches, &new.benches) {
+        push(
+            &key,
+            lookup(&old.benches, &key),
+            lookup(&new.benches, &key),
+            true,
+        );
+    }
+    for key in key_union(&old.stages, &new.stages) {
+        let label = format!("stage:{key}");
+        push(
+            &label,
+            lookup(&old.stages, &key),
+            lookup(&new.stages, &key),
+            false,
+        );
+    }
+    Ok(BenchDiffReport { table, regressions })
 }
 
 /// Trial records of a report paired with their attack/legitimate label

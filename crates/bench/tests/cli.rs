@@ -221,12 +221,40 @@ fn malformed_flag_values_are_one_line_errors() {
             "--trace applies to",
         ),
         (
-            &["profile", "smoke", "--shards", "2"][..],
-            "--shards applies to",
-        ),
-        (
             &["profile", "smoke", "--archive", "d"][..],
             "--archive applies to",
+        ),
+        (
+            &["bench-diff"][..],
+            "bench-diff needs exactly two snapshot files",
+        ),
+        (
+            &["bench-diff", "old.json"][..],
+            "bench-diff needs exactly two snapshot files",
+        ),
+        (
+            &["bench-diff", "a.json", "b.json", "c.json"][..],
+            "bench-diff needs exactly two snapshot files",
+        ),
+        (
+            &["campaign", "smoke", "--max-regress", "10"][..],
+            "--max-regress applies to",
+        ),
+        (
+            &["bench-diff", "a.json", "b.json", "--max-regress", "lots"][..],
+            "invalid --max-regress value 'lots'",
+        ),
+        (
+            &["bench-diff", "a.json", "b.json", "--max-regress", "0"][..],
+            "invalid --max-regress value '0'",
+        ),
+        (
+            &["bench-diff", "a.json", "b.json", "--metrics", "m.json"][..],
+            "--metrics applies to",
+        ),
+        (
+            &["bench-diff", "a.json", "b.json", "--workers", "2"][..],
+            "--workers applies to",
         ),
     ] {
         let output = repro(args);
@@ -390,8 +418,10 @@ fn telemetry_export_leaves_the_archive_bytes_identical() {
         );
     }
 
-    // The in-process metrics documents carry all three pipeline stages.
-    for path in [&metrics_1, &metrics_8] {
+    // Every metrics document — in-process AND the fleet-merged sharded
+    // one — carries all three pipeline stages with every trial counted.
+    // Smoke is 2 cells x 2 trials, so each stage closed 4 spans.
+    for path in [&metrics_1, &metrics_8, &metrics_sharded] {
         let doc = JsonValue::parse(&std::fs::read_to_string(path).unwrap())
             .unwrap_or_else(|e| panic!("parsing {}: {e}", path.display()));
         assert_eq!(
@@ -400,22 +430,51 @@ fn telemetry_export_leaves_the_archive_bytes_identical() {
         );
         let spans = doc.get("spans").and_then(JsonValue::as_array).unwrap();
         for stage in ["stage.prepare", "stage.perturb", "stage.evaluate"] {
-            let count = spans
+            let span = spans
                 .iter()
                 .find(|s| s.get("name").and_then(JsonValue::as_str) == Some(stage))
-                .and_then(|s| s.get("count"))
-                .and_then(JsonValue::as_u64)
-                .unwrap_or(0);
-            assert!(count > 0, "{}: no {stage} spans", path.display());
+                .unwrap_or_else(|| panic!("{}: no {stage} spans", path.display()));
+            let count = span.get("count").and_then(JsonValue::as_u64).unwrap_or(0);
+            assert_eq!(count, 4, "{}: wrong {stage} span count", path.display());
+            // The percentile estimates are part of the document and sit
+            // inside the observed range.
+            for (p, name) in [("p50_ns", "p50"), ("p90_ns", "p90"), ("p99_ns", "p99")] {
+                let value = span.get(p).and_then(JsonValue::as_u64);
+                assert!(
+                    value.is_some(),
+                    "{}: {stage} missing {name}",
+                    path.display()
+                );
+            }
         }
+        let counters = doc.get("counters").and_then(JsonValue::as_array).unwrap();
+        let trials = counters
+            .iter()
+            .find(|c| {
+                c.get("name").and_then(JsonValue::as_str) == Some("executor.trials_completed")
+            })
+            .and_then(|c| c.get("value"))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        assert_eq!(trials, 4, "{}: trial counter drifted", path.display());
     }
-    // The sharded parent still produces a well-formed document (the
-    // stage spans live in the worker processes).
+    // The sharded document is the merged fleet: provenance names the
+    // coordinator and both workers, and the workers own the stage time.
     let doc = JsonValue::parse(&std::fs::read_to_string(&metrics_sharded).unwrap()).unwrap();
-    assert_eq!(
-        doc.get("format").and_then(JsonValue::as_str),
-        Some("ivc-metrics-v1")
-    );
+    let sources = doc
+        .get("sources")
+        .and_then(JsonValue::as_array)
+        .expect("fleet document carries sources");
+    let labels: Vec<&str> = sources
+        .iter()
+        .filter_map(|s| s.get("name").and_then(JsonValue::as_str))
+        .collect();
+    for expected in ["coordinator", "shard-0-of-2", "shard-1-of-2"] {
+        assert!(
+            labels.contains(&expected),
+            "missing source {expected}: {labels:?}"
+        );
+    }
 
     // The trace document is loadable Chrome trace-event JSON.
     let trace = JsonValue::parse(&std::fs::read_to_string(&trace_8).unwrap()).unwrap();
@@ -467,6 +526,118 @@ fn profile_prints_stage_attribution_covering_the_wall_clock() {
     // --metrics composes with profile.
     assert!(metrics.exists(), "profile did not write --metrics");
     std::fs::remove_file(&metrics).ok();
+}
+
+/// A minimal `ivc-bench-snapshot-v1` document with one bench entry at
+/// `mean_ns` and one stage-attribution span (for the annotate-only rows).
+fn bench_snapshot_doc(mean_ns: f64, stage_mean_ns: f64) -> String {
+    format!(
+        r#"{{
+  "format": "ivc-bench-snapshot-v1",
+  "benches": [
+    {{"group": "pipeline", "name": "trial_fixture", "min_ns": {min}, "mean_ns": {mean}, "max_ns": {max}, "samples": 10}}
+  ],
+  "stage_attribution": {{
+    "preset": "smoke",
+    "workers": 1,
+    "wall_s": 1.0,
+    "spans": [
+      {{"name": "stage.prepare", "count": 4, "total_ns": {stage_total}, "mean_ns": {stage_mean}}}
+    ]
+  }}
+}}
+"#,
+        min = mean_ns * 0.9,
+        mean = mean_ns,
+        max = mean_ns * 1.1,
+        stage_total = stage_mean_ns * 4.0,
+        stage_mean = stage_mean_ns,
+    )
+}
+
+/// `bench-diff` is the regression gate: exit 0 on a self-diff, exit 1
+/// with a one-line error on a synthetic regression past the threshold —
+/// and stage-attribution rows never gate, however much they move.
+#[test]
+fn bench_diff_gates_on_regressions_only() {
+    let scratch = std::env::temp_dir().join(format!("ivc-cli-benchdiff-{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+    std::fs::create_dir_all(&scratch).unwrap();
+    let write = |name: &str, text: &str| -> String {
+        let path = scratch.join(name);
+        std::fs::write(&path, text).unwrap();
+        path.to_string_lossy().into_owned()
+    };
+    let old = write("old.json", &bench_snapshot_doc(100_000_000.0, 50_000_000.0));
+
+    // Self-diff: zero deltas, exit 0, every entry "ok".
+    let output = repro(&["bench-diff", &old, &old]);
+    assert!(output.status.success(), "self-diff failed: {output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("Bench diff"), "{stdout}");
+    assert!(stdout.contains("pipeline/trial_fixture"), "{stdout}");
+    assert!(stdout.contains("no bench regression"), "{stdout}");
+
+    // The committed snapshot self-diffs clean through the same path.
+    let committed = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr7.json");
+    let output = repro(&["bench-diff", committed, committed]);
+    assert!(
+        output.status.success(),
+        "committed snapshot self-diff failed: {output:?}"
+    );
+
+    // A 10x regression past the default 25% threshold: exit 1, one-line
+    // error naming the entry.
+    let slow = write(
+        "slow.json",
+        &bench_snapshot_doc(1_000_000_000.0, 50_000_000.0),
+    );
+    let output = repro(&["bench-diff", &old, &slow]);
+    let line = one_line_error(&output, "synthetic regression");
+    assert!(line.contains("regression"), "{line}");
+    assert!(line.contains("pipeline/trial_fixture"), "{line}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+
+    // A generous threshold tolerates the same movement (the CI blocking
+    // step runs at 2x for runner noise).
+    let output = repro(&["bench-diff", &old, &slow, "--max-regress", "2000"]);
+    assert!(
+        output.status.success(),
+        "raised threshold still failed: {output:?}"
+    );
+
+    // An improvement never gates.
+    let fast = write("fast.json", &bench_snapshot_doc(10_000_000.0, 50_000_000.0));
+    let output = repro(&["bench-diff", &old, &fast]);
+    assert!(output.status.success(), "improvement gated: {output:?}");
+
+    // A stage-attribution blow-up alone is annotate-only: exit 0.
+    let slow_stages = write(
+        "slow-stages.json",
+        &bench_snapshot_doc(100_000_000.0, 500_000_000.0),
+    );
+    let output = repro(&["bench-diff", &old, &slow_stages]);
+    assert!(
+        output.status.success(),
+        "stage attribution must not gate: {output:?}"
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("stage:stage.prepare"), "{stdout}");
+
+    // Wrong format tag: one-line error, exit 1.
+    let not_snapshot = write("not-snapshot.json", r#"{"format": "something-else"}"#);
+    let output = repro(&["bench-diff", &old, &not_snapshot]);
+    let line = one_line_error(&output, "wrong format tag");
+    assert!(line.contains("ivc-bench-snapshot-v1"), "{line}");
+
+    // Missing file: one-line error, exit 1.
+    let missing = scratch.join("missing.json").to_string_lossy().into_owned();
+    let output = repro(&["bench-diff", &old, &missing]);
+    let line = one_line_error(&output, "missing snapshot file");
+    assert!(line.contains("reading"), "{line}");
+
+    std::fs::remove_dir_all(&scratch).ok();
 }
 
 /// The acceptance path end to end, through real processes and real files:

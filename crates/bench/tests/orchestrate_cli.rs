@@ -107,6 +107,78 @@ fn fault_injected_worker_failure_is_retried_to_identical_bytes() {
     std::fs::remove_dir_all(&scratch).ok();
 }
 
+/// The tentpole acceptance path: an orchestrated run with `--metrics`
+/// produces ONE fleet-wide `ivc-metrics-v1` document whose stage spans
+/// aggregate every worker (provenance names them all), while the archive
+/// stays byte-identical to the no-telemetry baseline — telemetry is
+/// observation, never participation.
+#[test]
+fn orchestrated_metrics_cover_the_whole_fleet_without_touching_bytes() {
+    let scratch = scratch_dir("fleet-metrics");
+    let archive = scratch.join("archive");
+    let metrics = scratch.join("fleet.json");
+    let output = repro_cmd()
+        .args(["orchestrate", "smoke", "--shards", "2", "--workers", "2"])
+        .args(["--archive", &archive.to_string_lossy()])
+        .args(["--metrics", &metrics.to_string_lossy()])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "orchestrate --metrics failed:\n{stderr}"
+    );
+    assert_eq!(
+        read_archive(&archive),
+        smoke_baseline(),
+        "fleet telemetry changed the archive bytes"
+    );
+    // Live progress reached the status stream.
+    assert!(
+        stderr.contains("progress:") && stderr.contains("trial(s) done"),
+        "no progress lines on stderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("trial(s)/s"),
+        "run_complete throughput summary missing:\n{stderr}"
+    );
+
+    let doc = JsonValue::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("format").and_then(JsonValue::as_str),
+        Some("ivc-metrics-v1")
+    );
+    // Smoke is 2 cells x 2 trials split across 2 shards: the merged
+    // fleet document must hold all 4 spans of every pipeline stage —
+    // the coordinator alone has none of them.
+    let spans = doc.get("spans").and_then(JsonValue::as_array).unwrap();
+    for stage in ["stage.prepare", "stage.perturb", "stage.evaluate"] {
+        let count = spans
+            .iter()
+            .find(|s| s.get("name").and_then(JsonValue::as_str) == Some(stage))
+            .and_then(|s| s.get("count"))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        assert_eq!(count, 4, "fleet document is missing {stage} spans");
+    }
+    // Provenance names the coordinator and every shard, and each shard
+    // contributed spans.
+    let sources = doc
+        .get("sources")
+        .and_then(JsonValue::as_array)
+        .expect("fleet document carries sources");
+    for worker in ["shard-0-of-2", "shard-1-of-2"] {
+        let spans = sources
+            .iter()
+            .find(|s| s.get("name").and_then(JsonValue::as_str) == Some(worker))
+            .and_then(|s| s.get("spans"))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        assert!(spans > 0, "source {worker} contributed no spans");
+    }
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
 /// Scans `/proc` for a live `shard-worker` process whose command line
 /// mentions `marker`, returning its pid.
 fn find_worker_pid(marker: &str) -> Option<u32> {

@@ -85,6 +85,60 @@ impl SpanStat {
     pub fn mean_ns(&self) -> u64 {
         self.total_ns.checked_div(self.count).unwrap_or(0)
     }
+
+    /// Fold another aggregate into this one: counts and totals add,
+    /// min/max widen, histograms add bucket-wise. This is the span half
+    /// of [`Snapshot::merge`].
+    pub fn absorb(&mut self, other: &SpanStat) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += *theirs;
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from the log₂ histogram:
+    /// the bucket holding the rank-`⌈q·count⌉` duration, linearly
+    /// interpolated across the bucket's `[2^i, 2^(i+1))` range and clamped
+    /// to the observed min/max. Returns 0 when nothing was recorded.
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &in_bucket) in self.buckets.iter().enumerate() {
+            if in_bucket == 0 {
+                continue;
+            }
+            if seen + in_bucket >= target {
+                let lo = if i == 0 { 0u64 } else { 1u64 << i };
+                let hi = (1u64 << (i + 1)) - 1;
+                let frac = (target - seen) as f64 / in_bucket as f64;
+                let estimate = (lo as f64 + frac * (hi - lo) as f64) as u64;
+                return estimate.clamp(self.min_ns, self.max_ns);
+            }
+            seen += in_bucket;
+        }
+        self.max_ns
+    }
+
+    /// Median estimate from the histogram (see [`SpanStat::percentile_ns`]).
+    pub fn p50_ns(&self) -> u64 {
+        self.percentile_ns(0.50)
+    }
+
+    /// 90th-percentile estimate from the histogram.
+    pub fn p90_ns(&self) -> u64 {
+        self.percentile_ns(0.90)
+    }
+
+    /// 99th-percentile estimate from the histogram.
+    pub fn p99_ns(&self) -> u64 {
+        self.percentile_ns(0.99)
+    }
 }
 
 /// Histogram bucket for a duration: `floor(log2(ns))`, clamped so that
@@ -243,7 +297,7 @@ impl Drop for Span {
 
 /// A point-in-time copy of everything the collector has accumulated,
 /// with spans and counters sorted by name for deterministic export.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Snapshot {
     /// Per-name span aggregates, sorted by name.
     pub spans: Vec<(String, SpanStat)>,
@@ -254,6 +308,11 @@ pub struct Snapshot {
     pub events: Vec<(String, u64, u64, u64)>,
     /// Trace intervals discarded after the buffer cap was reached.
     pub dropped_events: u64,
+    /// Provenance of a merged fleet document: `(source label, spans
+    /// contributed)` per process, sorted by label. Empty for a plain
+    /// single-process snapshot; [`Snapshot::with_source`] seeds it and
+    /// [`Snapshot::merge`] unions it.
+    pub sources: Vec<(String, u64)>,
 }
 
 /// Copy out the collector's current contents.
@@ -281,6 +340,7 @@ pub fn snapshot() -> Snapshot {
         counters,
         events,
         dropped_events: inner.dropped_events,
+        sources: Vec::new(),
     }
 }
 
@@ -326,6 +386,9 @@ impl Snapshot {
                     ("mean_ns".to_string(), u64_to_json(stat.mean_ns())),
                     ("min_ns".to_string(), u64_to_json(stat.min_ns)),
                     ("max_ns".to_string(), u64_to_json(stat.max_ns)),
+                    ("p50_ns".to_string(), u64_to_json(stat.p50_ns())),
+                    ("p90_ns".to_string(), u64_to_json(stat.p90_ns())),
+                    ("p99_ns".to_string(), u64_to_json(stat.p99_ns())),
                     (
                         "histogram_log2_ns_offset".to_string(),
                         u64_to_json(first as u64),
@@ -344,16 +407,184 @@ impl Snapshot {
                 ])
             })
             .collect();
-        JsonValue::Object(vec![
+        let mut fields = vec![
             ("format".to_string(), JsonValue::string(METRICS_FORMAT)),
             ("wall_s".to_string(), JsonValue::number(wall_s)),
             ("spans".to_string(), JsonValue::Array(spans)),
             ("counters".to_string(), JsonValue::Array(counters)),
-            (
-                "dropped_trace_events".to_string(),
-                u64_to_json(self.dropped_events),
-            ),
-        ])
+        ];
+        if !self.sources.is_empty() {
+            let sources = self
+                .sources
+                .iter()
+                .map(|(name, spans)| {
+                    JsonValue::Object(vec![
+                        ("name".to_string(), JsonValue::string(name.clone())),
+                        ("spans".to_string(), u64_to_json(*spans)),
+                    ])
+                })
+                .collect();
+            fields.push(("sources".to_string(), JsonValue::Array(sources)));
+        }
+        fields.push((
+            "dropped_trace_events".to_string(),
+            u64_to_json(self.dropped_events),
+        ));
+        JsonValue::Object(fields)
+    }
+
+    /// Parse an `ivc-metrics-v1` document back into a snapshot, inverting
+    /// [`Snapshot::metrics_json`]: trimmed histograms are re-expanded to
+    /// the full [`HISTOGRAM_BUCKETS`] width and validated against the span
+    /// count. Trace events are process-local and are not part of the
+    /// metrics document, so the parsed snapshot has none.
+    pub fn from_metrics_json(doc: &JsonValue) -> crate::Result<Snapshot> {
+        let format = doc.get("format").and_then(JsonValue::as_str);
+        if format != Some(METRICS_FORMAT) {
+            return Err(format!(
+                "not an {METRICS_FORMAT} document (format: {})",
+                format.unwrap_or("missing")
+            )
+            .into());
+        }
+        let need_u64 = |entry: &JsonValue, field: &str| -> crate::Result<u64> {
+            entry
+                .get(field)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("metrics span missing {field}").into())
+        };
+        let mut spans = Vec::new();
+        for entry in doc
+            .get("spans")
+            .and_then(JsonValue::as_array)
+            .ok_or("metrics document has no spans array")?
+        {
+            let name = entry
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or("metrics span missing name")?
+                .to_string();
+            let mut stat = SpanStat {
+                count: need_u64(entry, "count")?,
+                total_ns: need_u64(entry, "total_ns")?,
+                min_ns: need_u64(entry, "min_ns")?,
+                max_ns: need_u64(entry, "max_ns")?,
+                buckets: [0; HISTOGRAM_BUCKETS],
+            };
+            let offset = need_u64(entry, "histogram_log2_ns_offset")? as usize;
+            let hist = entry
+                .get("histogram_log2_ns")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| format!("span '{name}' missing histogram_log2_ns"))?;
+            if offset + hist.len() > HISTOGRAM_BUCKETS {
+                return Err(format!(
+                    "span '{name}' histogram spills past bucket {HISTOGRAM_BUCKETS}"
+                )
+                .into());
+            }
+            for (i, value) in hist.iter().enumerate() {
+                stat.buckets[offset + i] = value
+                    .as_u64()
+                    .ok_or_else(|| format!("span '{name}' has a non-integer histogram bucket"))?;
+            }
+            if stat.buckets.iter().sum::<u64>() != stat.count {
+                return Err(
+                    format!("span '{name}' histogram mass does not match its count").into(),
+                );
+            }
+            spans.push((name, stat));
+        }
+        let mut counters = Vec::new();
+        for entry in doc
+            .get("counters")
+            .and_then(JsonValue::as_array)
+            .ok_or("metrics document has no counters array")?
+        {
+            let name = entry
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or("metrics counter missing name")?;
+            let value = entry
+                .get("value")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("counter '{name}' missing value"))?;
+            counters.push((name.to_string(), value));
+        }
+        let mut sources = Vec::new();
+        if let Some(entries) = doc.get("sources").and_then(JsonValue::as_array) {
+            for entry in entries {
+                let name = entry
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("metrics source missing name")?;
+                let spans = entry
+                    .get("spans")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| format!("source '{name}' missing spans"))?;
+                sources.push((name.to_string(), spans));
+            }
+        }
+        Ok(Snapshot {
+            spans,
+            counters,
+            events: Vec::new(),
+            dropped_events: doc
+                .get("dropped_trace_events")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
+            sources,
+        })
+    }
+
+    /// Parse `ivc-metrics-v1` text (see [`Snapshot::from_metrics_json`]).
+    pub fn parse_metrics(text: &str) -> crate::Result<Snapshot> {
+        let doc = JsonValue::parse(text).map_err(|e| format!("metrics JSON: {e}"))?;
+        Snapshot::from_metrics_json(&doc)
+    }
+
+    /// Seed provenance on a snapshot that has none: record `label` as the
+    /// single source of every span so far. A snapshot that already carries
+    /// provenance (a parsed or merged fleet document) is unchanged.
+    pub fn with_source(mut self, label: &str) -> Snapshot {
+        if self.sources.is_empty() {
+            let spans = self.spans.iter().map(|(_, stat)| stat.count).sum();
+            self.sources.push((label.to_string(), spans));
+        }
+        self
+    }
+
+    /// Fold another snapshot into this one, CRDT-style: span aggregates
+    /// absorb name-wise ([`SpanStat::absorb`]), counters and per-source
+    /// span counts sum name-wise, dropped-event counts add, and the result
+    /// stays sorted — so merging is associative and commutative and
+    /// preserves total span counts and histogram mass. Trace events are
+    /// process-local and do not merge: the merged snapshot is a
+    /// metrics-level document with no events (export any trace *before*
+    /// merging).
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, stat) in &other.spans {
+            match self.spans.iter_mut().find(|(k, _)| k == name) {
+                Some((_, mine)) => mine.absorb(stat),
+                None => self.spans.push((name.clone(), stat.clone())),
+            }
+        }
+        self.spans.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, value) in &other.counters {
+            match self.counters.iter_mut().find(|(k, _)| k == name) {
+                Some((_, mine)) => *mine += value,
+                None => self.counters.push((name.clone(), *value)),
+            }
+        }
+        self.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, spans) in &other.sources {
+            match self.sources.iter_mut().find(|(k, _)| k == name) {
+                Some((_, mine)) => *mine += spans,
+                None => self.sources.push((name.clone(), *spans)),
+            }
+        }
+        self.sources.sort_by(|a, b| a.0.cmp(&b.0));
+        self.dropped_events += other.dropped_events;
+        self.events.clear();
     }
 
     /// A Chrome trace-event document (the `{"traceEvents": [...]}` shape
@@ -553,6 +784,116 @@ mod tests {
                 .and_then(JsonValue::as_f64)
                 .is_some_and(|d| d >= 0.0));
         }
+    }
+
+    #[test]
+    fn percentiles_track_the_histogram() {
+        let mut stat = SpanStat::new();
+        for _ in 0..99 {
+            stat.record(1_000); // bucket 9
+        }
+        stat.record(1_000_000); // bucket 19
+        let p50 = stat.p50_ns();
+        assert!(
+            (512..2048).contains(&p50),
+            "p50 must land in the dominant bucket, got {p50}"
+        );
+        assert!(stat.p90_ns() < 1_000_000);
+        assert_eq!(
+            stat.p99_ns(),
+            stat.percentile_ns(0.99),
+            "p99 helper matches the generic estimator"
+        );
+        // The single outlier is the 100th value: p100 == max.
+        assert_eq!(stat.percentile_ns(1.0), 1_000_000);
+        // A constant distribution estimates exactly, at every quantile.
+        let mut constant = SpanStat::new();
+        for _ in 0..7 {
+            constant.record(4_096);
+        }
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(constant.percentile_ns(q), 4_096);
+        }
+        assert_eq!(SpanStat::new().p50_ns(), 0, "empty stat estimates 0");
+    }
+
+    /// Hand-build an eventless snapshot for merge/parse tests.
+    fn synthetic_snapshot(spans: &[(&str, &[u64])], counters: &[(&str, u64)]) -> Snapshot {
+        let mut built: Vec<(String, SpanStat)> = Vec::new();
+        for (name, durations) in spans {
+            let mut stat = SpanStat::new();
+            for &ns in *durations {
+                stat.record(ns);
+            }
+            built.push((name.to_string(), stat));
+        }
+        built.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut counters: Vec<(String, u64)> = counters
+            .iter()
+            .map(|(name, v)| (name.to_string(), *v))
+            .collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        Snapshot {
+            spans: built,
+            counters,
+            events: Vec::new(),
+            dropped_events: 0,
+            sources: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn merge_sums_spans_counters_and_provenance() {
+        let mut left = synthetic_snapshot(
+            &[("test.shared", &[10, 20]), ("test.left", &[5])],
+            &[("test.counter", 3)],
+        )
+        .with_source("worker-a");
+        let right = synthetic_snapshot(
+            &[("test.shared", &[30]), ("test.right", &[7])],
+            &[("test.counter", 4), ("test.other", 1)],
+        )
+        .with_source("worker-b");
+        left.merge(&right);
+        let shared = left.span("test.shared").expect("merged span");
+        assert_eq!(shared.count, 3);
+        assert_eq!(shared.total_ns, 60);
+        assert_eq!(shared.min_ns, 10);
+        assert_eq!(shared.max_ns, 30);
+        assert_eq!(shared.buckets.iter().sum::<u64>(), 3);
+        assert!(left.span("test.left").is_some());
+        assert!(left.span("test.right").is_some());
+        assert_eq!(left.counter("test.counter"), 7);
+        assert_eq!(left.counter("test.other"), 1);
+        assert_eq!(
+            left.sources,
+            vec![("worker-a".to_string(), 3), ("worker-b".to_string(), 2)]
+        );
+    }
+
+    #[test]
+    fn metrics_document_parses_back_to_the_same_snapshot() {
+        let snap = synthetic_snapshot(
+            &[("test.a", &[1, 2, 3, 1024]), ("test.b", &[1_000_000])],
+            &[("test.n", 9)],
+        )
+        .with_source("worker-0");
+        let text = snap.metrics_json(2.0).to_json_string_pretty();
+        let parsed = Snapshot::parse_metrics(&text).expect("parses");
+        assert_eq!(parsed, snap, "parse inverts metrics_json");
+    }
+
+    #[test]
+    fn metrics_parser_rejects_corrupt_documents() {
+        let snap = synthetic_snapshot(&[("test.a", &[1, 2])], &[]);
+        let doc = snap.metrics_json(1.0).to_json_string();
+        assert!(
+            Snapshot::parse_metrics("{}").is_err(),
+            "format tag required"
+        );
+        let lying = doc.replace("\"count\":2", "\"count\":5");
+        let err = Snapshot::parse_metrics(&lying).expect_err("mass mismatch");
+        assert!(err.to_string().contains("histogram mass"), "{err}");
     }
 
     #[test]

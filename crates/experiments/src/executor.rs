@@ -339,6 +339,10 @@ pub(crate) fn execute_jobs(
                 );
                 slots.lock().expect("result mutex poisoned")
                     [jobs.cell_index * trials_per_cell + trial_index - start_job] = Some(result);
+                // Summed across worker sidecars, this counter is the
+                // fleet document's trial total — the cross-check that no
+                // worker's telemetry went missing in the merge.
+                telemetry::add_count("executor.trials_completed", 1);
 
                 // Perturb/Evaluate done: drop the prepared state with the
                 // cell's last trial.

@@ -72,7 +72,9 @@ pub use orchestrate::{
     ProcessLauncher, RunEvent, ShardLauncher, ThreadLauncher, MANIFEST_FORMAT,
 };
 pub use report::CampaignReport;
-pub use shard::{merge_shards, run_shard, ShardArchive, ShardJob, ShardPlan, ShardRange};
+pub use shard::{
+    merge_shards, metrics_sidecar_path, run_shard, ShardArchive, ShardJob, ShardPlan, ShardRange,
+};
 
 /// The commonly used items, in one import.
 pub mod prelude {
@@ -89,6 +91,7 @@ pub mod prelude {
     };
     pub use crate::report::CampaignReport;
     pub use crate::shard::{
-        merge_shards, run_shard, ShardArchive, ShardJob, ShardPlan, ShardRange,
+        merge_shards, metrics_sidecar_path, run_shard, ShardArchive, ShardJob, ShardPlan,
+        ShardRange,
     };
 }

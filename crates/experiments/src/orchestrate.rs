@@ -45,9 +45,20 @@
 //! ```text
 //! <spec>.shard-i-of-n.job.json                 shard job (input, rewritten on start)
 //! <spec>.shard-i-of-n.part.json                checkpoint: a complete, validated partial
+//! <spec>.shard-i-of-n.part.metrics.json        the checkpoint's telemetry sidecar
 //! <spec>.shard-i-of-n.part.attempt-<nonce>-<k>.json  in-flight attempt output
+//! <spec>.shard-i-of-n.part.attempt-<nonce>-<k>.metrics.json  its in-flight sidecar
 //! <spec>.manifest.jsonl                        append-only JSONL run manifest
 //! ```
+//!
+//! Process workers (`repro shard-worker`) always write an `ivc-metrics-v1`
+//! telemetry sidecar next to their attempt output
+//! ([`crate::shard::metrics_sidecar_path`]).  The sidecar shares the
+//! attempt file's fate: renamed with the checkpoint on acceptance, deleted
+//! with a failed or duplicate attempt, resumed with a surviving
+//! checkpoint — so after a run every `*.part.json` has a matching
+//! `*.part.metrics.json` and the driver can merge them into one
+//! fleet-wide metrics document.
 //!
 //! The canonical `*.part.json` name only ever holds a finished partial
 //! that passed [`ShardArchive::validate_for`] — attempts write to their
@@ -58,8 +69,8 @@ use crate::aggregate::wilson_interval;
 use crate::error::{ExperimentError, Result};
 use crate::grid::CampaignSpec;
 use crate::shard::{
-    merge_shards, run_shard, shard_archive_file_name, shard_job_file_name, ShardArchive, ShardJob,
-    ShardPlan,
+    merge_shards, metrics_sidecar_path, run_shard, shard_archive_file_name, shard_job_file_name,
+    ShardArchive, ShardJob, ShardPlan,
 };
 use ivc_core::json::{u64_to_json, JsonValue};
 use ivc_core::telemetry;
@@ -111,6 +122,10 @@ pub struct OrchestratorConfig {
     pub max_concurrent: usize,
     /// Sleep between supervision sweeps when nothing happened.
     pub poll_interval: Duration,
+    /// Emit a heartbeat `progress` event when none has been emitted for
+    /// this long (one is also emitted at startup and after every finished
+    /// shard).
+    pub progress_interval: Duration,
 }
 
 impl OrchestratorConfig {
@@ -125,6 +140,7 @@ impl OrchestratorConfig {
             straggler_timeout: None,
             max_concurrent: num_shards,
             poll_interval: Duration::from_millis(25),
+            progress_interval: Duration::from_secs(5),
         }
     }
 }
@@ -356,8 +372,8 @@ pub struct RunEvent {
     /// Event kind: `run_start`, `checkpoint_resumed`,
     /// `checkpoint_quarantined`, `plan_summary`, `shard_issued`,
     /// `shard_done`, `shard_failed`, `shard_retry`, `straggler_reissue`,
-    /// `duplicate_discarded`, `cell_complete`, `run_complete` or
-    /// `run_failed`.
+    /// `duplicate_discarded`, `cell_complete`, `progress`, `run_complete`
+    /// or `run_failed`.
     pub kind: &'static str,
     /// Kind-specific fields, in emit order.
     pub fields: Vec<(&'static str, JsonValue)>,
@@ -478,16 +494,35 @@ impl RunEvent {
                 self.f64_field("ci_low"),
                 self.f64_field("ci_high")
             ),
+            "progress" => {
+                let base = format!(
+                    "progress: {}/{} trial(s) done",
+                    self.u64_field("done"),
+                    self.u64_field("total")
+                );
+                match self.field("eta_s").and_then(JsonValue::as_f64) {
+                    Some(eta_s) => format!(
+                        "{base}, {:.2} trial(s)/s, ETA {:.0}s",
+                        self.f64_field("trials_per_s"),
+                        eta_s
+                    ),
+                    None => base,
+                }
+            }
             "run_complete" => format!(
                 "campaign '{}' complete: {} shard(s) ({} resumed), {} attempt(s) launched, \
-                 {} retried, {} re-issued, {} duplicate result(s) discarded",
+                 {} retried, {} re-issued, {} duplicate result(s) discarded — {} trial(s) in \
+                 {:.1}s ({:.2} trial(s)/s)",
                 self.str_field("spec"),
                 self.u64_field("shards"),
                 self.u64_field("resumed"),
                 self.u64_field("launched"),
                 self.u64_field("retries"),
                 self.u64_field("reissues"),
-                self.u64_field("duplicates")
+                self.u64_field("duplicates"),
+                self.u64_field("trials_total"),
+                self.f64_field("wall_s"),
+                self.f64_field("trials_per_s")
             ),
             "run_failed" => format!(
                 "shard {} failed {} time(s), retry budget of {} exhausted (last failure: {})",
@@ -654,6 +689,9 @@ pub fn orchestrate(
                 Err(e) => {
                     stats.invalid_checkpoints += 1;
                     telemetry::add_count("orchestrate.checkpoints_quarantined", 1);
+                    // The rejected checkpoint's telemetry sidecar (if any)
+                    // is stale with it; the re-run writes a fresh one.
+                    let _ = std::fs::remove_file(metrics_sidecar_path(&slot.checkpoint_path));
                     let quarantine = slot.checkpoint_path.with_file_name(format!(
                         "{}.invalid-{nonce}",
                         slot.checkpoint_path
@@ -699,6 +737,18 @@ pub fn orchestrate(
     let mut reported_cells = vec![false; cells.len()];
     report_completed_cells(spec, &cells, &slots, &mut reported_cells, &mut status);
 
+    // Progress/ETA bookkeeping: trials already covered by resumed
+    // checkpoints are excluded from the throughput estimate, so the ETA
+    // reflects what this run actually executes.
+    let resumed_trials: usize = slots
+        .iter()
+        .filter(|s| s.state == ShardState::Done)
+        .map(|s| s.job.shard.num_jobs())
+        .sum();
+    let mut done_trials = resumed_trials;
+    emit_progress(&mut status, done_trials, num_jobs, resumed_trials);
+    let mut last_progress = Instant::now();
+
     let max_concurrent = config.max_concurrent.max(1);
     let mut inflight: Vec<Inflight> = Vec::new();
 
@@ -727,6 +777,7 @@ pub fn orchestrate(
                         stats.duplicate_results += 1;
                         telemetry::add_count("orchestrate.duplicates_discarded", 1);
                         let _ = std::fs::remove_file(&attempt.out_path);
+                        let _ = std::fs::remove_file(metrics_sidecar_path(&attempt.out_path));
                         status.emit(
                             "duplicate_discarded",
                             vec![
@@ -751,9 +802,22 @@ pub fn orchestrate(
                                     ))
                                 },
                             )?;
+                            // A process worker leaves a telemetry sidecar
+                            // next to its attempt output; it follows the
+                            // checkpoint (thread/mock launchers write
+                            // none, so a missing sidecar is not an error
+                            // here — only metrics collection cares).
+                            let attempt_sidecar = metrics_sidecar_path(&attempt.out_path);
+                            if attempt_sidecar.exists() {
+                                let _ = std::fs::rename(
+                                    &attempt_sidecar,
+                                    metrics_sidecar_path(&slot.checkpoint_path),
+                                );
+                            }
                             slot.partial = Some(partial);
                             slot.state = ShardState::Done;
                             done += 1;
+                            done_trials += slot.job.shard.num_jobs();
                             telemetry::add_count("orchestrate.shards_done", 1);
                             status.emit(
                                 "shard_done",
@@ -788,6 +852,7 @@ pub fn orchestrate(
                                     );
                                 }
                                 let _ = std::fs::remove_file(&dup.out_path);
+                                let _ = std::fs::remove_file(metrics_sidecar_path(&dup.out_path));
                             }
                             report_completed_cells(
                                 spec,
@@ -796,6 +861,8 @@ pub fn orchestrate(
                                 &mut reported_cells,
                                 &mut status,
                             );
+                            emit_progress(&mut status, done_trials, num_jobs, resumed_trials);
+                            last_progress = Instant::now();
                             None
                         }
                         // The worker exited 0 but its partial is missing
@@ -806,6 +873,7 @@ pub fn orchestrate(
             };
             if let Some(message) = failure {
                 let _ = std::fs::remove_file(&attempt.out_path);
+                let _ = std::fs::remove_file(metrics_sidecar_path(&attempt.out_path));
                 let slot = &mut slots[attempt.shard_index];
                 if slot.state == ShardState::Done {
                     continue; // a killed duplicate being reaped
@@ -955,6 +1023,13 @@ pub fn orchestrate(
             progressed = true;
         }
 
+        // Heartbeat: long-running shards would otherwise leave the
+        // manifest silent between completions.
+        if last_progress.elapsed() >= config.progress_interval {
+            emit_progress(&mut status, done_trials, num_jobs, resumed_trials);
+            last_progress = Instant::now();
+        }
+
         if !progressed {
             std::thread::sleep(config.poll_interval);
         }
@@ -965,6 +1040,12 @@ pub fn orchestrate(
         .map(|s| s.partial.clone().expect("all shards done"))
         .collect();
     let report = merge_shards(&partials)?;
+    let wall_s = status.start.elapsed().as_secs_f64();
+    let trials_per_s = if wall_s > 0.0 {
+        num_jobs as f64 / wall_s
+    } else {
+        0.0
+    };
     status.emit(
         "run_complete",
         vec![
@@ -975,9 +1056,37 @@ pub fn orchestrate(
             ("retries", u64_to_json(stats.retries as u64)),
             ("reissues", u64_to_json(stats.reissues as u64)),
             ("duplicates", u64_to_json(stats.duplicate_results as u64)),
+            ("wall_s", JsonValue::number(wall_s)),
+            ("trials_total", u64_to_json(num_jobs as u64)),
+            ("trials_per_s", JsonValue::number(trials_per_s)),
         ],
     );
     Ok(OrchestratorRun { report, stats })
+}
+
+/// Emits one `progress` event: slots done over the total, plus
+/// throughput and ETA once this run has completed slots of its own
+/// (resumed checkpoints land instantly and would inflate the estimate,
+/// so they count toward `done` but not toward the rate).
+fn emit_progress(
+    status: &mut EventLog<'_>,
+    done_trials: usize,
+    total_trials: usize,
+    resumed: usize,
+) {
+    let elapsed = status.start.elapsed().as_secs_f64();
+    let fresh = done_trials.saturating_sub(resumed);
+    let mut fields = vec![
+        ("done", u64_to_json(done_trials as u64)),
+        ("total", u64_to_json(total_trials as u64)),
+    ];
+    if fresh > 0 && elapsed > 0.0 {
+        let rate = fresh as f64 / elapsed;
+        fields.push(("trials_per_s", JsonValue::number(rate)));
+        let remaining = total_trials.saturating_sub(done_trials);
+        fields.push(("eta_s", JsonValue::number(remaining as f64 / rate)));
+    }
+    status.emit("progress", fields);
 }
 
 /// Streams the interim aggregate for every cell that has just become

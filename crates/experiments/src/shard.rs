@@ -140,6 +140,20 @@ pub fn shard_archive_file_name(spec_name: &str, shard: &ShardRange) -> String {
     )
 }
 
+/// Path of the telemetry sidecar a worker writes next to a partial
+/// archive: the partial's path with `.json` replaced by `.metrics.json`.
+/// Derived from the *output* path, so an attempt-unique partial gets an
+/// attempt-unique sidecar, and the orchestrator can rename the two
+/// together when a checkpoint is accepted.
+pub fn metrics_sidecar_path(partial_path: &Path) -> std::path::PathBuf {
+    let name = partial_path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let stem = name.strip_suffix(".json").unwrap_or(&name);
+    partial_path.with_file_name(format!("{stem}.metrics.json"))
+}
+
 /// Everything a worker needs to run one shard: the full spec plus the
 /// shard's slot range.  Serialisable, so the job can be shipped to another
 /// process or machine as a small JSON file.

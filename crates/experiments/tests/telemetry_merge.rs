@@ -1,0 +1,175 @@
+//! Property tests of the fleet-telemetry merge: for fuzzed snapshot
+//! contents, [`Snapshot::merge`] is commutative and associative (so a
+//! fleet document is independent of worker arrival order), preserves
+//! total span counts / durations / histogram mass / counter sums, and
+//! the merged document survives a `metrics_json` → `parse_metrics`
+//! round trip unchanged.
+
+use ivc_core::telemetry::{bucket_index, Snapshot, SpanStat, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+const SPAN_NAMES: &[&str] = &[
+    "stage.prepare",
+    "stage.perturb",
+    "stage.evaluate",
+    "prepare.convolution",
+];
+const COUNTER_NAMES: &[&str] = &[
+    "executor.trials_completed",
+    "executor.cells_prepared",
+    "rng.draws",
+];
+
+/// Deterministically expand fuzz words into a snapshot: each word
+/// contributes either one span duration or one counter increment, plus a
+/// trace event (merging must clear those).  Only shapes the collector
+/// itself can produce are generated — span names never carry zero
+/// counts, and histograms always match their counts.
+fn build_snapshot(label: &str, words: &[u64]) -> Snapshot {
+    let mut spans: Vec<(String, SpanStat)> = Vec::new();
+    let mut counters: Vec<(String, u64)> = Vec::new();
+    let mut events = Vec::new();
+    for &w in words {
+        if w % 3 < 2 {
+            let name = SPAN_NAMES[(w >> 2) as usize % SPAN_NAMES.len()];
+            let ns = (w >> 8) % 10_000_000_000 + 1;
+            let stat = match spans.iter_mut().find(|(k, _)| k == name) {
+                Some((_, stat)) => stat,
+                None => {
+                    spans.push((
+                        name.to_string(),
+                        SpanStat {
+                            count: 0,
+                            total_ns: 0,
+                            min_ns: u64::MAX,
+                            max_ns: 0,
+                            buckets: [0; HISTOGRAM_BUCKETS],
+                        },
+                    ));
+                    &mut spans.last_mut().expect("just pushed").1
+                }
+            };
+            stat.count += 1;
+            stat.total_ns += ns;
+            stat.min_ns = stat.min_ns.min(ns);
+            stat.max_ns = stat.max_ns.max(ns);
+            stat.buckets[bucket_index(ns)] += 1;
+            events.push((name.to_string(), w % 4, w % 1_000, w % 500 + 1));
+        } else {
+            let name = COUNTER_NAMES[(w >> 2) as usize % COUNTER_NAMES.len()];
+            let add = (w >> 8) % 1_000_000;
+            match counters.iter_mut().find(|(k, _)| k == name) {
+                Some((_, v)) => *v += add,
+                None => counters.push((name.to_string(), add)),
+            }
+        }
+    }
+    spans.sort_by(|a, b| a.0.cmp(&b.0));
+    counters.sort_by(|a, b| a.0.cmp(&b.0));
+    Snapshot {
+        spans,
+        counters,
+        events,
+        dropped_events: words.len() as u64 % 3,
+        sources: Vec::new(),
+    }
+    .with_source(label)
+}
+
+fn merged(x: &Snapshot, y: &Snapshot) -> Snapshot {
+    let mut m = x.clone();
+    m.merge(y);
+    m
+}
+
+fn span_count(s: &Snapshot) -> u64 {
+    s.spans.iter().map(|(_, stat)| stat.count).sum()
+}
+
+fn histogram_mass(s: &Snapshot) -> u64 {
+    s.spans
+        .iter()
+        .map(|(_, stat)| stat.buckets.iter().sum::<u64>())
+        .sum()
+}
+
+fn total_ns(s: &Snapshot) -> u64 {
+    s.spans.iter().map(|(_, stat)| stat.total_ns).sum()
+}
+
+fn counter_sum(s: &Snapshot) -> u64 {
+    s.counters.iter().map(|(_, v)| *v).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_is_commutative(
+        a_words in prop::collection::vec(0u64..u64::MAX, 1..24),
+        b_words in prop::collection::vec(0u64..u64::MAX, 1..24),
+    ) {
+        let a = build_snapshot("worker-a", &a_words);
+        let b = build_snapshot("worker-b", &b_words);
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a_words in prop::collection::vec(0u64..u64::MAX, 1..24),
+        b_words in prop::collection::vec(0u64..u64::MAX, 1..24),
+        c_words in prop::collection::vec(0u64..u64::MAX, 1..24),
+    ) {
+        let a = build_snapshot("worker-a", &a_words);
+        let b = build_snapshot("worker-b", &b_words);
+        let c = build_snapshot("worker-c", &c_words);
+        prop_assert_eq!(
+            merged(&merged(&a, &b), &c),
+            merged(&a, &merged(&b, &c))
+        );
+    }
+
+    #[test]
+    fn merge_preserves_counts_mass_and_sums(
+        a_words in prop::collection::vec(0u64..u64::MAX, 1..24),
+        b_words in prop::collection::vec(0u64..u64::MAX, 1..24),
+    ) {
+        let a = build_snapshot("worker-a", &a_words);
+        let b = build_snapshot("worker-b", &b_words);
+        let m = merged(&a, &b);
+        prop_assert_eq!(span_count(&m), span_count(&a) + span_count(&b));
+        prop_assert_eq!(histogram_mass(&m), histogram_mass(&a) + histogram_mass(&b));
+        prop_assert_eq!(total_ns(&m), total_ns(&a) + total_ns(&b));
+        prop_assert_eq!(counter_sum(&m), counter_sum(&a) + counter_sum(&b));
+        prop_assert_eq!(m.dropped_events, a.dropped_events + b.dropped_events);
+        // Each merged aggregate keeps its internal invariant: histogram
+        // mass equals the span count, and min/max bound the mean.
+        for (name, stat) in &m.spans {
+            prop_assert!(
+                stat.buckets.iter().sum::<u64>() == stat.count,
+                "histogram mass of '{}' drifted from its count",
+                name
+            );
+            prop_assert!(stat.min_ns <= stat.max_ns, "span '{}' has min > max", name);
+        }
+        // Provenance accounts for every span: the per-source contribution
+        // counts sum to the fleet's span count.
+        prop_assert_eq!(m.sources.iter().map(|(_, n)| *n).sum::<u64>(), span_count(&m));
+        // Trace events are process-local and must not survive a merge.
+        prop_assert!(m.events.is_empty());
+    }
+
+    #[test]
+    fn fleet_documents_round_trip(
+        a_words in prop::collection::vec(0u64..u64::MAX, 1..24),
+        b_words in prop::collection::vec(0u64..u64::MAX, 1..24),
+    ) {
+        let a = build_snapshot("worker-a", &a_words);
+        let b = build_snapshot("worker-b", &b_words);
+        let m = merged(&a, &b);
+        let text = m.metrics_json(1.25).to_json_string_pretty();
+        let parsed = Snapshot::parse_metrics(&text)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(parsed, m);
+    }
+}

@@ -90,6 +90,75 @@ fn thread_orchestration_reproduces_the_in_process_bytes() {
 }
 
 #[test]
+fn manifest_progress_stream_is_monotone_and_ends_complete() {
+    let spec = tiny_spec();
+    let scratch = test_scratch("progress");
+    let mut launcher = ThreadLauncher::new(2);
+    let mut status = Vec::new();
+    orchestrate(
+        &spec,
+        &OrchestratorConfig::new(2),
+        &scratch,
+        &mut launcher,
+        &mut status,
+    )
+    .unwrap();
+    let manifest = std::fs::read_to_string(scratch.join(manifest_file_name(&spec.name))).unwrap();
+    let events: Vec<JsonValue> = manifest
+        .lines()
+        .map(|line| JsonValue::parse(line).unwrap())
+        .collect();
+    fn kind(e: &JsonValue) -> Option<&str> {
+        e.get("kind").and_then(JsonValue::as_str)
+    }
+    fn u64_field(e: &JsonValue, name: &str) -> u64 {
+        e.get(name).and_then(JsonValue::as_u64).unwrap()
+    }
+    // The progress stream: present, monotone in trials done, constant in
+    // total, and finishing at done == total before run_complete closes
+    // the manifest.
+    let progress: Vec<&JsonValue> = events
+        .iter()
+        .filter(|e| kind(e) == Some("progress"))
+        .collect();
+    assert!(!progress.is_empty(), "no progress events in the manifest");
+    let total = spec.num_trials() as u64;
+    let mut last_done = 0;
+    for event in &progress {
+        let done = u64_field(event, "done");
+        assert!(done >= last_done, "progress went backwards: {manifest}");
+        assert!(done <= total);
+        assert_eq!(u64_field(event, "total"), total);
+        last_done = done;
+    }
+    assert_eq!(last_done, total, "progress never reached done == total");
+    // A rate is always paired with an ETA (both derive from the same
+    // fresh-trial throughput).
+    for event in &progress {
+        assert_eq!(
+            event.get("trials_per_s").is_some(),
+            event.get("eta_s").is_some(),
+            "rate and ETA must come together: {manifest}"
+        );
+    }
+    // run_complete closes the manifest and carries the wall/throughput
+    // summary of the whole run.
+    let complete = events.last().unwrap();
+    assert_eq!(kind(complete), Some("run_complete"));
+    assert_eq!(u64_field(complete, "trials_total"), total);
+    assert!(complete.get("wall_s").and_then(JsonValue::as_f64).is_some());
+    assert!(complete
+        .get("trials_per_s")
+        .and_then(JsonValue::as_f64)
+        .is_some());
+    // The rendered stream shows the same progress lines.
+    let text = String::from_utf8(status).unwrap();
+    assert!(text.contains("progress:"), "{text}");
+    assert!(text.contains("trial(s) done"), "{text}");
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
+#[test]
 fn resume_reuses_surviving_checkpoints_and_reproduces_the_bytes() {
     let spec = tiny_spec();
     let baseline = run_campaign(&spec, 2).unwrap().to_json_string();
