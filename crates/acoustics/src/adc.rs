@@ -69,7 +69,7 @@ pub fn digitize(analog_full_scale: &Signal, config: &AdcConfig, seed: u64) -> Re
 
     // Anti-alias low-pass at the output Nyquist (applied at the input rate).
     let filtered = if cutoff < input_rate / 2.0 * 0.98 {
-        let lpf = FirFilter::low_pass(cutoff, input_rate, 255, WindowKind::Blackman)?;
+        let lpf = FirFilter::low_pass_cached(cutoff, input_rate, 255, WindowKind::Blackman)?;
         lpf.filter_signal(analog_full_scale)?
     } else {
         analog_full_scale.clone()

@@ -10,11 +10,29 @@
 
 use crate::adc::{digitize, AdcConfig};
 use crate::error::{AcousticsError, Result};
-use crate::noise::white_noise;
+use crate::noise::add_white_noise;
 use crate::nonlinearity::Polynomial;
-use crate::shaping::{one_pole_low_pass_gain, shape_spectrum};
+use crate::shaping::{one_pole_low_pass_gain, shape_spectrum_into};
 use crate::spl::spl_db_to_pressure;
+use ivc_dsp::complex::Complex;
 use ivc_dsp::signal::Signal;
+
+/// Reusable buffers for [`Microphone::capture_with_scratch`]: the complex
+/// FFT workspace of the front-end shaping stage and the analog-chain work
+/// buffer.  One arena per worker thread removes the per-trial allocations
+/// of the capture path.
+#[derive(Debug, Default)]
+pub struct CaptureScratch {
+    spectrum: Vec<Complex>,
+    work: Vec<f64>,
+}
+
+impl CaptureScratch {
+    /// An empty arena; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        CaptureScratch::default()
+    }
+}
 
 /// Device presets with parameters representative of the paper's targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -155,33 +173,55 @@ impl Microphone {
     /// → normalisation against the acoustic overload point → polynomial
     /// non-linearity → anti-alias filter + resampling + quantisation.
     pub fn capture(&self, pressure_at_port: &Signal, seed: u64) -> Result<Signal> {
+        self.capture_with_scratch(pressure_at_port, seed, &mut CaptureScratch::new())
+    }
+
+    /// [`Microphone::capture`] reusing a caller-owned scratch arena for the
+    /// intermediate buffers (front-end shaping workspace and the analog
+    /// chain), bit-identical to the allocating path.
+    pub fn capture_with_scratch(
+        &self,
+        pressure_at_port: &Signal,
+        seed: u64,
+        scratch: &mut CaptureScratch,
+    ) -> Result<Signal> {
         if pressure_at_port.is_empty() {
             return Err(AcousticsError::invalid("pressure_at_port", "empty signal"));
         }
-        // 1. Acoustic front end.
-        let shaped = shape_spectrum(pressure_at_port, |f| self.front_end_gain(f))?;
+        // 1. Acoustic front end, shaped into the scratch work buffer.
+        let mut work = std::mem::take(&mut scratch.work);
+        shape_spectrum_into(
+            pressure_at_port,
+            |f| self.front_end_gain(f),
+            &mut scratch.spectrum,
+            &mut work,
+        )?;
 
         // 2. Capsule self noise (pressure-equivalent, added before the
         //    non-linearity like the real thermal-acoustic noise is).
         let noise_rms_pa = spl_db_to_pressure(self.self_noise_db_spl);
-        let noise = white_noise(
+        add_white_noise(
+            &mut work,
             noise_rms_pa,
-            shaped.duration_s(),
-            shaped.sample_rate_hz(),
             seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
         )?;
-        let with_noise = shaped.mixed(&noise)?;
 
         // 3. Normalise to full scale at the acoustic overload point.
         let fs_pressure_peak =
             spl_db_to_pressure(self.acoustic_overload_point_db_spl) * std::f64::consts::SQRT_2;
-        let normalised = with_noise.scaled(1.0 / fs_pressure_peak);
+        let gain = 1.0 / fs_pressure_peak;
+        for s in work.iter_mut() {
+            *s *= gain;
+        }
 
         // 4. Transducer/amplifier non-linearity (memoryless).
-        let distorted = self.nonlinearity.apply(&normalised);
+        self.nonlinearity.apply_in_place(&mut work);
 
         // 5. ADC: anti-alias, resample, quantise.
-        digitize(&distorted, &self.adc, seed)
+        let analog = Signal::new(work, pressure_at_port.sample_rate_hz())?;
+        let digital = digitize(&analog, &self.adc, seed);
+        scratch.work = analog.into_samples();
+        digital
     }
 
     /// The demodulation efficiency of the microphone for an AM ultrasound

@@ -32,6 +32,25 @@ pub fn white_noise(rms: f64, duration_s: f64, sample_rate_hz: f64, seed: u64) ->
     Ok(Signal::new(samples, sample_rate_hz)?)
 }
 
+/// Adds white Gaussian noise with the given RMS directly onto `samples`,
+/// drawing exactly the sequence [`white_noise`] would for the same seed
+/// and length — mixing `white_noise` into a buffer and calling this are
+/// bit-identical, but this variant allocates nothing.
+pub fn add_white_noise(samples: &mut [f64], rms: f64, seed: u64) -> Result<()> {
+    if rms < 0.0 || !rms.is_finite() {
+        return Err(AcousticsError::invalid(
+            "rms",
+            "must be non-negative and finite",
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for slot in samples.iter_mut() {
+        let s: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+        *slot += s * rms;
+    }
+    Ok(())
+}
+
 /// Generates pink-ish noise (−3 dB per octave) by low-pass filtering white
 /// noise with a gentle cascade and re-normalising the RMS.
 pub fn pink_noise(rms: f64, duration_s: f64, sample_rate_hz: f64, seed: u64) -> Result<Signal> {

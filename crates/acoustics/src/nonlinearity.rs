@@ -58,6 +58,14 @@ impl Polynomial {
         input.iter().map(|&s| self.apply_sample(s)).collect()
     }
 
+    /// Applies the transfer function in place (the function is memoryless,
+    /// so in-place application is exact).
+    pub fn apply_in_place(&self, samples: &mut [f64]) {
+        for s in samples.iter_mut() {
+            *s = self.apply_sample(*s);
+        }
+    }
+
     /// Second-order intercept-style figure: the input amplitude at which the
     /// quadratic term equals the linear term.  Larger means more linear.
     pub fn second_order_knee(&self) -> f64 {

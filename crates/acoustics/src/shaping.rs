@@ -19,21 +19,42 @@ pub fn shape_spectrum(input: &Signal, gain_at: impl Fn(f64) -> f64) -> Result<Si
     if input.is_empty() {
         return Ok(input.clone());
     }
+    let mut spectrum = Vec::new();
+    let mut out = Vec::new();
+    shape_spectrum_into(input, gain_at, &mut spectrum, &mut out)?;
+    Ok(Signal::new(out, input.sample_rate_hz())?)
+}
+
+/// [`shape_spectrum`] writing into caller-owned buffers: `spectrum` is the
+/// complex FFT workspace and `out` receives the shaped samples (both are
+/// cleared and resized).  Hot paths reuse the allocations across calls.
+pub fn shape_spectrum_into(
+    input: &Signal,
+    gain_at: impl Fn(f64) -> f64,
+    spectrum: &mut Vec<Complex>,
+    out: &mut Vec<f64>,
+) -> Result<()> {
+    if input.is_empty() {
+        out.clear();
+        return Ok(());
+    }
     let fs = input.sample_rate_hz();
     let n = next_power_of_two(input.len());
-    let mut buffer = vec![Complex::ZERO; n];
-    for (slot, &x) in buffer.iter_mut().zip(input.samples().iter()) {
+    spectrum.clear();
+    spectrum.resize(n, Complex::ZERO);
+    for (slot, &x) in spectrum.iter_mut().zip(input.samples().iter()) {
         *slot = Complex::from_real(x);
     }
-    fft_in_place(&mut buffer, false)?;
-    for (k, value) in buffer.iter_mut().enumerate() {
+    fft_in_place(spectrum, false)?;
+    for (k, value) in spectrum.iter_mut().enumerate() {
         let f = bin_frequency(k, n, fs).abs();
         let g = gain_at(f).max(0.0);
         *value = value.scale(g);
     }
-    fft_in_place(&mut buffer, true)?;
-    let samples: Vec<f64> = buffer.into_iter().take(input.len()).map(|c| c.re).collect();
-    Ok(Signal::new(samples, fs)?)
+    fft_in_place(spectrum, true)?;
+    out.clear();
+    out.extend(spectrum.iter().take(input.len()).map(|c| c.re));
+    Ok(())
 }
 
 /// First-order low-pass magnitude response with corner `corner_hz`.

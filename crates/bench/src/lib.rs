@@ -820,6 +820,7 @@ const PROFILE_ROWS: &[(&str, &[&str])] = &[
             "prepare.attack_build",
             "prepare.rir_build",
             "prepare.convolution",
+            "prepare.leakage",
         ],
     ),
     (
@@ -959,6 +960,23 @@ fn attribution_report(
         stage_total_s += row((*top).to_string(), top);
         for sub in *subs {
             row(format!("  {sub}"), sub);
+        }
+    }
+    // Prepare-cache effectiveness: hit/miss/eviction counters plus the
+    // per-product reuse counts.  Counters carry no duration, so they
+    // render count-only rows and never perturb the time attribution.
+    for (name, value) in snapshot.counters.iter() {
+        if name.starts_with("executor.prepare_cache") || name.ends_with("_reused") {
+            table.push_row(vec![
+                format!("counter:{name}"),
+                value.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
         }
     }
     ProfileReport {
@@ -1103,6 +1121,11 @@ pub fn bench_diff(old_text: &str, new_text: &str, max_regress_pct: f64) -> Resul
                         max_regress_pct
                     ));
                     "REGRESSED"
+                } else if pct < -max_regress_pct {
+                    // Improvements past the gate threshold get their own
+                    // annotation so perf wins are visible in CI logs, not
+                    // just the absence of a failure.
+                    "IMPROVED"
                 } else {
                     "ok"
                 };

@@ -506,6 +506,10 @@ fn profile_prints_stage_attribution_covering_the_wall_clock() {
         "stage.prepare",
         "stage.perturb",
         "stage.evaluate",
+        // The smoke grid shares utterances and attack builds across
+        // cells, so the prepare cache reports both hits and misses.
+        "counter:executor.prepare_cache_hit",
+        "counter:executor.prepare_cache_miss",
         "stages account for",
     ] {
         assert!(stdout.contains(needle), "missing '{needle}':\n{stdout}");

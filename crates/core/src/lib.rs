@@ -34,6 +34,7 @@
 
 pub mod json;
 pub mod pipeline;
+pub mod prepare_cache;
 pub mod results;
 pub mod scenario;
 pub mod stages;
@@ -43,7 +44,7 @@ pub use json::JsonValue;
 pub use pipeline::{run_trial, TrialOutcome};
 pub use results::{Series, Table};
 pub use scenario::{Delivery, Scenario};
-pub use stages::{PrepareContext, PreparedCell};
+pub use stages::{PrepareContext, PreparedCell, TrialScratch};
 
 /// Convenience error alias: the pipeline surfaces whichever layer failed.
 pub type Error = Box<dyn std::error::Error + Send + Sync>;

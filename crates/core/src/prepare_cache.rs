@@ -1,0 +1,484 @@
+//! Content-addressed reuse of Prepare-stage sub-products.
+//!
+//! Adjacent cells of a campaign differ in one axis, yet a naive Prepare
+//! rebuilds everything: the TTS render, the attack build (modulation,
+//! power allocation, the array's emitted near field), the room instance
+//! and both propagation runs.  Each of those is a pure function of a
+//! *sub-tuple* of the cell's axes — an utterance render depends only on
+//! `(command, talker)`, an attack build on `(command, delivery,
+//! suppression, cap, baseband)`, a propagation on its source, geometry
+//! and environment.  This module hashes those sub-tuples into string keys
+//! (range-vector-hashing style: the key *is* the deterministic render of
+//! the determining inputs) and memoises the products process-wide, so a
+//! sweep along one axis re-derives only what that axis determines.
+//!
+//! Soundness leans on the purity contract from the staged pipeline: a
+//! trial is a pure function of `(spec, cell, seed)`, so equal keys imply
+//! bit-identical products and archives stay `cmp`-identical with the
+//! cache on or off, at any worker or shard count.  Keys render floats
+//! with `{:?}` (shortest round-trip representation), so distinct inputs
+//! always produce distinct keys.
+//!
+//! Memory is bounded: entries are evicted least-recently-used by byte
+//! estimate once the cache exceeds its capacity (default 512 MiB,
+//! `IVC_PREPARE_CACHE_MB` overrides).  `IVC_PREPARE_CACHE=off` (or `0`)
+//! disables the cache entirely; [`set_enabled`] does the same from code
+//! (the byte-identity suite runs both ways and compares archives).
+//!
+//! Telemetry: every lookup increments `executor.prepare_cache_hit` or
+//! `executor.prepare_cache_miss`, and hits additionally count the
+//! per-product `prepare.*_reused` counter, so `repro profile` shows
+//! cache effectiveness per run.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::scenario::Scenario;
+use crate::telemetry;
+use crate::Result;
+use ivc_attack::baseband::BasebandConfig;
+use ivc_attack::leakage::LeakageReport;
+use ivc_dsp::signal::Signal;
+use ivc_room::RoomInstance;
+use ivc_speech::cache::TalkerKey;
+use ivc_speech::commands::VoiceCommand;
+use ivc_speech::synthesis::Utterance;
+
+/// Default capacity: generous for workstation campaigns, far below the
+/// size at which an orchestrator shard would notice.
+const DEFAULT_CAPACITY_BYTES: usize = 512 * 1024 * 1024;
+
+/// The speaker-side products of one attack build, cached as a unit: the
+/// emitted near field referenced to 1 m, the array aperture and the
+/// electrical budget the allocation could not place.
+#[derive(Debug, Clone)]
+pub struct AttackBuild {
+    /// Superposed element emissions at the 1 m reference.
+    pub near_field_at_1m: Signal,
+    /// Physical aperture of the emitting array, in metres.
+    pub aperture_m: f64,
+    /// Unplaced electrical budget, in watts.
+    pub power_shortfall_w: f64,
+}
+
+/// Which Prepare sub-product a cache entry holds (drives the
+/// `prepare.*_reused` telemetry counter names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProductKind {
+    /// A full TTS render for one `(command, talker)`.
+    Utterance,
+    /// An [`AttackBuild`].
+    AttackBuild,
+    /// A [`RoomInstance`] (geometry + materials for one room sub-tuple).
+    Rir,
+    /// A propagated pressure waveform at the device port.
+    Propagation,
+    /// A bystander [`LeakageReport`].
+    Leakage,
+}
+
+impl ProductKind {
+    fn reused_counter(self) -> &'static str {
+        match self {
+            ProductKind::Utterance => "prepare.utterance_reused",
+            ProductKind::AttackBuild => "prepare.attack_build_reused",
+            ProductKind::Rir => "prepare.rir_reused",
+            ProductKind::Propagation => "prepare.propagation_reused",
+            ProductKind::Leakage => "prepare.leakage_reused",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum Product {
+    Utterance(Arc<Utterance>),
+    Signal(Arc<Signal>),
+    Attack(Arc<AttackBuild>),
+    Room(Arc<RoomInstance>),
+    Leakage(Arc<LeakageReport>),
+}
+
+/// Types the cache can hold. Sealed to this crate: the set of products is
+/// exactly the Prepare stage's sub-products.
+pub(crate) trait Cacheable: Sized {
+    fn wrap(value: &Arc<Self>) -> Product;
+    fn unwrap(product: &Product) -> Option<Arc<Self>>;
+    fn byte_estimate(&self) -> usize;
+}
+
+impl Cacheable for Utterance {
+    fn wrap(value: &Arc<Self>) -> Product {
+        Product::Utterance(Arc::clone(value))
+    }
+    fn unwrap(product: &Product) -> Option<Arc<Self>> {
+        match product {
+            Product::Utterance(u) => Some(Arc::clone(u)),
+            _ => None,
+        }
+    }
+    fn byte_estimate(&self) -> usize {
+        self.signal.len() * 8 + self.word_boundaries.len() * 32 + self.text.len() + 128
+    }
+}
+
+impl Cacheable for Signal {
+    fn wrap(value: &Arc<Self>) -> Product {
+        Product::Signal(Arc::clone(value))
+    }
+    fn unwrap(product: &Product) -> Option<Arc<Self>> {
+        match product {
+            Product::Signal(s) => Some(Arc::clone(s)),
+            _ => None,
+        }
+    }
+    fn byte_estimate(&self) -> usize {
+        self.len() * 8 + 64
+    }
+}
+
+impl Cacheable for AttackBuild {
+    fn wrap(value: &Arc<Self>) -> Product {
+        Product::Attack(Arc::clone(value))
+    }
+    fn unwrap(product: &Product) -> Option<Arc<Self>> {
+        match product {
+            Product::Attack(a) => Some(Arc::clone(a)),
+            _ => None,
+        }
+    }
+    fn byte_estimate(&self) -> usize {
+        self.near_field_at_1m.len() * 8 + 128
+    }
+}
+
+impl Cacheable for RoomInstance {
+    fn wrap(value: &Arc<Self>) -> Product {
+        Product::Room(Arc::clone(value))
+    }
+    fn unwrap(product: &Product) -> Option<Arc<Self>> {
+        match product {
+            Product::Room(r) => Some(Arc::clone(r)),
+            _ => None,
+        }
+    }
+    fn byte_estimate(&self) -> usize {
+        self.occluders.len() * 128 + 512
+    }
+}
+
+impl Cacheable for LeakageReport {
+    fn wrap(value: &Arc<Self>) -> Product {
+        Product::Leakage(Arc::clone(value))
+    }
+    fn unwrap(product: &Product) -> Option<Arc<Self>> {
+        match product {
+            Product::Leakage(l) => Some(Arc::clone(l)),
+            _ => None,
+        }
+    }
+    fn byte_estimate(&self) -> usize {
+        512
+    }
+}
+
+struct Entry {
+    product: Product,
+    bytes: usize,
+    tick: u64,
+}
+
+#[derive(Default)]
+struct CacheState {
+    entries: HashMap<String, Entry>,
+    total_bytes: usize,
+    tick: u64,
+}
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static EVICTIONS: AtomicU64 = AtomicU64::new(0);
+
+fn state() -> &'static Mutex<CacheState> {
+    static STATE: OnceLock<Mutex<CacheState>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(CacheState::default()))
+}
+
+fn enabled_flag() -> &'static AtomicBool {
+    static ENABLED: OnceLock<AtomicBool> = OnceLock::new();
+    ENABLED.get_or_init(|| {
+        let on = !matches!(
+            std::env::var("IVC_PREPARE_CACHE").as_deref(),
+            Ok("0") | Ok("off") | Ok("false")
+        );
+        AtomicBool::new(on)
+    })
+}
+
+fn capacity_bytes() -> usize {
+    static CAPACITY: OnceLock<usize> = OnceLock::new();
+    *CAPACITY.get_or_init(|| {
+        std::env::var("IVC_PREPARE_CACHE_MB")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|mb| mb.saturating_mul(1024 * 1024))
+            .unwrap_or(DEFAULT_CAPACITY_BYTES)
+            .max(1024 * 1024)
+    })
+}
+
+/// `true` when Prepare sub-products are being reused.
+pub fn is_enabled() -> bool {
+    enabled_flag().load(Ordering::Relaxed)
+}
+
+/// Turns reuse on or off process-wide. Results never change — only
+/// whether they are recomputed — so this is safe at any point; the
+/// byte-identity suite toggles it between otherwise identical campaigns.
+pub fn set_enabled(enabled: bool) {
+    enabled_flag().store(enabled, Ordering::Relaxed);
+}
+
+/// Drops every cached product (counters are monotonic and unaffected).
+pub fn clear() {
+    let mut guard = state().lock().expect("prepare cache poisoned");
+    guard.entries.clear();
+    guard.total_bytes = 0;
+}
+
+/// A point-in-time view of the cache's effectiveness and footprint.
+/// `hits`/`misses`/`evictions` are monotonic over the process lifetime,
+/// so concurrent tests can assert on deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache since process start.
+    pub hits: u64,
+    /// Lookups that had to build since process start.
+    pub misses: u64,
+    /// Entries dropped by the LRU bound since process start.
+    pub evictions: u64,
+    /// Live entries right now.
+    pub entries: usize,
+    /// Estimated bytes held right now.
+    pub bytes: usize,
+}
+
+/// Current cache statistics.
+pub fn stats() -> CacheStats {
+    let guard = state().lock().expect("prepare cache poisoned");
+    CacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        evictions: EVICTIONS.load(Ordering::Relaxed),
+        entries: guard.entries.len(),
+        bytes: guard.total_bytes,
+    }
+}
+
+fn evict_if_needed(state: &mut CacheState) {
+    let cap = capacity_bytes();
+    // The entry just inserted carries the highest tick, so the `> 1`
+    // guard keeps it even when it alone exceeds the bound.
+    while state.total_bytes > cap && state.entries.len() > 1 {
+        let victim = state
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.tick)
+            .map(|(k, _)| k.clone());
+        let Some(key) = victim else { break };
+        if let Some(entry) = state.entries.remove(&key) {
+            state.total_bytes -= entry.bytes;
+            EVICTIONS.fetch_add(1, Ordering::Relaxed);
+            telemetry::add_count("executor.prepare_cache_evicted", 1);
+        }
+    }
+}
+
+/// Looks `key` up; on a miss, runs `build`, stores the product and
+/// returns it. Builds run outside the lock and the first insert wins, so
+/// racing workers converge on one shared `Arc`.
+pub(crate) fn get_or_build<T: Cacheable>(
+    kind: ProductKind,
+    key: &str,
+    build: impl FnOnce() -> Result<T>,
+) -> Result<Arc<T>> {
+    if !is_enabled() {
+        return Ok(Arc::new(build()?));
+    }
+    {
+        let mut guard = state().lock().expect("prepare cache poisoned");
+        guard.tick += 1;
+        let tick = guard.tick;
+        if let Some(entry) = guard.entries.get_mut(key) {
+            if let Some(value) = T::unwrap(&entry.product) {
+                entry.tick = tick;
+                drop(guard);
+                HITS.fetch_add(1, Ordering::Relaxed);
+                telemetry::add_count("executor.prepare_cache_hit", 1);
+                telemetry::add_count(kind.reused_counter(), 1);
+                return Ok(value);
+            }
+        }
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    telemetry::add_count("executor.prepare_cache_miss", 1);
+    let value = Arc::new(build()?);
+    let bytes = value.byte_estimate();
+    let mut guard = state().lock().expect("prepare cache poisoned");
+    guard.tick += 1;
+    let tick = guard.tick;
+    if let Some(existing) = guard.entries.get(key).and_then(|e| T::unwrap(&e.product)) {
+        // A racing worker inserted first; keep its Arc so every caller
+        // shares one copy (the products are bit-identical by purity).
+        return Ok(existing);
+    }
+    guard.entries.insert(
+        key.to_string(),
+        Entry {
+            product: T::wrap(&value),
+            bytes,
+            tick,
+        },
+    );
+    guard.total_bytes += bytes;
+    evict_if_needed(&mut guard);
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Key derivation. Public so the key-collision property tests can fuzz the
+// exact functions production uses. Every function renders precisely the
+// sub-tuple of inputs its product depends on — nothing more (reuse across
+// the other axes), nothing less (no cross-scenario collisions).
+// ---------------------------------------------------------------------------
+
+/// Key of a full TTS render: `(command, talker, synthesis rate)`.
+pub fn utterance_key(command: &VoiceCommand, talker: &TalkerKey, sample_rate_hz: f64) -> String {
+    format!(
+        "utt|c{:?}|{}|{talker:?}|fs={sample_rate_hz:?}",
+        command.id, command.text
+    )
+}
+
+/// Key of an attack build: the command and cap that shape the baseband,
+/// the suppression that pre-compensates it, the delivery that sets
+/// carrier/power/element count, and the modulation configuration.
+/// Distance, device, room and noise do *not* belong here — the emitted
+/// near field is independent of them, which is exactly what lets a
+/// distance sweep reuse one build.
+pub fn attack_build_key(
+    command: &VoiceCommand,
+    scenario: &Scenario,
+    baseband: &BasebandConfig,
+) -> String {
+    format!(
+        "attack|c{:?}|{}|cap={:?}|sup={:?}|{:?}|{baseband:?}",
+        command.id,
+        command.text,
+        scenario.max_voice_duration_s,
+        scenario.shadow_suppression,
+        scenario.delivery,
+    )
+}
+
+/// Key of a legitimate talker's 1 m-referenced source: `(command,
+/// variant, cap, talker level)`.
+pub fn legitimate_source_key(
+    command: &VoiceCommand,
+    variant: usize,
+    cap_s: f64,
+    talker_spl_db: f64,
+) -> String {
+    format!(
+        "legit|c{:?}|{}|v{variant}|cap={cap_s:?}|spl={talker_spl_db:?}",
+        command.id, command.text
+    )
+}
+
+/// Key of a room instantiation: `(preset, target distance, bystander
+/// distance)` — the geometry sub-tuple.
+pub fn room_key(
+    preset: ivc_room::RoomPreset,
+    distance_m: f64,
+    bystander_distance_m: f64,
+) -> String {
+    format!("room|{preset:?}|d={distance_m:?}|b={bystander_distance_m:?}")
+}
+
+fn room_part(scenario: &Scenario) -> String {
+    match scenario.room {
+        None => "free".to_string(),
+        Some(preset) => room_key(preset, scenario.distance_m, scenario.bystander_distance_m),
+    }
+}
+
+/// Key of the propagation from a source (identified by its own key) to
+/// the device port: source, aperture, distance, room geometry, air.
+pub fn target_propagation_key(source_key: &str, aperture_m: f64, scenario: &Scenario) -> String {
+    format!(
+        "prop|{source_key}|ap={aperture_m:?}|d={:?}|{}|env={:?}",
+        scenario.distance_m,
+        room_part(scenario),
+        scenario.env,
+    )
+}
+
+/// Key of the bystander propagation + leakage analysis: source, bystander
+/// distance, room geometry, air.
+pub fn leakage_key(source_key: &str, scenario: &Scenario) -> String {
+    format!(
+        "leak|{source_key}|b={:?}|{}|env={:?}",
+        scenario.bystander_distance_m,
+        room_part(scenario),
+        scenario.env,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_eviction_respects_the_byte_bound() {
+        // Capacity is process-wide (env-configured); exercise the eviction
+        // helper directly so the test is independent of the environment.
+        let mut state = CacheState::default();
+        for i in 0..4 {
+            state.tick += 1;
+            let tick = state.tick;
+            state.entries.insert(
+                format!("k{i}"),
+                Entry {
+                    product: Product::Signal(Arc::new(
+                        Signal::new(vec![0.0], 48_000.0).expect("valid signal"),
+                    )),
+                    bytes: capacity_bytes() / 2,
+                    tick,
+                },
+            );
+            state.total_bytes += capacity_bytes() / 2;
+        }
+        evict_if_needed(&mut state);
+        assert!(state.total_bytes <= capacity_bytes());
+        // The newest entry always survives.
+        assert!(state.entries.contains_key("k3"));
+    }
+
+    #[test]
+    fn keys_render_the_determining_sub_tuple_only() {
+        let command = ivc_speech::commands::corpus()[0].clone();
+        let a = Scenario::default_attack();
+        let mut farther = a.clone();
+        farther.distance_m += 1.0;
+        // Distance is not an attack-build axis: builds are shared.
+        assert_eq!(
+            attack_build_key(&command, &a, &BasebandConfig::default()),
+            attack_build_key(&command, &farther, &BasebandConfig::default()),
+        );
+        // But it is a propagation axis: propagations are not.
+        assert_ne!(
+            target_propagation_key("src", 0.1, &a),
+            target_propagation_key("src", 0.1, &farther),
+        );
+    }
+}

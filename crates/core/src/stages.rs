@@ -28,12 +28,12 @@
 //! worker count.
 
 use crate::pipeline::TrialOutcome;
+use crate::prepare_cache::{self, AttackBuild, ProductKind};
 use crate::scenario::{Delivery, Scenario};
 use crate::telemetry;
 use crate::Result;
-use ivc_acoustics::array::{ElementDrive, SpeakerArray};
-use ivc_acoustics::environment::AirEnvironment;
-use ivc_acoustics::microphone::Microphone;
+use ivc_acoustics::array::SpeakerArray;
+use ivc_acoustics::microphone::{CaptureScratch, Microphone};
 use ivc_acoustics::noise::room_noise_pa;
 use ivc_acoustics::propagation::{propagate, propagate_from_aperture};
 use ivc_acoustics::speaker::UltrasonicSpeaker;
@@ -47,10 +47,11 @@ use ivc_defense::countermeasures::precompensated_baseband;
 use ivc_defense::features::DefenseFeatures;
 use ivc_dsp::signal::Signal;
 use ivc_room::{propagate_in_room, RoomInstance};
-use ivc_speech::cache::{TalkerKey, UtteranceCache};
+use ivc_speech::cache::TalkerKey;
 use ivc_speech::commands::VoiceCommand;
 use ivc_speech::recognizer::Recognizer;
 use ivc_speech::synthesis::Synthesizer;
+use std::sync::Arc;
 
 /// Number of deterministic talker variants legitimate deliveries cycle
 /// through: trial seed `s` speaks with variant `s % 8`.
@@ -62,38 +63,39 @@ pub fn talker_variant(seed: u64) -> usize {
     seed as usize % NUM_TALKER_VARIANTS
 }
 
-/// Shared, cell-independent preparation state: the synthesiser, the
-/// baseband configuration and the utterance cache.
+/// Shared, cell-independent preparation state: the synthesiser and the
+/// baseband configuration.
 ///
-/// One context serves a whole campaign: utterances are rendered once per
-/// `(command, talker)` and shared across every cell that speaks them.
+/// Utterance renders (and every other Prepare sub-product) are memoised
+/// process-wide in [`crate::prepare_cache`], keyed by the sub-tuple of
+/// axes that determines them, so contexts are cheap to create and a
+/// campaign's cells share work with each other *and* with later
+/// campaigns in the same process.
 #[derive(Debug)]
 pub struct PrepareContext {
     synth: Synthesizer,
     baseband: BasebandConfig,
-    utterances: UtteranceCache,
 }
 
 impl PrepareContext {
-    /// A fresh context with an empty utterance cache.
+    /// A fresh context (sub-product reuse is process-wide, not per
+    /// context).
     pub fn new() -> Result<Self> {
         Ok(PrepareContext {
             synth: Synthesizer::new(48_000.0)?,
             baseband: BasebandConfig::default(),
-            utterances: UtteranceCache::new(),
         })
     }
 
-    /// Number of distinct `(command, talker)` utterances rendered so far.
-    pub fn cached_utterances(&self) -> usize {
-        self.utterances.len()
-    }
-
     /// The (possibly truncated) voice waveform of `command` spoken by
-    /// `talker` — the cached render, clipped to the scenario's cap.
+    /// `talker` — the process-wide cached render, clipped to the
+    /// scenario's cap.
     fn voice(&self, command: &VoiceCommand, talker: TalkerKey, cap_s: f64) -> Result<Signal> {
-        let _span = telemetry::span("prepare.utterance_render");
-        let utterance = self.utterances.rendered(&self.synth, command, talker)?;
+        let key = prepare_cache::utterance_key(command, &talker, self.synth.sample_rate_hz());
+        let utterance = prepare_cache::get_or_build(ProductKind::Utterance, &key, || {
+            let _span = telemetry::span("prepare.utterance_render");
+            Ok(self.synth.render(command, &talker.profile())?)
+        })?;
         Ok(if utterance.signal.duration_s() > cap_s {
             utterance.signal.slice_seconds(0.0, cap_s)
         } else {
@@ -103,13 +105,16 @@ impl PrepareContext {
 }
 
 /// The clean (noise-free) pressure at the device port, per talker path.
+///
+/// Paths are `Arc`-shared with the process-wide Prepare cache: cells that
+/// agree on the propagation sub-tuple hold the same allocation.
 #[derive(Debug, Clone)]
 enum PreparedPaths {
     /// Attack deliveries: the canonical TTS voice — one path.
-    Attack(Signal),
+    Attack(Arc<Signal>),
     /// Legitimate deliveries: one path per prepared talker variant
     /// (`(variant, clean pressure at port)`, sorted by variant).
-    Legitimate(Vec<(usize, Signal)>),
+    Legitimate(Vec<(usize, Arc<Signal>)>),
 }
 
 /// Stage 1 of the trial pipeline: everything invariant across the trials
@@ -153,10 +158,18 @@ impl PreparedCell {
         let room = match scenario.room {
             None => None,
             Some(preset) => {
-                let _span = telemetry::span("prepare.rir_build");
-                Some(preset.instantiate(scenario.distance_m, scenario.bystander_distance_m)?)
+                let key = prepare_cache::room_key(
+                    preset,
+                    scenario.distance_m,
+                    scenario.bystander_distance_m,
+                );
+                Some(prepare_cache::get_or_build(ProductKind::Rir, &key, || {
+                    let _span = telemetry::span("prepare.rir_build");
+                    Ok(preset.instantiate(scenario.distance_m, scenario.bystander_distance_m)?)
+                })?)
             }
         };
+        let room = room.as_deref();
         let cap_s = scenario.max_voice_duration_s;
         let (paths, leakage, power_shortfall_w) = match scenario.delivery {
             Delivery::Legitimate { talker_spl_db } => {
@@ -165,11 +178,22 @@ impl PreparedCell {
                 variants.dedup();
                 let mut prepared = Vec::with_capacity(variants.len());
                 for variant in variants {
-                    let voice = ctx.voice(command, TalkerKey::Variant(variant), cap_s)?;
-                    let rms = voice.rms().max(1e-12);
-                    let pressure_at_1m = voice.scaled(spl_db_to_pressure(talker_spl_db) / rms);
+                    let source_key = prepare_cache::legitimate_source_key(
+                        command,
+                        variant,
+                        cap_s,
+                        talker_spl_db,
+                    );
+                    let prop_key =
+                        prepare_cache::target_propagation_key(&source_key, 0.0, scenario);
                     let at_port =
-                        propagate_to_target(&pressure_at_1m, 0.0, scenario, room.as_ref())?;
+                        prepare_cache::get_or_build(ProductKind::Propagation, &prop_key, || {
+                            let voice = ctx.voice(command, TalkerKey::Variant(variant), cap_s)?;
+                            let rms = voice.rms().max(1e-12);
+                            let pressure_at_1m =
+                                voice.scaled(spl_db_to_pressure(talker_spl_db) / rms);
+                            propagate_to_target(&pressure_at_1m, 0.0, scenario, room)
+                        })?;
                     prepared.push((variant, at_port));
                 }
                 (PreparedPaths::Legitimate(prepared), None, 0.0)
@@ -178,19 +202,28 @@ impl PreparedCell {
                 power_w,
                 carrier_hz,
             } => {
-                let voice = attack_voice(ctx, command, scenario, cap_s)?;
-                let build_span = telemetry::span("prepare.attack_build");
-                let attack = SingleSpeakerAttack::build(&voice, carrier_hz, 0.9, &ctx.baseband)?;
-                let speaker = UltrasonicSpeaker::default();
-                let array = SpeakerArray::new(speaker.clone(), 1, 0.03)?;
-                let placed_w = power_w.min(speaker.max_power_w);
-                let drives = single_speaker_element_drives(&attack, placed_w)?;
-                drop(build_span);
-                let (at_port, leak) = deliver_attack(&array, &drives, scenario, room.as_ref())?;
+                let build_key = prepare_cache::attack_build_key(command, scenario, &ctx.baseband);
+                let build =
+                    prepare_cache::get_or_build(ProductKind::AttackBuild, &build_key, || {
+                        let voice = attack_voice(ctx, command, scenario, cap_s)?;
+                        let _span = telemetry::span("prepare.attack_build");
+                        let attack =
+                            SingleSpeakerAttack::build(&voice, carrier_hz, 0.9, &ctx.baseband)?;
+                        let speaker = UltrasonicSpeaker::default();
+                        let array = SpeakerArray::new(speaker.clone(), 1, 0.03)?;
+                        let placed_w = power_w.min(speaker.max_power_w);
+                        let drives = single_speaker_element_drives(&attack, placed_w)?;
+                        Ok(AttackBuild {
+                            near_field_at_1m: array.emitted_field_at_1m(&drives)?,
+                            aperture_m: array.aperture_m(),
+                            power_shortfall_w: power_w - placed_w,
+                        })
+                    })?;
+                let (at_port, leak) = deliver_attack(&build, &build_key, scenario, room)?;
                 (
                     PreparedPaths::Attack(at_port),
                     Some(leak),
-                    power_w - placed_w,
+                    build.power_shortfall_w,
                 )
             }
             Delivery::ArrayUltrasound {
@@ -198,40 +231,52 @@ impl PreparedCell {
                 total_power_w,
                 carrier_hz,
             } => {
-                let voice = attack_voice(ctx, command, scenario, cap_s)?;
-                let build_span = telemetry::span("prepare.attack_build");
-                let speaker = UltrasonicSpeaker::default();
-                let array = SpeakerArray::new(speaker.clone(), num_elements.max(1), 0.03)?;
-                let (drives, shortfall_w) = if num_elements <= 1 {
-                    let attack =
-                        SingleSpeakerAttack::build(&voice, carrier_hz, 0.9, &ctx.baseband)?;
-                    let placed_w = total_power_w.min(speaker.max_power_w);
-                    (
-                        single_speaker_element_drives(&attack, placed_w)?,
-                        total_power_w - placed_w,
-                    )
-                } else {
-                    // `build_balanced` sizes the carrier element group
-                    // against the budget, so big arrays keep their
-                    // carrier-to-sideband balance instead of starving the
-                    // carrier at one element's rating (the old E-A2
-                    // 61-element anomaly).
-                    let attack = MultiSpeakerAttack::build_balanced(
-                        &voice,
-                        carrier_hz,
-                        num_elements,
-                        total_power_w,
-                        0.3,
-                        speaker.max_power_w,
-                        &ctx.baseband,
-                    )?;
-                    let allocation =
-                        attack.allocate_power(total_power_w, 0.3, speaker.max_power_w)?;
-                    (allocation.drives, allocation.shortfall_w)
-                };
-                drop(build_span);
-                let (at_port, leak) = deliver_attack(&array, &drives, scenario, room.as_ref())?;
-                (PreparedPaths::Attack(at_port), Some(leak), shortfall_w)
+                let build_key = prepare_cache::attack_build_key(command, scenario, &ctx.baseband);
+                let build =
+                    prepare_cache::get_or_build(ProductKind::AttackBuild, &build_key, || {
+                        let voice = attack_voice(ctx, command, scenario, cap_s)?;
+                        let _span = telemetry::span("prepare.attack_build");
+                        let speaker = UltrasonicSpeaker::default();
+                        let array = SpeakerArray::new(speaker.clone(), num_elements.max(1), 0.03)?;
+                        let (drives, shortfall_w) = if num_elements <= 1 {
+                            let attack =
+                                SingleSpeakerAttack::build(&voice, carrier_hz, 0.9, &ctx.baseband)?;
+                            let placed_w = total_power_w.min(speaker.max_power_w);
+                            (
+                                single_speaker_element_drives(&attack, placed_w)?,
+                                total_power_w - placed_w,
+                            )
+                        } else {
+                            // `build_balanced` sizes the carrier element group
+                            // against the budget, so big arrays keep their
+                            // carrier-to-sideband balance instead of starving the
+                            // carrier at one element's rating (the old E-A2
+                            // 61-element anomaly).
+                            let attack = MultiSpeakerAttack::build_balanced(
+                                &voice,
+                                carrier_hz,
+                                num_elements,
+                                total_power_w,
+                                0.3,
+                                speaker.max_power_w,
+                                &ctx.baseband,
+                            )?;
+                            let allocation =
+                                attack.allocate_power(total_power_w, 0.3, speaker.max_power_w)?;
+                            (allocation.drives, allocation.shortfall_w)
+                        };
+                        Ok(AttackBuild {
+                            near_field_at_1m: array.emitted_field_at_1m(&drives)?,
+                            aperture_m: array.aperture_m(),
+                            power_shortfall_w: shortfall_w,
+                        })
+                    })?;
+                let (at_port, leak) = deliver_attack(&build, &build_key, scenario, room)?;
+                (
+                    PreparedPaths::Attack(at_port),
+                    Some(leak),
+                    build.power_shortfall_w,
+                )
             }
         };
         Ok(PreparedCell {
@@ -259,8 +304,16 @@ impl PreparedCell {
     /// microphone capture and ADC — returning the digital recording the
     /// device's software receives for trial `seed`.
     pub fn perturb(&self, seed: u64) -> Result<Signal> {
+        self.perturb_with_scratch(seed, &mut TrialScratch::new())
+    }
+
+    /// [`perturb`](Self::perturb) with caller-owned scratch buffers: a
+    /// worker looping over trials reuses one [`TrialScratch`] instead of
+    /// re-allocating the pressure and capture workspaces per call.  The
+    /// output is bit-identical to [`perturb`](Self::perturb).
+    pub fn perturb_with_scratch(&self, seed: u64, scratch: &mut TrialScratch) -> Result<Signal> {
         let _stage = telemetry::span(telemetry::SPAN_STAGE_PERTURB);
-        let clean = match &self.paths {
+        let clean: &Signal = match &self.paths {
             PreparedPaths::Attack(at_port) => at_port,
             PreparedPaths::Legitimate(variants) => {
                 let wanted = talker_variant(seed);
@@ -276,7 +329,10 @@ impl PreparedCell {
                     .1
             }
         };
-        let mut pressure_at_port = clean.clone();
+        let mut pressure = std::mem::take(&mut scratch.pressure);
+        pressure.clear();
+        pressure.extend_from_slice(clean.samples());
+        let mut pressure_at_port = Signal::new(pressure, clean.sample_rate_hz())?;
         {
             let _span = telemetry::span("perturb.ambient_noise");
             let noise = room_noise_pa(
@@ -288,7 +344,11 @@ impl PreparedCell {
             pressure_at_port.mix(&noise)?;
         }
         let _span = telemetry::span("perturb.mic_capture");
-        Ok(self.microphone.capture(&pressure_at_port, seed)?)
+        let recording =
+            self.microphone
+                .capture_with_scratch(&pressure_at_port, seed, &mut scratch.capture)?;
+        scratch.pressure = pressure_at_port.into_samples();
+        Ok(recording)
     }
 
     /// Stage 3: recognition, defense features and the optional trained
@@ -347,8 +407,39 @@ impl PreparedCell {
         recognizer: &Recognizer,
         detector: Option<&LogisticRegression>,
     ) -> Result<TrialOutcome> {
-        let recording = self.perturb(seed)?;
+        self.run_with_scratch(seed, recognizer, detector, &mut TrialScratch::new())
+    }
+
+    /// [`run`](Self::run) with caller-owned scratch buffers (see
+    /// [`perturb_with_scratch`](Self::perturb_with_scratch)).
+    pub fn run_with_scratch(
+        &self,
+        seed: u64,
+        recognizer: &Recognizer,
+        detector: Option<&LogisticRegression>,
+        scratch: &mut TrialScratch,
+    ) -> Result<TrialOutcome> {
+        let recording = self.perturb_with_scratch(seed, scratch)?;
         self.evaluate(recording, seed, recognizer, detector)
+    }
+}
+
+/// Per-worker scratch buffers threaded through the Perturb stage so the
+/// hot trial loop reuses its allocations instead of growing and dropping
+/// ~20 `Vec`s per trial.  Purely an allocation-reuse vehicle: results are
+/// bit-identical with a fresh or a reused scratch.
+#[derive(Debug, Default)]
+pub struct TrialScratch {
+    /// Pressure-waveform assembly buffer (clean path + ambient noise).
+    pressure: Vec<f64>,
+    /// Microphone front-end workspaces (spectrum + time-domain).
+    capture: CaptureScratch,
+}
+
+impl TrialScratch {
+    /// Creates an empty scratch; buffers grow to steady state on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -397,27 +488,36 @@ fn propagate_to_target(
     }
 }
 
-/// Emits the drives once, then propagates to the target (aperture-aware,
-/// room-aware) and to the bystander (point source, room-aware) and
-/// analyses the leakage there.
+/// Propagates an attack build's emitted near field to the target
+/// (aperture-aware, room-aware) and to the bystander (point source,
+/// room-aware), analysing the leakage there.  Both products are
+/// content-addressed off `build_key`, so a sweep that varies only trial
+/// seeds or unrelated axes reuses them.
 fn deliver_attack(
-    array: &SpeakerArray,
-    drives: &[ElementDrive],
+    build: &AttackBuild,
+    build_key: &str,
     scenario: &Scenario,
     room: Option<&RoomInstance>,
-) -> Result<(Signal, LeakageReport)> {
-    let near = array.emitted_field_at_1m(drives)?;
-    let at_port = propagate_to_target(&near, array.aperture_m(), scenario, room)?;
-    let env: &AirEnvironment = &scenario.env;
-    let bystander_field = {
-        let _span = telemetry::span("prepare.convolution");
-        match room {
-            None => propagate(&near, scenario.bystander_distance_m, env)?,
-            Some(instance) => propagate_in_room(&near, &instance.bystander_rir()?, env)?,
-        }
-    };
-    let leak = leakage_from_field(&bystander_field, scenario.bystander_distance_m, 0.0)?;
-    Ok((at_port, leak))
+) -> Result<(Arc<Signal>, LeakageReport)> {
+    let prop_key = prepare_cache::target_propagation_key(build_key, build.aperture_m, scenario);
+    let at_port = prepare_cache::get_or_build(ProductKind::Propagation, &prop_key, || {
+        propagate_to_target(&build.near_field_at_1m, build.aperture_m, scenario, room)
+    })?;
+    let leak_key = prepare_cache::leakage_key(build_key, scenario);
+    let leak = prepare_cache::get_or_build(ProductKind::Leakage, &leak_key, || {
+        let _span = telemetry::span("prepare.leakage");
+        let near = &build.near_field_at_1m;
+        let bystander_field = match room {
+            None => propagate(near, scenario.bystander_distance_m, &scenario.env)?,
+            Some(instance) => propagate_in_room(near, &instance.bystander_rir()?, &scenario.env)?,
+        };
+        Ok(leakage_from_field(
+            &bystander_field,
+            scenario.bystander_distance_m,
+            0.0,
+        )?)
+    })?;
+    Ok((at_port, (*leak).clone()))
 }
 
 #[cfg(test)]
@@ -480,8 +580,6 @@ mod tests {
         // A seed whose variant was not prepared is a loud error, not a
         // silent wrong-talker trial.
         assert!(prepared.perturb(4).is_err());
-        // The utterance cache rendered exactly one (command, variant).
-        assert_eq!(ctx.cached_utterances(), 1);
     }
 
     #[test]

@@ -192,6 +192,107 @@ pub fn fft_convolve(a: &[f64], b: &[f64]) -> Result<Vec<f64>> {
     Ok(fa.into_iter().take(out_len).map(|c| c.re).collect())
 }
 
+/// A precomputed kernel spectrum for overlap-save convolution.
+///
+/// Transforming the kernel is the fixed cost of FFT convolution; when the
+/// same kernel is applied to many signals (anti-alias filters, band
+/// shaping, room taps) it pays to do it once.  Overlap-save also keeps the
+/// transform size proportional to the *kernel* rather than the signal, so
+/// convolving a one-second 192 kHz capture with a 255-tap filter runs many
+/// small FFTs instead of one 2^18-point pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSpectrum {
+    block: usize,
+    kernel_len: usize,
+    spectrum: Vec<Complex>,
+}
+
+impl KernelSpectrum {
+    /// Transform `kernel` once, picking a block size a few times larger
+    /// than the kernel so the overlap overhead stays small.
+    pub fn new(kernel: &[f64]) -> Result<Self> {
+        if kernel.is_empty() {
+            return Err(DspError::EmptyInput {
+                operation: "kernel spectrum",
+            });
+        }
+        let block = (4 * next_power_of_two(kernel.len())).max(256);
+        let mut spectrum = vec![Complex::ZERO; block];
+        for (slot, &x) in spectrum.iter_mut().zip(kernel.iter()) {
+            *slot = Complex::from_real(x);
+        }
+        fft_in_place(&mut spectrum, false)?;
+        Ok(KernelSpectrum {
+            block,
+            kernel_len: kernel.len(),
+            spectrum,
+        })
+    }
+
+    /// Number of taps in the kernel this spectrum was built from.
+    pub fn kernel_len(&self) -> usize {
+        self.kernel_len
+    }
+
+    /// FFT block size used per overlap-save segment.
+    pub fn block_len(&self) -> usize {
+        self.block
+    }
+
+    /// Full linear convolution, output length `input.len() + kernel_len - 1`.
+    pub fn convolve(&self, input: &[f64]) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.convolve_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// Full linear convolution written into `out` (cleared and resized),
+    /// so callers in hot loops can reuse the output allocation.
+    pub fn convolve_into(&self, input: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        if input.is_empty() {
+            return Err(DspError::EmptyInput {
+                operation: "overlap-save convolve",
+            });
+        }
+        let k = self.kernel_len;
+        let b = self.block;
+        // Each segment produces `l` valid output samples; the first `k - 1`
+        // slots of every inverse transform are circular wrap and discarded.
+        let l = b - k + 1;
+        let out_len = input.len() + k - 1;
+        out.clear();
+        out.resize(out_len, 0.0);
+        let mut segment = vec![Complex::ZERO; b];
+        let mut start = 0usize;
+        while start < out_len {
+            // Output samples [start, start + l) depend on input samples
+            // [start - k + 1, start + l); out-of-range taps are zero.
+            for (j, slot) in segment.iter_mut().enumerate() {
+                let idx = start as isize - (k as isize - 1) + j as isize;
+                *slot = if idx >= 0 && (idx as usize) < input.len() {
+                    Complex::from_real(input[idx as usize])
+                } else {
+                    Complex::ZERO
+                };
+            }
+            fft_in_place(&mut segment, false)?;
+            for (x, h) in segment.iter_mut().zip(self.spectrum.iter()) {
+                *x *= *h;
+            }
+            fft_in_place(&mut segment, true)?;
+            let valid = l.min(out_len - start);
+            for (slot, value) in out[start..start + valid]
+                .iter_mut()
+                .zip(segment[k - 1..k - 1 + valid].iter())
+            {
+                *slot = value.re;
+            }
+            start += l;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +397,91 @@ mod tests {
         for (f, d) in fast.iter().zip(direct.iter()) {
             assert!(approx(*f, *d, 1e-9));
         }
+    }
+
+    fn direct_convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
+        let mut direct = vec![0.0; a.len() + b.len() - 1];
+        for (i, &x) in a.iter().enumerate() {
+            for (j, &y) in b.iter().enumerate() {
+                direct[i + j] += x * y;
+            }
+        }
+        direct
+    }
+
+    #[test]
+    fn overlap_save_matches_direct_across_odd_lengths() {
+        for (signal_len, kernel_len) in [(1, 1), (37, 5), (255, 17), (1023, 63), (500, 101)] {
+            let signal: Vec<f64> = (0..signal_len)
+                .map(|i| ((i * 31 % 13) as f64 - 6.0) / 6.0)
+                .collect();
+            let kernel: Vec<f64> = (0..kernel_len)
+                .map(|i| ((i * 7 % 5) as f64 - 2.0) / 4.0)
+                .collect();
+            let spec = KernelSpectrum::new(&kernel).unwrap();
+            let fast = spec.convolve(&signal).unwrap();
+            let direct = direct_convolve(&signal, &kernel);
+            assert_eq!(fast.len(), direct.len());
+            for (f, d) in fast.iter().zip(direct.iter()) {
+                assert!(
+                    approx(*f, *d, 1e-9),
+                    "mismatch at ({signal_len}, {kernel_len}): {f} vs {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_save_on_silence_is_silent() {
+        let kernel = [0.25, 0.5, 0.25];
+        let spec = KernelSpectrum::new(&kernel).unwrap();
+        let out = spec.convolve(&vec![0.0; 777]).unwrap();
+        assert_eq!(out.len(), 779);
+        assert!(out.iter().all(|&x| x.abs() < 1e-12));
+    }
+
+    #[test]
+    fn overlap_save_kernel_longer_than_signal() {
+        let signal = [1.0, -2.0, 0.5];
+        let kernel: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin() / 8.0).collect();
+        let spec = KernelSpectrum::new(&kernel).unwrap();
+        let fast = spec.convolve(&signal).unwrap();
+        let direct = direct_convolve(&signal, &kernel);
+        assert_eq!(fast.len(), direct.len());
+        for (f, d) in fast.iter().zip(direct.iter()) {
+            assert!(approx(*f, *d, 1e-9));
+        }
+    }
+
+    #[test]
+    fn overlap_save_matches_full_size_fft_convolve() {
+        let signal: Vec<f64> = (0..4096)
+            .map(|i| ((i * 131 % 97) as f64 - 48.0) / 48.0)
+            .collect();
+        let kernel: Vec<f64> = (0..255)
+            .map(|i| ((i * 11 % 23) as f64 - 11.0) / 64.0)
+            .collect();
+        let spec = KernelSpectrum::new(&kernel).unwrap();
+        let blocked = spec.convolve(&signal).unwrap();
+        let full = fft_convolve(&signal, &kernel).unwrap();
+        assert_eq!(blocked.len(), full.len());
+        for (b, f) in blocked.iter().zip(full.iter()) {
+            assert!(approx(*b, *f, 1e-9));
+        }
+    }
+
+    #[test]
+    fn convolve_into_reuses_the_output_allocation() {
+        let kernel = [1.0, 1.0];
+        let spec = KernelSpectrum::new(&kernel).unwrap();
+        let mut out = vec![9.0; 4];
+        spec.convolve_into(&[1.0, 2.0, 3.0], &mut out).unwrap();
+        assert_eq!(out.len(), 4);
+        for (got, want) in out.iter().zip([1.0, 3.0, 5.0, 3.0].iter()) {
+            assert!(approx(*got, *want, 1e-9));
+        }
+        assert!(spec.convolve(&[]).is_err());
+        assert!(KernelSpectrum::new(&[]).is_err());
     }
 
     #[test]

@@ -88,20 +88,48 @@ impl Biquad {
 
     /// Filters a buffer, returning a new vector (initial state is zero).
     pub fn filter(&self, input: &[f64]) -> Vec<f64> {
-        let mut out = Vec::with_capacity(input.len());
+        let mut out = vec![0.0; input.len()];
+        self.filter_to_slice(input, &mut out);
+        out
+    }
+
+    /// Filters a buffer in place (initial state is zero).
+    ///
+    /// A direct-form-I section only looks back at the last two inputs,
+    /// which are carried in local state, so overwriting the buffer as it
+    /// is read is safe and allocation-free.
+    pub fn filter_in_place(&self, buffer: &mut [f64]) {
         let mut x1 = 0.0;
         let mut x2 = 0.0;
         let mut y1 = 0.0;
         let mut y2 = 0.0;
-        for &x in input {
+        for slot in buffer.iter_mut() {
+            let x = *slot;
             let y = self.b0 * x + self.b1 * x1 + self.b2 * x2 - self.a1 * y1 - self.a2 * y2;
             x2 = x1;
             x1 = x;
             y2 = y1;
             y1 = y;
-            out.push(y);
+            *slot = y;
         }
-        out
+    }
+
+    /// Filters a buffer into a caller-owned slice of the same length
+    /// (initial state is zero). `out.len()` must equal `input.len()`.
+    pub fn filter_to_slice(&self, input: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(input.len(), out.len());
+        let mut x1 = 0.0;
+        let mut x2 = 0.0;
+        let mut y1 = 0.0;
+        let mut y2 = 0.0;
+        for (slot, &x) in out.iter_mut().zip(input.iter()) {
+            let y = self.b0 * x + self.b1 * x1 + self.b2 * x2 - self.a1 * y1 - self.a2 * y2;
+            x2 = x1;
+            x1 = x;
+            y2 = y1;
+            y1 = y;
+            *slot = y;
+        }
     }
 
     /// Magnitude response at `frequency_hz`.
@@ -142,6 +170,10 @@ fn omega_alpha(frequency_hz: f64, q: f64, sample_rate_hz: f64) -> Result<(f64, f
 pub struct BiquadCascade {
     sections: Vec<Biquad>,
 }
+
+/// Conventional name for a second-order-sections filter: a
+/// [`BiquadCascade`] under the alias most DSP literature uses.
+pub type SosFilter = BiquadCascade;
 
 impl BiquadCascade {
     /// Builds a cascade from explicit sections.
@@ -205,11 +237,24 @@ impl BiquadCascade {
 
     /// Filters a buffer through all sections in sequence.
     pub fn filter(&self, input: &[f64]) -> Vec<f64> {
-        let mut buffer = input.to_vec();
+        let mut out = Vec::new();
+        self.filter_into(input, &mut out);
+        out
+    }
+
+    /// Filters a buffer through all sections into a caller-owned vector
+    /// (cleared and resized), allocating nothing beyond `out`'s capacity.
+    pub fn filter_into(&self, input: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(input);
+        self.filter_in_place(out);
+    }
+
+    /// Filters a buffer through all sections in place.
+    pub fn filter_in_place(&self, buffer: &mut [f64]) {
         for section in &self.sections {
-            buffer = section.filter(&buffer);
+            section.filter_in_place(buffer);
         }
-        buffer
     }
 
     /// Filters a [`Signal`], preserving its sample rate.
@@ -360,6 +405,26 @@ mod tests {
         // A 500 Hz tone is in the passband; filtfilt keeps it near unity.
         let steady = 1_000..3_000;
         assert!(rms(&y[steady.clone()]) / rms(&x[steady]) > 0.9);
+    }
+
+    #[test]
+    fn in_place_and_into_variants_match_the_allocating_path() {
+        let fs = 8_000.0;
+        let x = tone(700.0, fs, 512);
+        let section = Biquad::low_pass(1_000.0, 0.707, fs).unwrap();
+        let baseline = section.filter(&x);
+        let mut in_place = x.clone();
+        section.filter_in_place(&mut in_place);
+        assert_eq!(baseline, in_place);
+
+        let cascade: SosFilter = BiquadCascade::butterworth_low_pass(1_000.0, 4, fs).unwrap();
+        let cascade_baseline = cascade.filter(&x);
+        let mut reused = vec![42.0; 3];
+        cascade.filter_into(&x, &mut reused);
+        assert_eq!(cascade_baseline, reused);
+        let mut cascade_in_place = x.clone();
+        cascade.filter_in_place(&mut cascade_in_place);
+        assert_eq!(cascade_baseline, cascade_in_place);
     }
 
     #[test]

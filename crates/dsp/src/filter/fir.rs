@@ -7,18 +7,40 @@
 //! filtered signal is later compared sample-aligned against a reference
 //! (e.g. the defense's shadow-correlation feature).
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use crate::error::{DspError, Result};
-use crate::fft::fft_convolve;
+use crate::fft::KernelSpectrum;
 use crate::signal::Signal;
 use crate::window::WindowKind;
 
 /// A finite-impulse-response filter described by its coefficients.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The kernel spectrum used by the FFT application path is computed
+/// lazily on first use and kept for the filter's lifetime, so applying
+/// the same filter to many signals transforms the kernel only once.
+#[derive(Debug, Clone)]
 pub struct FirFilter {
     coefficients: Vec<f64>,
+    spectrum: OnceLock<Arc<KernelSpectrum>>,
+}
+
+impl PartialEq for FirFilter {
+    fn eq(&self, other: &Self) -> bool {
+        // The cached spectrum is derived state; identity is the taps.
+        self.coefficients == other.coefficients
+    }
 }
 
 impl FirFilter {
+    fn from_raw(coefficients: Vec<f64>) -> Self {
+        FirFilter {
+            coefficients,
+            spectrum: OnceLock::new(),
+        }
+    }
+
     /// Wraps raw coefficients as a filter.
     pub fn from_coefficients(coefficients: Vec<f64>) -> Result<Self> {
         if coefficients.is_empty() {
@@ -26,7 +48,7 @@ impl FirFilter {
                 operation: "FirFilter::from_coefficients",
             });
         }
-        Ok(FirFilter { coefficients })
+        Ok(FirFilter::from_raw(coefficients))
     }
 
     /// Designs a low-pass filter with the given cutoff.
@@ -50,7 +72,7 @@ impl FirFilter {
                 sinc(2.0 * fc * n as f64) * 2.0 * fc * win[i]
             })
             .collect();
-        let mut filter = FirFilter { coefficients };
+        let mut filter = FirFilter::from_raw(coefficients);
         filter.normalize_dc_gain();
         Ok(filter)
     }
@@ -72,7 +94,7 @@ impl FirFilter {
             .enumerate()
             .map(|(i, &c)| if i == mid { 1.0 - c } else { -c })
             .collect();
-        Ok(FirFilter { coefficients })
+        Ok(FirFilter::from_raw(coefficients))
     }
 
     /// Designs a band-pass filter between `low_hz` and `high_hz`.
@@ -102,7 +124,40 @@ impl FirFilter {
                 (2.0 * f2 * sinc(2.0 * f2 * n) - 2.0 * f1 * sinc(2.0 * f1 * n)) * win[i]
             })
             .collect();
-        Ok(FirFilter { coefficients })
+        Ok(FirFilter::from_raw(coefficients))
+    }
+
+    /// A process-wide memoised [`FirFilter::low_pass`]: the same design
+    /// parameters return the same `Arc`'d filter (with its kernel spectrum
+    /// already warm after first use), so per-call hot paths like the ADC
+    /// anti-alias stage stop re-running the windowed-sinc design.
+    pub fn low_pass_cached(
+        cutoff_hz: f64,
+        sample_rate_hz: f64,
+        taps: usize,
+        window: WindowKind,
+    ) -> Result<Arc<Self>> {
+        static MEMO: OnceLock<Mutex<HashMap<String, Arc<FirFilter>>>> = OnceLock::new();
+        let key = format!(
+            "{:x}|{:x}|{taps}|{window:?}",
+            cutoff_hz.to_bits(),
+            sample_rate_hz.to_bits()
+        );
+        let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(hit) = memo.lock().expect("fir design memo poisoned").get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        // Design outside the lock; on a race the first insert wins, which
+        // is harmless because the design is deterministic.
+        let designed = Arc::new(FirFilter::low_pass(
+            cutoff_hz,
+            sample_rate_hz,
+            taps,
+            window,
+        )?);
+        let mut guard = memo.lock().expect("fir design memo poisoned");
+        let entry = guard.entry(key).or_insert(designed);
+        Ok(Arc::clone(entry))
     }
 
     /// Filter coefficients (impulse response).
@@ -129,19 +184,44 @@ impl FirFilter {
     /// so the output has the same length as the input and is time-aligned
     /// with it (the group delay is compensated).
     pub fn filter(&self, input: &[f64]) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.filter_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`FirFilter::filter`] writing into a caller-owned vector (cleared
+    /// and resized), so hot loops can reuse the output allocation.
+    ///
+    /// Large products of `input.len() · taps` go through overlap-save FFT
+    /// convolution against the filter's cached kernel spectrum; small ones
+    /// use direct convolution.
+    pub fn filter_into(&self, input: &[f64], out: &mut Vec<f64>) -> Result<()> {
         if input.is_empty() {
             return Err(DspError::EmptyInput {
                 operation: "FirFilter::filter",
             });
         }
-        let full = if input.len().saturating_mul(self.coefficients.len()) > 16_384 {
-            fft_convolve(input, &self.coefficients)?
-        } else {
-            direct_convolve(input, &self.coefficients)
-        };
         let delay = self.group_delay_samples();
-        let out: Vec<f64> = full.into_iter().skip(delay).take(input.len()).collect();
-        Ok(out)
+        if input.len().saturating_mul(self.coefficients.len()) > 16_384 {
+            let mut full = Vec::new();
+            self.kernel_spectrum().convolve_into(input, &mut full)?;
+            out.clear();
+            out.extend_from_slice(&full[delay..delay + input.len()]);
+        } else {
+            let full = direct_convolve(input, &self.coefficients);
+            out.clear();
+            out.extend_from_slice(&full[delay..delay + input.len()]);
+        }
+        Ok(())
+    }
+
+    /// The filter's kernel spectrum, transformed once on first use.
+    pub fn kernel_spectrum(&self) -> &KernelSpectrum {
+        self.spectrum.get_or_init(|| {
+            // Designed/validated filters are never empty, so this cannot
+            // fail.
+            Arc::new(KernelSpectrum::new(&self.coefficients).expect("FirFilter taps are non-empty"))
+        })
     }
 
     /// Applies the filter to a [`Signal`], preserving its sample rate.

@@ -11,5 +11,5 @@
 pub mod biquad;
 pub mod fir;
 
-pub use biquad::{Biquad, BiquadCascade};
+pub use biquad::{Biquad, BiquadCascade, SosFilter};
 pub use fir::FirFilter;

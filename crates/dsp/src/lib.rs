@@ -53,9 +53,9 @@ pub mod prelude {
     pub use crate::complex::Complex;
     pub use crate::db::{amplitude_to_db, db_to_amplitude, db_to_power, power_to_db};
     pub use crate::error::{DspError, Result};
-    pub use crate::filter::biquad::{Biquad, BiquadCascade};
+    pub use crate::filter::biquad::{Biquad, BiquadCascade, SosFilter};
     pub use crate::filter::fir::FirFilter;
     pub use crate::signal::Signal;
-    pub use crate::sparse::{convolve_sparse, SparseTap, SparseTaps};
+    pub use crate::sparse::{convolve_sparse, convolve_sparse_into, SparseTap, SparseTaps};
     pub use crate::window::WindowKind;
 }

@@ -35,7 +35,7 @@ pub fn upsample(input: &Signal, factor: usize) -> Result<Signal> {
     // Anti-image filter at the original Nyquist, with a little margin.
     let cutoff = input.nyquist_hz() * 0.95;
     let taps = (16 * factor + 1).max(65);
-    let lpf = FirFilter::low_pass(cutoff, out_rate, taps, WindowKind::Blackman)?;
+    let lpf = FirFilter::low_pass_cached(cutoff, out_rate, taps, WindowKind::Blackman)?;
     let filtered = lpf.filter(&stuffed)?;
     Signal::new(filtered, out_rate)
 }
@@ -56,7 +56,8 @@ pub fn downsample(input: &Signal, factor: usize) -> Result<Signal> {
     let out_rate = input.sample_rate_hz() / factor as f64;
     let cutoff = (out_rate / 2.0) * 0.95;
     let taps = (16 * factor + 1).max(65);
-    let lpf = FirFilter::low_pass(cutoff, input.sample_rate_hz(), taps, WindowKind::Blackman)?;
+    let lpf =
+        FirFilter::low_pass_cached(cutoff, input.sample_rate_hz(), taps, WindowKind::Blackman)?;
     let filtered = lpf.filter(input.samples())?;
     let decimated: Vec<f64> = filtered.iter().step_by(factor).copied().collect();
     Signal::new(decimated, out_rate)
@@ -96,7 +97,7 @@ pub fn resample(input: &Signal, target_rate_hz: f64) -> Result<Signal> {
     // interpolate onto the target grid.
     let working: Signal = if target_rate_hz < source_rate {
         let cutoff = (target_rate_hz / 2.0) * 0.95;
-        let lpf = FirFilter::low_pass(cutoff, source_rate, 255, WindowKind::Blackman)?;
+        let lpf = FirFilter::low_pass_cached(cutoff, source_rate, 255, WindowKind::Blackman)?;
         lpf.filter_signal(input)?
     } else {
         input.clone()

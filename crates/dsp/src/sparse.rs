@@ -66,11 +66,20 @@ impl SparseTaps {
 /// truncated.  An empty tap list is rejected (it would silently produce
 /// silence); an empty signal is returned unchanged in length.
 pub fn convolve_sparse(signal: &Signal, taps: &SparseTaps) -> Result<Signal> {
+    let mut out = Vec::new();
+    convolve_sparse_into(signal, taps, &mut out)?;
+    Signal::new(out, signal.sample_rate_hz())
+}
+
+/// [`convolve_sparse`] writing into a caller-owned buffer (cleared and
+/// resized), so banded per-anchor convolution can reuse one allocation.
+pub fn convolve_sparse_into(signal: &Signal, taps: &SparseTaps, out: &mut Vec<f64>) -> Result<()> {
     if taps.is_empty() {
         return Err(DspError::invalid_parameter("taps", "no taps provided"));
     }
     let n = signal.len();
-    let mut out = vec![0.0; n + taps.max_delay_samples()];
+    out.clear();
+    out.resize(n + taps.max_delay_samples(), 0.0);
     for tap in &taps.taps {
         if tap.gain == 0.0 {
             continue;
@@ -80,7 +89,7 @@ pub fn convolve_sparse(signal: &Signal, taps: &SparseTaps) -> Result<Signal> {
             *o += tap.gain * x;
         }
     }
-    Signal::new(out, signal.sample_rate_hz())
+    Ok(())
 }
 
 #[cfg(test)]

@@ -30,7 +30,7 @@ use crate::aggregate::{aggregate_cells, psychometric_curves};
 use crate::error::{ExperimentError, Result};
 use crate::grid::{BandSummarySpec, CampaignSpec, DetectorSpec};
 use crate::report::CampaignReport;
-use ivc_core::{telemetry, PrepareContext, PreparedCell};
+use ivc_core::{telemetry, PrepareContext, PreparedCell, TrialScratch};
 use ivc_defense::classifier::{LogisticRegression, TrainingConfig};
 use ivc_defense::dataset::Dataset;
 use ivc_dsp::signal::Signal;
@@ -122,6 +122,26 @@ pub fn train_detector_model(spec: &DetectorSpec) -> Result<LogisticRegression> {
 static DETECTOR_MEMO: std::sync::OnceLock<Mutex<HashMap<String, Arc<LogisticRegression>>>> =
     std::sync::OnceLock::new();
 
+/// Process-wide memo of the default-corpus recognizer.
+///
+/// Corpus enrollment is deterministic and read-only after construction, so
+/// every campaign in a process (a `repro all`, a bench loop, a shard
+/// worker) shares one instance instead of re-enrolling per campaign —
+/// `campaign.setup` amortises to a map lookup after the first run.
+static RECOGNIZER_MEMO: std::sync::OnceLock<std::result::Result<Arc<Recognizer>, String>> =
+    std::sync::OnceLock::new();
+
+fn cached_default_recognizer() -> Result<Arc<Recognizer>> {
+    RECOGNIZER_MEMO
+        .get_or_init(|| {
+            Recognizer::with_default_corpus()
+                .map(Arc::new)
+                .map_err(|e| format!("recogniser: {e}"))
+        })
+        .clone()
+        .map_err(ExperimentError::Setup)
+}
+
 fn cached_detector_model(spec: &DetectorSpec) -> Result<Arc<LogisticRegression>> {
     // `Debug` covers every field deterministically, so it is a sound
     // memo key for a pure training function.
@@ -189,8 +209,8 @@ pub(crate) fn execute_jobs(
         return Ok(Vec::new());
     }
     let setup_span = telemetry::span("campaign.setup");
-    let recognizer = Recognizer::with_default_corpus()
-        .map_err(|e| ExperimentError::Setup(format!("recogniser: {e}")))?;
+    let recognizer = cached_default_recognizer()?;
+    let recognizer = recognizer.as_ref();
     let commands = corpus();
     let cells = spec.cells();
     let workers = workers.clamp(1, num_jobs);
@@ -286,71 +306,80 @@ pub(crate) fn execute_jobs(
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let job = next_job.fetch_add(1, Ordering::Relaxed);
-                if job >= num_jobs {
-                    break;
-                }
-                let _trial_span = telemetry::span("executor.trial");
-                let (position, trial_index) = job_order[job];
-                let jobs = &cell_jobs[position];
-                let cell = &cells[jobs.cell_index];
-
-                let detector = detectors[&cell.coords.detector_index].clone();
-
-                // Prepare: the first trial of a cell runs the stage, the
-                // rest share the immutable result.  Only the variants of
-                // the range's own trials are rendered: each trial is a
-                // pure function of `(cell, seed)`, so preparing fewer
-                // variants cannot change any record.
-                let prepared = {
-                    let wait_span = telemetry::span("executor.cell_wait");
-                    let mut slot = cell_slots[position].lock().expect("cell slot poisoned");
-                    drop(wait_span);
-                    let freshly_prepared = slot.prepared.is_none();
-                    let shared = slot
-                        .prepared
-                        .get_or_insert_with(|| {
-                            let scenario = spec.scenario(cell, 0);
-                            let command = &commands[spec.command_index(cell)];
-                            let trial_seeds: Vec<u64> = (jobs.trial_start..jobs.trial_end)
-                                .map(|t| spec.trial_seed(t))
-                                .collect();
-                            PreparedCell::prepare(&ctx, command, &scenario, &trial_seeds)
-                                .map(Arc::new)
-                                .map_err(|e| e.to_string())
-                        })
-                        .clone();
-                    if freshly_prepared {
-                        telemetry::add_count("executor.cells_prepared", 1);
-                    } else {
-                        telemetry::add_count("executor.trials_shared_prepare", 1);
+            // One scratch arena per worker: Perturb reuses its buffers
+            // across every trial the worker runs (results are
+            // scratch-independent, so worker count still never reaches
+            // the archive).
+            scope.spawn(|| {
+                let mut scratch = TrialScratch::new();
+                loop {
+                    let job = next_job.fetch_add(1, Ordering::Relaxed);
+                    if job >= num_jobs {
+                        break;
                     }
-                    shared
-                };
+                    let _trial_span = telemetry::span("executor.trial");
+                    let (position, trial_index) = job_order[job];
+                    let jobs = &cell_jobs[position];
+                    let cell = &cells[jobs.cell_index];
 
-                let result = run_one_trial(
-                    spec,
-                    jobs.cell_index,
-                    trial_index,
-                    prepared,
-                    detector,
-                    &recognizer,
-                );
-                slots.lock().expect("result mutex poisoned")
-                    [jobs.cell_index * trials_per_cell + trial_index - start_job] = Some(result);
-                // Summed across worker sidecars, this counter is the
-                // fleet document's trial total — the cross-check that no
-                // worker's telemetry went missing in the merge.
-                telemetry::add_count("executor.trials_completed", 1);
+                    let detector = detectors[&cell.coords.detector_index].clone();
 
-                // Perturb/Evaluate done: drop the prepared state with the
-                // cell's last trial.
-                let mut slot = cell_slots[position].lock().expect("cell slot poisoned");
-                slot.remaining -= 1;
-                if slot.remaining == 0 {
-                    slot.prepared = None;
-                    telemetry::add_count("executor.cells_dropped", 1);
+                    // Prepare: the first trial of a cell runs the stage, the
+                    // rest share the immutable result.  Only the variants of
+                    // the range's own trials are rendered: each trial is a
+                    // pure function of `(cell, seed)`, so preparing fewer
+                    // variants cannot change any record.
+                    let prepared = {
+                        let wait_span = telemetry::span("executor.cell_wait");
+                        let mut slot = cell_slots[position].lock().expect("cell slot poisoned");
+                        drop(wait_span);
+                        let freshly_prepared = slot.prepared.is_none();
+                        let shared = slot
+                            .prepared
+                            .get_or_insert_with(|| {
+                                let scenario = spec.scenario(cell, 0);
+                                let command = &commands[spec.command_index(cell)];
+                                let trial_seeds: Vec<u64> = (jobs.trial_start..jobs.trial_end)
+                                    .map(|t| spec.trial_seed(t))
+                                    .collect();
+                                PreparedCell::prepare(&ctx, command, &scenario, &trial_seeds)
+                                    .map(Arc::new)
+                                    .map_err(|e| e.to_string())
+                            })
+                            .clone();
+                        if freshly_prepared {
+                            telemetry::add_count("executor.cells_prepared", 1);
+                        } else {
+                            telemetry::add_count("executor.trials_shared_prepare", 1);
+                        }
+                        shared
+                    };
+
+                    let result = run_one_trial(
+                        spec,
+                        jobs.cell_index,
+                        trial_index,
+                        prepared,
+                        detector,
+                        recognizer,
+                        &mut scratch,
+                    );
+                    slots.lock().expect("result mutex poisoned")
+                        [jobs.cell_index * trials_per_cell + trial_index - start_job] =
+                        Some(result);
+                    // Summed across worker sidecars, this counter is the
+                    // fleet document's trial total — the cross-check that no
+                    // worker's telemetry went missing in the merge.
+                    telemetry::add_count("executor.trials_completed", 1);
+
+                    // Perturb/Evaluate done: drop the prepared state with the
+                    // cell's last trial.
+                    let mut slot = cell_slots[position].lock().expect("cell slot poisoned");
+                    slot.remaining -= 1;
+                    if slot.remaining == 0 {
+                        slot.prepared = None;
+                        telemetry::add_count("executor.cells_dropped", 1);
+                    }
                 }
             });
         }
@@ -395,6 +424,7 @@ fn band_summary(
     Ok(sg.band_summary_db(spec.max_hz, spec.bands))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_one_trial(
     spec: &CampaignSpec,
     cell_index: usize,
@@ -402,12 +432,13 @@ fn run_one_trial(
     prepared: SharedPrepared,
     detector: SharedDetector,
     recognizer: &Recognizer,
+    scratch: &mut TrialScratch,
 ) -> std::result::Result<TrialRecord, String> {
     let prepared = prepared?;
     let detector = detector?;
     let seed = spec.trial_seed(trial_index);
     let outcome = prepared
-        .run(seed, recognizer, detector.as_deref())
+        .run_with_scratch(seed, recognizer, detector.as_deref(), scratch)
         .map_err(|e| e.to_string())?;
     let recording_band_summary_db = match &spec.recording_band_summary {
         None => None,

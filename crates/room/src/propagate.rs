@@ -31,7 +31,7 @@ use ivc_acoustics::propagation::{
 use ivc_dsp::complex::Complex;
 use ivc_dsp::fft::{bin_frequency, fft_in_place, next_power_of_two};
 use ivc_dsp::signal::Signal;
-use ivc_dsp::sparse::{convolve_sparse, SparseTap, SparseTaps};
+use ivc_dsp::sparse::{convolve_sparse_into, SparseTap, SparseTaps};
 
 /// Relative band-power threshold below which a band's reflections are
 /// skipped (the band carries no meaningful signal energy).
@@ -100,6 +100,10 @@ pub fn propagate_in_room(
     fft_in_place(&mut spectrum, false)?;
     let total_power: f64 = spectrum.iter().map(|v| v.re * v.re + v.im * v.im).sum();
 
+    let mut buffer: Vec<Complex> = Vec::with_capacity(n);
+    let mut band_time: Vec<f64> = Vec::with_capacity(len);
+    let mut contribution: Vec<f64> = Vec::new();
+
     for (band, &anchor_hz) in ANCHOR_FREQUENCIES_HZ.iter().enumerate() {
         let (lo, hi) = band_bounds(band);
         let in_band = |k: usize| {
@@ -131,16 +135,23 @@ pub fn propagate_in_room(
         }
         let taps = SparseTaps::new(taps)?;
 
-        let mut buffer = spectrum.clone();
+        // The masked inverse reuses one complex workspace and one
+        // convolution output buffer across bands: memcpy + in-place ops
+        // instead of a fresh allocation per band, with identical numerics.
+        buffer.clear();
+        buffer.extend_from_slice(&spectrum);
         for (k, value) in buffer.iter_mut().enumerate() {
             if !in_band(k) {
                 *value = Complex::ZERO;
             }
         }
         fft_in_place(&mut buffer, true)?;
-        let band_signal = Signal::new(buffer.into_iter().take(len).map(|v| v.re).collect(), fs)?;
-        let contribution = convolve_sparse(&band_signal, &taps)?;
-        for (o, &x) in out.iter_mut().zip(contribution.samples().iter()) {
+        band_time.clear();
+        band_time.extend(buffer.iter().take(len).map(|v| v.re));
+        let band_signal = Signal::new(std::mem::take(&mut band_time), fs)?;
+        convolve_sparse_into(&band_signal, &taps, &mut contribution)?;
+        band_time = band_signal.into_samples();
+        for (o, &x) in out.iter_mut().zip(contribution.iter()) {
             *o += x;
         }
     }

@@ -3,15 +3,15 @@
 # stable `BENCH <group>/<name> min=… mean=… max=… ns/iter (N samples)`
 # lines, covering the pipeline, campaign and room groups — plus the
 # per-stage time attribution of a telemetry-instrumented `repro profile
-# smoke` run.  The snapshot is committed (BENCH_pr7.json) so perf
+# smoke` run.  The snapshot is committed (BENCH_pr9.json) so perf
 # movement shows up as a reviewable diff, and CI regenerates it on every
 # push and uploads the fresh copy as an artifact for side-by-side
 # comparison.
 #
-# Usage: scripts/bench-snapshot.sh [OUT_FILE]    (default: BENCH_pr7.json)
+# Usage: scripts/bench-snapshot.sh [OUT_FILE]    (default: BENCH_pr9.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr7.json}"
+out="${1:-BENCH_pr9.json}"
 
 lines="$(cargo bench -p ivc-bench --bench pipeline_benches --bench room_benches \
   | tee /dev/stderr | grep '^BENCH ' || true)"
