@@ -6,6 +6,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use ivc_core::scenario::{Delivery, Scenario};
 use ivc_core::{run_trial, PrepareContext, PreparedCell};
+use ivc_experiments::shard::{merge_shards, ShardArchive, ShardPlan};
+use ivc_experiments::{CampaignSpec, DeliverySpec, TrialRecord};
 use ivc_speech::commands::corpus;
 use ivc_speech::recognizer::Recognizer;
 
@@ -75,5 +77,72 @@ fn bench_campaign(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline, bench_campaign);
+/// A deterministic synthetic record for a merge bench slot: no trials are
+/// run, so the numbers isolate aggregation and serialisation.
+fn synthetic_record(spec: &CampaignSpec, slot: usize) -> TrialRecord {
+    let x = (slot as f64 + 0.5) * 0.37;
+    TrialRecord {
+        cell_index: slot / spec.trials_per_cell,
+        trial_index: slot % spec.trials_per_cell,
+        seed: spec.trial_seed(slot % spec.trials_per_cell),
+        accepted: slot % 3 != 1,
+        word_accuracy: (x.sin() * 0.5 + 0.5).min(1.0),
+        recognized_words: vec!["ok".to_string(), "google".to_string()],
+        bystander_spl_db: Some(40.0 + x.cos()),
+        bystander_spl_dba: Some(32.0 - x.sin()),
+        bystander_voice_spl_db: Some(18.0 + x.fract()),
+        leak_audible: Some(slot % 5 < 2),
+        power_shortfall_w: 0.0,
+        defense_features: vec![x, -x, x * x, 0.5],
+        detection_probability: Some(x.sin().abs().min(1.0)),
+        recording_band_summary_db: Some(vec![-x, -2.0 * x, -3.0 * x]),
+    }
+}
+
+fn bench_merge(c: &mut Criterion) {
+    // Merge throughput over synthetic partials: the streaming shard merge
+    // (per-cell accumulators, records moved not cloned) and the columnar
+    // wire format's encode/decode against the legacy JSON decode — the
+    // numbers behind the PR-10 merge-memory fix.
+    let mut group = c.benchmark_group("merge");
+    group.sample_size(10);
+    let spec = CampaignSpec {
+        deliveries: (0..4)
+            .map(|i| DeliverySpec::array(format!("array {i}"), 4 + i, 40.0, 40_000.0))
+            .collect(),
+        distances_m: vec![1.0, 2.0],
+        trials_per_cell: 64,
+        ..CampaignSpec::new("merge-bench")
+    };
+    let plan = ShardPlan::partition(&spec, 4).unwrap();
+    let partials: Vec<ShardArchive> = plan
+        .shards
+        .iter()
+        .map(|&shard| ShardArchive {
+            spec: spec.clone(),
+            shard,
+            records: (shard.start_job..shard.end_job)
+                .map(|slot| synthetic_record(&spec, slot))
+                .collect(),
+        })
+        .collect();
+    group.bench_function("merge_4_shards_512_trials", |b| {
+        b.iter(|| merge_shards(partials.clone()).unwrap())
+    });
+    let one = &partials[0];
+    let bytes = one.to_column_bytes();
+    let json = one.to_json_string();
+    group.bench_function("columns_encode_128_trials", |b| {
+        b.iter(|| one.to_column_bytes())
+    });
+    group.bench_function("columns_decode_128_trials", |b| {
+        b.iter(|| ShardArchive::from_column_bytes(&bytes).unwrap())
+    });
+    group.bench_function("json_decode_128_trials", |b| {
+        b.iter(|| ShardArchive::from_json_str(&json).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_campaign, bench_merge);
 criterion_main!(benches);

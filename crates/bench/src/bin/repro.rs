@@ -15,10 +15,16 @@
 //! cargo run --release -p ivc-bench --bin repro -- campaign a6 --shards 4 --workers 2
 //!
 //! # The same shard contract as standalone steps (file transfer is the
-//! # only coupling, so the three can run on different machines):
+//! # only coupling, so the three can run on different machines).  Partials
+//! # travel in the compact columnar format (ivc-trial-columns-v1) when the
+//! # --out file ends in .bin, and as JSON when it ends in .json; the merge
+//! # streams them one at a time and accepts either:
 //! cargo run --release -p ivc-bench --bin repro -- shard-plan a6 --shards 4 --out-dir jobs/
-//! cargo run --release -p ivc-bench --bin repro -- shard-worker --job jobs/a6-carrier-frequency.shard-0-of-4.job.json --out parts/part0.json
-//! cargo run --release -p ivc-bench --bin repro -- shard-merge --out a6.json parts/*.json
+//! cargo run --release -p ivc-bench --bin repro -- shard-worker --job jobs/a6-carrier-frequency.shard-0-of-4.job.json --out parts/part0.bin
+//! cargo run --release -p ivc-bench --bin repro -- shard-merge --out a6.json parts/*.bin
+//!
+//! # Re-encode one binary partial archive as JSON for human inspection:
+//! cargo run --release -p ivc-bench --bin repro -- export-json parts/part0.bin --out part0.json
 //!
 //! # Supervised sharding: retries, straggler re-issue, checkpoint/resume.
 //! cargo run --release -p ivc-bench --bin repro -- orchestrate smoke --shards 2 --workers 2
@@ -35,6 +41,8 @@
 //! # Flags:
 //! #   --workers N             worker threads (default: all cores; per process when sharded)
 //! #   --shards N              fork N shard-worker processes per campaign
+//! #   --partial-format F      wire format for shard partials: columns (default) or json
+//! #                           (campaign --shards and orchestrate)
 //! #   --archive DIR           write each campaign's JSON report into DIR
 //! #   --max-retries N         extra attempts per failed shard (orchestrate; default 2)
 //! #   --straggler-timeout S   re-issue attempts running longer than S seconds (orchestrate)
@@ -49,8 +57,8 @@ use ivc_bench::*;
 use ivc_core::telemetry;
 use ivc_experiments::orchestrate::{OrchestratorConfig, ENV_FAULT_SHARD, ENV_SHARD_ATTEMPT};
 use ivc_experiments::shard::{
-    merge_shards, metrics_sidecar_path, run_shard, shard_job_file_name, ShardArchive, ShardJob,
-    ShardPlan,
+    merge_shard_files, metrics_sidecar_path, run_shard, shard_job_file_name, PartialFormat,
+    ShardArchive, ShardJob, ShardPlan,
 };
 use ivc_experiments::{default_workers, presets, CampaignReport};
 use std::path::{Path, PathBuf};
@@ -67,6 +75,8 @@ enum Mode {
     ShardWorker,
     /// Merge partial archives into a final report (`--out`, inputs).
     ShardMerge(Vec<PathBuf>),
+    /// Re-encode one partial archive as JSON (`export-json IN --out OUT`).
+    ExportJson(PathBuf),
     /// Run campaign presets under the supervising orchestrator
     /// (`--shards`, optional `--max-retries`/`--straggler-timeout`/
     /// `--resume`).
@@ -94,6 +104,7 @@ struct Options {
     metrics: Option<PathBuf>,
     trace: Option<PathBuf>,
     max_regress: Option<f64>,
+    partial_format: Option<PartialFormat>,
 }
 
 impl Options {
@@ -130,6 +141,7 @@ fn parse_args(args: &[String]) -> Result<(Mode, Options), String> {
         metrics: None,
         trace: None,
         max_regress: None,
+        partial_format: None,
     };
     let mut subcommand: Option<String> = None;
     let mut positionals: Vec<String> = Vec::new();
@@ -203,6 +215,11 @@ fn parse_args(args: &[String]) -> Result<(Mode, Options), String> {
                 let value = flag_value(&mut iter, "--trace", "an output file")?;
                 options.trace = Some(PathBuf::from(value));
             }
+            "--partial-format" => {
+                let value = flag_value(&mut iter, "--partial-format", "'columns' or 'json'")?;
+                options.partial_format =
+                    Some(PartialFormat::parse(value).map_err(|e| e.to_string())?);
+            }
             "--max-regress" => {
                 let value = flag_value(&mut iter, "--max-regress", "a percentage")?;
                 let pct = value
@@ -215,8 +232,8 @@ fn parse_args(args: &[String]) -> Result<(Mode, Options), String> {
                 }
                 options.max_regress = Some(pct);
             }
-            name @ ("campaign" | "shard-plan" | "shard-worker" | "shard-merge" | "orchestrate"
-            | "profile" | "bench-diff")
+            name @ ("campaign" | "shard-plan" | "shard-worker" | "shard-merge" | "export-json"
+            | "orchestrate" | "profile" | "bench-diff")
                 if subcommand.is_none() =>
             {
                 // A subcommand after positionals would silently demote
@@ -246,7 +263,7 @@ fn parse_args(args: &[String]) -> Result<(Mode, Options), String> {
     let subcommand = subcommand.as_deref();
     if matches!(
         subcommand,
-        Some("shard-plan" | "shard-merge" | "bench-diff")
+        Some("shard-plan" | "shard-merge" | "export-json" | "bench-diff")
     ) {
         reject_flag(
             options.workers.is_some(),
@@ -269,6 +286,13 @@ fn parse_args(args: &[String]) -> Result<(Mode, Options), String> {
             options.max_regress.is_some(),
             "--max-regress",
             "the bench-diff subcommand",
+        )?;
+    }
+    if !matches!(subcommand, Some("campaign" | "orchestrate")) {
+        reject_flag(
+            options.partial_format.is_some(),
+            "--partial-format",
+            "the campaign (with --shards) and orchestrate subcommands",
         )?;
     }
     if !matches!(subcommand, None | Some("campaign" | "orchestrate")) {
@@ -297,7 +321,7 @@ fn parse_args(args: &[String]) -> Result<(Mode, Options), String> {
     }
     if matches!(
         subcommand,
-        Some("shard-plan" | "shard-worker" | "shard-merge" | "bench-diff")
+        Some("shard-plan" | "shard-worker" | "shard-merge" | "export-json" | "bench-diff")
     ) {
         reject_flag(
             options.metrics.is_some(),
@@ -317,11 +341,14 @@ fn parse_args(args: &[String]) -> Result<(Mode, Options), String> {
             "the shard-worker subcommand",
         )?;
     }
-    if !matches!(subcommand, Some("shard-worker" | "shard-merge")) {
+    if !matches!(
+        subcommand,
+        Some("shard-worker" | "shard-merge" | "export-json")
+    ) {
         reject_flag(
             options.out.is_some(),
             "--out",
-            "the shard-worker and shard-merge subcommands",
+            "the shard-worker, shard-merge and export-json subcommands",
         )?;
     }
     if !matches!(subcommand, Some("shard-plan")) {
@@ -339,6 +366,13 @@ fn parse_args(args: &[String]) -> Result<(Mode, Options), String> {
                     "campaign needs a preset name (available: {})",
                     presets::PRESET_NAMES.join(", ")
                 ));
+            }
+            // An in-process campaign writes no partials, so a requested
+            // wire format would be silently meaningless.
+            if options.partial_format.is_some() && options.shards.is_none() {
+                return Err("--partial-format needs --shards N (an in-process campaign \
+                            writes no partial archives)"
+                    .to_string());
             }
             Mode::Campaign(positionals)
         }
@@ -380,6 +414,18 @@ fn parse_args(args: &[String]) -> Result<(Mode, Options), String> {
                 return Err("shard-merge needs at least one partial archive".to_string());
             }
             Mode::ShardMerge(positionals.into_iter().map(PathBuf::from).collect())
+        }
+        Some("export-json") => {
+            if options.out.is_none() {
+                return Err("export-json needs --out FILE".to_string());
+            }
+            if positionals.len() != 1 {
+                return Err(
+                    "export-json needs exactly one partial archive: export-json IN --out OUT"
+                        .to_string(),
+                );
+            }
+            Mode::ExportJson(PathBuf::from(positionals.into_iter().next().expect("one")))
         }
         Some("orchestrate") => {
             if positionals.is_empty() {
@@ -490,7 +536,13 @@ fn run_campaigns(
                     // run legitimately leaves its directory behind.
                     let scratch = unique_scratch_dir(&format!("shards-{preset}"));
                     let result = run_campaign_preset_sharded(
-                        preset, fidelity, num_shards, workers, &exe, &scratch,
+                        preset,
+                        fidelity,
+                        num_shards,
+                        workers,
+                        &exe,
+                        &scratch,
+                        options.partial_format.unwrap_or_default(),
                     )
                     .and_then(|reports| {
                         // Collect the workers' telemetry sidecars before
@@ -562,6 +614,7 @@ fn run_orchestrate(
         straggler_timeout: options
             .straggler_timeout
             .map(std::time::Duration::from_secs_f64),
+        partial_format: options.partial_format.unwrap_or_default(),
         ..OrchestratorConfig::new(num_shards)
     };
     let mut stderr = std::io::stderr();
@@ -747,14 +800,10 @@ fn run_shard_worker(options: &Options) {
 fn run_shard_merge(partial_paths: &[PathBuf], options: &Options) {
     let out_path = options.out.as_ref().expect("checked at parse time");
     ensure_parent_dir(out_path);
-    let mut partials = Vec::with_capacity(partial_paths.len());
-    for path in partial_paths {
-        match ShardArchive::load(path) {
-            Ok(partial) => partials.push(partial),
-            Err(e) => fail(e),
-        }
-    }
-    let report = match merge_shards(&partials) {
+    // Streaming merge: each partial (columnar or JSON, detected from its
+    // bytes) is loaded, folded into the per-cell accumulators and dropped
+    // before the next — the driver never holds every shard's records.
+    let report = match merge_shard_files(partial_paths) {
         Ok(report) => report,
         Err(e) => fail(e),
     };
@@ -763,9 +812,31 @@ fn run_shard_merge(partial_paths: &[PathBuf], options: &Options) {
     }
     println!(
         "merged {} shard(s) of '{}' ({} trials) -> {}",
-        partials.len(),
+        partial_paths.len(),
         report.spec.name,
         report.spec.num_trials(),
+        out_path.display(),
+    );
+}
+
+fn run_export_json(input: &Path, options: &Options) {
+    let out_path = options.out.as_ref().expect("checked at parse time");
+    ensure_parent_dir(out_path);
+    let archive = match ShardArchive::load(input) {
+        Ok(archive) => archive,
+        Err(e) => fail(e),
+    };
+    // Always JSON, whatever the --out file is called: that is the point
+    // of the subcommand.
+    if let Err(e) = std::fs::write(out_path, archive.to_json_string()) {
+        fail(format_args!("writing {}: {e}", out_path.display()));
+    }
+    println!(
+        "exported shard {}/{} of '{}' ({} trial(s)) as JSON -> {}",
+        archive.shard.shard_index,
+        archive.shard.num_shards,
+        archive.spec.name,
+        archive.records.len(),
         out_path.display(),
     );
 }
@@ -809,6 +880,9 @@ fn main() {
         }
         Mode::ShardMerge(partials) => {
             run_shard_merge(&partials, &options);
+        }
+        Mode::ExportJson(input) => {
+            run_export_json(&input, &options);
         }
         Mode::ShardPlanFiles(presets_named) => {
             println!(

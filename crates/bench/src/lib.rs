@@ -25,8 +25,8 @@ use ivc_defense::evaluation::{ConfusionMatrix, RocCurve};
 use ivc_defense::features::DefenseFeatures;
 use ivc_experiments::orchestrate::{orchestrate, OrchestratorConfig, ProcessLauncher};
 use ivc_experiments::shard::{
-    merge_shards, metrics_sidecar_path, shard_archive_file_name, shard_job_file_name, ShardArchive,
-    ShardPlan,
+    merge_shard_files, metrics_sidecar_path, shard_archive_file_name, shard_archive_file_name_with,
+    shard_job_file_name, PartialFormat, ShardPlan,
 };
 use ivc_experiments::{
     presets, run_campaign, CampaignReport, CampaignSpec, CellCoords, TrialRecord,
@@ -545,12 +545,19 @@ pub fn run_campaign_preset(
 /// subcommands expose for multi-machine runs — this is that contract,
 /// driven across local processes.  `scratch_dir` is created if missing
 /// and left in place for the caller to inspect or delete.
+///
+/// `partial_format` picks the wire format the workers write (the `.bin`
+/// columnar default, or `.json` for humans); the merged bytes are
+/// identical either way.  The merge streams the partial files one at a
+/// time through per-cell accumulators, so driver memory stays O(cells)
+/// plus a single shard's records.
 pub fn run_campaign_spec_sharded(
     spec: &CampaignSpec,
     num_shards: usize,
     workers: usize,
     worker_exe: &Path,
     scratch_dir: &Path,
+    partial_format: PartialFormat,
 ) -> Result<CampaignReport> {
     // The library-level `ShardPlan::partition` tolerates more shards than
     // jobs (empty tails merge as no-ops), but at the driver level that
@@ -569,7 +576,11 @@ pub fn run_campaign_spec_sharded(
     let mut children = Vec::with_capacity(num_shards);
     for job in plan.jobs() {
         let job_path = scratch_dir.join(shard_job_file_name(&spec.name, &job.shard));
-        let out_path = scratch_dir.join(shard_archive_file_name(&spec.name, &job.shard));
+        let out_path = scratch_dir.join(shard_archive_file_name_with(
+            &spec.name,
+            &job.shard,
+            partial_format,
+        ));
         let spawned = job.save(&job_path).map_err(Into::into).and_then(|()| {
             std::process::Command::new(worker_exe)
                 .arg("shard-worker")
@@ -602,8 +613,10 @@ pub fn run_campaign_spec_sharded(
         }
     }
     // Wait for every worker before reporting, so a failure message never
-    // races with surviving children still writing partials.
-    let mut partials = Vec::with_capacity(num_shards);
+    // races with surviving children still writing partials.  Partials
+    // stay on disk until the streaming merge below — the driver never
+    // gathers every shard's records in memory at once.
+    let mut partial_paths = Vec::with_capacity(num_shards);
     let mut failures: Vec<String> = Vec::new();
     for (shard_index, out_path, mut child) in children {
         match child.wait() {
@@ -611,16 +624,17 @@ pub fn run_campaign_spec_sharded(
             Ok(status) if !status.success() => {
                 failures.push(format!("shard {shard_index} worker exited with {status}"))
             }
-            Ok(_) => match ShardArchive::load(&out_path) {
-                Ok(partial) => partials.push(partial),
-                Err(e) => failures.push(format!("loading shard {shard_index} partial: {e}")),
-            },
+            Ok(_) if !out_path.exists() => failures.push(format!(
+                "shard {shard_index} worker exited 0 but left no partial at {}",
+                out_path.display()
+            )),
+            Ok(_) => partial_paths.push(out_path),
         }
     }
     if !failures.is_empty() {
         return Err(failures.join("; ").into());
     }
-    Ok(merge_shards(&partials)?)
+    Ok(merge_shard_files(&partial_paths)?)
 }
 
 /// The sharded flavour of [`run_campaign_preset`]: each of the preset's
@@ -633,6 +647,7 @@ pub fn run_campaign_preset_sharded(
     workers: usize,
     worker_exe: &Path,
     scratch_dir: &Path,
+    partial_format: PartialFormat,
 ) -> Result<Vec<CampaignReport>> {
     let specs = presets::by_name(name, fidelity.quick()).ok_or_else(|| {
         format!(
@@ -642,7 +657,16 @@ pub fn run_campaign_preset_sharded(
     })?;
     specs
         .iter()
-        .map(|spec| run_campaign_spec_sharded(spec, num_shards, workers, worker_exe, scratch_dir))
+        .map(|spec| {
+            run_campaign_spec_sharded(
+                spec,
+                num_shards,
+                workers,
+                worker_exe,
+                scratch_dir,
+                partial_format,
+            )
+        })
         .collect()
 }
 
@@ -886,8 +910,15 @@ pub fn profile_campaign_preset_sharded(
     telemetry::reset();
     telemetry::set_enabled(true);
     let start = std::time::Instant::now();
-    let outcome =
-        run_campaign_preset_sharded(name, fidelity, num_shards, workers, worker_exe, scratch_dir);
+    let outcome = run_campaign_preset_sharded(
+        name,
+        fidelity,
+        num_shards,
+        workers,
+        worker_exe,
+        scratch_dir,
+        PartialFormat::default(),
+    );
     let wall_s = start.elapsed().as_secs_f64();
     telemetry::set_enabled(false);
     let local = telemetry::snapshot();

@@ -256,6 +256,41 @@ fn malformed_flag_values_are_one_line_errors() {
             &["bench-diff", "a.json", "b.json", "--workers", "2"][..],
             "--workers applies to",
         ),
+        (
+            &["campaign", "smoke", "--partial-format", "json"][..],
+            "--partial-format needs --shards",
+        ),
+        (
+            &[
+                "shard-merge",
+                "--out",
+                "x.json",
+                "--partial-format",
+                "json",
+                "p.json",
+            ][..],
+            "--partial-format applies to",
+        ),
+        (
+            &[
+                "campaign",
+                "smoke",
+                "--shards",
+                "2",
+                "--partial-format",
+                "xml",
+            ][..],
+            "expected 'columns' or 'json'",
+        ),
+        (&["export-json", "p.bin"][..], "export-json needs --out"),
+        (
+            &["export-json", "--out", "x.json"][..],
+            "exactly one partial archive",
+        ),
+        (
+            &["export-json", "a.bin", "b.bin", "--out", "x.json"][..],
+            "exactly one partial archive",
+        ),
     ] {
         let output = repro(args);
         let line = one_line_error(&output, &args.join(" "));
@@ -319,6 +354,105 @@ fn shard_merge_rejects_unreadable_partials() {
     ]);
     let line = one_line_error(&output, "missing partial");
     assert!(line.contains("reading"), "{line}");
+}
+
+/// The columnar shard contract end to end at the CLI: a worker writes
+/// columnar (`.bin`) or JSON (`.json`) partials depending on nothing but
+/// the `--out` extension; `export-json` re-encodes a binary partial to
+/// exactly the JSON the worker would have written; and `shard-merge`
+/// produces byte-identical reports from either wire format.
+#[test]
+fn columnar_and_json_partials_merge_to_identical_reports() {
+    let scratch = std::env::temp_dir().join(format!("ivc-cli-columnar-{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+    std::fs::create_dir_all(&scratch).unwrap();
+    let path = |name: &str| -> String { scratch.join(name).to_string_lossy().into_owned() };
+    let run = |args: &[&str], context: &str| {
+        let output = repro(args);
+        assert!(output.status.success(), "{context} failed: {output:?}");
+    };
+
+    run(
+        &[
+            "shard-plan",
+            "smoke",
+            "--shards",
+            "2",
+            "--out-dir",
+            &path(""),
+        ],
+        "shard-plan",
+    );
+    for shard in 0..2 {
+        let job = path(&format!("smoke.shard-{shard}-of-2.job.json"));
+        for ext in ["bin", "json"] {
+            run(
+                &[
+                    "shard-worker",
+                    "--job",
+                    &job,
+                    "--out",
+                    &path(&format!("part{shard}.{ext}")),
+                    "--workers",
+                    "1",
+                ],
+                &format!("shard-worker {shard} ({ext})"),
+            );
+        }
+    }
+    // The binary partial is compact, and its JSON export is byte-equal to
+    // what the worker writes when asked for JSON directly.
+    for shard in 0..2 {
+        let bin = std::fs::read(scratch.join(format!("part{shard}.bin"))).unwrap();
+        let json = std::fs::read(scratch.join(format!("part{shard}.json"))).unwrap();
+        assert!(
+            bin.len() < json.len(),
+            "columnar partial ({} bytes) should be smaller than JSON ({} bytes)",
+            bin.len(),
+            json.len()
+        );
+        run(
+            &[
+                "export-json",
+                &path(&format!("part{shard}.bin")),
+                "--out",
+                &path(&format!("export{shard}.json")),
+            ],
+            &format!("export-json {shard}"),
+        );
+        let exported = std::fs::read(scratch.join(format!("export{shard}.json"))).unwrap();
+        assert_eq!(
+            exported, json,
+            "export-json must reproduce the worker's JSON bytes for shard {shard}"
+        );
+    }
+    run(
+        &[
+            "shard-merge",
+            "--out",
+            &path("from-bin.json"),
+            &path("part0.bin"),
+            &path("part1.bin"),
+        ],
+        "merge from columnar",
+    );
+    run(
+        &[
+            "shard-merge",
+            "--out",
+            &path("from-json.json"),
+            &path("part0.json"),
+            &path("part1.json"),
+        ],
+        "merge from JSON",
+    );
+    let from_bin = std::fs::read_to_string(scratch.join("from-bin.json")).unwrap();
+    let from_json = std::fs::read_to_string(scratch.join("from-json.json")).unwrap();
+    assert_eq!(
+        from_bin, from_json,
+        "the merged report must not depend on the partial wire format"
+    );
+    std::fs::remove_dir_all(&scratch).ok();
 }
 
 /// An unknown preset through `profile` is the same one-line runtime

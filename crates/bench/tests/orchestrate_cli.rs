@@ -324,7 +324,7 @@ fn count_checkpoints(dir: &Path) -> usize {
         .flatten()
         .filter(|e| {
             let name = e.file_name().to_string_lossy().into_owned();
-            name.ends_with(".part.json") && !name.contains(".attempt-")
+            name.ends_with(".part.bin") && !name.contains(".attempt-")
         })
         .count()
 }

@@ -1,0 +1,266 @@
+//! Length-prefixed little-endian column primitives for compact binary
+//! archives.
+//!
+//! The model is deliberately tiny: a document is a flat byte buffer into
+//! which callers append fixed-width scalars (`u64`, `f64` as IEEE-754
+//! bits, `u8`) and length-prefixed byte strings.  A *column* is just a
+//! length-prefixed byte string whose payload was itself built with these
+//! primitives, so a reader can skip any column in O(1) — the length
+//! prefix is the seek table — and a fixed-width column (8 bytes per row)
+//! is directly addressable, which keeps the layout mmap-friendly.
+//!
+//! Everything is little-endian and nothing depends on platform layout,
+//! so the same logical document always produces the same bytes —
+//! the property the campaign archive formats build their byte-identity
+//! contracts on.  `f64` values travel as raw IEEE-754 bits
+//! ([`f64::to_bits`]), so every value — including negative zero and NaN
+//! payloads — round-trips exactly.
+//!
+//! Reads are bounds-checked: a truncated or trailing-garbage document is
+//! a [`ColumnError`], never a panic or a silent misread.
+
+/// Decode failure: the document ended early or held an impossible value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnError {
+    /// The reader needed more bytes than the document has left.
+    Truncated {
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+        /// Byte offset the read started at.
+        at: usize,
+    },
+    /// The bytes decoded to a value the document cannot mean.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ColumnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ColumnError::Truncated {
+                needed,
+                remaining,
+                at,
+            } => write!(
+                f,
+                "truncated column data: needed {needed} byte(s) at offset {at}, \
+                 {remaining} remaining"
+            ),
+            ColumnError::Malformed(message) => write!(f, "malformed column data: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ColumnError {}
+
+/// Result alias for column decoding.
+pub type Result<T> = std::result::Result<T, ColumnError>;
+
+/// Appends a `u64` as 8 little-endian bytes.
+pub fn put_u64(out: &mut Vec<u8>, value: u64) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends an `f64` as its 8 raw IEEE-754 bits, little-endian.
+pub fn put_f64(out: &mut Vec<u8>, value: f64) {
+    put_u64(out, value.to_bits());
+}
+
+/// Appends a single byte.
+pub fn put_u8(out: &mut Vec<u8>, value: u8) {
+    out.push(value);
+}
+
+/// Appends a length-prefixed byte string (u64 length, then the bytes).
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u64(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, text: &str) {
+    put_bytes(out, text.as_bytes());
+}
+
+/// A bounds-checked reader over a column document (or one column of it).
+#[derive(Debug, Clone, Copy)]
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor over the whole of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(ColumnError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+                at: self.pos,
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads 8 little-endian bytes as a `u64`.
+    pub fn take_u64(&mut self) -> Result<u64> {
+        let bytes = self.take(8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a `u64` that must fit in `usize` (lengths and counts).
+    pub fn take_len(&mut self) -> Result<usize> {
+        let value = self.take_u64()?;
+        usize::try_from(value)
+            .map_err(|_| ColumnError::Malformed(format!("length {value} exceeds usize")))
+    }
+
+    /// Reads 8 bytes as raw IEEE-754 `f64` bits.
+    pub fn take_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn take_bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.take_len()?;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<&'a str> {
+        let bytes = self.take_bytes()?;
+        std::str::from_utf8(bytes)
+            .map_err(|e| ColumnError::Malformed(format!("invalid UTF-8 string: {e}")))
+    }
+
+    /// Reads a length-prefixed column and returns a cursor over its
+    /// payload, so per-column framing errors stay local to that column.
+    pub fn take_column(&mut self) -> Result<Cursor<'a>> {
+        Ok(Cursor::new(self.take_bytes()?))
+    }
+
+    /// Asserts the document was consumed exactly: trailing bytes mean the
+    /// writer and reader disagree about the layout, which must be loud.
+    pub fn expect_end(&self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(ColumnError::Malformed(format!(
+                "{} trailing byte(s) after the last expected field",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Appends one length-prefixed column whose payload is produced by
+/// `write` — the standard way to frame a column so readers can skip it.
+pub fn put_column(out: &mut Vec<u8>, write: impl FnOnce(&mut Vec<u8>)) {
+    let mut payload = Vec::new();
+    write(&mut payload);
+    put_bytes(out, &payload);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_strings_round_trip() {
+        let mut out = Vec::new();
+        put_u64(&mut out, 0);
+        put_u64(&mut out, u64::MAX);
+        put_f64(&mut out, -0.0);
+        put_f64(&mut out, f64::from_bits(0x7ff8_0000_0000_1234)); // NaN payload
+        put_u8(&mut out, 2);
+        put_str(&mut out, "ivc \u{1F980}");
+        put_bytes(&mut out, &[]);
+        let mut cursor = Cursor::new(&out);
+        assert_eq!(cursor.take_u64().unwrap(), 0);
+        assert_eq!(cursor.take_u64().unwrap(), u64::MAX);
+        assert_eq!(cursor.take_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(
+            cursor.take_f64().unwrap().to_bits(),
+            0x7ff8_0000_0000_1234,
+            "NaN payloads must survive"
+        );
+        assert_eq!(cursor.take_u8().unwrap(), 2);
+        assert_eq!(cursor.take_str().unwrap(), "ivc \u{1F980}");
+        assert_eq!(cursor.take_bytes().unwrap(), &[] as &[u8]);
+        cursor.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_errors() {
+        let mut out = Vec::new();
+        put_u64(&mut out, 7);
+        let mut cursor = Cursor::new(&out[..5]);
+        assert!(matches!(
+            cursor.take_u64(),
+            Err(ColumnError::Truncated {
+                needed: 8,
+                remaining: 5,
+                at: 0
+            })
+        ));
+        // A length prefix pointing past the end is truncation, not a read
+        // of whatever follows.
+        let mut out = Vec::new();
+        put_u64(&mut out, 100);
+        out.extend_from_slice(b"short");
+        let mut cursor = Cursor::new(&out);
+        assert!(matches!(
+            cursor.take_bytes(),
+            Err(ColumnError::Truncated { needed: 100, .. })
+        ));
+        // Unread trailing bytes are loud.
+        let mut out = Vec::new();
+        put_u8(&mut out, 1);
+        put_u8(&mut out, 2);
+        let mut cursor = Cursor::new(&out);
+        cursor.take_u8().unwrap();
+        assert!(cursor.expect_end().is_err());
+    }
+
+    #[test]
+    fn columns_skip_and_nest() {
+        let mut out = Vec::new();
+        put_column(&mut out, |c| {
+            put_u64(c, 1);
+            put_u64(c, 2);
+        });
+        put_column(&mut out, |c| put_str(c, "second"));
+        let mut cursor = Cursor::new(&out);
+        // Skip the first column wholesale, then read the second.
+        let first = cursor.take_column().unwrap();
+        assert_eq!(first.remaining(), 16);
+        let mut second = cursor.take_column().unwrap();
+        assert_eq!(second.take_str().unwrap(), "second");
+        second.expect_end().unwrap();
+        cursor.expect_end().unwrap();
+    }
+
+    #[test]
+    fn invalid_utf8_is_malformed() {
+        let mut out = Vec::new();
+        put_bytes(&mut out, &[0xff, 0xfe]);
+        let mut cursor = Cursor::new(&out);
+        assert!(matches!(cursor.take_str(), Err(ColumnError::Malformed(_))));
+    }
+}

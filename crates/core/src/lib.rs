@@ -25,6 +25,9 @@
 //! * [`json`] — a dependency-free JSON value model, writer and parser used
 //!   to archive experiment reports (the vendored `serde` stand-in has no
 //!   data model, so archival gets its own deterministic layer).
+//! * [`columns`] — length-prefixed little-endian column primitives for
+//!   compact binary archives (the trial-record columnar format in
+//!   `ivc-experiments` is built on them).
 //! * [`telemetry`] — process-wide spans, counters and duration histograms
 //!   instrumenting the stages and everything above them; overhead-free
 //!   when disabled and never part of archived bytes.
@@ -32,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod columns;
 pub mod json;
 pub mod pipeline;
 pub mod prepare_cache;

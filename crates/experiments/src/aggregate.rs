@@ -118,65 +118,157 @@ pub fn wilson_interval(successes: usize, trials: usize) -> (f64, f64) {
     (low, high)
 }
 
-fn mean(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        0.0
-    } else {
-        values.iter().sum::<f64>() / values.len() as f64
+/// Running sum and count of an optional per-trial value: the streaming
+/// form of "mean over the trials where the value was present".
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct MeanAccumulator {
+    sum: f64,
+    count: usize,
+}
+
+impl MeanAccumulator {
+    fn fold(&mut self, value: Option<f64>) {
+        if let Some(value) = value {
+            self.sum += value;
+            self.count += 1;
+        }
+    }
+
+    fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
     }
 }
 
-fn mean_of_present(values: impl Iterator<Item = Option<f64>>) -> Option<f64> {
-    let present: Vec<f64> = values.flatten().collect();
-    if present.is_empty() {
-        None
-    } else {
-        Some(mean(&present))
+/// Streaming aggregation state for one cell: running counts and sums that
+/// fold trial records one at a time, so per-cell statistics — success
+/// counts, Wilson CIs, accuracy/SPL/shortfall/detection means — come from
+/// O(1) state per cell instead of a materialized record vector.
+///
+/// Records must be folded in slot (trial) order: floating-point addition
+/// is order-sensitive, and the byte-identity contract between the merged
+/// and the in-process report depends on the sums folding left to right
+/// exactly as [`aggregate_cells`] walks them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CellAccumulator {
+    trials: usize,
+    successes: usize,
+    word_accuracy_sum: f64,
+    power_shortfall_sum: f64,
+    bystander_spl_db: MeanAccumulator,
+    bystander_spl_dba: MeanAccumulator,
+    bystander_voice_spl_db: MeanAccumulator,
+    leak_audible: MeanAccumulator,
+    detection_probability: MeanAccumulator,
+    band_summary_sums: Vec<f64>,
+    band_summary_count: usize,
+}
+
+impl CellAccumulator {
+    /// A fresh accumulator with no trials folded.
+    pub fn new() -> CellAccumulator {
+        CellAccumulator::default()
+    }
+
+    /// Folds one trial record into the running sums.
+    pub fn fold(&mut self, record: &TrialRecord) {
+        self.trials += 1;
+        self.successes += usize::from(record.accepted);
+        self.word_accuracy_sum += record.word_accuracy;
+        self.power_shortfall_sum += record.power_shortfall_w;
+        self.bystander_spl_db.fold(record.bystander_spl_db);
+        self.bystander_spl_dba.fold(record.bystander_spl_dba);
+        self.bystander_voice_spl_db
+            .fold(record.bystander_voice_spl_db);
+        self.leak_audible
+            .fold(record.leak_audible.map(|a| if a { 1.0 } else { 0.0 }));
+        self.detection_probability
+            .fold(record.detection_probability);
+        if let Some(bands) = &record.recording_band_summary_db {
+            if self.band_summary_sums.len() < bands.len() {
+                self.band_summary_sums.resize(bands.len(), 0.0);
+            }
+            for (sum, value) in self.band_summary_sums.iter_mut().zip(bands) {
+                *sum += value;
+            }
+            self.band_summary_count += 1;
+        }
+    }
+
+    /// Number of trials folded so far.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Trials folded so far that were accepted end to end.
+    pub fn successes(&self) -> usize {
+        self.successes
+    }
+
+    /// Mean recording band-energy summary in dB over the trials that
+    /// carried one (`None` when no trial did).  Not part of [`CellStats`]
+    /// — the archived bytes are frozen — but available to streaming
+    /// consumers that would otherwise have to hold every record.
+    pub fn mean_band_summary_db(&self) -> Option<Vec<f64>> {
+        (self.band_summary_count > 0).then(|| {
+            self.band_summary_sums
+                .iter()
+                .map(|sum| sum / self.band_summary_count as f64)
+                .collect()
+        })
+    }
+
+    /// The cell's statistics from the running sums.  Bit-identical to the
+    /// batch computation over the same records in the same order.
+    pub fn stats(&self) -> CellStats {
+        let (ci_low, ci_high) = wilson_interval(self.successes, self.trials);
+        let n = self.trials as f64;
+        let mean_over_all = |sum: f64| if self.trials == 0 { 0.0 } else { sum / n };
+        CellStats {
+            trials: self.trials,
+            successes: self.successes,
+            success_rate: if self.trials == 0 {
+                0.0
+            } else {
+                self.successes as f64 / n
+            },
+            success_ci_low: ci_low,
+            success_ci_high: ci_high,
+            mean_word_accuracy: mean_over_all(self.word_accuracy_sum),
+            mean_bystander_spl_db: self.bystander_spl_db.mean(),
+            mean_bystander_spl_dba: self.bystander_spl_dba.mean(),
+            mean_bystander_voice_spl_db: self.bystander_voice_spl_db.mean(),
+            leak_audible_fraction: self.leak_audible.mean(),
+            mean_power_shortfall_w: mean_over_all(self.power_shortfall_sum),
+            mean_detection_probability: self.detection_probability.mean(),
+        }
     }
 }
 
-/// Computes each cell's statistics from the flat, job-ordered record list.
+/// Computes each cell's statistics from the flat, job-ordered record
+/// list, consuming it: records are moved — never cloned — into their
+/// cell's report, and the statistics come from a [`CellAccumulator`] per
+/// cell.
 pub fn aggregate_cells(
     spec: &CampaignSpec,
     cells: &[CellSpec],
-    records: &[TrialRecord],
+    records: Vec<TrialRecord>,
 ) -> Vec<CellReport> {
+    let mut records = records.into_iter();
     cells
         .iter()
         .map(|cell| {
-            let start = cell.cell_index * spec.trials_per_cell;
-            let trials: Vec<TrialRecord> = records[start..start + spec.trials_per_cell].to_vec();
+            let mut accumulator = CellAccumulator::new();
+            let trials: Vec<TrialRecord> = records
+                .by_ref()
+                .take(spec.trials_per_cell)
+                .inspect(|t| accumulator.fold(t))
+                .collect();
             debug_assert!(trials.iter().all(|t| t.cell_index == cell.cell_index));
-            let successes = trials.iter().filter(|t| t.accepted).count();
-            let (ci_low, ci_high) = wilson_interval(successes, trials.len());
-            let accuracies: Vec<f64> = trials.iter().map(|t| t.word_accuracy).collect();
-            let shortfalls: Vec<f64> = trials.iter().map(|t| t.power_shortfall_w).collect();
-            let stats = CellStats {
-                trials: trials.len(),
-                successes,
-                success_rate: successes as f64 / trials.len() as f64,
-                success_ci_low: ci_low,
-                success_ci_high: ci_high,
-                mean_word_accuracy: mean(&accuracies),
-                mean_bystander_spl_db: mean_of_present(trials.iter().map(|t| t.bystander_spl_db)),
-                mean_bystander_spl_dba: mean_of_present(trials.iter().map(|t| t.bystander_spl_dba)),
-                mean_bystander_voice_spl_db: mean_of_present(
-                    trials.iter().map(|t| t.bystander_voice_spl_db),
-                ),
-                leak_audible_fraction: mean_of_present(
-                    trials
-                        .iter()
-                        .map(|t| t.leak_audible.map(|a| if a { 1.0 } else { 0.0 })),
-                ),
-                mean_power_shortfall_w: mean(&shortfalls),
-                mean_detection_probability: mean_of_present(
-                    trials.iter().map(|t| t.detection_probability),
-                ),
-            };
+            debug_assert_eq!(trials.len(), spec.trials_per_cell);
             CellReport {
                 cell: *cell,
                 label: spec.cell_label(cell),
-                stats,
+                stats: accumulator.stats(),
                 trials,
             }
         })
@@ -280,7 +372,7 @@ mod tests {
                 ));
             }
         }
-        let reports = aggregate_cells(&spec, &cells, &records);
+        let reports = aggregate_cells(&spec, &cells, records);
         assert_eq!(reports.len(), 4);
         assert_eq!(reports[0].stats.successes, 2);
         assert_eq!(reports[0].stats.success_rate, 1.0);
@@ -322,7 +414,7 @@ mod tests {
                 ..record(0, t, true, 1.0)
             })
             .collect();
-        let reports = aggregate_cells(&spec, &cells, &records);
+        let reports = aggregate_cells(&spec, &cells, records);
         assert_eq!(reports[0].stats.mean_bystander_spl_db, None);
         assert_eq!(reports[0].stats.leak_audible_fraction, None);
     }

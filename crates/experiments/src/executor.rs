@@ -168,7 +168,7 @@ pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> Result<CampaignRepor
     let records = execute_jobs(spec, 0, spec.num_trials(), workers)?;
     let _span = telemetry::span("campaign.aggregate");
     let cells = spec.cells();
-    let cell_reports = aggregate_cells(spec, &cells, &records);
+    let cell_reports = aggregate_cells(spec, &cells, records);
     let curves = psychometric_curves(spec, &cell_reports);
     Ok(CampaignReport {
         spec: spec.clone(),

@@ -21,8 +21,14 @@
 //! * [`shard`] — multi-process/multi-machine scaling: a [`ShardPlan`]
 //!   partitions the job space into contiguous `(cell, trial)` ranges,
 //!   [`run_shard`] executes one range anywhere from the pure spec, and
-//!   [`merge_shards`] reassembles a report **byte-identical** to the
-//!   single-process run.
+//!   [`merge_shards`] / [`merge_shard_files`] reassemble a report
+//!   **byte-identical** to the single-process run by streaming each
+//!   partial through per-cell accumulators — merge memory is O(cells),
+//!   not O(trials held twice).
+//! * [`columns`] — the compact binary wire format for shard partials
+//!   (`ivc-trial-columns-v1`): one length-prefixed column per
+//!   [`TrialRecord`] field, deterministic bytes, loud versioned
+//!   rejection of foreign or truncated archives.
 //! * [`orchestrate`] — the self-driving control plane over [`shard`]:
 //!   [`orchestrate::orchestrate`] supervises a fleet of shard workers
 //!   with bounded retries, straggler re-issue (first completed result
@@ -52,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod columns;
 pub mod error;
 pub mod executor;
 pub mod grid;
@@ -60,7 +67,8 @@ pub mod presets;
 pub mod report;
 pub mod shard;
 
-pub use aggregate::{CellReport, CellStats, PsychometricCurve};
+pub use aggregate::{CellAccumulator, CellReport, CellStats, PsychometricCurve};
+pub use columns::COLUMNS_FORMAT;
 pub use error::{ExperimentError, Result};
 pub use executor::{default_workers, run_campaign, train_detector_model, TrialRecord};
 pub use grid::{
@@ -73,12 +81,14 @@ pub use orchestrate::{
 };
 pub use report::CampaignReport;
 pub use shard::{
-    merge_shards, metrics_sidecar_path, run_shard, ShardArchive, ShardJob, ShardPlan, ShardRange,
+    merge_shard_files, merge_shards, metrics_sidecar_path, run_shard, shard_archive_file_name_with,
+    PartialFormat, ShardArchive, ShardJob, ShardMerger, ShardPlan, ShardRange,
 };
 
 /// The commonly used items, in one import.
 pub mod prelude {
-    pub use crate::aggregate::{CellReport, CellStats, PsychometricCurve};
+    pub use crate::aggregate::{CellAccumulator, CellReport, CellStats, PsychometricCurve};
+    pub use crate::columns::COLUMNS_FORMAT;
     pub use crate::error::{ExperimentError, Result};
     pub use crate::executor::{default_workers, run_campaign, train_detector_model, TrialRecord};
     pub use crate::grid::{
@@ -91,7 +101,8 @@ pub mod prelude {
     };
     pub use crate::report::CampaignReport;
     pub use crate::shard::{
-        merge_shards, metrics_sidecar_path, run_shard, ShardArchive, ShardJob, ShardPlan,
-        ShardRange,
+        merge_shard_files, merge_shards, metrics_sidecar_path, run_shard,
+        shard_archive_file_name_with, PartialFormat, ShardArchive, ShardJob, ShardMerger,
+        ShardPlan, ShardRange,
     };
 }

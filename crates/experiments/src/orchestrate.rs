@@ -33,20 +33,26 @@
 //! *derived* from the same events by [`RunEvent::render`], so the two can
 //! never drift apart.
 //!
-//! The final report is produced by [`crate::shard::merge_shards`] over
-//! the checkpointed partials, so it is **byte-identical** to the
-//! in-process [`crate::run_campaign`] run no matter how many failures,
-//! retries, re-issues or resumes happened along the way.
+//! The final report is produced by [`crate::shard::merge_shard_files`]
+//! streaming the checkpointed partials one at a time through per-cell
+//! accumulators, so it is **byte-identical** to the in-process
+//! [`crate::run_campaign`] run no matter how many failures, retries,
+//! re-issues or resumes happened along the way — and the orchestrator
+//! never holds more than one shard's records in memory at once.
 //!
 //! ## Checkpoint layout
 //!
-//! Everything lives flat in one scratch directory, named by the spec:
+//! Everything lives flat in one scratch directory, named by the spec.
+//! Partials default to the compact columnar format
+//! ([`crate::columns::COLUMNS_FORMAT`], extension `.bin`); setting
+//! [`OrchestratorConfig::partial_format`] to [`PartialFormat::Json`]
+//! switches every partial file below to `.json`:
 //!
 //! ```text
 //! <spec>.shard-i-of-n.job.json                 shard job (input, rewritten on start)
-//! <spec>.shard-i-of-n.part.json                checkpoint: a complete, validated partial
+//! <spec>.shard-i-of-n.part.bin                 checkpoint: a complete, validated partial
 //! <spec>.shard-i-of-n.part.metrics.json        the checkpoint's telemetry sidecar
-//! <spec>.shard-i-of-n.part.attempt-<nonce>-<k>.json  in-flight attempt output
+//! <spec>.shard-i-of-n.part.attempt-<nonce>-<k>.bin  in-flight attempt output
 //! <spec>.shard-i-of-n.part.attempt-<nonce>-<k>.metrics.json  its in-flight sidecar
 //! <spec>.manifest.jsonl                        append-only JSONL run manifest
 //! ```
@@ -56,11 +62,11 @@
 //! ([`crate::shard::metrics_sidecar_path`]).  The sidecar shares the
 //! attempt file's fate: renamed with the checkpoint on acceptance, deleted
 //! with a failed or duplicate attempt, resumed with a surviving
-//! checkpoint — so after a run every `*.part.json` has a matching
+//! checkpoint — so after a run every partial checkpoint has a matching
 //! `*.part.metrics.json` and the driver can merge them into one
 //! fleet-wide metrics document.
 //!
-//! The canonical `*.part.json` name only ever holds a finished partial
+//! The canonical checkpoint name only ever holds a finished partial
 //! that passed [`ShardArchive::validate_for`] — attempts write to their
 //! own uniquely-named file and are renamed into place on success, so a
 //! crash mid-write can never corrupt a checkpoint.
@@ -69,8 +75,8 @@ use crate::aggregate::wilson_interval;
 use crate::error::{ExperimentError, Result};
 use crate::grid::CampaignSpec;
 use crate::shard::{
-    merge_shards, metrics_sidecar_path, run_shard, shard_archive_file_name, shard_job_file_name,
-    ShardArchive, ShardJob, ShardPlan,
+    merge_shard_files, metrics_sidecar_path, run_shard, shard_archive_file_name_with,
+    shard_job_file_name, PartialFormat, ShardArchive, ShardJob, ShardPlan,
 };
 use ivc_core::json::{u64_to_json, JsonValue};
 use ivc_core::telemetry;
@@ -126,6 +132,12 @@ pub struct OrchestratorConfig {
     /// this long (one is also emitted at startup and after every finished
     /// shard).
     pub progress_interval: Duration,
+    /// Wire format for partial archives (checkpoints and attempt
+    /// outputs): compact columnar by default, JSON for humans and old
+    /// tooling.  Checkpoints left by a previous run in the *other*
+    /// format still resume — [`ShardArchive::load`] detects the format
+    /// from the bytes.
+    pub partial_format: PartialFormat,
 }
 
 impl OrchestratorConfig {
@@ -141,6 +153,7 @@ impl OrchestratorConfig {
             max_concurrent: num_shards,
             poll_interval: Duration::from_millis(25),
             progress_interval: Duration::from_secs(5),
+            partial_format: PartialFormat::default(),
         }
     }
 }
@@ -563,6 +576,11 @@ impl EventLog<'_> {
 }
 
 /// Per-shard bookkeeping of the supervision loop.
+///
+/// Deliberately **not** holding the shard's records: a validated partial
+/// lives on disk at `checkpoint_path` until the final streaming merge.
+/// Only the per-trial acceptance flags are kept (one bool per trial) so
+/// the interim per-cell aggregates can stream without re-reading files.
 struct Slot {
     job: ShardJob,
     job_path: PathBuf,
@@ -572,7 +590,9 @@ struct Slot {
     failures: usize,
     /// Earliest instant the next retry may launch (backoff).
     not_before: Instant,
-    partial: Option<ShardArchive>,
+    /// `Some` once the shard is Done: `accepted[i]` for slot
+    /// `start_job + i`.
+    accepted: Option<Vec<bool>>,
 }
 
 /// One in-flight attempt.
@@ -588,10 +608,17 @@ struct Inflight {
 /// `(run nonce, attempt)` suffix, so concurrent attempts — including
 /// orphans of a killed previous orchestrator — never collide, and the
 /// canonical name is only ever written by an atomic rename.
-fn attempt_file_name(spec_name: &str, slot: &Slot, nonce: u32, attempt: usize) -> String {
-    let base = shard_archive_file_name(spec_name, &slot.job.shard);
-    let stem = base.strip_suffix(".json").unwrap_or(&base);
-    format!("{stem}.attempt-{nonce}-{attempt}.json")
+fn attempt_file_name(slot: &Slot, nonce: u32, attempt: usize) -> String {
+    let base = slot
+        .checkpoint_path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let (stem, extension) = match base.strip_suffix(".json") {
+        Some(stem) => (stem, "json"),
+        None => (base.strip_suffix(".bin").unwrap_or(&base), "bin"),
+    };
+    format!("{stem}.attempt-{nonce}-{attempt}.{extension}")
 }
 
 /// Runs one campaign under supervision: shards are issued to `launcher`,
@@ -655,7 +682,11 @@ pub fn orchestrate(
     for job in plan.jobs() {
         let job_path = scratch_dir.join(shard_job_file_name(&spec.name, &job.shard));
         job.save(&job_path)?;
-        let checkpoint_path = scratch_dir.join(shard_archive_file_name(&spec.name, &job.shard));
+        let checkpoint_path = scratch_dir.join(shard_archive_file_name_with(
+            &spec.name,
+            &job.shard,
+            config.partial_format,
+        ));
         let mut slot = Slot {
             job,
             job_path,
@@ -664,8 +695,25 @@ pub fn orchestrate(
             attempts_started: 0,
             failures: 0,
             not_before: now,
-            partial: None,
+            accepted: None,
         };
+        // A previous run may have checkpointed in the other format (a
+        // pre-columnar run, or a format switch between runs): its
+        // checkpoint is just as valid, so resume from it where it is.
+        if !slot.checkpoint_path.exists() {
+            let other = match config.partial_format {
+                PartialFormat::Columns => PartialFormat::Json,
+                PartialFormat::Json => PartialFormat::Columns,
+            };
+            let legacy = scratch_dir.join(shard_archive_file_name_with(
+                &spec.name,
+                &slot.job.shard,
+                other,
+            ));
+            if legacy.exists() {
+                slot.checkpoint_path = legacy;
+            }
+        }
         if slot.checkpoint_path.exists() {
             let loaded = ShardArchive::load(&slot.checkpoint_path).and_then(|partial| {
                 partial.validate_for(&slot.job)?;
@@ -681,7 +729,7 @@ pub fn orchestrate(
                             ("trials", u64_to_json(partial.records.len() as u64)),
                         ],
                     );
-                    slot.partial = Some(partial);
+                    slot.accepted = Some(partial.records.iter().map(|r| r.accepted).collect());
                     slot.state = ShardState::Done;
                     stats.resumed += 1;
                     telemetry::add_count("orchestrate.resumed", 1);
@@ -814,7 +862,8 @@ pub fn orchestrate(
                                     metrics_sidecar_path(&slot.checkpoint_path),
                                 );
                             }
-                            slot.partial = Some(partial);
+                            slot.accepted =
+                                Some(partial.records.iter().map(|r| r.accepted).collect());
                             slot.state = ShardState::Done;
                             done += 1;
                             done_trials += slot.job.shard.num_jobs();
@@ -952,8 +1001,7 @@ pub fn orchestrate(
                 }
                 let slot = &mut slots[shard_index];
                 let attempt = slot.attempts_started;
-                let out_path =
-                    scratch_dir.join(attempt_file_name(&spec.name, slot, nonce, attempt));
+                let out_path = scratch_dir.join(attempt_file_name(slot, nonce, attempt));
                 let handle = launcher.launch(&slot.job, &slot.job_path, attempt, &out_path)?;
                 slot.attempts_started += 1;
                 stats.launched += 1;
@@ -995,7 +1043,7 @@ pub fn orchestrate(
             }
             let retry = slot.state == ShardState::Retrying;
             let attempt = slot.attempts_started;
-            let out_path = scratch_dir.join(attempt_file_name(&spec.name, slot, nonce, attempt));
+            let out_path = scratch_dir.join(attempt_file_name(slot, nonce, attempt));
             let handle = launcher.launch(&slot.job, &slot.job_path, attempt, &out_path)?;
             slot.attempts_started += 1;
             slot.state = ShardState::Issued;
@@ -1035,11 +1083,12 @@ pub fn orchestrate(
         }
     }
 
-    let partials: Vec<ShardArchive> = slots
-        .iter()
-        .map(|s| s.partial.clone().expect("all shards done"))
-        .collect();
-    let report = merge_shards(&partials)?;
+    // Stream the final merge from the checkpoint files: each partial is
+    // loaded, folded into the per-cell accumulators and dropped before
+    // the next one — the old gather-then-clone path held every record
+    // twice.
+    let checkpoint_paths: Vec<PathBuf> = slots.iter().map(|s| s.checkpoint_path.clone()).collect();
+    let report = merge_shard_files(&checkpoint_paths)?;
     let wall_s = status.start.elapsed().as_secs_f64();
     let trials_per_s = if wall_s > 0.0 {
         num_jobs as f64 / wall_s
@@ -1121,11 +1170,10 @@ fn report_completed_cells(
             if lo >= hi {
                 continue;
             }
-            let partial = slot.partial.as_ref().expect("covered shards are done");
+            let accepted = slot.accepted.as_ref().expect("covered shards are done");
             for slot_index in lo..hi {
-                let record = &partial.records[slot_index - range.start_job];
                 trials += 1;
-                if record.accepted {
+                if accepted[slot_index - range.start_job] {
                     successes += 1;
                 }
             }
@@ -1158,6 +1206,7 @@ mod tests {
     use super::*;
     use crate::executor::TrialRecord;
     use crate::grid::DeliverySpec;
+    use crate::shard::{merge_shards, shard_archive_file_name};
     use std::cell::RefCell;
     use std::collections::HashMap;
     use std::rc::Rc;
@@ -1324,7 +1373,7 @@ mod tests {
             .iter()
             .map(|job| fabricated_partial(spec, job))
             .collect();
-        merge_shards(&partials).unwrap().to_json_string()
+        merge_shards(partials).unwrap().to_json_string()
     }
 
     #[test]

@@ -873,7 +873,7 @@ mod tests {
                 });
             }
         }
-        let cell_reports = aggregate_cells(&spec, &cells, &records);
+        let cell_reports = aggregate_cells(&spec, &cells, records);
         let curves = psychometric_curves(&spec, &cell_reports);
         CampaignReport {
             spec,

@@ -10,19 +10,29 @@
 //! [`TrialRecord`]s ever cross the boundary, never waveforms — and emits a
 //! partial archive ([`ShardArchive`], format [`SHARD_FORMAT`]).
 //!
-//! [`merge_shards`] reassembles the partials into slot order, re-runs the
-//! aggregation layer, and returns a [`CampaignReport`] that is
-//! **byte-identical** to the single-process [`crate::run_campaign`] run of
-//! the same spec, at any shard count and any per-shard worker count.  The
-//! contract holds because every trial is a pure function of
-//! `(spec, cell, seed)` and both the record order and the aggregation are
-//! functions of the spec alone — scheduling, sharding and process
-//! boundaries never reach the bytes.
+//! [`merge_shards`] reassembles the partials in slot order and streams
+//! them through a [`ShardMerger`] — per-cell
+//! [`CellAccumulator`](crate::aggregate::CellAccumulator)s fold each
+//! record once as its shard is absorbed, records move (never clone) into
+//! their cell's report, and the aggregation state stays O(cells) — then
+//! returns a [`CampaignReport`] that is **byte-identical** to the
+//! single-process [`crate::run_campaign`] run of the same spec, at any
+//! shard count and any per-shard worker count.  The contract holds
+//! because every trial is a pure function of `(spec, cell, seed)` and
+//! both the record order and the aggregation are functions of the spec
+//! alone — scheduling, sharding and process boundaries never reach the
+//! bytes.
+//!
+//! Partials travel in the compact columnar format by default
+//! ([`crate::columns`], tag `ivc-trial-columns-v1`); the JSON form
+//! ([`SHARD_FORMAT`]) is still written on request (`.json` output paths,
+//! `--partial-format json`) and always accepted on load.
 
-use crate::aggregate::{aggregate_cells, psychometric_curves};
+use crate::aggregate::{psychometric_curves, CellAccumulator, CellReport};
+use crate::columns;
 use crate::error::{ExperimentError, Result};
 use crate::executor::{execute_jobs, TrialRecord};
-use crate::grid::CampaignSpec;
+use crate::grid::{CampaignSpec, CellSpec};
 use crate::report::{
     obj, req, req_str, req_usize, spec_from_json, spec_to_json, trial_from_json, trial_to_json,
     CampaignReport,
@@ -132,25 +142,81 @@ pub fn shard_job_file_name(spec_name: &str, shard: &ShardRange) -> String {
     )
 }
 
-/// Stable file name of a shard's partial archive.
-pub fn shard_archive_file_name(spec_name: &str, shard: &ShardRange) -> String {
+/// On-disk encoding of a shard's partial archive.  [`ShardArchive::save`]
+/// picks the encoding from the output path's extension and
+/// [`ShardArchive::load`] detects it from the content, so the format is
+/// carried by the file name — this enum names the two spellings where a
+/// caller chooses one (`--partial-format`, checkpoint layouts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartialFormat {
+    /// Compact binary columnar (`.part.bin`, tag `ivc-trial-columns-v1`)
+    /// — the default wire format.
+    #[default]
+    Columns,
+    /// Pretty-printed JSON (`.part.json`, tag [`SHARD_FORMAT`]) — the
+    /// legacy wire format, still accepted everywhere and kept as the
+    /// human-facing export.
+    Json,
+}
+
+impl PartialFormat {
+    /// The file extension that selects this encoding.
+    pub fn extension(&self) -> &'static str {
+        match self {
+            PartialFormat::Columns => "bin",
+            PartialFormat::Json => "json",
+        }
+    }
+
+    /// Parses a `--partial-format` value.
+    pub fn parse(value: &str) -> Result<PartialFormat> {
+        match value {
+            "columns" => Ok(PartialFormat::Columns),
+            "json" => Ok(PartialFormat::Json),
+            other => Err(ExperimentError::invalid(
+                "partial-format",
+                format!("'{other}' (expected 'columns' or 'json')"),
+            )),
+        }
+    }
+}
+
+/// Stable file name of a shard's partial archive in the chosen encoding.
+pub fn shard_archive_file_name_with(
+    spec_name: &str,
+    shard: &ShardRange,
+    format: PartialFormat,
+) -> String {
     format!(
-        "{spec_name}.shard-{}-of-{}.part.json",
-        shard.shard_index, shard.num_shards
+        "{spec_name}.shard-{}-of-{}.part.{}",
+        shard.shard_index,
+        shard.num_shards,
+        format.extension()
     )
 }
 
+/// Stable file name of a shard's partial archive (the default columnar
+/// encoding, `.part.bin`).
+pub fn shard_archive_file_name(spec_name: &str, shard: &ShardRange) -> String {
+    shard_archive_file_name_with(spec_name, shard, PartialFormat::Columns)
+}
+
 /// Path of the telemetry sidecar a worker writes next to a partial
-/// archive: the partial's path with `.json` replaced by `.metrics.json`.
-/// Derived from the *output* path, so an attempt-unique partial gets an
-/// attempt-unique sidecar, and the orchestrator can rename the two
-/// together when a checkpoint is accepted.
+/// archive: the partial's path with its `.bin`/`.json` extension replaced
+/// by `.metrics.json` — identical for both partial encodings, so format
+/// choice never moves the sidecar.  Derived from the *output* path, so an
+/// attempt-unique partial gets an attempt-unique sidecar, and the
+/// orchestrator can rename the two together when a checkpoint is
+/// accepted.
 pub fn metrics_sidecar_path(partial_path: &Path) -> std::path::PathBuf {
     let name = partial_path
         .file_name()
         .map(|n| n.to_string_lossy().into_owned())
         .unwrap_or_default();
-    let stem = name.strip_suffix(".json").unwrap_or(&name);
+    let stem = name
+        .strip_suffix(".json")
+        .or_else(|| name.strip_suffix(".bin"))
+        .unwrap_or(&name);
     partial_path.with_file_name(format!("{stem}.metrics.json"))
 }
 
@@ -251,17 +317,58 @@ impl ShardArchive {
         })
     }
 
-    /// Writes the partial archive to `path`.
+    /// Serialises the partial archive to the compact columnar encoding
+    /// ([`crate::columns`], tag `ivc-trial-columns-v1`).
+    pub fn to_column_bytes(&self) -> Vec<u8> {
+        columns::to_column_bytes(self)
+    }
+
+    /// Parses the columnar encoding back into a partial archive.
+    pub fn from_column_bytes(bytes: &[u8]) -> Result<ShardArchive> {
+        columns::from_column_bytes(bytes)
+    }
+
+    /// Writes the partial archive to `path` — as JSON when the path ends
+    /// in `.json`, in the columnar encoding otherwise.  The output path
+    /// *is* the format switch, so launchers and workers agree on the
+    /// encoding by agreeing on the file name alone.
     pub fn save(&self, path: &Path) -> Result<()> {
-        std::fs::write(path, self.to_json_string())
+        let bytes = if path.extension().is_some_and(|e| e == "json") {
+            self.to_json_string().into_bytes()
+        } else {
+            self.to_column_bytes()
+        };
+        std::fs::write(path, bytes)
             .map_err(|e| ExperimentError::Io(format!("writing {}: {e}", path.display())))
     }
 
-    /// Reads a partial archive back from `path`.
+    /// Reads a partial archive back from `path`, detecting the encoding
+    /// from the content (JSON documents start with `{`), so columnar and
+    /// legacy JSON partials load through the same call.
     pub fn load(path: &Path) -> Result<ShardArchive> {
-        let text = std::fs::read_to_string(path)
+        let bytes = std::fs::read(path)
             .map_err(|e| ExperimentError::Io(format!("reading {}: {e}", path.display())))?;
-        ShardArchive::from_json_str(&text)
+        if columns::looks_columnar(&bytes) {
+            return ShardArchive::from_column_bytes(&bytes);
+        }
+        let text = std::str::from_utf8(&bytes)
+            .map_err(|e| ExperimentError::decode(format!("{}: {e}", path.display())))?;
+        ShardArchive::from_json_str(text)
+    }
+
+    /// Reads just the shard's slot range from `path`: O(header) for a
+    /// columnar partial, a full parse for a legacy JSON one.  Lets a
+    /// streaming merge order its input files without holding more than
+    /// one decoded partial at a time.
+    pub fn peek_range(path: &Path) -> Result<ShardRange> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| ExperimentError::Io(format!("reading {}: {e}", path.display())))?;
+        if columns::looks_columnar(&bytes) {
+            return columns::peek_column_range(&bytes);
+        }
+        let text = std::str::from_utf8(&bytes)
+            .map_err(|e| ExperimentError::decode(format!("{}: {e}", path.display())))?;
+        Ok(ShardArchive::from_json_str(text)?.shard)
     }
 
     /// Checks that this partial is exactly the finished form of `job`:
@@ -340,57 +447,150 @@ pub fn run_shard(job: &ShardJob, workers: usize) -> Result<ShardArchive> {
     })
 }
 
-/// Merges shard partials back into the full campaign report.
+/// Streaming shard merge: absorbs partials one at a time — in slot order
+/// — folding every record into its cell's
+/// [`CellAccumulator`](crate::aggregate::CellAccumulator) and moving it
+/// (never cloning) into the cell's trial list, then finishes into the
+/// full [`CampaignReport`].
+///
+/// Aggregation state is O(cells): one accumulator of running sums per
+/// cell.  The record vectors themselves end up in the report (the JSON
+/// archive embeds every trial), but only ever in one copy, and a caller
+/// that loads partials from files one by one ([`merge_shard_files`])
+/// never holds more than one shard's records beyond that single copy.
+pub struct ShardMerger {
+    spec: CampaignSpec,
+    cells: Vec<CellSpec>,
+    accumulators: Vec<CellAccumulator>,
+    trials: Vec<Vec<TrialRecord>>,
+    expected_start: usize,
+}
+
+impl ShardMerger {
+    /// A merger for `spec`'s job space, with every cell empty.
+    pub fn new(spec: CampaignSpec) -> Result<ShardMerger> {
+        spec.validate()?;
+        let cells = spec.cells();
+        Ok(ShardMerger {
+            accumulators: vec![CellAccumulator::new(); cells.len()],
+            trials: vec![Vec::new(); cells.len()],
+            cells,
+            spec,
+            expected_start: 0,
+        })
+    }
+
+    /// Absorbs the next partial, which must continue the tiling exactly
+    /// where the previous one ended (callers with unordered input sort by
+    /// `start_job` first, as [`merge_shards`] does): the slot-order
+    /// discipline is what keeps the floating-point sums — and therefore
+    /// the merged bytes — identical to the in-process run.
+    pub fn absorb(&mut self, shard: ShardArchive) -> Result<()> {
+        validate_partial(&shard, &self.spec)?;
+        let range = shard.shard;
+        if range.start_job < self.expected_start {
+            return Err(ExperimentError::Merge(format!(
+                "shard {} overlaps: jobs [{}, {}) but jobs below {} are already covered",
+                range.shard_index, range.start_job, range.end_job, self.expected_start
+            )));
+        }
+        if range.start_job > self.expected_start {
+            return Err(ExperimentError::Merge(format!(
+                "gap in shard coverage: jobs [{}, {}) are missing",
+                self.expected_start, range.start_job
+            )));
+        }
+        let trials_per_cell = self.spec.trials_per_cell;
+        for (offset, record) in shard.records.into_iter().enumerate() {
+            let cell_index = (range.start_job + offset) / trials_per_cell;
+            self.accumulators[cell_index].fold(&record);
+            self.trials[cell_index].push(record);
+        }
+        self.expected_start = range.end_job;
+        Ok(())
+    }
+
+    /// Checks the tiling reached the end of the job space and builds the
+    /// report from the per-cell accumulators and the moved records.
+    pub fn finish(self) -> Result<CampaignReport> {
+        let num_jobs = self.spec.num_trials();
+        if self.expected_start != num_jobs {
+            return Err(ExperimentError::Merge(format!(
+                "gap in shard coverage: jobs [{}, {num_jobs}) are missing",
+                self.expected_start
+            )));
+        }
+        let cell_reports: Vec<CellReport> = self
+            .cells
+            .iter()
+            .zip(self.accumulators)
+            .zip(self.trials)
+            .map(|((cell, accumulator), trials)| CellReport {
+                cell: *cell,
+                label: self.spec.cell_label(cell),
+                stats: accumulator.stats(),
+                trials,
+            })
+            .collect();
+        let curves = psychometric_curves(&self.spec, &cell_reports);
+        Ok(CampaignReport {
+            spec: self.spec,
+            cells: cell_reports,
+            curves,
+        })
+    }
+}
+
+/// Merges shard partials back into the full campaign report, consuming
+/// them: records move into the report, they are never cloned.
 ///
 /// The partials may arrive in any order; they are sorted into slot order,
 /// checked against each other (same spec, no gaps, no overlaps, records
-/// agreeing with their slots) and aggregated.  The result is
-/// byte-identical to [`crate::run_campaign`] on the same spec.
-pub fn merge_shards(shards: &[ShardArchive]) -> Result<CampaignReport> {
+/// agreeing with their slots) and streamed through a [`ShardMerger`].
+/// The result is byte-identical to [`crate::run_campaign`] on the same
+/// spec.
+pub fn merge_shards(mut shards: Vec<ShardArchive>) -> Result<CampaignReport> {
     let first = shards
         .first()
         .ok_or_else(|| ExperimentError::Merge("no shard archives to merge".to_string()))?;
-    let spec = &first.spec;
-    spec.validate()?;
-    let num_jobs = spec.num_trials();
-
-    let mut ordered: Vec<&ShardArchive> = shards.iter().collect();
-    ordered.sort_by_key(|shard| (shard.shard.start_job, shard.shard.end_job));
-
-    let mut records: Vec<TrialRecord> = Vec::with_capacity(num_jobs);
-    let mut expected_start = 0;
-    for shard in ordered {
-        validate_partial(shard, spec)?;
-        let range = &shard.shard;
-        if range.start_job < expected_start {
-            return Err(ExperimentError::Merge(format!(
-                "shard {} overlaps: jobs [{}, {}) but jobs below {} are already covered",
-                range.shard_index, range.start_job, range.end_job, expected_start
-            )));
-        }
-        if range.start_job > expected_start {
-            return Err(ExperimentError::Merge(format!(
-                "gap in shard coverage: jobs [{}, {}) are missing",
-                expected_start, range.start_job
-            )));
-        }
-        records.extend(shard.records.iter().cloned());
-        expected_start = range.end_job;
+    let mut merger = ShardMerger::new(first.spec.clone())?;
+    shards.sort_by_key(|shard| (shard.shard.start_job, shard.shard.end_job));
+    for shard in shards {
+        merger.absorb(shard)?;
     }
-    if expected_start != num_jobs {
-        return Err(ExperimentError::Merge(format!(
-            "gap in shard coverage: jobs [{expected_start}, {num_jobs}) are missing"
-        )));
-    }
+    merger.finish()
+}
 
-    let cells = spec.cells();
-    let cell_reports = aggregate_cells(spec, &cells, &records);
-    let curves = psychometric_curves(spec, &cell_reports);
-    Ok(CampaignReport {
-        spec: spec.clone(),
-        cells: cell_reports,
-        curves,
-    })
+/// Merges shard partials straight from their files, loading (and
+/// dropping) one partial at a time: peak memory is one decoded shard
+/// plus the growing report, never the whole flat record list, regardless
+/// of how many trials the campaign ran.
+///
+/// Files are ordered by their shard range first — O(header) per columnar
+/// file via [`ShardArchive::peek_range`] — so the partials stream through
+/// the [`ShardMerger`] in slot order whatever order the paths arrive in.
+/// Columnar and legacy JSON partials can be mixed freely.
+pub fn merge_shard_files(paths: &[std::path::PathBuf]) -> Result<CampaignReport> {
+    if paths.is_empty() {
+        return Err(ExperimentError::Merge(
+            "no shard archives to merge".to_string(),
+        ));
+    }
+    let mut ordered: Vec<(usize, usize, &std::path::PathBuf)> = Vec::with_capacity(paths.len());
+    for path in paths {
+        let range = ShardArchive::peek_range(path)?;
+        ordered.push((range.start_job, range.end_job, path));
+    }
+    ordered.sort_by_key(|&(start, end, _)| (start, end));
+    let mut merger: Option<ShardMerger> = None;
+    for (_, _, path) in ordered {
+        let shard = ShardArchive::load(path)?;
+        if merger.is_none() {
+            merger = Some(ShardMerger::new(shard.spec.clone())?);
+        }
+        merger.as_mut().expect("just created").absorb(shard)?;
+    }
+    merger.expect("at least one path absorbed").finish()
 }
 
 fn check_format(root: &JsonValue, expected: &str, what: &str) -> Result<()> {
@@ -571,30 +771,30 @@ mod tests {
                 .collect(),
         };
         // A clean tiling merges (input order does not matter).
-        let merged = merge_shards(&[archive(2, 4), archive(0, 2)]).unwrap();
+        let merged = merge_shards(vec![archive(2, 4), archive(0, 2)]).unwrap();
         assert_eq!(merged.cells.len(), 2);
         // Gap.
-        let err = merge_shards(&[archive(0, 1), archive(2, 4)]).unwrap_err();
+        let err = merge_shards(vec![archive(0, 1), archive(2, 4)]).unwrap_err();
         assert!(err.to_string().contains("gap"), "{err}");
         // Overlap.
-        let err = merge_shards(&[archive(0, 3), archive(2, 4)]).unwrap_err();
+        let err = merge_shards(vec![archive(0, 3), archive(2, 4)]).unwrap_err();
         assert!(err.to_string().contains("overlap"), "{err}");
         // Missing tail.
-        let err = merge_shards(&[archive(0, 3)]).unwrap_err();
+        let err = merge_shards(vec![archive(0, 3)]).unwrap_err();
         assert!(err.to_string().contains("missing"), "{err}");
         // Foreign spec.
         let mut foreign = archive(2, 4);
         foreign.spec = spec_with(2, 2);
         foreign.spec.name = "other".to_string();
-        let err = merge_shards(&[archive(0, 2), foreign]).unwrap_err();
+        let err = merge_shards(vec![archive(0, 2), foreign]).unwrap_err();
         assert!(err.to_string().contains("different spec"), "{err}");
         // Record disagreeing with its slot.
         let mut skewed = archive(2, 4);
         skewed.records[0].trial_index = 1;
-        let err = merge_shards(&[archive(0, 2), skewed]).unwrap_err();
+        let err = merge_shards(vec![archive(0, 2), skewed]).unwrap_err();
         assert!(err.to_string().contains("slot"), "{err}");
         // Nothing to merge.
-        assert!(merge_shards(&[]).is_err());
+        assert!(merge_shards(vec![]).is_err());
     }
 
     #[test]
@@ -618,12 +818,21 @@ mod tests {
             .iter()
             .map(|job| {
                 let archive = run_shard(job, 2).unwrap();
-                // Through the wire format, as a real worker would ship it.
-                ShardArchive::from_json_str(&archive.to_json_string()).unwrap()
+                // Through the columnar wire format, as a real worker
+                // would ship it by default.
+                ShardArchive::from_column_bytes(&archive.to_column_bytes()).unwrap()
             })
             .collect();
-        let merged = merge_shards(&partials).unwrap();
+        // And through the legacy JSON wire format, which must keep
+        // merging identically for one version.
+        let json_partials: Vec<ShardArchive> = partials
+            .iter()
+            .map(|p| ShardArchive::from_json_str(&p.to_json_string()).unwrap())
+            .collect();
+        let merged = merge_shards(partials).unwrap();
         assert_eq!(merged, baseline);
         assert_eq!(merged.to_json_string(), baseline.to_json_string());
+        let merged_json = merge_shards(json_partials).unwrap();
+        assert_eq!(merged_json.to_json_string(), baseline.to_json_string());
     }
 }

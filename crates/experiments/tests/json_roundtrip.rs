@@ -70,7 +70,7 @@ fn build_report(
             pick += 1;
         }
     }
-    let cell_reports = aggregate_cells(&spec, &cells, &records);
+    let cell_reports = aggregate_cells(&spec, &cells, records);
     let curves = psychometric_curves(&spec, &cell_reports);
     CampaignReport {
         spec,

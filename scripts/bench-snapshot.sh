@@ -1,17 +1,17 @@
 #!/usr/bin/env bash
 # Regenerates the machine-readable bench snapshot from the harness's
 # stable `BENCH <group>/<name> min=… mean=… max=… ns/iter (N samples)`
-# lines, covering the pipeline, campaign and room groups — plus the
-# per-stage time attribution of a telemetry-instrumented `repro profile
-# smoke` run.  The snapshot is committed (BENCH_pr9.json) so perf
-# movement shows up as a reviewable diff, and CI regenerates it on every
-# push and uploads the fresh copy as an artifact for side-by-side
+# lines, covering the pipeline, campaign, merge and room groups — plus
+# the per-stage time attribution of a telemetry-instrumented `repro
+# profile smoke` run.  The snapshot is committed (BENCH_pr10.json) so
+# perf movement shows up as a reviewable diff, and CI regenerates it on
+# every push and uploads the fresh copy as an artifact for side-by-side
 # comparison.
 #
-# Usage: scripts/bench-snapshot.sh [OUT_FILE]    (default: BENCH_pr9.json)
+# Usage: scripts/bench-snapshot.sh [OUT_FILE]    (default: BENCH_pr10.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr9.json}"
+out="${1:-BENCH_pr10.json}"
 
 lines="$(cargo bench -p ivc-bench --bench pipeline_benches --bench room_benches \
   | tee /dev/stderr | grep '^BENCH ' || true)"

@@ -1,8 +1,9 @@
 //! Golden-archive tests: committed fixture files lock the on-disk
-//! contracts (`ivc-campaign-report-v3`, `ivc-campaign-shard-v1`) so a
-//! change to the serialisers cannot silently reshape the bytes that ship
-//! between machines.  The fixtures are built from hand-written records
-//! (no trials run), so they are deterministic across platforms.
+//! contracts (`ivc-campaign-report-v3`, `ivc-campaign-shard-v1`,
+//! `ivc-trial-columns-v1`) so a change to the serialisers cannot
+//! silently reshape the bytes that ship between machines.  The fixtures
+//! are built from hand-written records (no trials run), so they are
+//! deterministic across platforms.
 //!
 //! To regenerate after an *intentional* format change:
 //!
@@ -11,6 +12,7 @@
 //! ```
 
 use inaudible_voice_commands::experiments::aggregate::{aggregate_cells, psychometric_curves};
+use inaudible_voice_commands::experiments::columns::COLUMNS_FORMAT;
 use inaudible_voice_commands::experiments::shard::{ShardArchive, ShardRange, SHARD_FORMAT};
 use inaudible_voice_commands::experiments::{
     BandSummarySpec, CampaignReport, CampaignSpec, DeliverySpec, DetectorSpec, EnvironmentPreset,
@@ -85,7 +87,7 @@ fn fixture_report() -> CampaignReport {
             records.push(fixture_record(&spec, cell.cell_index, trial));
         }
     }
-    let cell_reports = aggregate_cells(&spec, &cells, &records);
+    let cell_reports = aggregate_cells(&spec, &cells, records);
     let curves = psychometric_curves(&spec, &cell_reports);
     CampaignReport {
         spec,
@@ -169,6 +171,67 @@ fn shard_fixture_is_locked_and_round_trips_byte_exactly() {
     assert_eq!(loaded.to_json_string(), committed);
 }
 
+/// The binary twin of [`assert_matches_fixture`] for columnar fixtures.
+fn assert_matches_fixture_bytes(name: &str, bytes: &[u8]) {
+    let path = fixture_path(name);
+    if std::env::var("IVC_REGEN_FIXTURES").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, bytes).unwrap();
+        return;
+    }
+    let committed =
+        std::fs::read(&path).unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()));
+    assert_eq!(
+        bytes, committed,
+        "{name} drifted from the committed fixture; if the format change is \
+         intentional, bump the format tag and regenerate with IVC_REGEN_FIXTURES=1"
+    );
+}
+
+#[test]
+fn trial_columns_fixture_is_locked_and_round_trips_byte_exactly() {
+    let shard = fixture_shard();
+    assert_matches_fixture_bytes("trial-columns-v1.bin", &shard.to_column_bytes());
+
+    // load (format sniffed from the bytes) → save (columnar via the .bin
+    // extension) round-trips the committed file byte-exactly.
+    let path = fixture_path("trial-columns-v1.bin");
+    let committed = std::fs::read(&path).unwrap();
+    let loaded = ShardArchive::load(&path).unwrap();
+    assert_eq!(loaded, shard);
+    let resaved =
+        std::env::temp_dir().join(format!("ivc-golden-columns-{}.bin", std::process::id()));
+    loaded.save(&resaved).unwrap();
+    let rewritten = std::fs::read(&resaved).unwrap();
+    std::fs::remove_file(&resaved).ok();
+    assert_eq!(rewritten, committed);
+
+    // The columnar bytes and the JSON text describe the same archive.
+    assert_eq!(ShardArchive::from_column_bytes(&committed).unwrap(), shard);
+}
+
+#[test]
+fn truncated_columnar_archives_are_rejected_loudly() {
+    let bytes = fixture_shard().to_column_bytes();
+    // Chop at several depths: inside the tag, inside the header, inside
+    // the column data and one byte short of the end.  Every cut must be
+    // an error, never a silent partial read.
+    for cut in [0, 4, 12, 40, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            ShardArchive::from_column_bytes(&bytes[..cut]).is_err(),
+            "truncation at {cut}/{} bytes must be rejected",
+            bytes.len()
+        );
+    }
+    // Trailing garbage is just as loud.
+    let mut padded = bytes.clone();
+    padded.push(0);
+    assert!(
+        ShardArchive::from_column_bytes(&padded).is_err(),
+        "trailing bytes must be rejected"
+    );
+}
+
 #[test]
 fn older_format_tags_fail_with_a_versioned_error() {
     let report_text = fixture_report().to_json_string();
@@ -188,6 +251,20 @@ fn older_format_tags_fail_with_a_versioned_error() {
     let err = ShardArchive::from_json_str(&aged).unwrap_err().to_string();
     assert!(
         err.contains("ivc-campaign-shard-v0") && err.contains(SHARD_FORMAT),
+        "error must name both the found and the expected version: {err}"
+    );
+
+    // Columnar: the version tag is the first length-prefixed string, so a
+    // same-length substitution ages the bytes without breaking framing.
+    let mut aged_bytes = fixture_shard().to_column_bytes();
+    let old_tag = b"ivc-trial-columns-v0";
+    assert_eq!(old_tag.len(), COLUMNS_FORMAT.len());
+    aged_bytes[8..8 + old_tag.len()].copy_from_slice(old_tag);
+    let err = ShardArchive::from_column_bytes(&aged_bytes)
+        .unwrap_err()
+        .to_string();
+    assert!(
+        err.contains("ivc-trial-columns-v0") && err.contains(COLUMNS_FORMAT),
         "error must name both the found and the expected version: {err}"
     );
 }
